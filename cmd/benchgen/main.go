@@ -1,0 +1,75 @@
+// benchgen materializes the synthetic benchmark projects (and, optionally,
+// simulated commit histories) to disk, so they can be inspected or driven
+// through minibuild by hand.
+//
+//	benchgen -out ./bench-projects                  write the standard suite
+//	benchgen -out ./p -project mathkit -commits 5   one project + history
+//	benchgen -list                                  show available profiles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"statefulcc/internal/project"
+	"statefulcc/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchgen", flag.ContinueOnError)
+	out := fs.String("out", "bench-projects", "output directory")
+	projectName := fs.String("project", "", "generate only the named profile")
+	commits := fs.Int("commits", 0, "also write N simulated commits as commit-XX/ subdirectories")
+	seed := fs.Int64("seed", 1, "history seed")
+	list := fs.Bool("list", false, "list available profiles")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	suite := workload.StandardSuite()
+	if *list {
+		fmt.Println("available profiles:")
+		for _, p := range suite {
+			snap := workload.Generate(p)
+			fmt.Printf("  %-12s %3d files  %6d lines\n", p.Name, len(snap), snap.Lines())
+		}
+		return nil
+	}
+
+	for _, p := range suite {
+		if *projectName != "" && p.Name != *projectName {
+			continue
+		}
+		base := workload.Generate(p)
+		dir := filepath.Join(*out, p.Name)
+		if err := project.WriteDir(dir, base); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d files, %d lines\n", dir, len(base), base.Lines())
+
+		if *commits > 0 {
+			hist := workload.GenerateHistory(base, p.Seed^*seed, *commits, workload.DefaultCommitOptions())
+			for i, snap := range hist.Commits {
+				cdir := filepath.Join(*out, p.Name+"-history", fmt.Sprintf("commit-%02d", i+1))
+				if err := project.WriteDir(cdir, snap); err != nil {
+					return err
+				}
+				fmt.Printf("  commit %02d: %d edit(s)", i+1, len(hist.Edits[i]))
+				for _, e := range hist.Edits[i] {
+					fmt.Printf(" [%s %s/%s]", e.Kind, e.Unit, e.Func)
+				}
+				fmt.Println()
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+// minicc is the MiniC compiler driver — the per-file tool a build system
+// invokes. It compiles one or more source files, optionally links and runs
+// them, and exposes the stateful architecture through flags:
+//
+//	minicc file.mc...                 compile and link (stateless)
+//	minicc -mode stateful -state-dir .mcstate file.mc...
+//	                                  stateful compilation with persistent
+//	                                  dormancy records
+//	minicc -run file.mc...            execute the linked program
+//	minicc -emit-ir file.mc           print optimized IR
+//	minicc -stats file.mc             print pipeline statistics
+//	minicc -O0|-O1|-O2 ...            pipeline selection
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"statefulcc/internal/codegen"
+	"statefulcc/internal/compiler"
+	"statefulcc/internal/core"
+	"statefulcc/internal/fingerprint"
+	"statefulcc/internal/passes"
+	"statefulcc/internal/state"
+	"statefulcc/internal/vm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "minicc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("minicc", flag.ContinueOnError)
+	mode := fs.String("mode", "stateless", "compilation policy: stateless|stateful|predictive|fullcache")
+	stateDir := fs.String("state-dir", "", "directory for persistent dormancy state (stateful modes)")
+	emitIR := fs.Bool("emit-ir", false, "print optimized IR instead of producing a program")
+	emitAsm := fs.Bool("emit-asm", false, "print disassembled bytecode instead of producing a program")
+	stats := fs.Bool("stats", false, "print pipeline statistics per unit")
+	runProg := fs.Bool("run", false, "execute the linked program")
+	o0 := fs.Bool("O0", false, "disable optimization")
+	o1 := fs.Bool("O1", false, "quick pipeline")
+	o2 := fs.Bool("O2", true, "standard pipeline (default)")
+	verifyIR := fs.Bool("verify-ir", false, "verify IR after every pass")
+	verifyState := fs.Bool("verify-state", false, "re-run skipped passes and cross-check dormancy")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		fs.Usage()
+		return fmt.Errorf("no input files")
+	}
+
+	var pipeline []string
+	switch {
+	case *o0:
+		pipeline = []string{}
+	case *o1:
+		pipeline = passes.QuickPipeline
+	case *o2:
+		pipeline = passes.StandardPipeline
+	}
+	// An empty pipeline needs at least a placeholder slot for the driver;
+	// use mem2reg alone so codegen sees SSA-ready IR shape (it handles
+	// memory form fine too, but -O0 means "minimal", not "none").
+	if len(pipeline) == 0 {
+		pipeline = []string{"mem2reg"}
+	}
+
+	cmode, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+	comp, err := compiler.New(compiler.Options{
+		Pipeline:    pipeline,
+		Mode:        cmode,
+		VerifyIR:    *verifyIR,
+		VerifySkips: *verifyState,
+	})
+	if err != nil {
+		return err
+	}
+
+	var objects []*codegen.Object
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		unit := filepath.ToSlash(file)
+
+		var st *core.UnitState
+		if *stateDir != "" {
+			st, err = state.Load(statePathFor(*stateDir, unit))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "minicc: discarding unreadable state for %s: %v\n", unit, err)
+				st = nil
+			}
+		}
+
+		res, err := comp.CompileUnit(unit, src, st)
+		if err != nil {
+			return err
+		}
+		if *stateDir != "" && res.State != nil {
+			if err := state.Save(statePathFor(*stateDir, unit), res.State); err != nil {
+				fmt.Fprintf(os.Stderr, "minicc: saving state for %s: %v\n", unit, err)
+			}
+		}
+		if *emitIR {
+			fmt.Println(res.Module.String())
+		}
+		if *emitAsm {
+			fmt.Println(codegen.DisassembleObject(res.Object))
+		}
+		if *stats && res.Stats != nil {
+			fmt.Printf("--- %s ---\n%s", unit, res.Stats)
+		}
+		objects = append(objects, res.Object)
+	}
+
+	if *emitIR || *emitAsm {
+		return nil
+	}
+	prog, err := codegen.Link(objects)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("linked %d unit(s): %d functions, %d global words, entry %q\n",
+		len(objects), len(prog.Funcs), prog.GlobalWords, "main")
+
+	if *runProg {
+		res, err := vm.Run(prog, vm.Config{Output: os.Stdout})
+		if err != nil {
+			return err
+		}
+		if res.ExitValue != 0 {
+			fmt.Fprintf(os.Stderr, "program exited with %d\n", res.ExitValue)
+		}
+	}
+	return nil
+}
+
+func parseMode(s string) (compiler.Mode, error) {
+	switch strings.ToLower(s) {
+	case "stateless":
+		return compiler.ModeStateless, nil
+	case "stateful":
+		return compiler.ModeStateful, nil
+	case "predictive":
+		return compiler.ModePredictive, nil
+	case "fullcache":
+		return compiler.ModeFullCache, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func statePathFor(dir, unit string) string {
+	return filepath.Join(dir, fmt.Sprintf("%016x.state", fingerprint.Strings([]string{unit})))
+}

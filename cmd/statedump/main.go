@@ -1,0 +1,72 @@
+// statedump inspects persistent dormancy-state files — the compiler-state
+// analogue of `nm` for objects.
+//
+//	statedump path/to/unit.state
+//	statedump -v path/to/unit.state     per-slot records
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"statefulcc/internal/state"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "statedump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("statedump", flag.ContinueOnError)
+	verbose := fs.Bool("v", false, "print per-slot records")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: statedump [-v] <file.state>...")
+	}
+	for _, path := range fs.Args() {
+		st, err := state.Load(path)
+		if err != nil {
+			return err
+		}
+		if st == nil {
+			return fmt.Errorf("%s: no such file", path)
+		}
+		size, _ := state.FileSize(st)
+		fmt.Printf("%s:\n  unit          %s\n  pipeline hash %016x\n  functions     %d\n  records       %d\n  size          %d bytes\n",
+			path, st.Unit, st.PipelineHash, len(st.Funcs), st.RecordCount(), size)
+		if !*verbose {
+			continue
+		}
+		for name, fsRec := range st.Funcs {
+			fmt.Printf("  func %s:\n", name)
+			for i, r := range fsRec.Slots {
+				if !fsRec.Seen[i] {
+					continue
+				}
+				verdict := "dormant"
+				if r.Changed {
+					verdict = "active"
+				}
+				fmt.Printf("    slot %2d: %-7s hash=%016x cost=%s\n", i, verdict, r.InputHash, fmtNS(r.CostNS))
+			}
+		}
+	}
+	return nil
+}
+
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,89 @@
+// Quickstart: compile a two-file MiniC program, run it on the bundled VM,
+// then rebuild it with the stateful compiler to watch dormant passes being
+// skipped.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"statefulcc"
+)
+
+const mathUnit = `
+// math.mc — a tiny library unit.
+const SCALE = 100;
+
+func clamp(x int, lo int, hi int) int {
+    if x < lo { return lo; }
+    if x > hi { return hi; }
+    return x;
+}
+
+func lerp(a int, b int, t int) int {
+    // t in [0, SCALE]
+    return a + (b - a) * t / SCALE;
+}
+`
+
+const mainUnit = `
+// main.mc — the program entry point.
+extern func clamp(x int, lo int, hi int) int;
+extern func lerp(a int, b int, t int) int;
+
+func main() int {
+    print("clamped", clamp(150, 0, 100), clamp(-3, 0, 100), clamp(42, 0, 100));
+    for var t int = 0; t <= 100; t += 25 {
+        print("lerp", t, lerp(0, 80, t));
+    }
+    assert(lerp(0, 80, 100) == 80, "lerp endpoint");
+    return clamp(7, 0, 5);
+}
+`
+
+func main() {
+	units := statefulcc.Snapshot{
+		"math.mc": []byte(mathUnit),
+		"main.mc": []byte(mainUnit),
+	}
+
+	// --- 1. One-shot compile + run --------------------------------------
+	prog, err := statefulcc.CompileAndLink(map[string][]byte(units))
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, exit, err := statefulcc.RunProgram(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("program output:\n" + out)
+	fmt.Printf("exit value: %d\n\n", exit)
+
+	// --- 2. The same build, stateful ------------------------------------
+	builder, err := statefulcc.NewBuilder(statefulcc.BuildOptions{Mode: statefulcc.Stateful})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep1, err := builder.Build(units)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runs1, dormant1, _ := rep1.Stats().Totals()
+	fmt.Printf("cold build:    %d pass runs, %d of them dormant\n", runs1, dormant1)
+
+	// Simulate the developer touching main.mc (whitespace-invisible edit:
+	// change a constant) and rebuilding.
+	edited := units.Clone()
+	edited["main.mc"] = []byte(mainUnit + "\n// comment only\n")
+	rep2, err := builder.Build(edited)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runs2, _, skipped2 := rep2.Stats().Totals()
+	fmt.Printf("incremental:   %d units recompiled, %d pass runs, %d passes skipped via dormancy records\n",
+		rep2.UnitsCompiled, runs2, skipped2)
+	fmt.Printf("state footprint: %d bytes\n", rep2.StateBytes)
+}

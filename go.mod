@@ -1,0 +1,3 @@
+module statefulcc
+
+go 1.22

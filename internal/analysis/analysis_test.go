@@ -1,0 +1,333 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"statefulcc/internal/analysis"
+	"statefulcc/internal/ir"
+	"statefulcc/internal/testutil"
+)
+
+// lowerFunc builds IR for fn from source (memory form, no passes).
+func lowerFunc(t *testing.T, src, fn string) *ir.Func {
+	t.Helper()
+	m, err := testutil.BuildModule("t.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.FindFunc(fn)
+	if f == nil {
+		t.Fatalf("no function %s", fn)
+	}
+	return f
+}
+
+func TestDomTreeDiamond(t *testing.T) {
+	f := lowerFunc(t, `
+func f(x int) int {
+    var r int;
+    if x > 0 { r = 1; } else { r = 2; }
+    return r;
+}`, "f")
+	dom := analysis.BuildDomTree(f)
+	entry := f.Entry()
+
+	for _, b := range f.Blocks {
+		if !dom.Reachable(b) {
+			continue
+		}
+		if !dom.Dominates(entry, b) {
+			t.Errorf("entry does not dominate %s", b.Name())
+		}
+		if !dom.Dominates(b, b) {
+			t.Errorf("dominance not reflexive on %s", b.Name())
+		}
+		if dom.StrictlyDominates(b, b) {
+			t.Errorf("strict dominance reflexive on %s", b.Name())
+		}
+	}
+	// The join block (the one with 2 preds) is dominated by entry but not
+	// by either branch arm.
+	for _, b := range f.Blocks {
+		if len(b.Preds) == 2 {
+			for _, p := range b.Preds {
+				if p != entry && dom.Dominates(p, b) {
+					t.Errorf("branch arm %s should not dominate join %s", p.Name(), b.Name())
+				}
+			}
+			if dom.Idom(b) != entry {
+				t.Errorf("idom(join) = %v, want entry", dom.Idom(b).Name())
+			}
+		}
+	}
+}
+
+func TestDomTreeAgainstBruteForce(t *testing.T) {
+	// Brute-force dominance: a dominates b iff removing a from the graph
+	// makes b unreachable. Compare on several lowered functions.
+	srcs := []string{
+		`func f(n int) int {
+            var s int = 0;
+            for var i int = 0; i < n; i++ {
+                if i % 2 == 0 { s += i; } else { s -= i; }
+                while s > 100 { s /= 2; }
+            }
+            return s;
+        }`,
+		`func f(a bool, b bool) int {
+            if a { if b { return 1; } return 2; }
+            for ;; { if b { break; } }
+            return 3;
+        }`,
+	}
+	for _, src := range srcs {
+		f := lowerFunc(t, src, "f")
+		dom := analysis.BuildDomTree(f)
+		reach := reachableWithout(f, nil)
+		for _, a := range f.Blocks {
+			if !reach[a.ID] {
+				continue
+			}
+			blocked := reachableWithout(f, a)
+			for _, b := range f.Blocks {
+				if !reach[b.ID] {
+					continue
+				}
+				want := a == b || !blocked[b.ID]
+				if got := dom.Dominates(a, b); got != want {
+					t.Errorf("Dominates(%s,%s) = %t, want %t\n%s", a.Name(), b.Name(), got, want, f)
+				}
+			}
+		}
+	}
+}
+
+// reachableWithout computes reachability from entry with one block removed.
+func reachableWithout(f *ir.Func, skip *ir.Block) []bool {
+	seen := make([]bool, f.NumBlockIDs())
+	var stack []*ir.Block
+	if e := f.Entry(); e != nil && e != skip {
+		seen[e.ID] = true
+		stack = append(stack, e)
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs() {
+			if s == skip || seen[s.ID] {
+				continue
+			}
+			seen[s.ID] = true
+			stack = append(stack, s)
+		}
+	}
+	return seen
+}
+
+func TestDominanceFrontiers(t *testing.T) {
+	f := lowerFunc(t, `
+func f(x int) int {
+    var r int;
+    if x > 0 { r = 1; } else { r = 2; }
+    return r;
+}`, "f")
+	dom := analysis.BuildDomTree(f)
+	df := dom.Frontiers()
+
+	var join *ir.Block
+	for _, b := range f.Blocks {
+		if len(b.Preds) == 2 {
+			join = b
+		}
+	}
+	if join == nil {
+		t.Fatal("no join block")
+	}
+	// Both branch arms have the join in their frontier; entry does not.
+	for _, p := range join.Preds {
+		found := false
+		for _, fb := range df[p.ID] {
+			if fb == join {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("join missing from DF(%s)", p.Name())
+		}
+	}
+	for _, fb := range df[f.Entry().ID] {
+		if fb == join {
+			t.Error("join should not be in DF(entry) — entry dominates it")
+		}
+	}
+}
+
+func TestLoopDetection(t *testing.T) {
+	f := lowerFunc(t, `
+func f(n int) int {
+    var s int = 0;
+    for var i int = 0; i < n; i++ {
+        for var j int = 0; j < i; j++ {
+            s += j;
+        }
+    }
+    return s;
+}`, "f")
+	dom := analysis.BuildDomTree(f)
+	loops := analysis.FindLoops(f, dom)
+	if len(loops.Loops) != 2 {
+		t.Fatalf("found %d loops, want 2\n%s", len(loops.Loops), f)
+	}
+	var outer, inner *analysis.Loop
+	for _, l := range loops.Loops {
+		if l.Parent == nil {
+			outer = l
+		} else {
+			inner = l
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatalf("nesting not detected")
+	}
+	if inner.Parent != outer {
+		t.Error("inner loop's parent is not the outer loop")
+	}
+	if outer.Depth != 1 || inner.Depth != 2 {
+		t.Errorf("depths: outer=%d inner=%d", outer.Depth, inner.Depth)
+	}
+	if !outer.Contains(inner.Header) {
+		t.Error("outer loop does not contain inner header")
+	}
+	if len(outer.Exits) == 0 || len(inner.Exits) == 0 {
+		t.Error("loop exits not detected")
+	}
+	for _, b := range inner.Blocks {
+		if loops.InnermostLoop(b) != inner {
+			t.Errorf("innermost loop of %s is not the inner loop", b.Name())
+		}
+		if loops.Depth(b) != 2 {
+			t.Errorf("depth of %s = %d, want 2", b.Name(), loops.Depth(b))
+		}
+	}
+}
+
+func TestNoLoops(t *testing.T) {
+	f := lowerFunc(t, `func f(x int) int { if x > 0 { return 1; } return 0; }`, "f")
+	dom := analysis.BuildDomTree(f)
+	loops := analysis.FindLoops(f, dom)
+	if len(loops.Loops) != 0 {
+		t.Errorf("found %d loops in loop-free code", len(loops.Loops))
+	}
+}
+
+func TestPreheaderDetection(t *testing.T) {
+	f := lowerFunc(t, `
+func f(n int) int {
+    var s int = 0;
+    while s < n { s += 3; }
+    return s;
+}`, "f")
+	dom := analysis.BuildDomTree(f)
+	loops := analysis.FindLoops(f, dom)
+	if len(loops.Loops) != 1 {
+		t.Fatalf("loops = %d", len(loops.Loops))
+	}
+	// Freshly lowered while loops have a dedicated preheader (the entry
+	// fall-through block).
+	if loops.Loops[0].Preheader() == nil {
+		t.Errorf("no preheader found\n%s", f)
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	f := lowerFunc(t, `
+func f(a int, b int) int {
+    var x int = a + b;
+    var y int = a - b;
+    if x > 0 { return x; }
+    return y;
+}`, "f")
+	// Promote to SSA first so liveness tracks computed values.
+	// (Using the raw memory form is fine too, but SSA makes assertions
+	// easier: find the add and sub results.)
+	lv := analysis.ComputeLiveness(f)
+	if lv == nil {
+		t.Fatal("nil liveness")
+	}
+	// Sanity: entry live-in is empty (params are not tracked).
+	if n := lv.LiveIn[f.Entry().ID].Count(); n != 0 {
+		t.Errorf("entry live-in count = %d, want 0", n)
+	}
+	// Any value used across a block boundary must be live-out somewhere.
+	crossUses := 0
+	f.ForEachValue(func(v *ir.Value) {
+		for _, a := range v.Args {
+			if a.Block != nil && v.Block != nil && a.Block != v.Block {
+				crossUses++
+				if !lv.LiveOut[a.Block.ID].Has(a.ID) {
+					t.Errorf("v%d used in %s but not live-out of defining %s",
+						a.ID, v.Block.Name(), a.Block.Name())
+				}
+			}
+		}
+	})
+	if crossUses == 0 {
+		t.Log("no cross-block uses in this shape; liveness exercised trivially")
+	}
+}
+
+func TestBitSet(t *testing.T) {
+	s := analysis.NewBitSet(130)
+	if s.Has(0) || s.Has(129) {
+		t.Error("fresh set non-empty")
+	}
+	if !s.Add(129) || s.Add(129) {
+		t.Error("Add change-reporting broken")
+	}
+	if !s.Has(129) || s.Count() != 1 {
+		t.Error("membership broken")
+	}
+	s.Add(5)
+	c := s.Clone()
+	c.Remove(5)
+	if !s.Has(5) || c.Has(5) {
+		t.Error("Clone aliases storage")
+	}
+	d := analysis.NewBitSet(130)
+	if !s.UnionInto(d) || s.UnionInto(d) {
+		t.Error("UnionInto change-reporting broken")
+	}
+	if d.Count() != 2 {
+		t.Errorf("union count = %d, want 2", d.Count())
+	}
+}
+
+func TestVerifySSAAcceptsAndRejects(t *testing.T) {
+	f := lowerFunc(t, `func f(x int) int { var y int = x * 2; return y + 1; }`, "f")
+	if err := analysis.VerifySSA(f); err != nil {
+		t.Fatalf("valid IR rejected: %v", err)
+	}
+	// Corrupt: move an instruction's use before its definition by swapping.
+	entry := f.Entry()
+	if len(entry.Instrs) >= 2 {
+		// Find a pair (def, use) and swap them.
+		for i := 0; i < len(entry.Instrs); i++ {
+			for j := i + 1; j < len(entry.Instrs); j++ {
+				uses := false
+				for _, a := range entry.Instrs[j].Args {
+					if a == entry.Instrs[i] {
+						uses = true
+					}
+				}
+				if uses {
+					entry.Instrs[i], entry.Instrs[j] = entry.Instrs[j], entry.Instrs[i]
+					if err := analysis.VerifySSA(f); err == nil {
+						t.Error("use-before-def not caught")
+					}
+					return
+				}
+			}
+		}
+	}
+	t.Skip("no def-use pair found in entry block")
+}

@@ -1,0 +1,169 @@
+// Package analysis provides the CFG analyses that optimization passes
+// consume: dominator trees (Cooper–Harvey–Kennedy), dominance frontiers,
+// natural-loop detection, liveness, and a dominance-based SSA verifier.
+//
+// All analyses are pure functions of the IR — they are recomputed on demand
+// by passes rather than cached, which keeps the pass manager's invalidation
+// story trivial and makes pass dormancy exactly "the IR did not change".
+package analysis
+
+import (
+	"statefulcc/internal/ir"
+)
+
+// DomTree is the dominator tree of a function's reachable blocks.
+type DomTree struct {
+	fn *ir.Func
+	// idom[b.ID] is the immediate dominator; entry maps to itself.
+	idom []*ir.Block
+	// children[b.ID] lists the blocks immediately dominated by b.
+	children [][]*ir.Block
+	// pre and post order numbers of each block in the dominator tree,
+	// giving O(1) Dominates queries.
+	pre, post []int
+	// rpo[b.ID] is the reverse-postorder index (reachable blocks only).
+	rpo []int
+	// order is the reverse postorder itself.
+	order []*ir.Block
+}
+
+// BuildDomTree computes the dominator tree using the Cooper–Harvey–Kennedy
+// iterative algorithm over reverse postorder.
+func BuildDomTree(f *ir.Func) *DomTree {
+	n := f.NumBlockIDs()
+	t := &DomTree{
+		fn:       f,
+		idom:     make([]*ir.Block, n),
+		children: make([][]*ir.Block, n),
+		pre:      make([]int, n),
+		post:     make([]int, n),
+		rpo:      make([]int, n),
+	}
+	t.order = f.ReversePostorder()
+	for i := range t.rpo {
+		t.rpo[i] = -1
+	}
+	for i, b := range t.order {
+		t.rpo[b.ID] = i
+	}
+	entry := f.Entry()
+	if entry == nil {
+		return t
+	}
+	t.idom[entry.ID] = entry
+
+	intersect := func(a, b *ir.Block) *ir.Block {
+		for a != b {
+			for t.rpo[a.ID] > t.rpo[b.ID] {
+				a = t.idom[a.ID]
+			}
+			for t.rpo[b.ID] > t.rpo[a.ID] {
+				b = t.idom[b.ID]
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range t.order[1:] {
+			var newIdom *ir.Block
+			for _, p := range b.Preds {
+				if t.rpo[p.ID] < 0 || t.idom[p.ID] == nil {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && t.idom[b.ID] != newIdom {
+				t.idom[b.ID] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	// Build children lists and DFS numbering for O(1) dominance queries.
+	for _, b := range t.order {
+		if b == entry {
+			continue
+		}
+		id := t.idom[b.ID]
+		if id != nil {
+			t.children[id.ID] = append(t.children[id.ID], b)
+		}
+	}
+	clock := 0
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		clock++
+		t.pre[b.ID] = clock
+		for _, c := range t.children[b.ID] {
+			dfs(c)
+		}
+		clock++
+		t.post[b.ID] = clock
+	}
+	dfs(entry)
+	return t
+}
+
+// Idom returns the immediate dominator of b (the entry returns itself),
+// or nil for unreachable blocks.
+func (t *DomTree) Idom(b *ir.Block) *ir.Block { return t.idom[b.ID] }
+
+// Children returns the blocks immediately dominated by b.
+func (t *DomTree) Children(b *ir.Block) []*ir.Block { return t.children[b.ID] }
+
+// Reachable reports whether b was reachable when the tree was built.
+func (t *DomTree) Reachable(b *ir.Block) bool { return t.rpo[b.ID] >= 0 }
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *DomTree) Dominates(a, b *ir.Block) bool {
+	if !t.Reachable(a) || !t.Reachable(b) {
+		return false
+	}
+	return t.pre[a.ID] <= t.pre[b.ID] && t.post[b.ID] <= t.post[a.ID]
+}
+
+// StrictlyDominates reports whether a dominates b and a != b.
+func (t *DomTree) StrictlyDominates(a, b *ir.Block) bool {
+	return a != b && t.Dominates(a, b)
+}
+
+// ReversePostorder returns the reachable blocks in reverse postorder.
+func (t *DomTree) ReversePostorder() []*ir.Block { return t.order }
+
+// Frontiers computes the dominance frontier of every block
+// (Cytron et al.), used by mem2reg's phi placement.
+func (t *DomTree) Frontiers() [][]*ir.Block {
+	df := make([][]*ir.Block, t.fn.NumBlockIDs())
+	for _, b := range t.order {
+		if len(b.Preds) < 2 {
+			continue
+		}
+		for _, p := range b.Preds {
+			if !t.Reachable(p) {
+				continue
+			}
+			// idom(b) dominates every reachable predecessor of b, so the
+			// walk up the dominator tree from p always terminates at it.
+			for runner := p; runner != t.idom[b.ID]; runner = t.idom[runner.ID] {
+				df[runner.ID] = appendUnique(df[runner.ID], b)
+			}
+		}
+	}
+	return df
+}
+
+func appendUnique(s []*ir.Block, b *ir.Block) []*ir.Block {
+	for _, x := range s {
+		if x == b {
+			return s
+		}
+	}
+	return append(s, b)
+}

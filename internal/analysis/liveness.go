@@ -1,0 +1,169 @@
+package analysis
+
+// Backward liveness over SSA values, used by codegen's frame-slot packing
+// and available as a general analysis.
+
+import (
+	"statefulcc/internal/ir"
+)
+
+// Liveness holds per-block live-in/live-out SSA value sets, keyed by value
+// ID in dense bitsets.
+type Liveness struct {
+	fn      *ir.Func
+	LiveIn  []BitSet // indexed by block ID
+	LiveOut []BitSet
+}
+
+// BitSet is a fixed-capacity bitset over value IDs.
+type BitSet []uint64
+
+// NewBitSet returns a set able to hold n elements.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Has reports membership.
+func (s BitSet) Has(i int) bool { return s[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Add inserts i, reporting whether the set changed.
+func (s BitSet) Add(i int) bool {
+	w, m := i/64, uint64(1)<<(uint(i)%64)
+	if s[w]&m != 0 {
+		return false
+	}
+	s[w] |= m
+	return true
+}
+
+// Remove deletes i.
+func (s BitSet) Remove(i int) { s[i/64] &^= 1 << (uint(i) % 64) }
+
+// UnionInto ors s into dst, reporting whether dst changed.
+func (s BitSet) UnionInto(dst BitSet) bool {
+	changed := false
+	for i, w := range s {
+		if dst[i]|w != dst[i] {
+			dst[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Clone copies the set.
+func (s BitSet) Clone() BitSet {
+	c := make(BitSet, len(s))
+	copy(c, s)
+	return c
+}
+
+// Count returns the number of elements.
+func (s BitSet) Count() int {
+	n := 0
+	for _, w := range s {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// ComputeLiveness runs iterative backward liveness to a fixed point.
+// Phi operands are treated as live-out of the corresponding predecessor
+// (the standard SSA convention), not live-in of the phi's block.
+func ComputeLiveness(f *ir.Func) *Liveness {
+	nb := f.NumBlockIDs()
+	nv := f.NumValues()
+	lv := &Liveness{
+		fn:      f,
+		LiveIn:  make([]BitSet, nb),
+		LiveOut: make([]BitSet, nb),
+	}
+	for _, b := range f.Blocks {
+		lv.LiveIn[b.ID] = NewBitSet(nv)
+		lv.LiveOut[b.ID] = NewBitSet(nv)
+	}
+
+	// Iterate in postorder until stable (backward problem).
+	po := f.Postorder()
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range po {
+			out := lv.LiveOut[b.ID]
+			// live-out = union over successors of (live-in(s) minus s's phis,
+			// plus the phi operands flowing along this edge).
+			for _, s := range b.Succs() {
+				tmp := lv.LiveIn[s.ID].Clone()
+				for _, phi := range s.Phis {
+					tmp.Remove(phi.ID)
+				}
+				if tmp.UnionInto(out) {
+					changed = true
+				}
+				for _, phi := range s.Phis {
+					if in := phi.Incoming(b); in != nil && trackable(in) {
+						if out.Add(in.ID) {
+							changed = true
+						}
+					}
+				}
+			}
+			// live-in = (live-out minus defs) plus uses, scanned backwards.
+			in := out.Clone()
+			if b.Term != nil {
+				stepLive(in, b.Term)
+			}
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				stepLive(in, b.Instrs[i])
+			}
+			for _, phi := range b.Phis {
+				in.Remove(phi.ID)
+			}
+			if in.UnionInto(lv.LiveIn[b.ID]) {
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// trackable reports whether liveness tracks the value (instructions and
+// phis; constants and params are rematerializable/always live).
+func trackable(v *ir.Value) bool {
+	return v.Op != ir.OpConst && v.Op != ir.OpParam
+}
+
+func stepLive(set BitSet, v *ir.Value) {
+	if v.Type != ir.TVoid {
+		set.Remove(v.ID)
+	}
+	for _, a := range v.Args {
+		if trackable(a) {
+			set.Add(a.ID)
+		}
+	}
+}
+
+// LiveAcrossCall reports, per value ID, whether the value is live across
+// any call instruction — a statistic used by the codegen slot packer.
+func LiveAcrossCall(f *ir.Func, lv *Liveness) []bool {
+	res := make([]bool, f.NumValues())
+	for _, b := range f.Blocks {
+		live := lv.LiveOut[b.ID].Clone()
+		if b.Term != nil {
+			stepLive(live, b.Term)
+		}
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			v := b.Instrs[i]
+			if v.Op == ir.OpCall {
+				for w := 0; w < f.NumValues(); w++ {
+					if live.Has(w) {
+						res[w] = true
+					}
+				}
+			}
+			stepLive(live, v)
+		}
+	}
+	return res
+}

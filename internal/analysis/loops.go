@@ -1,0 +1,177 @@
+package analysis
+
+// Natural-loop detection from back edges in the dominator tree, used by
+// LICM and the unroller.
+
+import (
+	"sort"
+
+	"statefulcc/internal/ir"
+)
+
+// Loop is one natural loop.
+type Loop struct {
+	// Header is the loop entry block (dominates all loop blocks).
+	Header *ir.Block
+	// Latches are the blocks with back edges to the header.
+	Latches []*ir.Block
+	// Blocks is the loop body including the header, in discovery order.
+	Blocks []*ir.Block
+	// Parent is the innermost enclosing loop, or nil.
+	Parent *Loop
+	// Depth is 1 for outermost loops.
+	Depth int
+	// Exits are edges (From inside, To outside).
+	Exits []LoopExit
+}
+
+// LoopExit is an edge leaving a loop.
+type LoopExit struct {
+	From *ir.Block // inside the loop
+	To   *ir.Block // outside the loop
+}
+
+// Contains reports whether b belongs to the loop body.
+func (l *Loop) Contains(b *ir.Block) bool {
+	for _, x := range l.Blocks {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// LoopInfo holds all natural loops of a function.
+type LoopInfo struct {
+	// Loops in header reverse-postorder (outer loops before inner).
+	Loops []*Loop
+	// loopOf[b.ID] is the innermost loop containing the block, or nil.
+	loopOf []*Loop
+}
+
+// InnermostLoop returns the innermost loop containing b, or nil.
+func (li *LoopInfo) InnermostLoop(b *ir.Block) *Loop {
+	if b.ID < len(li.loopOf) {
+		return li.loopOf[b.ID]
+	}
+	return nil
+}
+
+// Depth returns the loop nesting depth of block b (0 = not in a loop).
+func (li *LoopInfo) Depth(b *ir.Block) int {
+	if l := li.InnermostLoop(b); l != nil {
+		return l.Depth
+	}
+	return 0
+}
+
+// FindLoops detects natural loops: for each back edge (latch → header where
+// header dominates latch), the loop body is everything that reaches the
+// latch without passing through the header. Loops sharing a header are
+// merged, matching LLVM's convention.
+func FindLoops(f *ir.Func, dom *DomTree) *LoopInfo {
+	li := &LoopInfo{loopOf: make([]*Loop, f.NumBlockIDs())}
+	byHeader := make(map[*ir.Block]*Loop)
+
+	for _, b := range dom.ReversePostorder() {
+		for _, s := range b.Succs() {
+			if !dom.Dominates(s, b) {
+				continue // not a back edge
+			}
+			header, latch := s, b
+			loop := byHeader[header]
+			if loop == nil {
+				loop = &Loop{Header: header, Blocks: []*ir.Block{header}}
+				byHeader[header] = loop
+				li.Loops = append(li.Loops, loop)
+			}
+			loop.Latches = append(loop.Latches, latch)
+			// Walk backwards from the latch collecting the body.
+			in := map[*ir.Block]bool{header: true}
+			for _, blk := range loop.Blocks {
+				in[blk] = true
+			}
+			stack := []*ir.Block{latch}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if in[x] {
+					continue
+				}
+				in[x] = true
+				loop.Blocks = append(loop.Blocks, x)
+				for _, p := range x.Preds {
+					if !in[p] && dom.Reachable(p) {
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+
+	// Sort loops by body size descending so that assigning loopOf in order
+	// leaves the innermost (smallest) loop in place; nesting links follow.
+	sort.SliceStable(li.Loops, func(i, j int) bool {
+		return len(li.Loops[i].Blocks) > len(li.Loops[j].Blocks)
+	})
+	for _, l := range li.Loops {
+		for _, b := range l.Blocks {
+			if inner := li.loopOf[b.ID]; inner != nil && inner != l && b == inner.Header {
+				// l encloses inner (l was visited earlier only if bigger).
+				_ = inner
+			}
+			li.loopOf[b.ID] = l
+		}
+	}
+	// Parent/depth: a loop's parent is the innermost loop containing its
+	// header that isn't itself. Compute by re-scanning containment.
+	for _, l := range li.Loops {
+		var parent *Loop
+		for _, cand := range li.Loops {
+			if cand == l || len(cand.Blocks) <= len(l.Blocks) {
+				continue
+			}
+			if cand.Contains(l.Header) {
+				if parent == nil || len(cand.Blocks) < len(parent.Blocks) {
+					parent = cand
+				}
+			}
+		}
+		l.Parent = parent
+	}
+	for _, l := range li.Loops {
+		d := 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			d++
+		}
+		l.Depth = d
+	}
+
+	// Exits.
+	for _, l := range li.Loops {
+		for _, b := range l.Blocks {
+			for _, s := range b.Succs() {
+				if !l.Contains(s) {
+					l.Exits = append(l.Exits, LoopExit{From: b, To: s})
+				}
+			}
+		}
+	}
+	return li
+}
+
+// Preheader returns the unique block that enters the loop from outside via
+// a single edge to the header, or nil when no such block exists. LICM
+// creates one on demand.
+func (l *Loop) Preheader() *ir.Block {
+	var outside []*ir.Block
+	for _, p := range l.Header.Preds {
+		if !l.Contains(p) {
+			outside = append(outside, p)
+		}
+	}
+	if len(outside) == 1 && len(outside[0].Succs()) == 1 {
+		return outside[0]
+	}
+	return nil
+}

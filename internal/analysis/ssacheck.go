@@ -1,0 +1,107 @@
+package analysis
+
+// VerifySSA: the dominance half of IR verification (structure is checked by
+// ir.Verify). Separated into this package because it needs the dominator
+// tree.
+
+import (
+	"fmt"
+
+	"statefulcc/internal/ir"
+)
+
+// VerifySSA checks that every use of an SSA value is dominated by its
+// definition: ordinary uses must be dominated by the defining instruction,
+// and phi uses must be dominated at the end of the incoming block. It also
+// checks that each value is defined once.
+func VerifySSA(f *ir.Func) error {
+	dom := BuildDomTree(f)
+
+	defBlock := make(map[*ir.Value]*ir.Block)
+	defIndex := make(map[*ir.Value]int) // position within block; phis = -1
+	seen := make(map[*ir.Value]bool)
+
+	for _, b := range f.Blocks {
+		for _, v := range b.Phis {
+			if seen[v] {
+				return fmt.Errorf("func %s: v%d defined twice", f.Name, v.ID)
+			}
+			seen[v] = true
+			defBlock[v] = b
+			defIndex[v] = -1
+		}
+		for i, v := range b.Instrs {
+			if seen[v] {
+				return fmt.Errorf("func %s: v%d defined twice", f.Name, v.ID)
+			}
+			seen[v] = true
+			defBlock[v] = b
+			defIndex[v] = i
+		}
+		if b.Term != nil {
+			defBlock[b.Term] = b
+			defIndex[b.Term] = len(b.Instrs)
+		}
+	}
+
+	// dominatesUse reports whether def (an instruction/phi) dominates a use
+	// at position (useBlock, useIndex).
+	dominatesUse := func(def *ir.Value, useBlock *ir.Block, useIndex int) bool {
+		if def.Op == ir.OpConst || def.Op == ir.OpParam {
+			return true
+		}
+		db, ok := defBlock[def]
+		if !ok {
+			return false // defined nowhere (foreign value)
+		}
+		if db == useBlock {
+			return defIndex[def] < useIndex
+		}
+		return dom.StrictlyDominates(db, useBlock)
+	}
+
+	for _, b := range f.Blocks {
+		if !dom.Reachable(b) {
+			continue // unreachable code may be malformed until simplifycfg runs
+		}
+		for _, phi := range b.Phis {
+			for i, a := range phi.Args {
+				in := phi.Blocks[i]
+				if a.Op == ir.OpConst || a.Op == ir.OpParam {
+					continue
+				}
+				if !dom.Reachable(in) {
+					continue
+				}
+				// Operand must dominate the end of the incoming block.
+				if !dominatesUse(a, in, len(in.Instrs)+1) {
+					return fmt.Errorf("func %s: phi v%d operand v%d not available at end of %s",
+						f.Name, phi.ID, a.ID, in.Name())
+				}
+			}
+		}
+		for i, v := range b.Instrs {
+			for _, a := range v.Args {
+				if a.Op == ir.OpConst || a.Op == ir.OpParam {
+					continue
+				}
+				if !dominatesUse(a, b, i) {
+					return fmt.Errorf("func %s: %s in %s uses v%d before definition",
+						f.Name, v.LongString(), b.Name(), a.ID)
+				}
+			}
+		}
+		if b.Term != nil {
+			for _, a := range b.Term.Args {
+				if a.Op == ir.OpConst || a.Op == ir.OpParam {
+					continue
+				}
+				if !dominatesUse(a, b, len(b.Instrs)) {
+					return fmt.Errorf("func %s: terminator of %s uses v%d before definition",
+						f.Name, b.Name(), a.ID)
+				}
+			}
+		}
+	}
+	return nil
+}

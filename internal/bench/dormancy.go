@@ -1,0 +1,85 @@
+package bench
+
+// Dormancy tracking for the motivation experiments: per-(function, slot)
+// dormancy bitmaps collected by running the pipeline pass-by-pass, used to
+// measure how dormancy persists across incremental builds (Figure F2).
+
+import (
+	"fmt"
+
+	"statefulcc/internal/compiler"
+	"statefulcc/internal/ir"
+	"statefulcc/internal/passes"
+)
+
+// dormKey identifies one pass execution site.
+type dormKey struct {
+	fn   string
+	slot int
+}
+
+// dormancyBitmap maps execution sites to "was dormant".
+type dormancyBitmap map[dormKey]bool
+
+// collectDormancy compiles one unit stateless, recording dormancy per
+// (function, slot). Module passes are keyed under the pseudo-function "".
+func collectDormancy(unit string, src []byte, pipeline []string) (dormancyBitmap, error) {
+	m, err := compiler.Frontend(unit, src)
+	if err != nil {
+		return nil, err
+	}
+	bm := make(dormancyBitmap)
+	for slot, name := range pipeline {
+		info, ok := passes.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown pass %s", name)
+		}
+		if info.Module {
+			p := info.New().(passes.ModulePass)
+			bm[dormKey{"", slot}] = !p.RunModule(m)
+			continue
+		}
+		p := info.New().(passes.FuncPass)
+		for _, f := range append([]*ir.Func(nil), m.Funcs...) {
+			bm[dormKey{f.Name, slot}] = !p.Run(f)
+		}
+	}
+	return bm, nil
+}
+
+// dormantFractionOf computes the dormant share of a bitmap.
+func dormantFractionOf(bm dormancyBitmap) float64 {
+	if len(bm) == 0 {
+		return 0
+	}
+	d := 0
+	for _, dormant := range bm {
+		if dormant {
+			d++
+		}
+	}
+	return float64(d) / float64(len(bm))
+}
+
+// persistence computes P(dormant in next | dormant in prev) over sites
+// present in both bitmaps.
+func persistence(prev, next dormancyBitmap) (float64, int) {
+	dormantPrev, stayed := 0, 0
+	for k, d := range prev {
+		if !d {
+			continue
+		}
+		nd, ok := next[k]
+		if !ok {
+			continue
+		}
+		dormantPrev++
+		if nd {
+			stayed++
+		}
+	}
+	if dormantPrev == 0 {
+		return 1, 0
+	}
+	return float64(stayed) / float64(dormantPrev), dormantPrev
+}

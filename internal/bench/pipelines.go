@@ -1,0 +1,88 @@
+package bench
+
+// Extension experiment: how does the stateful win scale with pipeline
+// length? The skippable work grows with the number of pass slots while the
+// per-function hashing cost stays constant, so longer pipelines — real
+// compilers run far more than 22 pass instances — benefit more. This is
+// the axis along which the reproduction's numbers understate a Clang-scale
+// deployment.
+
+import (
+	"fmt"
+
+	"statefulcc/internal/buildsys"
+	"statefulcc/internal/compiler"
+	"statefulcc/internal/passes"
+	"statefulcc/internal/project"
+	"statefulcc/internal/workload"
+)
+
+// pipelineVariant is one pipeline-length configuration.
+type pipelineVariant struct {
+	name     string
+	pipeline []string
+}
+
+func pipelineVariants() []pipelineVariant {
+	std := passes.StandardPipeline
+	// A "long" pipeline: the standard one with its cleanup segment run
+	// twice more — representative of -O3-ish pipelines where repeated
+	// cleanup rounds are mostly dormant.
+	long := append([]string(nil), std...)
+	cleanup := []string{"instcombine", "sccp", "gvn", "loadelim", "dse", "dce", "simplifycfg"}
+	long = append(long, cleanup...)
+	long = append(long, cleanup...)
+	return []pipelineVariant{
+		{"quick (6 slots)", passes.QuickPipeline},
+		{fmt.Sprintf("standard (%d slots)", len(std)), std},
+		{fmt.Sprintf("long (%d slots)", len(long)), long},
+	}
+}
+
+// Table6PipelineLength compares stateless vs stateful incremental build
+// time under pipelines of increasing length.
+func Table6PipelineLength(p workload.Profile, cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:      "T6",
+		Title:   fmt.Sprintf("EXTENSION: speedup vs pipeline length (project %s)", p.Name),
+		Columns: []string{"pipeline", "stateless incr ms", "stateful incr ms", "speedup"},
+		Notes: []string{
+			"extension beyond the paper: skippable work grows with pipeline length while hashing cost is constant — real compilers run hundreds of pass instances",
+		},
+	}
+	base := workload.Generate(p)
+	hist := workload.GenerateHistory(base, p.Seed^cfg.Seed, cfg.Commits, cfg.CommitShape)
+	snapshots := append([]project.Snapshot{base}, hist.Commits...)
+
+	for _, variant := range pipelineVariants() {
+		var mean [2]int64
+		for mi, mode := range []compiler.Mode{compiler.ModeStateless, compiler.ModeStateful} {
+			best := int64(1) << 62
+			for r := 0; r < cfg.Repeats; r++ {
+				b, err := buildsys.NewBuilder(buildsys.Options{Mode: mode, Pipeline: variant.pipeline})
+				if err != nil {
+					return nil, err
+				}
+				var incr int64
+				for i, snap := range snapshots {
+					rep, err := b.Build(snap)
+					if err != nil {
+						return nil, fmt.Errorf("%s/%s: %w", variant.name, mode, err)
+					}
+					if i > 0 {
+						incr += rep.TotalNS
+					}
+				}
+				incr /= int64(len(snapshots) - 1)
+				if incr < best {
+					best = incr
+				}
+			}
+			mean[mi] = best
+		}
+		t.AddRow(variant.name, ms(mean[0]), ms(mean[1]),
+			pct(float64(mean[0])/float64(mean[1])-1))
+	}
+	return t, nil
+}

@@ -1,0 +1,106 @@
+// Package bench is the evaluation harness: it runs the paper's experiments
+// over the synthetic project suite and renders each table and figure as
+// text. Every experiment in DESIGN.md §5 has a function here, a
+// testing.B wrapper in bench_test.go, and a CLI entry in cmd/experiments.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: the rows the paper's table or
+// figure would plot.
+type Table struct {
+	// ID is the experiment identifier (e.g. "T2", "F1").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns are the header names.
+	Columns []string
+	// Rows hold the data.
+	Rows [][]string
+	// Notes carry caveats (what is simulated, expected shape).
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table, used by
+// the EXPERIMENTS.md generator.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s: %s\n\n", t.ID, t.Title)
+	sb.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat(" --- |", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	sb.WriteByte('\n')
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "*%s*\n\n", n)
+	}
+	return sb.String()
+}
+
+func ms(ns int64) string { return fmt.Sprintf("%.2f", float64(ns)/1e6) }
+
+func pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }
+
+func kb(n int) string { return fmt.Sprintf("%.1f", float64(n)/1024) }

@@ -1,0 +1,154 @@
+// Package codegen lowers optimized IR into executable bytecode and links
+// compiled units into programs.
+//
+// The target is a word-addressed virtual machine (internal/vm): each
+// function gets a frame of value slots followed by its alloca storage, and
+// pointers are plain indexes into the VM's flat memory (globals first, then
+// the call stack). The lowering performs phi elimination via critical-edge
+// splitting and per-edge parallel copies, then a single linear scan that
+// assigns every SSA value a frame slot.
+package codegen
+
+import "fmt"
+
+// Opcode is a bytecode operation.
+type Opcode uint8
+
+// Bytecode opcodes. Slot operands (A/B/C) index the current frame unless
+// noted otherwise.
+const (
+	INop Opcode = iota
+
+	// IConst: slot[A] = Imm.
+	IConst
+	// IMov: slot[A] = slot[B].
+	IMov
+
+	// Binary arithmetic: slot[A] = slot[B] op slot[C]. The ir.Op is in Sub.
+	IBin
+	// Unary: slot[A] = op slot[B]. The ir.Op is in Sub.
+	IUn
+
+	// ILea: slot[A] = fp + Imm (address of an alloca).
+	ILea
+	// IGAddr: slot[A] = Imm (absolute address of a global).
+	IGAddr
+	// IIdx: slot[A] = slot[B] + slot[C], after checking 0 <= slot[C] < Imm.
+	IIdx
+	// ILoad: slot[A] = mem[slot[B]].
+	ILoad
+	// IStore: mem[slot[A]] = slot[B].
+	IStore
+
+	// ICall: call function Imm (program function index) with args from
+	// Args slots; result (if any) into slot[A] (A = -1 for void).
+	ICall
+	// IRet: return slot[A] (A = -1 for void).
+	IRet
+
+	// IJmp: jump to instruction Imm.
+	IJmp
+	// IBr: if slot[A] != 0 jump to Imm else to Imm2.
+	IBr
+
+	// IPrint: print StrIdx label (if >= 0) and Args slots.
+	IPrint
+	// IAssert: trap with StrIdx message if slot[A] == 0.
+	IAssert
+)
+
+var opcodeNames = [...]string{
+	INop: "nop", IConst: "const", IMov: "mov", IBin: "bin", IUn: "un",
+	ILea: "lea", IGAddr: "gaddr", IIdx: "idx", ILoad: "load", IStore: "store",
+	ICall: "call", IRet: "ret", IJmp: "jmp", IBr: "br", IPrint: "print",
+	IAssert: "assert",
+}
+
+// String returns the opcode mnemonic.
+func (o Opcode) String() string {
+	if int(o) < len(opcodeNames) && opcodeNames[o] != "" {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("opcode(%d)", int(o))
+}
+
+// Instr is one bytecode instruction.
+type Instr struct {
+	Op   Opcode
+	Sub  uint8 // ir.Op for IBin/IUn
+	A    int32 // dst slot (or cond for IBr/IAssert, addr for IStore)
+	B    int32 // src slot
+	C    int32 // src slot
+	Imm  int64 // constant / target pc / global addr / function index / bounds
+	Imm2 int64 // second target for IBr
+	// Args holds call/print argument slots.
+	Args []int32
+	// StrIdx indexes the program string table (labels/messages); -1 none.
+	StrIdx int32
+}
+
+// FuncCode is one compiled function.
+type FuncCode struct {
+	Name string
+	// NumParams values arrive in slots 0..NumParams-1.
+	NumParams int
+	// NumSlots is the number of value slots in the frame.
+	NumSlots int
+	// AllocaWords of scratch memory follow the slots in the frame.
+	AllocaWords int
+	// Code is the instruction stream.
+	Code []Instr
+	// HasResult reports whether callers receive a value.
+	HasResult bool
+}
+
+// FrameWords is the total frame size in memory words.
+func (f *FuncCode) FrameWords() int { return f.NumSlots + f.AllocaWords }
+
+// Object is the compiled form of one compilation unit, pre-link: calls and
+// globals are still symbolic.
+type Object struct {
+	Unit string
+	// Globals declared by this unit.
+	Globals []GlobalDef
+	// Funcs defined by this unit.
+	Funcs []*FuncCode
+	// Strings referenced by the unit's code.
+	Strings []string
+	// Relocs record call sites to patch: Code[Pc].Imm must become the
+	// program-wide function index of Symbol.
+	Relocs []Reloc
+	// GlobalRelocs record IGAddr sites: Code[Pc].Imm must become the
+	// program-wide address of the named global.
+	GlobalRelocs []Reloc
+	// Externs this unit expects at link time.
+	Externs []string
+}
+
+// GlobalDef is a global variable in an object.
+type GlobalDef struct {
+	Name  string
+	Words int64
+	Init  int64
+}
+
+// Reloc is a link-time patch site.
+type Reloc struct {
+	Func   int // index into Object.Funcs
+	Pc     int // instruction index
+	Symbol string
+}
+
+// Program is a fully linked executable.
+type Program struct {
+	Funcs     []*FuncCode
+	FuncIndex map[string]int
+	// GlobalWords is the size of the global segment; Globals hold initial
+	// values at their assigned addresses.
+	GlobalWords int
+	GlobalInit  []int64
+	GlobalIndex map[string]int
+	Strings     []string
+	// EntryIndex is the index of main.
+	EntryIndex int
+}

@@ -1,0 +1,314 @@
+package codegen_test
+
+import (
+	"strings"
+	"testing"
+
+	"statefulcc/internal/codegen"
+	"statefulcc/internal/ir"
+	"statefulcc/internal/passes"
+	"statefulcc/internal/testutil"
+	"statefulcc/internal/vm"
+)
+
+func compileUnit(t *testing.T, src string) *codegen.Object {
+	t.Helper()
+	return compileNamed(t, "u.mc", src)
+}
+
+func compileNamed(t *testing.T, unit, src string) *codegen.Object {
+	t.Helper()
+	m, err := testutil.BuildModule(unit, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := codegen.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+func TestObjectShape(t *testing.T) {
+	obj := compileUnit(t, `
+var g int = 7;
+var arr [4]int;
+extern func ext(x int) int;
+func f(a int) int { return ext(a) + g + arr[0]; }
+func main() int { return f(1); }`)
+	if len(obj.Funcs) != 2 {
+		t.Errorf("funcs = %d, want 2", len(obj.Funcs))
+	}
+	if len(obj.Globals) != 2 {
+		t.Errorf("globals = %d, want 2", len(obj.Globals))
+	}
+	if len(obj.Relocs) == 0 {
+		t.Error("no call relocations recorded")
+	}
+	if len(obj.GlobalRelocs) == 0 {
+		t.Error("no global relocations recorded")
+	}
+	if len(obj.Externs) != 1 || obj.Externs[0] != "ext" {
+		t.Errorf("externs = %v", obj.Externs)
+	}
+}
+
+func TestLinkerDoesNotMutateObjects(t *testing.T) {
+	// Linking the same objects twice must work identically — the build
+	// system caches objects across builds, so the linker must copy before
+	// patching.
+	objA := compileNamed(t, "a.mc", `func lib(x int) int { return x + 1; }`)
+	objB := compileNamed(t, "b.mc", `extern func lib(x int) int; func main() int { return lib(41); }`)
+
+	run := func() int64 {
+		p, err := codegen.Link([]*codegen.Object{objA, objB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := vm.Run(p, vm.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ExitValue
+	}
+	if a, b := run(), run(); a != b || a != 42 {
+		t.Errorf("relink results: %d then %d, want 42 both times", a, b)
+	}
+
+	// A third unit shifts layout; relinking with different sets must still
+	// produce correct code from the shared cached objects.
+	objC := compileNamed(t, "c.mc", `var pad [32]int; func pad_user() int { return pad[3]; }`)
+	p, err := codegen.Link([]*codegen.Object{objC, objA, objB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(p, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitValue != 42 {
+		t.Errorf("after layout shift: %d, want 42", res.ExitValue)
+	}
+	if a := run(); a != 42 {
+		t.Errorf("original link broken after third-unit link: %d", a)
+	}
+}
+
+func TestDeterministicLinkOrder(t *testing.T) {
+	objA := compileNamed(t, "a.mc", `var ga int = 1; func fa() int { return ga; }`)
+	objB := compileNamed(t, "b.mc", `var gb int = 2; extern func fa() int; func main() int { return fa() + gb; }`)
+	p1, err := codegen.Link([]*codegen.Object{objA, objB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := codegen.Link([]*codegen.Object{objB, objA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.GlobalIndex["ga"] != p2.GlobalIndex["ga"] {
+		t.Error("global layout depends on object order")
+	}
+	if p1.FuncIndex["fa"] != p2.FuncIndex["fa"] {
+		t.Error("function layout depends on object order")
+	}
+}
+
+func TestPhiLoweringTrampolines(t *testing.T) {
+	// After mem2reg, loop-carried values become phis whose critical edges
+	// need trampolines; verify the lowered program computes correctly.
+	m, err := testutil.BuildModule("u.mc", `
+func collatz(n int) int {
+    var steps int = 0;
+    while n != 1 {
+        if n % 2 == 0 { n /= 2; } else { n = 3 * n + 1; }
+        steps++;
+    }
+    return steps;
+}
+func main() int { return collatz(27); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := passes.RunPipeline(m, passes.StandardPipeline); err != nil {
+		t.Fatal(err)
+	}
+	// Confirm phis actually exist post-optimization (the test is vacuous
+	// otherwise).
+	phis := 0
+	for _, f := range m.Funcs {
+		f.ForEachValue(func(v *ir.Value) {
+			if v.Op == ir.OpPhi {
+				phis++
+			}
+		})
+	}
+	if phis == 0 {
+		t.Fatal("expected phis in optimized collatz")
+	}
+	obj, err := codegen.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := codegen.Link([]*codegen.Object{obj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(p, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitValue != 111 {
+		t.Errorf("collatz(27) = %d, want 111", res.ExitValue)
+	}
+}
+
+func TestParallelPhiCopies(t *testing.T) {
+	// Swapping phis (a,b) = (b,a) in a loop is the classic parallel-copy
+	// trap: naive sequential copies corrupt one value.
+	src := `
+func swapper(n int) int {
+    var a int = 1;
+    var b int = 2;
+    for var i int = 0; i < n; i++ {
+        var t int = a;
+        a = b;
+        b = t;
+    }
+    return a * 10 + b;
+}
+func main() int { return swapper(5); }`
+	m, err := testutil.BuildModule("u.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mem2reg alone gives the phi-swap shape without later passes
+	// simplifying it away.
+	p, err := passes.NewFuncPass("mem2reg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range m.Funcs {
+		p.Run(f)
+	}
+	obj, err := codegen.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := codegen.Link([]*codegen.Object{obj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(prog, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 swaps from (1,2): odd count → (2,1) → 21.
+	if res.ExitValue != 21 {
+		t.Errorf("swapper(5) = %d, want 21", res.ExitValue)
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	names := map[codegen.Opcode]string{
+		codegen.IConst: "const", codegen.IMov: "mov", codegen.IBin: "bin",
+		codegen.ICall: "call", codegen.IRet: "ret", codegen.IBr: "br",
+	}
+	for op, want := range names {
+		if got := op.String(); got != want {
+			t.Errorf("opcode %d = %q, want %q", op, got, want)
+		}
+	}
+	if s := codegen.Opcode(200).String(); !strings.Contains(s, "200") {
+		t.Errorf("unknown opcode string: %s", s)
+	}
+}
+
+func TestFrameWords(t *testing.T) {
+	obj := compileUnit(t, `
+func f() int {
+    var a [10]int;
+    a[3] = 5;
+    return a[3];
+}
+func main() int { return f(); }`)
+	var f *codegen.FuncCode
+	for _, fc := range obj.Funcs {
+		if fc.Name == "f" {
+			f = fc
+		}
+	}
+	if f == nil {
+		t.Fatal("no f")
+	}
+	if f.AllocaWords < 10 {
+		t.Errorf("alloca words = %d, want >= 10", f.AllocaWords)
+	}
+	if f.FrameWords() != f.NumSlots+f.AllocaWords {
+		t.Error("FrameWords inconsistent")
+	}
+}
+
+func TestDisassembler(t *testing.T) {
+	obj := compileUnit(t, `
+var g int = 3;
+func f(x int) int {
+    var a [2]int;
+    a[0] = x;
+    print("v", a[0]);
+    assert(x != 0, "nonzero");
+    if x > 0 { return g; }
+    return helper(x);
+}
+extern func helper(x int) int;
+func main() int { return f(1); }`)
+	asm := codegen.DisassembleObject(obj)
+	for _, want := range []string{
+		"object", "global g", "extern helper", "func f:", "lea fp+",
+		"idx", "load", "store", "br s", "ret s", `print "v"`,
+		`assert s`, "; -> @helper", "; -> @g",
+	} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, asm)
+		}
+	}
+	p, err := codegen.Link([]*codegen.Object{obj,
+		compileNamed(t, "h.mc", `func helper(x int) int { return x; }`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pasm := codegen.DisassembleProgram(p)
+	if !strings.Contains(pasm, "program:") || !strings.Contains(pasm, "call #") {
+		t.Errorf("program disassembly broken:\n%s", pasm)
+	}
+	if pasm != codegen.DisassembleProgram(p) {
+		t.Error("disassembly nondeterministic")
+	}
+}
+
+func TestOptimizedVsUnoptimizedCodegen(t *testing.T) {
+	// The same source must behave identically when codegen consumes
+	// memory-form IR and fully optimized IR.
+	src := `
+func main() int {
+    var acc int = 0;
+    for var i int = 1; i <= 6; i++ {
+        acc += i * i;
+    }
+    print("acc", acc);
+    return acc % 100;
+}`
+	out1, exit1, err := testutil.RunSource(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, exit2, err := testutil.RunSource(src, func(m *ir.Module) error {
+		_, err := passes.RunPipeline(m, passes.StandardPipeline)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1 != out2 || exit1 != exit2 {
+		t.Errorf("codegen differs across IR forms: %q/%d vs %q/%d", out1, exit1, out2, exit2)
+	}
+}

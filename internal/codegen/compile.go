@@ -1,0 +1,373 @@
+package codegen
+
+// IR → bytecode lowering. Phi nodes are eliminated during emission: each CFG
+// edge into a block with phis gets a parallel-copy sequence, placed either
+// at the end of the predecessor (single-successor preds) or in a trampoline
+// appended after the main code (the bytecode equivalent of critical-edge
+// splitting). The IR itself is never mutated, so cached IR stays valid.
+
+import (
+	"fmt"
+
+	"statefulcc/internal/ir"
+)
+
+// Options configures code generation.
+type Options struct {
+	// DisableSlotPacking turns off the liveness-driven frame-slot packing
+	// (see pack.go); used by the packing ablation.
+	DisableSlotPacking bool
+}
+
+// Compile lowers a whole module to an object file with default options
+// (slot packing enabled).
+func Compile(m *ir.Module) (*Object, error) {
+	return CompileWithOptions(m, Options{})
+}
+
+// CompileWithOptions lowers a whole module to an object file.
+func CompileWithOptions(m *ir.Module, opts Options) (*Object, error) {
+	obj := &Object{Unit: m.Unit}
+	obj.Externs = append(obj.Externs, m.Externs...)
+	for _, g := range m.Globals {
+		obj.Globals = append(obj.Globals, GlobalDef{Name: g.Name, Words: g.Words, Init: g.Init})
+	}
+	strIdx := make(map[string]int32)
+	for i, f := range m.Funcs {
+		fc, err := compileFunc(f, obj, i, strIdx, opts)
+		if err != nil {
+			return nil, fmt.Errorf("unit %s: %w", m.Unit, err)
+		}
+		obj.Funcs = append(obj.Funcs, fc)
+	}
+	return obj, nil
+}
+
+type fnCompiler struct {
+	f       *ir.Func
+	obj     *Object
+	fnIndex int
+	strIdx  map[string]int32
+
+	code        []Instr
+	slotOf      map[*ir.Value]int32
+	constSlot   map[constKey]int32
+	consts      []constDef
+	nextSlot    int32
+	allocaOff   map[*ir.Value]int64
+	allocaWords int64
+	tempBase    int32
+	// pack enables liveness-driven slot sharing (pack.go).
+	pack bool
+	// frozen is set once slot assignment is complete; allocating new slots
+	// afterwards would corrupt alloca addressing, so it panics.
+	frozen bool
+
+	blockPC map[*ir.Block]int
+	// fixups: instruction pc whose Imm/Imm2 must be resolved to a block or
+	// trampoline start.
+	fixups []fixup
+	tramps []*trampoline
+}
+
+type constKey struct {
+	val int64
+}
+
+type constDef struct {
+	slot int32
+	val  int64
+}
+
+type fixup struct {
+	pc     int
+	second bool // patch Imm2 instead of Imm
+	block  *ir.Block
+	tramp  *trampoline
+}
+
+type trampoline struct {
+	moves  []move
+	target *ir.Block
+	pc     int
+}
+
+type move struct{ dst, src int32 }
+
+func compileFunc(f *ir.Func, obj *Object, fnIndex int, strIdx map[string]int32, opts Options) (*FuncCode, error) {
+	c := &fnCompiler{
+		f:         f,
+		obj:       obj,
+		fnIndex:   fnIndex,
+		strIdx:    strIdx,
+		slotOf:    make(map[*ir.Value]int32),
+		constSlot: make(map[constKey]int32),
+		allocaOff: make(map[*ir.Value]int64),
+		blockPC:   make(map[*ir.Block]int),
+		pack:      !opts.DisableSlotPacking,
+	}
+	c.assignSlots()
+	c.emitPrologue()
+	for _, b := range f.Blocks {
+		c.blockPC[b] = len(c.code)
+		for _, v := range b.Instrs {
+			if err := c.emitInstr(v); err != nil {
+				return nil, fmt.Errorf("func %s: %w", f.Name, err)
+			}
+		}
+		if err := c.emitTerminator(b); err != nil {
+			return nil, fmt.Errorf("func %s: %w", f.Name, err)
+		}
+	}
+	c.emitTrampolines()
+	c.resolveFixups()
+
+	return &FuncCode{
+		Name:        f.Name,
+		NumParams:   len(f.Params),
+		NumSlots:    int(c.nextSlot),
+		AllocaWords: int(c.allocaWords),
+		Code:        c.code,
+		HasResult:   f.Result != ir.TVoid,
+	}, nil
+}
+
+// assignSlots gives every value-producing instruction a frame slot:
+// parameters first (the calling convention places arguments there), then
+// instruction results (shared between disjoint lifetimes when packing is
+// on), constants, and finally the parallel-copy temporaries.
+func (c *fnCompiler) assignSlots() {
+	var colors map[int]int32
+	if c.pack {
+		colors, c.nextSlot = packColors(c.f)
+	}
+	for i, p := range c.f.Params {
+		if c.pack {
+			c.slotOf[p] = colors[p.ID]
+		} else {
+			c.slotOf[p] = int32(i)
+			c.nextSlot++
+		}
+	}
+	maxPhis := 0
+	c.f.ForEachValue(func(v *ir.Value) {
+		if v.Type != ir.TVoid {
+			if c.pack {
+				c.slotOf[v] = colors[v.ID]
+			} else {
+				c.slotOf[v] = c.nextSlot
+				c.nextSlot++
+			}
+		}
+		if v.Op == ir.OpAlloca {
+			c.allocaOff[v] = c.allocaWords
+			c.allocaWords += v.Aux
+		}
+		for _, a := range v.Args {
+			if a.Op == ir.OpConst {
+				c.constSlotFor(a)
+			}
+		}
+	})
+	for _, b := range c.f.Blocks {
+		if len(b.Phis) > maxPhis {
+			maxPhis = len(b.Phis)
+		}
+	}
+	c.tempBase = c.nextSlot
+	c.nextSlot += int32(maxPhis)
+	c.frozen = true
+}
+
+// constSlotFor interns a constant into a slot loaded in the prologue.
+func (c *fnCompiler) constSlotFor(v *ir.Value) int32 {
+	k := constKey{val: v.Aux}
+	if s, ok := c.constSlot[k]; ok {
+		c.slotOf[v] = s
+		return s
+	}
+	if c.frozen {
+		panic(fmt.Sprintf("codegen: constant %d discovered after slot assignment", v.Aux))
+	}
+	s := c.nextSlot
+	c.nextSlot++
+	c.constSlot[k] = s
+	c.consts = append(c.consts, constDef{slot: s, val: v.Aux})
+	c.slotOf[v] = s
+	return s
+}
+
+func (c *fnCompiler) emitPrologue() {
+	for _, cd := range c.consts {
+		c.code = append(c.code, Instr{Op: IConst, A: cd.slot, Imm: cd.val, StrIdx: -1})
+	}
+}
+
+// slot returns the frame slot holding v's value.
+func (c *fnCompiler) slot(v *ir.Value) int32 {
+	if s, ok := c.slotOf[v]; ok {
+		return s
+	}
+	if v.Op == ir.OpConst {
+		return c.constSlotFor(v)
+	}
+	panic(fmt.Sprintf("codegen: value %s (%s) has no slot", v, v.Op))
+}
+
+func (c *fnCompiler) internString(s string) int32 {
+	if i, ok := c.strIdx[s]; ok {
+		return i
+	}
+	i := int32(len(c.obj.Strings))
+	c.obj.Strings = append(c.obj.Strings, s)
+	c.strIdx[s] = i
+	return i
+}
+
+func (c *fnCompiler) emit(i Instr) int {
+	c.code = append(c.code, i)
+	return len(c.code) - 1
+}
+
+func (c *fnCompiler) emitInstr(v *ir.Value) error {
+	switch v.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem, ir.OpAnd, ir.OpOr,
+		ir.OpXor, ir.OpShl, ir.OpShr, ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe,
+		ir.OpGt, ir.OpGe:
+		c.emit(Instr{Op: IBin, Sub: uint8(v.Op), A: c.slot(v), B: c.slot(v.Args[0]), C: c.slot(v.Args[1]), StrIdx: -1})
+	case ir.OpNeg, ir.OpCompl, ir.OpNot:
+		c.emit(Instr{Op: IUn, Sub: uint8(v.Op), A: c.slot(v), B: c.slot(v.Args[0]), StrIdx: -1})
+	case ir.OpCopy:
+		c.emit(Instr{Op: IMov, A: c.slot(v), B: c.slot(v.Args[0]), StrIdx: -1})
+	case ir.OpAlloca:
+		// Address = fp + numSlots + allocaOffset; numSlots is only known
+		// after slot assignment, which already ran, but temp slots are
+		// final too, so nextSlot is stable here.
+		c.emit(Instr{Op: ILea, A: c.slot(v), Imm: int64(c.nextSlot) + c.allocaOff[v], StrIdx: -1})
+	case ir.OpGlobalAddr:
+		pc := c.emit(Instr{Op: IGAddr, A: c.slot(v), StrIdx: -1})
+		c.obj.GlobalRelocs = append(c.obj.GlobalRelocs, Reloc{Func: c.fnIndex, Pc: pc, Symbol: v.Sym})
+	case ir.OpIndexAddr:
+		c.emit(Instr{Op: IIdx, A: c.slot(v), B: c.slot(v.Args[0]), C: c.slot(v.Args[1]), Imm: v.Aux, StrIdx: -1})
+	case ir.OpLoad:
+		c.emit(Instr{Op: ILoad, A: c.slot(v), B: c.slot(v.Args[0]), StrIdx: -1})
+	case ir.OpStore:
+		c.emit(Instr{Op: IStore, A: c.slot(v.Args[0]), B: c.slot(v.Args[1]), StrIdx: -1})
+	case ir.OpCall:
+		in := Instr{Op: ICall, A: -1, StrIdx: -1}
+		if v.Type != ir.TVoid {
+			in.A = c.slot(v)
+		}
+		for _, a := range v.Args {
+			in.Args = append(in.Args, c.slot(a))
+		}
+		pc := c.emit(in)
+		c.obj.Relocs = append(c.obj.Relocs, Reloc{Func: c.fnIndex, Pc: pc, Symbol: v.Sym})
+	case ir.OpPrint:
+		in := Instr{Op: IPrint, StrIdx: -1}
+		if v.StrAux != "" {
+			in.StrIdx = c.internString(v.StrAux)
+		}
+		for _, a := range v.Args {
+			in.Args = append(in.Args, c.slot(a))
+		}
+		c.emit(in)
+	case ir.OpAssert:
+		in := Instr{Op: IAssert, A: c.slot(v.Args[0]), StrIdx: -1}
+		if v.StrAux != "" {
+			in.StrIdx = c.internString(v.StrAux)
+		}
+		c.emit(in)
+	default:
+		return fmt.Errorf("cannot lower %s", v.LongString())
+	}
+	return nil
+}
+
+// phiMoves builds the parallel-copy sequence for the edge pred→succ:
+// all sources are first copied into temporaries, then temporaries into the
+// phi slots, so that phis reading each other's old values stay correct.
+func (c *fnCompiler) phiMoves(pred, succ *ir.Block) []move {
+	if len(succ.Phis) == 0 {
+		return nil
+	}
+	var ms []move
+	for i, phi := range succ.Phis {
+		in := phi.Incoming(pred)
+		ms = append(ms, move{dst: c.tempBase + int32(i), src: c.slot(in)})
+	}
+	for i, phi := range succ.Phis {
+		ms = append(ms, move{dst: c.slot(phi), src: c.tempBase + int32(i)})
+	}
+	return ms
+}
+
+func (c *fnCompiler) emitMoves(ms []move) {
+	for _, m := range ms {
+		if m.dst != m.src {
+			c.emit(Instr{Op: IMov, A: m.dst, B: m.src, StrIdx: -1})
+		}
+	}
+}
+
+func (c *fnCompiler) emitTerminator(b *ir.Block) error {
+	t := b.Term
+	switch t.Op {
+	case ir.OpRet:
+		in := Instr{Op: IRet, A: -1, StrIdx: -1}
+		if len(t.Args) == 1 {
+			in.A = c.slot(t.Args[0])
+		}
+		c.emit(in)
+	case ir.OpJump:
+		succ := t.Blocks[0]
+		c.emitMoves(c.phiMoves(b, succ))
+		pc := c.emit(Instr{Op: IJmp, StrIdx: -1})
+		c.fixups = append(c.fixups, fixup{pc: pc, block: succ})
+	case ir.OpBranch:
+		thenB, elseB := t.Blocks[0], t.Blocks[1]
+		pc := c.emit(Instr{Op: IBr, A: c.slot(t.Args[0]), StrIdx: -1})
+		c.fixups = append(c.fixups, c.edgeFixup(pc, false, b, thenB))
+		c.fixups = append(c.fixups, c.edgeFixup(pc, true, b, elseB))
+	default:
+		return fmt.Errorf("bad terminator %s", t.Op)
+	}
+	return nil
+}
+
+// edgeFixup routes a branch edge either directly to the target block or
+// through a trampoline carrying the edge's phi moves.
+func (c *fnCompiler) edgeFixup(pc int, second bool, pred, succ *ir.Block) fixup {
+	ms := c.phiMoves(pred, succ)
+	if len(ms) == 0 {
+		return fixup{pc: pc, second: second, block: succ}
+	}
+	tr := &trampoline{moves: ms, target: succ}
+	c.tramps = append(c.tramps, tr)
+	return fixup{pc: pc, second: second, tramp: tr}
+}
+
+func (c *fnCompiler) emitTrampolines() {
+	for _, tr := range c.tramps {
+		tr.pc = len(c.code)
+		c.emitMoves(tr.moves)
+		pc := c.emit(Instr{Op: IJmp, StrIdx: -1})
+		c.fixups = append(c.fixups, fixup{pc: pc, block: tr.target})
+	}
+}
+
+func (c *fnCompiler) resolveFixups() {
+	for _, fx := range c.fixups {
+		var target int
+		if fx.tramp != nil {
+			target = fx.tramp.pc
+		} else {
+			target = c.blockPC[fx.block]
+		}
+		if fx.second {
+			c.code[fx.pc].Imm2 = int64(target)
+		} else {
+			c.code[fx.pc].Imm = int64(target)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package codegen
+
+// The linker combines compiled objects into an executable Program: it lays
+// out the global segment, assigns program-wide function indices, merges
+// string tables, and patches call and global-address relocations. Objects
+// are never mutated — the build system caches them across builds — so every
+// patched function body is copied first.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Link combines objects into a runnable program. Objects may arrive in any
+// order; layout is made deterministic by sorting on unit name.
+func Link(objects []*Object) (*Program, error) {
+	objs := make([]*Object, len(objects))
+	copy(objs, objects)
+	sort.SliceStable(objs, func(i, j int) bool { return objs[i].Unit < objs[j].Unit })
+
+	p := &Program{
+		FuncIndex:   make(map[string]int),
+		GlobalIndex: make(map[string]int),
+		EntryIndex:  -1,
+	}
+
+	// Pass 1: lay out globals and functions.
+	for _, o := range objs {
+		for _, g := range o.Globals {
+			if _, dup := p.GlobalIndex[g.Name]; dup {
+				return nil, fmt.Errorf("link: duplicate global %s (unit %s)", g.Name, o.Unit)
+			}
+			p.GlobalIndex[g.Name] = p.GlobalWords
+			for w := int64(0); w < g.Words; w++ {
+				v := int64(0)
+				if w == 0 && g.Words == 1 {
+					v = g.Init
+				}
+				p.GlobalInit = append(p.GlobalInit, v)
+			}
+			p.GlobalWords += int(g.Words)
+		}
+		for _, f := range o.Funcs {
+			if _, dup := p.FuncIndex[f.Name]; dup {
+				return nil, fmt.Errorf("link: duplicate function %s (unit %s)", f.Name, o.Unit)
+			}
+			p.FuncIndex[f.Name] = len(p.Funcs)
+			p.Funcs = append(p.Funcs, f) // replaced by a patched copy below
+		}
+	}
+
+	// Pass 2: copy function bodies, remap strings, patch relocations.
+	for _, o := range objs {
+		strMap := make([]int32, len(o.Strings))
+		for i, s := range o.Strings {
+			strMap[i] = p.internString(s)
+		}
+		// Index this object's relocations by (func, pc).
+		type site struct{ fn, pc int }
+		callSym := make(map[site]string)
+		for _, r := range o.Relocs {
+			callSym[site{r.Func, r.Pc}] = r.Symbol
+		}
+		globSym := make(map[site]string)
+		for _, r := range o.GlobalRelocs {
+			globSym[site{r.Func, r.Pc}] = r.Symbol
+		}
+
+		for fi, f := range o.Funcs {
+			nf := *f
+			nf.Code = make([]Instr, len(f.Code))
+			copy(nf.Code, f.Code)
+			for pc := range nf.Code {
+				in := &nf.Code[pc]
+				if in.StrIdx >= 0 {
+					in.StrIdx = strMap[in.StrIdx]
+				}
+				switch in.Op {
+				case ICall:
+					sym := callSym[site{fi, pc}]
+					idx, ok := p.FuncIndex[sym]
+					if !ok {
+						return nil, fmt.Errorf("link: undefined function %s (called from %s in unit %s)",
+							sym, f.Name, o.Unit)
+					}
+					callee := p.Funcs[idx]
+					if len(in.Args) != callee.NumParams {
+						return nil, fmt.Errorf("link: %s calls %s with %d args, want %d",
+							f.Name, sym, len(in.Args), callee.NumParams)
+					}
+					in.Imm = int64(idx)
+				case IGAddr:
+					sym := globSym[site{fi, pc}]
+					addr, ok := p.GlobalIndex[sym]
+					if !ok {
+						return nil, fmt.Errorf("link: undefined global %s (used by %s in unit %s)",
+							sym, f.Name, o.Unit)
+					}
+					in.Imm = int64(addr)
+				}
+			}
+			p.Funcs[p.FuncIndex[f.Name]] = &nf
+		}
+	}
+
+	if idx, ok := p.FuncIndex["main"]; ok {
+		p.EntryIndex = idx
+		if p.Funcs[idx].NumParams != 0 {
+			return nil, fmt.Errorf("link: main must take no parameters")
+		}
+	} else {
+		return nil, fmt.Errorf("link: no main function")
+	}
+	return p, nil
+}
+
+func (p *Program) internString(s string) int32 {
+	for i, t := range p.Strings {
+		if t == s {
+			return int32(i)
+		}
+	}
+	p.Strings = append(p.Strings, s)
+	return int32(len(p.Strings) - 1)
+}

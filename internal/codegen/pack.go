@@ -1,0 +1,124 @@
+package codegen
+
+// Frame-slot packing: a liveness-driven greedy coloring that lets SSA
+// values with disjoint lifetimes share frame slots, shrinking VM frames
+// (the backend analogue of register allocation's spill-slot coalescing).
+//
+// Interference is built from a backward scan per block: a definition
+// interferes with everything live at its program point. Phi values get
+// three conservative extras — the live-in set of their block, their sibling
+// phis, and the live-out set of every predecessor — because their slot is
+// written by the parallel-copy sequence on incoming edges. Parameter slots
+// are fixed by the calling convention and never reused (the liveness
+// analysis does not track parameters).
+
+import (
+	"statefulcc/internal/analysis"
+	"statefulcc/internal/ir"
+)
+
+// packColors assigns each value-producing instruction a frame slot, with
+// parameters pre-colored 0..n-1. Returns the coloring (by value ID) and
+// the number of slots used.
+func packColors(f *ir.Func) (map[int]int32, int32) {
+	lv := analysis.ComputeLiveness(f)
+	nv := f.NumValues()
+
+	// Interference adjacency as bitsets keyed by value ID.
+	adj := make([]analysis.BitSet, nv)
+	ensure := func(id int) analysis.BitSet {
+		if adj[id] == nil {
+			adj[id] = analysis.NewBitSet(nv)
+		}
+		return adj[id]
+	}
+	addEdge := func(a, b int) {
+		if a == b {
+			return
+		}
+		ensure(a).Add(b)
+		ensure(b).Add(a)
+	}
+	interfereWithSet := func(id int, set analysis.BitSet) {
+		for w := 0; w < nv; w++ {
+			if set.Has(w) {
+				addEdge(id, w)
+			}
+		}
+	}
+
+	producesValue := func(v *ir.Value) bool { return v.Type != ir.TVoid }
+
+	for _, b := range f.Blocks {
+		// Phi extras: live-in of the block, sibling phis, preds' live-out.
+		for _, phi := range b.Phis {
+			interfereWithSet(phi.ID, lv.LiveIn[b.ID])
+			for _, other := range b.Phis {
+				addEdge(phi.ID, other.ID)
+			}
+			for _, p := range b.Preds {
+				interfereWithSet(phi.ID, lv.LiveOut[p.ID])
+			}
+		}
+		// Backward scan for ordinary definitions.
+		live := lv.LiveOut[b.ID].Clone()
+		scan := func(v *ir.Value) {
+			if producesValue(v) {
+				interfereWithSet(v.ID, live)
+				live.Remove(v.ID)
+			}
+			for _, a := range v.Args {
+				if a.Op != ir.OpConst && a.Op != ir.OpParam {
+					live.Add(a.ID)
+				}
+			}
+		}
+		if b.Term != nil {
+			scan(b.Term)
+		}
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			scan(b.Instrs[i])
+		}
+	}
+
+	colors := make(map[int]int32, nv)
+	nParams := int32(len(f.Params))
+	for i, p := range f.Params {
+		colors[p.ID] = int32(i)
+	}
+	maxColor := nParams - 1
+
+	// Color in deterministic layout order; smallest color not used by any
+	// neighbor, never reusing the reserved parameter slots.
+	assign := func(v *ir.Value) {
+		used := make(map[int32]bool)
+		if adj[v.ID] != nil {
+			for w := 0; w < nv; w++ {
+				if adj[v.ID].Has(w) {
+					if c, ok := colors[w]; ok {
+						used[c] = true
+					}
+				}
+			}
+		}
+		c := nParams
+		for used[c] {
+			c++
+		}
+		colors[v.ID] = c
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, v := range b.Phis {
+			assign(v)
+		}
+		for _, v := range b.Instrs {
+			if producesValue(v) {
+				assign(v)
+			}
+		}
+	}
+	return colors, maxColor + 1
+}

@@ -1,0 +1,217 @@
+// Package compiler is the per-unit compilation facade: frontend (lex,
+// parse, typecheck, lower), the optimization pipeline under one of four
+// policies, and bytecode generation. The build system invokes it the way
+// make/ninja invoke a real compiler.
+//
+// Policies:
+//
+//   - Stateless — the conventional compiler; the paper's baseline.
+//   - Stateful — the paper's contribution: fingerprint-guarded dormant-pass
+//     skipping driven by persistent per-function records (internal/core).
+//   - Predictive — ablation: record-only skipping without the guard.
+//   - FullCache — a rustc/Zapcc-style comparator that caches whole
+//     optimized function bodies keyed by input fingerprints (see
+//     fullcache.go); far more state for a larger per-function win.
+package compiler
+
+import (
+	"fmt"
+	"time"
+
+	"statefulcc/internal/codegen"
+	"statefulcc/internal/core"
+	"statefulcc/internal/ir"
+	"statefulcc/internal/irbuild"
+	"statefulcc/internal/parser"
+	"statefulcc/internal/passes"
+	"statefulcc/internal/source"
+	"statefulcc/internal/types"
+)
+
+// Mode selects the compilation policy.
+type Mode int
+
+// Modes.
+const (
+	ModeStateless Mode = iota
+	ModeStateful
+	ModePredictive
+	ModeFullCache
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeStateless:
+		return "stateless"
+	case ModeStateful:
+		return "stateful"
+	case ModePredictive:
+		return "predictive"
+	case ModeFullCache:
+		return "fullcache"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Options configures a Compiler.
+type Options struct {
+	// Pipeline is the pass list (default passes.StandardPipeline).
+	Pipeline []string
+	// Mode is the compilation policy (default ModeStateless).
+	Mode Mode
+	// VerifySkips forwards to core.Options (tests/misprediction studies).
+	VerifySkips bool
+	// VerifyIR forwards to core.Options.
+	VerifyIR bool
+	// SkipCodegen stops after the pipeline (used by IR-dumping tools).
+	SkipCodegen bool
+}
+
+// Compiler compiles units under a fixed policy. It is not safe for
+// concurrent use (the full cache and driver state are unsynchronized);
+// build systems run one compiler per worker.
+type Compiler struct {
+	opts   Options
+	driver *core.Driver
+	cache  *FullCache
+}
+
+// New builds a compiler.
+func New(opts Options) (*Compiler, error) {
+	if len(opts.Pipeline) == 0 {
+		opts.Pipeline = passes.StandardPipeline
+	}
+	c := &Compiler{opts: opts}
+	switch opts.Mode {
+	case ModeStateless, ModeStateful, ModePredictive:
+		policy := core.Stateless
+		if opts.Mode == ModeStateful {
+			policy = core.Stateful
+		} else if opts.Mode == ModePredictive {
+			policy = core.Predictive
+		}
+		d, err := core.NewDriver(core.Options{
+			Pipeline:    opts.Pipeline,
+			Policy:      policy,
+			VerifySkips: opts.VerifySkips,
+			VerifyIR:    opts.VerifyIR,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.driver = d
+	case ModeFullCache:
+		c.cache = NewFullCache(opts.Pipeline)
+	default:
+		return nil, fmt.Errorf("compiler: unknown mode %d", opts.Mode)
+	}
+	return c, nil
+}
+
+// Mode returns the compiler's policy.
+func (c *Compiler) Mode() Mode { return c.opts.Mode }
+
+// Pipeline returns the pass list.
+func (c *Compiler) Pipeline() []string { return c.opts.Pipeline }
+
+// FullCacheStateBytes reports the full cache's current footprint (0 for
+// other modes).
+func (c *Compiler) FullCacheStateBytes() int {
+	if c.cache == nil {
+		return 0
+	}
+	return c.cache.SizeBytes()
+}
+
+// Timings breaks a unit compilation into stages.
+type Timings struct {
+	FrontendNS int64
+	PassNS     int64
+	CodegenNS  int64
+	TotalNS    int64
+}
+
+// UnitResult is the outcome of compiling one unit.
+type UnitResult struct {
+	// Object is the compiled artifact (nil with SkipCodegen).
+	Object *codegen.Object
+	// Module is the post-pipeline IR.
+	Module *ir.Module
+	// State is the updated dormancy state (stateful/predictive modes).
+	State *core.UnitState
+	// Stats holds pipeline statistics (nil in fullcache mode).
+	Stats *core.Stats
+	// CacheHits/CacheMisses count full-cache function lookups.
+	CacheHits, CacheMisses int
+	// Timings is the stage breakdown.
+	Timings Timings
+}
+
+// Frontend runs lex/parse/check/lower on one unit.
+func Frontend(unitName string, src []byte) (*ir.Module, error) {
+	var errs source.ErrorList
+	file := source.NewFile(unitName, src)
+	tree := parser.ParseFile(file, &errs)
+	if errs.HasErrors() {
+		errs.Sort()
+		return nil, fmt.Errorf("%s: %w", unitName, &errs)
+	}
+	info := types.Check(file, tree, &errs)
+	if errs.HasErrors() {
+		errs.Sort()
+		return nil, fmt.Errorf("%s: %w", unitName, &errs)
+	}
+	return irbuild.Build(unitName, tree, info)
+}
+
+// CompileUnit compiles one unit from source. For stateful/predictive
+// policies, st carries the previous build's dormancy records (nil on cold
+// builds) and the updated state is returned in the result.
+func (c *Compiler) CompileUnit(unitName string, src []byte, st *core.UnitState) (*UnitResult, error) {
+	total := time.Now()
+	res := &UnitResult{}
+
+	start := time.Now()
+	m, err := Frontend(unitName, src)
+	if err != nil {
+		return nil, err
+	}
+	res.Timings.FrontendNS = time.Since(start).Nanoseconds()
+	res.Module = m
+
+	start = time.Now()
+	switch c.opts.Mode {
+	case ModeFullCache:
+		hits, misses, err := c.cache.Optimize(m)
+		if err != nil {
+			return nil, err
+		}
+		res.CacheHits, res.CacheMisses = hits, misses
+	default:
+		newState, stats, err := c.driver.Run(m, st)
+		if err != nil {
+			return nil, err
+		}
+		if c.opts.Mode != ModeStateless {
+			// Stateless compilation records nothing; returning the empty
+			// state would only make callers persist dead bytes.
+			res.State = newState
+		}
+		res.Stats = stats
+	}
+	res.Timings.PassNS = time.Since(start).Nanoseconds()
+
+	if !c.opts.SkipCodegen {
+		start = time.Now()
+		obj, err := codegen.Compile(m)
+		if err != nil {
+			return nil, err
+		}
+		res.Timings.CodegenNS = time.Since(start).Nanoseconds()
+		res.Object = obj
+	}
+	res.Timings.TotalNS = time.Since(total).Nanoseconds()
+	return res, nil
+}

@@ -1,0 +1,274 @@
+package compiler_test
+
+import (
+	"strings"
+	"testing"
+
+	"statefulcc/internal/codegen"
+	"statefulcc/internal/compiler"
+	"statefulcc/internal/core"
+	"statefulcc/internal/vm"
+)
+
+const libSrc = `
+var _mode int = 1;
+var shared int;
+
+func _twist(x int) int {
+    if _mode > 0 { return x * 3 + 1; }
+    return x / 2;
+}
+
+func churn(n int) int {
+    var acc int = 0;
+    for var i int = 1; i <= n; i++ {
+        acc += _twist(i);
+    }
+    shared = acc;
+    return acc;
+}
+`
+
+const mainSrc = `
+extern func churn(n int) int;
+
+func fib(n int) int {
+    if n < 2 { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+
+func main() int {
+    print("churn", churn(10));
+    print("fib", fib(12));
+    return churn(3) + fib(7);
+}
+`
+
+// runProgram links the given unit results and executes the program.
+func runProgram(t *testing.T, results ...*compiler.UnitResult) (string, int64) {
+	t.Helper()
+	var objs []*codegen.Object
+	for _, r := range results {
+		objs = append(objs, r.Object)
+	}
+	p, err := codegen.Link(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, res, err := vm.RunCapture(p, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, res.ExitValue
+}
+
+func compileBoth(t *testing.T, c *compiler.Compiler, states map[string]*core.UnitState) (string, int64, map[string]*core.UnitState) {
+	t.Helper()
+	newStates := map[string]*core.UnitState{}
+	var results []*compiler.UnitResult
+	for _, u := range []struct{ name, src string }{{"lib.mc", libSrc}, {"main.mc", mainSrc}} {
+		r, err := c.CompileUnit(u.name, []byte(u.src), states[u.name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		newStates[u.name] = r.State
+		results = append(results, r)
+	}
+	out, exit := runProgram(t, results...)
+	return out, exit, newStates
+}
+
+// TestAllModesAgree: every policy must produce the same program behaviour,
+// across repeated and edited builds.
+func TestAllModesAgree(t *testing.T) {
+	base, err := compiler.New(compiler.Options{Mode: compiler.ModeStateless})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOut, wantExit, _ := compileBoth(t, base, map[string]*core.UnitState{})
+
+	for _, mode := range []compiler.Mode{compiler.ModeStateful, compiler.ModeFullCache} {
+		c, err := compiler.New(compiler.Options{Mode: mode, VerifyIR: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		states := map[string]*core.UnitState{}
+		for round := 0; round < 3; round++ {
+			out, exit, ns := compileBoth(t, c, states)
+			states = ns
+			if out != wantOut || exit != wantExit {
+				t.Errorf("%v round %d: behaviour differs: %q/%d vs %q/%d",
+					mode, round, out, exit, wantOut, wantExit)
+			}
+		}
+	}
+}
+
+// TestStatefulSkipsOnRebuild: the compiler facade must surface skipping.
+func TestStatefulSkipsOnRebuild(t *testing.T) {
+	c, err := compiler.New(compiler.Options{Mode: compiler.ModeStateful})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := c.CompileUnit("lib.mc", []byte(libSrc), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.CompileUnit("lib.mc", []byte(libSrc), r1.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, skipped := r2.Stats.Totals(); skipped == 0 {
+		t.Error("no skips on identical rebuild")
+	}
+	if r2.Timings.TotalNS <= 0 || r2.Timings.FrontendNS <= 0 {
+		t.Error("timings not populated")
+	}
+}
+
+// TestFullCacheHitsOnRebuild: unchanged functions must be cache hits on the
+// second build, and an edit must miss only its dependency cone.
+func TestFullCacheHitsOnRebuild(t *testing.T) {
+	c, err := compiler.New(compiler.Options{Mode: compiler.ModeFullCache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := c.CompileUnit("main.mc", []byte(mainSrc), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheHits != 0 {
+		t.Errorf("cold build had %d hits", r1.CacheHits)
+	}
+	r2, err := c.CompileUnit("main.mc", []byte(mainSrc), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.CacheMisses != 0 {
+		t.Errorf("identical rebuild had %d misses", r2.CacheMisses)
+	}
+	// Edit fib only: main calls fib, so main misses too; an independent
+	// function would hit (fib and main share no independent sibling here,
+	// so check hit+miss accounting instead).
+	edited := strings.Replace(mainSrc, "return fib(n - 1) + fib(n - 2);", "return fib(n - 1) + fib(n - 2) + 0;", 1)
+	r3, err := c.CompileUnit("main.mc", []byte(edited), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.CacheMisses == 0 {
+		t.Error("edit produced no misses")
+	}
+	if c.FullCacheStateBytes() == 0 {
+		t.Error("full cache reports zero state")
+	}
+}
+
+// TestFullCacheIndependentFunctionHits: editing one function must not
+// invalidate an unrelated one.
+func TestFullCacheIndependentFunctionHits(t *testing.T) {
+	src1 := `
+func alpha(x int) int { return x * 2; }
+func beta(x int) int { return x + 5; }
+func main() int { return alpha(1) + beta(2); }`
+	src2 := strings.Replace(src1, "x * 2", "x * 4", 1)
+
+	c, err := compiler.New(compiler.Options{Mode: compiler.ModeFullCache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CompileUnit("u.mc", []byte(src1), nil); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.CompileUnit("u.mc", []byte(src2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// beta unchanged and independent → hit; alpha and main (calls alpha) miss.
+	if r2.CacheHits != 1 || r2.CacheMisses != 2 {
+		t.Errorf("hits=%d misses=%d, want 1/2", r2.CacheHits, r2.CacheMisses)
+	}
+}
+
+// TestFullCacheGlobalUsageTrap is the classic staleness trap: an
+// unreachable store to a private global in another function flips to
+// reachable; the reader's cached (constified) body must be invalidated.
+func TestFullCacheGlobalUsageTrap(t *testing.T) {
+	srcDead := `
+var _g int = 5;
+func writer(c bool) int {
+    if false { _g = 7; }
+    return 0;
+}
+func reader() int { return _g; }
+func main() int {
+    var r int = writer(true);
+    return r + reader();
+}`
+	srcLive := strings.Replace(srcDead, "if false { _g = 7; }", "if c { _g = 7; }", 1)
+
+	c, err := compiler.New(compiler.Options{Mode: compiler.ModeFullCache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := c.CompileUnit("u.mc", []byte(srcDead), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.CompileUnit("u.mc", []byte(srcLive), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1, res1 := execUnit(t, r1)
+	out2, res2 := execUnit(t, r2)
+	if out1 != "" || out2 != "" {
+		t.Errorf("unexpected output %q %q", out1, out2)
+	}
+	if res1 != 5 {
+		t.Errorf("dead-store build exit = %d, want 5", res1)
+	}
+	if res2 != 7 {
+		t.Errorf("live-store build exit = %d, want 7 (stale constified reader?)", res2)
+	}
+}
+
+func execUnit(t *testing.T, r *compiler.UnitResult) (string, int64) {
+	t.Helper()
+	p, err := codegen.Link([]*codegen.Object{r.Object})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, res, err := vm.RunCapture(p, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, res.ExitValue
+}
+
+// TestFrontendErrors surface cleanly.
+func TestFrontendErrors(t *testing.T) {
+	c, err := compiler.New(compiler.Options{Mode: compiler.ModeStateless})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CompileUnit("bad.mc", []byte(`func f( {`), nil); err == nil {
+		t.Error("parse error not reported")
+	}
+	if _, err := c.CompileUnit("bad.mc", []byte(`func f() { x = 1; }`), nil); err == nil {
+		t.Error("type error not reported")
+	}
+}
+
+// TestSkipCodegen supports IR tooling.
+func TestSkipCodegen(t *testing.T) {
+	c, err := compiler.New(compiler.Options{Mode: compiler.ModeStateless, SkipCodegen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.CompileUnit("u.mc", []byte(`func main() { }`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Object != nil || r.Module == nil {
+		t.Error("SkipCodegen should produce IR but no object")
+	}
+}

@@ -1,0 +1,345 @@
+package core
+
+// The stateful pipeline driver — the mechanism §4 of the paper describes
+// for retrofitting a conventional pass manager:
+//
+//  1. Before running function pass i on function F, obtain F's current IR
+//     fingerprint. Fingerprints are cached: a skipped or dormant pass
+//     leaves the IR unchanged, so the fingerprint flows to the next slot
+//     for free, and only *active* passes force a rehash.
+//
+//  2. If the stored record for (F, i) matches the fingerprint and says
+//     "dormant", skip the pass. Otherwise run it, time it, and store the
+//     new observation.
+//
+//  3. Module passes get the same treatment keyed by a module fingerprint
+//     assembled from the cached function fingerprints.
+//
+// The Predictive policy (ablation) skips on the record alone without the
+// fingerprint guard; with VerifySkips enabled the driver re-runs every
+// skipped pass and counts mispredictions, which is how the soundness of
+// the guarded policy is demonstrated experimentally (its misprediction
+// count is always zero).
+
+import (
+	"fmt"
+	"time"
+
+	"statefulcc/internal/fingerprint"
+	"statefulcc/internal/ir"
+	"statefulcc/internal/passes"
+)
+
+// Policy selects the skipping strategy.
+type Policy int
+
+// Policies.
+const (
+	// Stateless runs every pass — the conventional compiler baseline.
+	Stateless Policy = iota
+	// Stateful is the paper's fingerprint-guarded dormant-pass skipping.
+	Stateful
+	// Predictive skips on dormancy records without the fingerprint guard
+	// (ablation; unsound without VerifySkips).
+	Predictive
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case Stateless:
+		return "stateless"
+	case Stateful:
+		return "stateful"
+	case Predictive:
+		return "predictive"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Options configures a Driver.
+type Options struct {
+	// Pipeline is the ordered pass list (defaults to passes.StandardPipeline).
+	Pipeline []string
+	// Policy selects the skipping strategy (default Stateless).
+	Policy Policy
+	// VerifySkips re-runs every skipped pass and cross-checks dormancy;
+	// used by tests and the misprediction experiments. Skipping then saves
+	// no time but records Mispredicted counts.
+	VerifySkips bool
+	// VerifyIR runs the IR verifier after every pass (slow; tests only).
+	VerifyIR bool
+}
+
+// Driver executes a pipeline over modules, maintaining dormancy state.
+type Driver struct {
+	opts  Options
+	infos []passes.Info
+	fps   []passes.FuncPass   // per slot (nil for module slots)
+	mps   []passes.ModulePass // per slot (nil for function slots)
+}
+
+// NewDriver builds a driver for the configured pipeline.
+func NewDriver(opts Options) (*Driver, error) {
+	if len(opts.Pipeline) == 0 {
+		opts.Pipeline = passes.StandardPipeline
+	}
+	d := &Driver{opts: opts}
+	for _, name := range opts.Pipeline {
+		info, ok := passes.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown pass %q", name)
+		}
+		d.infos = append(d.infos, info)
+		if info.Module {
+			d.fps = append(d.fps, nil)
+			d.mps = append(d.mps, info.New().(passes.ModulePass))
+		} else {
+			d.fps = append(d.fps, info.New().(passes.FuncPass))
+			d.mps = append(d.mps, nil)
+		}
+	}
+	return d, nil
+}
+
+// Pipeline returns the driver's pass list.
+func (d *Driver) Pipeline() []string { return d.opts.Pipeline }
+
+// Policy returns the driver's skipping policy.
+func (d *Driver) Policy() Policy { return d.opts.Policy }
+
+// hashCache caches per-function fingerprints across pipeline slots.
+type hashCache struct {
+	vals  map[*ir.Func]uint64
+	stats *Stats
+}
+
+func (c *hashCache) get(f *ir.Func) uint64 {
+	if h, ok := c.vals[f]; ok {
+		return h
+	}
+	start := time.Now()
+	h := fingerprint.Function(f)
+	c.stats.HashNS += time.Since(start).Nanoseconds()
+	c.stats.Hashes++
+	c.vals[f] = h
+	return h
+}
+
+func (c *hashCache) invalidate(f *ir.Func) { delete(c.vals, f) }
+
+func (c *hashCache) invalidateAll() { c.vals = make(map[*ir.Func]uint64) }
+
+// Run executes the pipeline on m. When the policy is stateful or
+// predictive, st supplies and receives dormancy records; it may be nil (or
+// built for another pipeline), in which case a fresh state is created. The
+// (possibly new) state is returned alongside the statistics.
+func (d *Driver) Run(m *ir.Module, st *UnitState) (*UnitState, *Stats, error) {
+	if !st.Compatible(d.opts.Pipeline) {
+		st = NewUnitState(m.Unit, d.opts.Pipeline)
+	}
+	stats := &Stats{
+		Slots:     make([]SlotStats, len(d.infos)),
+		Functions: len(m.Funcs),
+	}
+	for i, info := range d.infos {
+		stats.Slots[i].Pass = info.Name
+		stats.Slots[i].Module = info.Module
+	}
+	cache := &hashCache{vals: make(map[*ir.Func]uint64), stats: stats}
+
+	// The prune set is the functions entering the pipeline: a function the
+	// pipeline itself deletes (deadfunc) reappears in the next build's
+	// fresh IR, and its early-slot records must survive to be skippable.
+	live := make(map[string]bool, len(m.Funcs))
+	for _, f := range m.Funcs {
+		live[f.Name] = true
+	}
+
+	for slot, info := range d.infos {
+		ss := &stats.Slots[slot]
+		if info.Module {
+			if err := d.runModuleSlot(m, st, slot, ss, cache); err != nil {
+				return st, stats, err
+			}
+			continue
+		}
+		// Function slot: iterate a snapshot (module passes may have
+		// changed the list; function passes do not).
+		funcs := append([]*ir.Func(nil), m.Funcs...)
+		for _, f := range funcs {
+			if err := d.runFuncSlot(m, f, st, slot, ss, cache); err != nil {
+				return st, stats, err
+			}
+		}
+	}
+
+	// Garbage-collect records of functions deleted from the source.
+	st.Prune(live)
+	return st, stats, nil
+}
+
+func (d *Driver) runFuncSlot(m *ir.Module, f *ir.Func, st *UnitState, slot int, ss *SlotStats, cache *hashCache) error {
+	info := d.infos[slot]
+	pass := d.fps[slot]
+	fs := st.funcState(f.Name, len(d.infos))
+	rec := &fs.Slots[slot]
+	seen := fs.Seen[slot]
+
+	// Lazy hashing: a record that says "changed" can never satisfy a skip
+	// and (in the persisted format) carries no fingerprint, so the hash is
+	// computed only when a dormant record exists to check against — or
+	// after a run that turns out dormant, when the (unmodified) IR still
+	// equals the pass input.
+	skippable := false
+	var h uint64
+	haveHash := false
+	switch d.opts.Policy {
+	case Stateful:
+		if info.FunctionLocal && seen && !rec.Changed {
+			h = cache.get(f)
+			haveHash = true
+			skippable = rec.InputHash == h
+		}
+	case Predictive:
+		skippable = seen && !rec.Changed
+	}
+
+	if skippable && !d.opts.VerifySkips {
+		ss.Skipped++
+		ss.SavedNS += rec.CostNS
+		return nil
+	}
+
+	start := time.Now()
+	changed := pass.Run(f)
+	elapsed := time.Since(start).Nanoseconds()
+
+	if skippable { // verify mode: the skip would have happened
+		ss.Skipped++
+		ss.SavedNS += rec.CostNS
+		if changed {
+			ss.Mispredicted++
+			if d.opts.Policy == Stateful {
+				return fmt.Errorf("core: soundness violation: guarded skip of %s on %s.%s was wrong",
+					info.Name, m.Unit, f.Name)
+			}
+		}
+	} else {
+		ss.Runs++
+		ss.RunNS += elapsed
+		if !changed {
+			ss.Dormant++
+		}
+	}
+
+	// Record the observation.
+	if d.opts.Policy != Stateless && info.FunctionLocal {
+		if changed {
+			// Changed records never satisfy skips; no fingerprint needed.
+			rec.InputHash = 0
+			rec.Changed = true
+		} else {
+			if d.opts.Policy == Stateful && !haveHash {
+				// The pass was dormant, so the current IR still equals its
+				// input; hash it now (and the cache stays warm for the
+				// next slot).
+				h = cache.get(f)
+			}
+			rec.InputHash = h
+			rec.Changed = false
+			rec.blend(elapsed)
+		}
+		fs.Seen[slot] = true
+	}
+	if changed {
+		cache.invalidate(f)
+	}
+
+	if d.opts.VerifyIR {
+		if err := f.Verify(); err != nil {
+			return fmt.Errorf("core: pass %s broke %s.%s: %w", info.Name, m.Unit, f.Name, err)
+		}
+	}
+	return nil
+}
+
+func (d *Driver) runModuleSlot(m *ir.Module, st *UnitState, slot int, ss *SlotStats, cache *hashCache) error {
+	info := d.infos[slot]
+	pass := d.mps[slot]
+	rec := &st.ModuleSlots[slot]
+	seen := st.ModuleSeen[slot]
+
+	// Lazy module hashing mirrors the function-slot logic: compute the
+	// module fingerprint only when a dormant record exists to compare
+	// against (or after a dormant run, below). Function hashing inside
+	// cache.get times itself; the combine step is negligible.
+	var h uint64
+	haveHash := false
+	skippable := false
+	switch d.opts.Policy {
+	case Stateful:
+		if seen && !rec.Changed {
+			h = fingerprint.ModuleWith(m, cache.get)
+			haveHash = true
+			skippable = rec.InputHash == h
+		}
+	case Predictive:
+		skippable = seen && !rec.Changed
+	}
+
+	if skippable && !d.opts.VerifySkips {
+		ss.Skipped++
+		ss.SavedNS += rec.CostNS
+		return nil
+	}
+
+	start := time.Now()
+	changed := pass.RunModule(m)
+	elapsed := time.Since(start).Nanoseconds()
+
+	if skippable {
+		ss.Skipped++
+		ss.SavedNS += rec.CostNS
+		if changed {
+			ss.Mispredicted++
+			if d.opts.Policy == Stateful {
+				return fmt.Errorf("core: soundness violation: guarded skip of module pass %s on %s was wrong",
+					info.Name, m.Unit)
+			}
+		}
+	} else {
+		ss.Runs++
+		ss.RunNS += elapsed
+		if !changed {
+			ss.Dormant++
+		}
+	}
+
+	if d.opts.Policy != Stateless {
+		if changed {
+			rec.InputHash = 0
+			rec.Changed = true
+		} else {
+			if d.opts.Policy == Stateful && !haveHash {
+				h = fingerprint.ModuleWith(m, cache.get)
+			}
+			rec.InputHash = h
+			rec.Changed = false
+			rec.blend(elapsed)
+		}
+		st.ModuleSeen[slot] = true
+	}
+	if changed {
+		// A module pass may have touched any function.
+		cache.invalidateAll()
+	}
+
+	if d.opts.VerifyIR {
+		if err := m.Verify(); err != nil {
+			return fmt.Errorf("core: module pass %s broke %s: %w", info.Name, m.Unit, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+// Package core implements the paper's contribution: a *stateful* pass
+// manager that persists, per function and per pipeline slot, whether the
+// pass was dormant (ran without modifying the IR) together with a
+// fingerprint of the IR it saw — and uses those records to skip dormant
+// passes in subsequent incremental compilations of the same unit.
+//
+// Soundness argument (paper §4): passes are deterministic pure functions of
+// their input IR (enforced for skipping eligibility by the FunctionLocal
+// registry attribute and pinned by determinism tests), so
+//
+//	same input fingerprint  ∧  dormant last time  ⇒  dormant this time,
+//
+// and a dormant pass leaves the IR unchanged — meaning the fingerprint
+// entering the next slot is the *same* fingerprint, so a run of consecutive
+// dormant passes costs one hash instead of N pass executions. Module passes
+// are guarded by a module-level fingerprint; any module change re-runs them.
+package core
+
+import (
+	"fmt"
+
+	"statefulcc/internal/fingerprint"
+)
+
+// StateVersion identifies the on-disk/state-record format and the compiler
+// revision. Bumping it invalidates all previous state — the paper's
+// compiler-upgrade safety rule.
+const StateVersion = 3
+
+// Record is one dormancy observation: the fingerprint of the IR a pass
+// instance saw for a function, whether the pass changed it, and the
+// smoothed cost of running it (used for reporting estimated savings).
+type Record struct {
+	InputHash uint64
+	Changed   bool
+	// CostNS is an exponentially weighted moving average of the observed
+	// run time in nanoseconds.
+	CostNS int64
+}
+
+// blend updates the cost EWMA (¾ old, ¼ new — cheap and stable).
+func (r *Record) blend(ns int64) {
+	if r.CostNS == 0 {
+		r.CostNS = ns
+		return
+	}
+	r.CostNS = (3*r.CostNS + ns) / 4
+}
+
+// FuncState holds one function's records, indexed by pipeline slot.
+type FuncState struct {
+	// Slots[i] corresponds to pipeline entry i; a zero-valued record (hash
+	// 0, never observed) means "no information".
+	Slots []Record
+	// Seen marks slots that hold a real observation.
+	Seen []bool
+}
+
+func newFuncState(n int) *FuncState {
+	return &FuncState{Slots: make([]Record, n), Seen: make([]bool, n)}
+}
+
+// UnitState is the persistent compiler state for one compilation unit —
+// the artifact the paper adds next to the build system's own metadata.
+type UnitState struct {
+	// Unit is the source unit this state describes.
+	Unit string
+	// PipelineHash guards against pipeline/config changes: a different
+	// pipeline invalidates all records.
+	PipelineHash uint64
+	// Funcs maps function name to its per-slot records.
+	Funcs map[string]*FuncState
+	// ModuleSlots holds records for module passes, indexed by pipeline slot
+	// (entries for function-pass slots are unused).
+	ModuleSlots []Record
+	// ModuleSeen marks module slots with real observations.
+	ModuleSeen []bool
+}
+
+// NewUnitState creates empty state for a unit compiled with the given
+// pipeline.
+func NewUnitState(unit string, pipeline []string) *UnitState {
+	return &UnitState{
+		Unit:         unit,
+		PipelineHash: PipelineHash(pipeline),
+		Funcs:        make(map[string]*FuncState),
+		ModuleSlots:  make([]Record, len(pipeline)),
+		ModuleSeen:   make([]bool, len(pipeline)),
+	}
+}
+
+// PipelineHash fingerprints the pipeline configuration together with the
+// state format version.
+func PipelineHash(pipeline []string) uint64 {
+	h := fingerprint.New()
+	h.Uint64(StateVersion)
+	h.Uint64(fingerprint.Strings(pipeline))
+	return h.Sum()
+}
+
+// Compatible reports whether the state can be used for the given pipeline.
+func (s *UnitState) Compatible(pipeline []string) bool {
+	return s != nil && s.PipelineHash == PipelineHash(pipeline) &&
+		len(s.ModuleSlots) == len(pipeline)
+}
+
+// funcState returns (creating if needed) the record block for a function.
+func (s *UnitState) funcState(name string, slots int) *FuncState {
+	fs, ok := s.Funcs[name]
+	if !ok || len(fs.Slots) != slots {
+		fs = newFuncState(slots)
+		s.Funcs[name] = fs
+	}
+	return fs
+}
+
+// Prune drops records for functions not in the given set (deleted
+// functions), keeping state size proportional to the live unit.
+func (s *UnitState) Prune(live map[string]bool) {
+	for name := range s.Funcs {
+		if !live[name] {
+			delete(s.Funcs, name)
+		}
+	}
+}
+
+// RecordCount returns the total number of (function, slot) observations,
+// for state-size reporting.
+func (s *UnitState) RecordCount() int {
+	n := 0
+	for _, fs := range s.Funcs {
+		for _, seen := range fs.Seen {
+			if seen {
+				n++
+			}
+		}
+	}
+	for _, seen := range s.ModuleSeen {
+		if seen {
+			n++
+		}
+	}
+	return n
+}
+
+// SizeBytes estimates the serialized footprint of the compressed on-disk
+// format: one flags byte per slot, ~3 bytes of varints per seen slot, and 8
+// bytes per *distinct* input hash (runs of dormant passes share a hash).
+// The exact figure comes from internal/state.FileSize.
+func (s *UnitState) SizeBytes() int {
+	block := func(slots []Record, seen []bool) int {
+		distinct := make(map[uint64]bool)
+		n := 2
+		for i := range slots {
+			n++
+			if seen[i] && !slots[i].Changed {
+				n += 3
+				distinct[slots[i].InputHash] = true
+			}
+		}
+		return n + len(distinct)*8
+	}
+	n := block(s.ModuleSlots, s.ModuleSeen)
+	for name, fs := range s.Funcs {
+		n += len(name) + 4
+		n += block(fs.Slots, fs.Seen)
+	}
+	return n
+}
+
+// String summarizes the state for debugging.
+func (s *UnitState) String() string {
+	return fmt.Sprintf("state(%s: %d funcs, %d records, ~%d bytes)",
+		s.Unit, len(s.Funcs), s.RecordCount(), s.SizeBytes())
+}

@@ -1,0 +1,144 @@
+package core
+
+// Compilation statistics: the measurements behind the paper's motivation
+// figures (dormant fraction, dormancy persistence) and its evaluation
+// (per-pass savings, skip counts, hashing overhead).
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SlotStats aggregates one pipeline slot's behaviour over the functions (or
+// the module) it processed.
+type SlotStats struct {
+	// Pass is the pass name of this pipeline slot.
+	Pass string
+	// Module is true for module-pass slots.
+	Module bool
+	// Runs counts actual pass executions.
+	Runs int
+	// Dormant counts executions that reported no change.
+	Dormant int
+	// Skipped counts executions avoided by dormancy records.
+	Skipped int
+	// Mispredicted counts verified skips that would have been wrong
+	// (only populated in verify mode; always 0 for the guarded policy).
+	Mispredicted int
+	// RunNS is the total time spent executing the pass.
+	RunNS int64
+	// SavedNS estimates the time skipping avoided (sum of recorded costs).
+	SavedNS int64
+}
+
+// Stats aggregates one compilation.
+type Stats struct {
+	// Slots has one entry per pipeline slot.
+	Slots []SlotStats
+	// HashNS is the total time spent fingerprinting.
+	HashNS int64
+	// Hashes counts fingerprint computations.
+	Hashes int
+	// Functions is the number of functions entering the pipeline.
+	Functions int
+}
+
+// Totals sums runs/dormant/skips across slots.
+func (s *Stats) Totals() (runs, dormant, skipped int) {
+	for _, sl := range s.Slots {
+		runs += sl.Runs
+		dormant += sl.Dormant
+		skipped += sl.Skipped
+	}
+	return
+}
+
+// PassTimeNS is the total time spent inside passes.
+func (s *Stats) PassTimeNS() int64 {
+	var t int64
+	for _, sl := range s.Slots {
+		t += sl.RunNS
+	}
+	return t
+}
+
+// SavedNS is the total estimated time saved by skipping.
+func (s *Stats) SavedNS() int64 {
+	var t int64
+	for _, sl := range s.Slots {
+		t += sl.SavedNS
+	}
+	return t
+}
+
+// DormantFraction is the fraction of pass executions (runs + skips) that
+// did or would have done nothing — the paper's motivation metric.
+func (s *Stats) DormantFraction() float64 {
+	runs, dormant, skipped := s.Totals()
+	total := runs + skipped
+	if total == 0 {
+		return 0
+	}
+	// Skipped executions were dormant by construction.
+	return float64(dormant+skipped) / float64(total)
+}
+
+// Merge accumulates other into s (slot-wise; pipelines must match).
+func (s *Stats) Merge(other *Stats) {
+	if len(s.Slots) == 0 {
+		s.Slots = make([]SlotStats, len(other.Slots))
+		for i := range other.Slots {
+			s.Slots[i].Pass = other.Slots[i].Pass
+			s.Slots[i].Module = other.Slots[i].Module
+		}
+	}
+	for i := range other.Slots {
+		if i >= len(s.Slots) {
+			break
+		}
+		s.Slots[i].Runs += other.Slots[i].Runs
+		s.Slots[i].Dormant += other.Slots[i].Dormant
+		s.Slots[i].Skipped += other.Slots[i].Skipped
+		s.Slots[i].Mispredicted += other.Slots[i].Mispredicted
+		s.Slots[i].RunNS += other.Slots[i].RunNS
+		s.Slots[i].SavedNS += other.Slots[i].SavedNS
+	}
+	s.HashNS += other.HashNS
+	s.Hashes += other.Hashes
+	s.Functions += other.Functions
+}
+
+// ByPass aggregates slot stats by pass name (a pass can appear at several
+// pipeline slots).
+func (s *Stats) ByPass() map[string]SlotStats {
+	out := make(map[string]SlotStats)
+	for _, sl := range s.Slots {
+		agg := out[sl.Pass]
+		agg.Pass = sl.Pass
+		agg.Module = sl.Module
+		agg.Runs += sl.Runs
+		agg.Dormant += sl.Dormant
+		agg.Skipped += sl.Skipped
+		agg.Mispredicted += sl.Mispredicted
+		agg.RunNS += sl.RunNS
+		agg.SavedNS += sl.SavedNS
+		out[sl.Pass] = agg
+	}
+	return out
+}
+
+// String renders a compact table for logs and the minicc -stats flag.
+func (s *Stats) String() string {
+	var sb strings.Builder
+	runs, dormant, skipped := s.Totals()
+	fmt.Fprintf(&sb, "pipeline: %d funcs, %d runs (%d dormant), %d skipped, dormant-fraction %.1f%%\n",
+		s.Functions, runs, dormant, skipped, 100*s.DormantFraction())
+	fmt.Fprintf(&sb, "pass time %.3fms, est. saved %.3fms, hashing %.3fms (%d hashes)\n",
+		float64(s.PassTimeNS())/1e6, float64(s.SavedNS())/1e6, float64(s.HashNS)/1e6, s.Hashes)
+	for i, sl := range s.Slots {
+		fmt.Fprintf(&sb, "  [%2d] %-12s runs=%-4d dormant=%-4d skipped=%-4d t=%.3fms saved=%.3fms\n",
+			i, sl.Pass, sl.Runs, sl.Dormant, sl.Skipped,
+			float64(sl.RunNS)/1e6, float64(sl.SavedNS)/1e6)
+	}
+	return sb.String()
+}

@@ -1,0 +1,150 @@
+// Package filecheck implements a small LLVM-FileCheck-style matcher used by
+// the pass test corpus (internal/passes/testdata): MiniC test files embed
+// directives in comments, the harness runs the requested pipeline, prints
+// the resulting IR, and this package verifies the directives against it.
+//
+// Supported directives:
+//
+//	// RUN: pipeline=<pass>,<pass>,...   which passes to run (one per file)
+//	// RUN: func=<name>                  restrict printing to one function
+//	// CHECK: <substring>                must match, in order
+//	// CHECK-NOT: <substring>            must not appear between the
+//	                                     surrounding CHECK anchors
+//	// CHECK-COUNT-<n>: <substring>      exactly n occurrences in the whole
+//	                                     output (order-independent)
+package filecheck
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Script is the parsed directive list of one test file.
+type Script struct {
+	// Pipeline names the passes to run.
+	Pipeline []string
+	// Func optionally restricts checking to one function's printout.
+	Func   string
+	checks []check
+	counts []countCheck
+}
+
+type checkKind int
+
+const (
+	checkMatch checkKind = iota
+	checkNot
+)
+
+type check struct {
+	kind checkKind
+	text string
+	line int
+}
+
+type countCheck struct {
+	n    int
+	text string
+	line int
+}
+
+// Parse extracts directives from a test file's comments.
+func Parse(src string) (*Script, error) {
+	s := &Script{}
+	for i, line := range strings.Split(src, "\n") {
+		lineNo := i + 1
+		idx := strings.Index(line, "//")
+		if idx < 0 {
+			continue
+		}
+		directive := strings.TrimSpace(line[idx+2:])
+		switch {
+		case strings.HasPrefix(directive, "RUN:"):
+			arg := strings.TrimSpace(strings.TrimPrefix(directive, "RUN:"))
+			switch {
+			case strings.HasPrefix(arg, "pipeline="):
+				if len(s.Pipeline) > 0 {
+					return nil, fmt.Errorf("line %d: duplicate pipeline directive", lineNo)
+				}
+				for _, p := range strings.Split(strings.TrimPrefix(arg, "pipeline="), ",") {
+					if p = strings.TrimSpace(p); p != "" {
+						s.Pipeline = append(s.Pipeline, p)
+					}
+				}
+			case strings.HasPrefix(arg, "func="):
+				s.Func = strings.TrimSpace(strings.TrimPrefix(arg, "func="))
+			default:
+				return nil, fmt.Errorf("line %d: unknown RUN argument %q", lineNo, arg)
+			}
+		case strings.HasPrefix(directive, "CHECK-NOT:"):
+			s.checks = append(s.checks, check{checkNot,
+				strings.TrimSpace(strings.TrimPrefix(directive, "CHECK-NOT:")), lineNo})
+		case strings.HasPrefix(directive, "CHECK-COUNT-"):
+			rest := strings.TrimPrefix(directive, "CHECK-COUNT-")
+			colon := strings.Index(rest, ":")
+			if colon < 0 {
+				return nil, fmt.Errorf("line %d: malformed CHECK-COUNT", lineNo)
+			}
+			n, err := strconv.Atoi(rest[:colon])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad CHECK-COUNT number: %v", lineNo, err)
+			}
+			s.counts = append(s.counts, countCheck{n, strings.TrimSpace(rest[colon+1:]), lineNo})
+		case strings.HasPrefix(directive, "CHECK:"):
+			s.checks = append(s.checks, check{checkMatch,
+				strings.TrimSpace(strings.TrimPrefix(directive, "CHECK:")), lineNo})
+		}
+	}
+	if len(s.Pipeline) == 0 && (len(s.checks) > 0 || len(s.counts) > 0) {
+		return nil, fmt.Errorf("checks present but no RUN: pipeline directive")
+	}
+	return s, nil
+}
+
+// HasChecks reports whether the script contains any assertions.
+func (s *Script) HasChecks() bool { return len(s.checks) > 0 || len(s.counts) > 0 }
+
+// Verify matches the directives against the output, returning the first
+// failure (nil on success).
+func (s *Script) Verify(output string) error {
+	// Sequential CHECK / CHECK-NOT semantics.
+	pos := 0
+	var pendingNots []check
+	flushNots := func(until int) error {
+		segment := output[pos:until]
+		for _, n := range pendingNots {
+			if strings.Contains(segment, n.text) {
+				return fmt.Errorf("line %d: CHECK-NOT: %q found:\n%s", n.line, n.text, segment)
+			}
+		}
+		pendingNots = pendingNots[:0]
+		return nil
+	}
+	for _, c := range s.checks {
+		switch c.kind {
+		case checkNot:
+			pendingNots = append(pendingNots, c)
+		case checkMatch:
+			idx := strings.Index(output[pos:], c.text)
+			if idx < 0 {
+				return fmt.Errorf("line %d: CHECK: %q not found after offset %d:\n%s",
+					c.line, c.text, pos, output)
+			}
+			if err := flushNots(pos + idx); err != nil {
+				return err
+			}
+			pos += idx + len(c.text)
+		}
+	}
+	if err := flushNots(len(output)); err != nil {
+		return err
+	}
+	for _, cc := range s.counts {
+		if got := strings.Count(output, cc.text); got != cc.n {
+			return fmt.Errorf("line %d: CHECK-COUNT-%d: %q occurs %d times:\n%s",
+				cc.line, cc.n, cc.text, got, output)
+		}
+	}
+	return nil
+}

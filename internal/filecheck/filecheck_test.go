@@ -1,0 +1,120 @@
+package filecheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDirectives(t *testing.T) {
+	s, err := Parse(`
+// RUN: pipeline=mem2reg, gvn ,dce
+// RUN: func=work
+func work() { } // CHECK: add
+// CHECK-NOT: mul
+// CHECK-COUNT-2: load
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Pipeline) != 3 || s.Pipeline[1] != "gvn" {
+		t.Errorf("pipeline = %v", s.Pipeline)
+	}
+	if s.Func != "work" {
+		t.Errorf("func = %q", s.Func)
+	}
+	if !s.HasChecks() {
+		t.Error("checks not detected")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"// CHECK: x",                            // checks without pipeline
+		"// RUN: pipeline=a\n// RUN: pipeline=b", // duplicate
+		"// RUN: frobnicate=yes",                 // unknown arg
+		"// RUN: pipeline=a\n// CHECK-COUNT-x: y",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+}
+
+func mustScript(t *testing.T, src string) *Script {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestVerifyOrdering(t *testing.T) {
+	s := mustScript(t, `
+// RUN: pipeline=x
+// CHECK: alpha
+// CHECK: beta
+`)
+	if err := s.Verify("...alpha...beta..."); err != nil {
+		t.Errorf("in-order match failed: %v", err)
+	}
+	if err := s.Verify("...beta...alpha..."); err == nil {
+		t.Error("out-of-order match accepted")
+	}
+	if err := s.Verify("...alpha..."); err == nil {
+		t.Error("missing match accepted")
+	}
+	// A single occurrence cannot satisfy two sequential CHECKs.
+	s2 := mustScript(t, "// RUN: pipeline=x\n// CHECK: dup\n// CHECK: dup\n")
+	if err := s2.Verify("dup"); err == nil {
+		t.Error("single occurrence satisfied two CHECKs")
+	}
+	if err := s2.Verify("dup dup"); err != nil {
+		t.Errorf("two occurrences rejected: %v", err)
+	}
+}
+
+func TestVerifyNot(t *testing.T) {
+	s := mustScript(t, `
+// RUN: pipeline=x
+// CHECK: start
+// CHECK-NOT: forbidden
+// CHECK: end
+`)
+	if err := s.Verify("start middle end"); err != nil {
+		t.Errorf("clean output rejected: %v", err)
+	}
+	if err := s.Verify("start forbidden end"); err == nil {
+		t.Error("forbidden text between anchors accepted")
+	}
+	// Forbidden text BEFORE the first anchor is fine (LLVM semantics).
+	if err := s.Verify("forbidden start middle end"); err != nil {
+		t.Errorf("pre-anchor text rejected: %v", err)
+	}
+	// Trailing NOT applies to the rest of the output.
+	s2 := mustScript(t, "// RUN: pipeline=x\n// CHECK: a\n// CHECK-NOT: z\n")
+	if err := s2.Verify("a then z"); err == nil {
+		t.Error("trailing CHECK-NOT ignored")
+	}
+}
+
+func TestVerifyCount(t *testing.T) {
+	s := mustScript(t, "// RUN: pipeline=x\n// CHECK-COUNT-2: ld\n")
+	if err := s.Verify("ld ld"); err != nil {
+		t.Errorf("exact count rejected: %v", err)
+	}
+	for _, out := range []string{"ld", "ld ld ld"} {
+		if err := s.Verify(out); err == nil {
+			t.Errorf("%q: wrong count accepted", out)
+		}
+	}
+}
+
+func TestErrorsNameLines(t *testing.T) {
+	s := mustScript(t, "// RUN: pipeline=x\n\n\n// CHECK: missing\n")
+	err := s.Verify("nothing here")
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("error does not cite the directive line: %v", err)
+	}
+}

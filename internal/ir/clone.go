@@ -1,0 +1,145 @@
+package ir
+
+// This file implements IR cloning: whole-function deep copies (used by the
+// verification harness and the full-IR caching baseline) and region cloning
+// with value remapping (used by the inliner and the loop unroller).
+
+// CloneFunc returns a deep copy of f with fresh value and block identities.
+// The copy belongs to the same module pointer but is not inserted into it.
+func CloneFunc(f *Func) *Func {
+	g := &Func{
+		Name:    f.Name,
+		Module:  f.Module,
+		Result:  f.Result,
+		Private: f.Private,
+	}
+	vmap := make(map[*Value]*Value, f.NumValues())
+	for _, p := range f.Params {
+		np := &Value{ID: g.takeValueID(), Op: OpParam, Type: p.Type, Aux: p.Aux}
+		g.Params = append(g.Params, np)
+		vmap[p] = np
+	}
+	CloneBlocksInto(g, f.Blocks, vmap)
+	return g
+}
+
+// CloneBlocksInto clones the given blocks into dst, remapping operands via
+// vmap. On entry vmap must contain mappings for values defined outside the
+// cloned region that should be substituted (e.g. callee params → call
+// arguments); values defined inside the region get fresh clones added to
+// vmap; any other operand maps to itself. A region value pre-seeded in vmap
+// is substituted instead of cloned — the unroller uses this to replace a
+// loop header's phis with the current iteration's values. Block operands
+// that point inside the region are remapped; edges leaving the region keep
+// their original targets (and those targets gain predecessor entries for
+// the clones).
+//
+// The returned map gives the clone of each original block.
+func CloneBlocksInto(dst *Func, blocks []*Block, vmap map[*Value]*Value) map[*Block]*Block {
+	bmap := make(map[*Block]*Block, len(blocks))
+	for _, b := range blocks {
+		bmap[b] = dst.NewBlock()
+	}
+
+	// Pass 1: create shell clones of every value defined in the region so
+	// that forward references (phis) resolve. Pre-seeded values keep their
+	// substitution and are not cloned.
+	preseeded := make(map[*Value]bool)
+	cloneShell := func(v *Value) *Value {
+		if _, ok := vmap[v]; ok {
+			preseeded[v] = true
+			return vmap[v]
+		}
+		nv := &Value{
+			ID:     dst.takeValueID(),
+			Op:     v.Op,
+			Type:   v.Type,
+			Aux:    v.Aux,
+			Sym:    v.Sym,
+			StrAux: v.StrAux,
+		}
+		vmap[v] = nv
+		return nv
+	}
+	for _, b := range blocks {
+		for _, v := range b.Phis {
+			cloneShell(v)
+		}
+		for _, v := range b.Instrs {
+			cloneShell(v)
+		}
+		if b.Term != nil {
+			cloneShell(b.Term)
+		}
+	}
+
+	lookupV := func(v *Value) *Value {
+		if nv, ok := vmap[v]; ok {
+			return nv
+		}
+		return v
+	}
+	lookupB := func(b *Block) *Block {
+		if nb, ok := bmap[b]; ok {
+			return nb
+		}
+		return b
+	}
+
+	// Pass 2: fill operands and attach clones to their blocks. Pre-seeded
+	// values were substituted, not cloned, so they are skipped here.
+	for _, b := range blocks {
+		nb := bmap[b]
+		for _, v := range b.Phis {
+			if preseeded[v] {
+				continue
+			}
+			nv := vmap[v]
+			for _, a := range v.Args {
+				nv.Args = append(nv.Args, lookupV(a))
+			}
+			for _, pb := range v.Blocks {
+				nv.Blocks = append(nv.Blocks, lookupB(pb))
+			}
+			nb.AddPhi(nv)
+		}
+		for _, v := range b.Instrs {
+			if preseeded[v] {
+				continue
+			}
+			nv := vmap[v]
+			for _, a := range v.Args {
+				nv.Args = append(nv.Args, lookupV(a))
+			}
+			nb.AddInstr(nv)
+		}
+		if b.Term != nil {
+			nt := vmap[b.Term]
+			for _, a := range b.Term.Args {
+				nt.Args = append(nt.Args, lookupV(a))
+			}
+			for _, tb := range b.Term.Blocks {
+				nt.Blocks = append(nt.Blocks, lookupB(tb))
+			}
+			nb.SetTerm(nt)
+		}
+	}
+	return bmap
+}
+
+// CloneModule deep-copies a whole module, used to snapshot IR for the
+// stateful-vs-stateless verification harness.
+func CloneModule(m *Module) *Module {
+	nm := &Module{Unit: m.Unit}
+	nm.Externs = append(nm.Externs, m.Externs...)
+	for _, g := range m.Globals {
+		gg := *g
+		nm.Globals = append(nm.Globals, &gg)
+	}
+	for _, f := range m.Funcs {
+		nf := CloneFunc(f)
+		nf.Module = nm
+		nm.Funcs = append(nm.Funcs, nf)
+	}
+	return nm
+}

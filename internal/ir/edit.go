@@ -1,0 +1,225 @@
+package ir
+
+// This file provides the mutation utilities passes are built from. They
+// keep the CFG invariants (pred lists, phi operands) intact so that passes
+// can compose without re-deriving structure.
+
+// ForEachValue visits every instruction value in the function: phis, body
+// instructions, and terminators, in layout order.
+func (f *Func) ForEachValue(fn func(*Value)) {
+	for _, b := range f.Blocks {
+		for _, v := range b.Phis {
+			fn(v)
+		}
+		for _, v := range b.Instrs {
+			fn(v)
+		}
+		if b.Term != nil {
+			fn(b.Term)
+		}
+	}
+}
+
+// ReplaceAllUses rewrites every operand equal to old into new, across the
+// whole function. It does not remove old's defining instruction.
+func (f *Func) ReplaceAllUses(old, new *Value) {
+	f.ForEachValue(func(v *Value) {
+		for i, a := range v.Args {
+			if a == old {
+				v.Args[i] = new
+			}
+		}
+	})
+}
+
+// RemoveInstr removes the instruction from its block (by identity). Phis
+// and terminators are not handled here.
+func (b *Block) RemoveInstr(v *Value) bool {
+	for i, w := range b.Instrs {
+		if w == v {
+			b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+			v.Block = nil
+			return true
+		}
+	}
+	return false
+}
+
+// RemovePhi removes a phi from its block (by identity).
+func (b *Block) RemovePhi(v *Value) bool {
+	for i, w := range b.Phis {
+		if w == v {
+			b.Phis = append(b.Phis[:i], b.Phis[i+1:]...)
+			v.Block = nil
+			return true
+		}
+	}
+	return false
+}
+
+// RedirectEdge retargets the CFG edge from b to oldTo so that it points to
+// newTo instead: the terminator's block operand is rewritten, oldTo loses b
+// as a predecessor (its phis drop the operand), and newTo gains it. Phis in
+// newTo that lack an operand for b must be fixed by the caller.
+func (b *Block) RedirectEdge(oldTo, newTo *Block) bool {
+	if b.Term == nil {
+		return false
+	}
+	done := false
+	for i, s := range b.Term.Blocks {
+		if s == oldTo {
+			b.Term.Blocks[i] = newTo
+			oldTo.removePredEdge(b)
+			newTo.Preds = append(newTo.Preds, b)
+			done = true
+			break // redirect a single occurrence
+		}
+	}
+	return done
+}
+
+// Unlink disconnects the block from the CFG (removing its outgoing edges
+// and fixing successors' phis) and deletes it from the function's block
+// list. The caller must ensure nothing references the block's values.
+func (f *Func) Unlink(b *Block) {
+	if b.Term != nil {
+		for _, s := range b.Term.Blocks {
+			s.removePredEdge(b)
+		}
+		b.Term = nil
+	}
+	for i, q := range f.Blocks {
+		if q == b {
+			f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+			break
+		}
+	}
+}
+
+// SplitEdge inserts a fresh block on the edge from b to succ, containing
+// only a jump to succ. Phi operands in succ are retargeted to the new
+// block. Returns the inserted block.
+func (b *Block) SplitEdge(succ *Block) *Block {
+	f := b.Func
+	mid := f.NewBlock()
+	// Retarget one occurrence of succ in b's terminator.
+	for i, s := range b.Term.Blocks {
+		if s == succ {
+			b.Term.Blocks[i] = mid
+			break
+		}
+	}
+	// Fix pred lists.
+	for i, p := range succ.Preds {
+		if p == b {
+			succ.Preds[i] = mid
+			break
+		}
+	}
+	mid.Preds = append(mid.Preds, b)
+	// Retarget phi incoming blocks.
+	for _, phi := range succ.Phis {
+		for i, p := range phi.Blocks {
+			if p == b {
+				phi.Blocks[i] = mid
+				break
+			}
+		}
+	}
+	// Terminator of mid: jump to succ. Installed directly (succ's pred list
+	// was already fixed above, so SetTerm's bookkeeping would double-add).
+	j := f.NewValue(OpJump, TVoid)
+	j.Blocks = []*Block{succ}
+	j.Block = mid
+	mid.Term = j
+	return mid
+}
+
+// HasCriticalEdge reports whether the edge b→succ is critical (b has
+// multiple successors and succ multiple predecessors).
+func (b *Block) HasCriticalEdge(succ *Block) bool {
+	return len(b.Succs()) > 1 && len(succ.Preds) > 1
+}
+
+// NumUses counts uses of each value in the function, keyed by value ID.
+// The result slice is indexed by Value.ID.
+func (f *Func) NumUses() []int {
+	uses := make([]int, f.NumValues())
+	f.ForEachValue(func(v *Value) {
+		for _, a := range v.Args {
+			if a.ID < len(uses) {
+				uses[a.ID]++
+			}
+		}
+	})
+	return uses
+}
+
+// Postorder returns the blocks reachable from entry in postorder.
+func (f *Func) Postorder() []*Block {
+	seen := make([]bool, f.NumBlockIDs())
+	var order []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b.ID] {
+			return
+		}
+		seen[b.ID] = true
+		for _, s := range b.Succs() {
+			visit(s)
+		}
+		order = append(order, b)
+	}
+	if e := f.Entry(); e != nil {
+		visit(e)
+	}
+	return order
+}
+
+// ReversePostorder returns the blocks reachable from entry in reverse
+// postorder — the canonical forward-dataflow iteration order.
+func (f *Func) ReversePostorder() []*Block {
+	po := f.Postorder()
+	for i, j := 0, len(po)-1; i < j; i, j = i+1, j-1 {
+		po[i], po[j] = po[j], po[i]
+	}
+	return po
+}
+
+// Reachable returns a dense block-ID-indexed set of blocks reachable from
+// entry.
+func (f *Func) Reachable() []bool {
+	seen := make([]bool, f.NumBlockIDs())
+	var stack []*Block
+	if e := f.Entry(); e != nil {
+		stack = append(stack, e)
+		seen[e.ID] = true
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs() {
+			if !seen[s.ID] {
+				seen[s.ID] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// RemoveUnreachable deletes blocks not reachable from entry, fixing the
+// phis of surviving blocks. Returns the number of blocks removed.
+func (f *Func) RemoveUnreachable() int {
+	reach := f.Reachable()
+	var dead []*Block
+	for _, b := range f.Blocks {
+		if !reach[b.ID] {
+			dead = append(dead, b)
+		}
+	}
+	for _, b := range dead {
+		f.Unlink(b)
+	}
+	return len(dead)
+}

@@ -1,0 +1,78 @@
+package ir
+
+// This file centralizes the evaluation semantics of MiniC operators.
+// Every consumer — SCCP, instcombine, the interpreter in the VM — calls
+// these functions, so compile-time folding can never disagree with runtime
+// behaviour.
+
+// EvalBinary applies a binary operator to constant operands. ok is false
+// when the operation would trap at runtime (division or remainder by zero),
+// in which case the compiler must not fold it.
+//
+// Shift semantics: amounts are masked to [0, 64) like hardware shifters;
+// OpShr is arithmetic.
+func EvalBinary(op Op, x, y int64) (int64, bool) {
+	switch op {
+	case OpAdd:
+		return x + y, true
+	case OpSub:
+		return x - y, true
+	case OpMul:
+		return x * y, true
+	case OpDiv:
+		if y == 0 {
+			return 0, false
+		}
+		return x / y, true
+	case OpRem:
+		if y == 0 {
+			return 0, false
+		}
+		return x % y, true
+	case OpAnd:
+		return x & y, true
+	case OpOr:
+		return x | y, true
+	case OpXor:
+		return x ^ y, true
+	case OpShl:
+		return x << (uint64(y) & 63), true
+	case OpShr:
+		return x >> (uint64(y) & 63), true
+	case OpEq:
+		return b2i(x == y), true
+	case OpNe:
+		return b2i(x != y), true
+	case OpLt:
+		return b2i(x < y), true
+	case OpLe:
+		return b2i(x <= y), true
+	case OpGt:
+		return b2i(x > y), true
+	case OpGe:
+		return b2i(x >= y), true
+	}
+	return 0, false
+}
+
+// EvalUnary applies a unary operator to a constant operand.
+func EvalUnary(op Op, x int64) (int64, bool) {
+	switch op {
+	case OpNeg:
+		return -x, true
+	case OpCompl:
+		return ^x, true
+	case OpNot:
+		return b2i(x == 0), true
+	case OpCopy:
+		return x, true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,364 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"statefulcc/internal/ir"
+)
+
+// buildDiamond constructs:
+//
+//	entry → (then | else) → join(phi) → ret
+func buildDiamond(t *testing.T) (*ir.Func, map[string]*ir.Block) {
+	t.Helper()
+	f := ir.NewFunc("diamond", []ir.Type{ir.TInt}, ir.TInt)
+	entry := f.NewBlock()
+	thenB := f.NewBlock()
+	elseB := f.NewBlock()
+	join := f.NewBlock()
+
+	cond := entry.AddInstr(f.NewValue(ir.OpGt, ir.TBool, f.Params[0], f.ConstInt(0)))
+	br := f.NewValue(ir.OpBranch, ir.TVoid, cond)
+	br.Blocks = []*ir.Block{thenB, elseB}
+	entry.SetTerm(br)
+
+	v1 := thenB.AddInstr(f.NewValue(ir.OpAdd, ir.TInt, f.Params[0], f.ConstInt(1)))
+	j1 := f.NewValue(ir.OpJump, ir.TVoid)
+	j1.Blocks = []*ir.Block{join}
+	thenB.SetTerm(j1)
+
+	v2 := elseB.AddInstr(f.NewValue(ir.OpSub, ir.TInt, f.Params[0], f.ConstInt(1)))
+	j2 := f.NewValue(ir.OpJump, ir.TVoid)
+	j2.Blocks = []*ir.Block{join}
+	elseB.SetTerm(j2)
+
+	phi := f.NewValue(ir.OpPhi, ir.TInt)
+	phi.Args = []*ir.Value{v1, v2}
+	phi.Blocks = []*ir.Block{thenB, elseB}
+	join.AddPhi(phi)
+	ret := f.NewValue(ir.OpRet, ir.TVoid, phi)
+	join.SetTerm(ret)
+
+	return f, map[string]*ir.Block{"entry": entry, "then": thenB, "else": elseB, "join": join}
+}
+
+func TestDiamondVerifies(t *testing.T) {
+	f, _ := buildDiamond(t)
+	if err := f.Verify(); err != nil {
+		t.Fatalf("diamond does not verify: %v\n%s", err, f)
+	}
+}
+
+func TestVerifyCatchesBrokenIR(t *testing.T) {
+	// Missing terminator.
+	f := ir.NewFunc("bad", nil, ir.TVoid)
+	f.NewBlock()
+	if err := f.Verify(); err == nil || !strings.Contains(err.Error(), "no terminator") {
+		t.Errorf("missing terminator not caught: %v", err)
+	}
+
+	// Phi operand count mismatch.
+	f2, blocks := buildDiamond(t)
+	phi := blocks["join"].Phis[0]
+	phi.Args = phi.Args[:1]
+	phi.Blocks = phi.Blocks[:1]
+	if err := f2.Verify(); err == nil {
+		t.Error("phi/pred mismatch not caught")
+	}
+
+	// Branch with non-bool condition.
+	f3, blocks3 := buildDiamond(t)
+	blocks3["entry"].Term.Args[0] = f3.ConstInt(1)
+	if err := f3.Verify(); err == nil || !strings.Contains(err.Error(), "bool") {
+		t.Errorf("non-bool branch condition not caught: %v", err)
+	}
+
+	// Pred list out of sync.
+	f4, blocks4 := buildDiamond(t)
+	blocks4["join"].Preds = blocks4["join"].Preds[:1]
+	if err := f4.Verify(); err == nil {
+		t.Error("pred desync not caught")
+	}
+}
+
+func TestSetTermMaintainsPreds(t *testing.T) {
+	f := ir.NewFunc("f", nil, ir.TVoid)
+	a := f.NewBlock()
+	b := f.NewBlock()
+	c := f.NewBlock()
+
+	j := f.NewValue(ir.OpJump, ir.TVoid)
+	j.Blocks = []*ir.Block{b}
+	a.SetTerm(j)
+	if len(b.Preds) != 1 || b.Preds[0] != a {
+		t.Fatalf("preds after SetTerm: %v", b.Preds)
+	}
+	// Replace the terminator: b loses the pred, c gains it.
+	j2 := f.NewValue(ir.OpJump, ir.TVoid)
+	j2.Blocks = []*ir.Block{c}
+	a.SetTerm(j2)
+	if len(b.Preds) != 0 || len(c.Preds) != 1 {
+		t.Errorf("pred maintenance broken: b=%v c=%v", b.Preds, c.Preds)
+	}
+}
+
+func TestRedirectEdgeFixesPhis(t *testing.T) {
+	f, blocks := buildDiamond(t)
+	join, thenB := blocks["join"], blocks["then"]
+	newTarget := f.NewBlock()
+	r := f.NewValue(ir.OpRet, ir.TVoid, f.ConstInt(0))
+	newTarget.SetTerm(r)
+
+	phi := join.Phis[0]
+	if phi.Incoming(thenB) == nil {
+		t.Fatal("phi missing then operand before redirect")
+	}
+	if !thenB.RedirectEdge(join, newTarget) {
+		t.Fatal("redirect failed")
+	}
+	if phi.Incoming(thenB) != nil {
+		t.Error("phi operand for redirected pred not dropped")
+	}
+	if len(newTarget.Preds) != 1 || newTarget.Preds[0] != thenB {
+		t.Errorf("new target preds: %v", newTarget.Preds)
+	}
+}
+
+func TestSplitEdge(t *testing.T) {
+	f, blocks := buildDiamond(t)
+	entry, thenB, join := blocks["entry"], blocks["then"], blocks["join"]
+	phi := join.Phis[0]
+	before := phi.Incoming(thenB)
+
+	mid := entry.SplitEdge(thenB)
+	if err := f.Verify(); err != nil {
+		t.Fatalf("split edge broke IR: %v\n%s", err, f)
+	}
+	if len(mid.Preds) != 1 || mid.Preds[0] != entry {
+		t.Errorf("mid preds: %v", mid.Preds)
+	}
+	if got := entry.Succs()[0]; got != mid {
+		t.Errorf("entry's first successor is %s, want mid", got.Name())
+	}
+	if phi.Incoming(thenB) != before {
+		t.Error("unrelated phi operand disturbed")
+	}
+}
+
+func TestSplitCriticalEdgeWithPhis(t *testing.T) {
+	// entry branches to (join, other); join has another pred — a critical
+	// edge whose phi operands must be retargeted.
+	f := ir.NewFunc("crit", []ir.Type{ir.TBool}, ir.TInt)
+	entry := f.NewBlock()
+	other := f.NewBlock()
+	join := f.NewBlock()
+
+	br := f.NewValue(ir.OpBranch, ir.TVoid, f.Params[0])
+	br.Blocks = []*ir.Block{join, other}
+	entry.SetTerm(br)
+
+	j := f.NewValue(ir.OpJump, ir.TVoid)
+	j.Blocks = []*ir.Block{join}
+	other.SetTerm(j)
+
+	phi := f.NewValue(ir.OpPhi, ir.TInt)
+	phi.Args = []*ir.Value{f.ConstInt(1), f.ConstInt(2)}
+	phi.Blocks = []*ir.Block{entry, other}
+	join.AddPhi(phi)
+	ret := f.NewValue(ir.OpRet, ir.TVoid, phi)
+	join.SetTerm(ret)
+
+	if !entry.HasCriticalEdge(join) {
+		t.Fatal("edge should be critical")
+	}
+	mid := entry.SplitEdge(join)
+	if err := f.Verify(); err != nil {
+		t.Fatalf("critical edge split broke IR: %v\n%s", err, f)
+	}
+	if in := phi.Incoming(mid); in == nil || !in.IsConstValue(1) {
+		t.Errorf("phi operand not retargeted to mid: %v", in)
+	}
+}
+
+func TestReplaceAllUses(t *testing.T) {
+	f, blocks := buildDiamond(t)
+	phi := blocks["join"].Phis[0]
+	repl := f.ConstInt(99)
+	f.ReplaceAllUses(phi, repl)
+	if blocks["join"].Term.Args[0] != repl {
+		t.Error("use not replaced")
+	}
+}
+
+func TestPostorderAndRPO(t *testing.T) {
+	f, blocks := buildDiamond(t)
+	rpo := f.ReversePostorder()
+	if rpo[0] != blocks["entry"] {
+		t.Errorf("RPO must start at entry, got %s", rpo[0].Name())
+	}
+	if rpo[len(rpo)-1] != blocks["join"] {
+		t.Errorf("RPO must end at join, got %s", rpo[len(rpo)-1].Name())
+	}
+	po := f.Postorder()
+	if po[len(po)-1] != blocks["entry"] {
+		t.Error("postorder must end at entry")
+	}
+}
+
+func TestRemoveUnreachable(t *testing.T) {
+	f, blocks := buildDiamond(t)
+	// Add an unreachable block that jumps into join, polluting its phis.
+	dead := f.NewBlock()
+	j := f.NewValue(ir.OpJump, ir.TVoid)
+	j.Blocks = []*ir.Block{blocks["join"]}
+	dead.SetTerm(j)
+	blocks["join"].Phis[0].SetIncoming(dead, f.ConstInt(7))
+
+	if n := f.RemoveUnreachable(); n != 1 {
+		t.Fatalf("removed %d blocks, want 1", n)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("IR invalid after unreachable removal: %v\n%s", err, f)
+	}
+	if blocks["join"].Phis[0].Incoming(dead) != nil {
+		t.Error("phi operand for dead pred not dropped")
+	}
+}
+
+func TestCloneFuncIndependence(t *testing.T) {
+	f, blocks := buildDiamond(t)
+	g := ir.CloneFunc(f)
+	if err := g.Verify(); err != nil {
+		t.Fatalf("clone invalid: %v\n%s", err, g)
+	}
+	// Mutating the clone must not touch the original.
+	g.Blocks[0].Instrs[0].Aux = 12345
+	gphi := g.Blocks[3].Phis[0]
+	gphi.Args[0] = g.ConstInt(777)
+	if blocks["join"].Phis[0].Args[0].IsConstValue(777) {
+		t.Error("clone shares values with original")
+	}
+	if len(g.Blocks) != len(f.Blocks) {
+		t.Errorf("clone block count %d, want %d", len(g.Blocks), len(f.Blocks))
+	}
+}
+
+func TestCloneModule(t *testing.T) {
+	f, _ := buildDiamond(t)
+	m := &ir.Module{Unit: "u.mc", Funcs: []*ir.Func{f}}
+	f.Module = m
+	m.Globals = append(m.Globals, &ir.Global{Name: "g", Words: 1, Init: 3})
+	m.Externs = append(m.Externs, "ext")
+
+	c := ir.CloneModule(m)
+	if err := c.Verify(); err != nil {
+		t.Fatalf("module clone invalid: %v", err)
+	}
+	c.Globals[0].Init = 99
+	if m.Globals[0].Init != 3 {
+		t.Error("clone shares globals")
+	}
+	if c.Funcs[0].Module != c {
+		t.Error("clone function does not point at cloned module")
+	}
+}
+
+func TestEvalBinarySemantics(t *testing.T) {
+	cases := []struct {
+		op   ir.Op
+		x, y int64
+		want int64
+		ok   bool
+	}{
+		{ir.OpAdd, 2, 3, 5, true},
+		{ir.OpSub, 2, 3, -1, true},
+		{ir.OpMul, -4, 3, -12, true},
+		{ir.OpDiv, 7, 2, 3, true},
+		{ir.OpDiv, -7, 2, -3, true}, // round toward zero
+		{ir.OpDiv, 1, 0, 0, false},
+		{ir.OpRem, -7, 2, -1, true},
+		{ir.OpRem, 1, 0, 0, false},
+		{ir.OpShl, 1, 65, 2, true},   // masked shift
+		{ir.OpShr, -16, 2, -4, true}, // arithmetic shift
+		{ir.OpLt, 1, 2, 1, true},
+		{ir.OpGe, 1, 2, 0, true},
+		{ir.OpEq, 5, 5, 1, true},
+	}
+	for _, c := range cases {
+		got, ok := ir.EvalBinary(c.op, c.x, c.y)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("EvalBinary(%v, %d, %d) = (%d, %t), want (%d, %t)", c.op, c.x, c.y, got, ok, c.want, c.ok)
+		}
+	}
+	if v, ok := ir.EvalUnary(ir.OpNeg, 5); !ok || v != -5 {
+		t.Errorf("neg: %d %t", v, ok)
+	}
+	if v, ok := ir.EvalUnary(ir.OpCompl, 0); !ok || v != -1 {
+		t.Errorf("compl: %d %t", v, ok)
+	}
+	if v, ok := ir.EvalUnary(ir.OpNot, 0); !ok || v != 1 {
+		t.Errorf("not: %d %t", v, ok)
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !ir.OpAdd.IsCommutative() || ir.OpSub.IsCommutative() {
+		t.Error("commutativity misclassified")
+	}
+	if !ir.OpBranch.IsTerminator() || ir.OpAdd.IsTerminator() {
+		t.Error("terminators misclassified")
+	}
+	if !ir.OpStore.HasSideEffects() || ir.OpAdd.HasSideEffects() {
+		t.Error("side effects misclassified")
+	}
+	if !ir.OpDiv.HasSideEffects() {
+		t.Error("div can trap; it has effects")
+	}
+	if inv, ok := ir.OpLt.InvertCompare(); !ok || inv != ir.OpGe {
+		t.Error("InvertCompare(Lt) wrong")
+	}
+	if sw, ok := ir.OpLe.SwapCompare(); !ok || sw != ir.OpGe {
+		t.Error("SwapCompare(Le) wrong")
+	}
+	if _, ok := ir.OpAdd.InvertCompare(); ok {
+		t.Error("InvertCompare on non-compare")
+	}
+}
+
+func TestPrinterStable(t *testing.T) {
+	f, _ := buildDiamond(t)
+	s1, s2 := f.String(), f.String()
+	if s1 != s2 {
+		t.Error("printer nondeterministic")
+	}
+	for _, want := range []string{"func diamond", "branch", "phi", "ret", "preds:"} {
+		if !strings.Contains(s1, want) {
+			t.Errorf("printed IR missing %q:\n%s", want, s1)
+		}
+	}
+}
+
+func TestModuleHelpers(t *testing.T) {
+	f, _ := buildDiamond(t)
+	m := &ir.Module{Unit: "u.mc", Funcs: []*ir.Func{f}}
+	if m.FindFunc("diamond") != f || m.FindFunc("nope") != nil {
+		t.Error("FindFunc broken")
+	}
+	m.Globals = append(m.Globals, &ir.Global{Name: "g", Words: 2})
+	if m.FindGlobal("g") == nil || m.FindGlobal("x") != nil {
+		t.Error("FindGlobal broken")
+	}
+	if !m.RemoveFunc("diamond") || m.RemoveFunc("diamond") {
+		t.Error("RemoveFunc broken")
+	}
+}
+
+func TestNumUses(t *testing.T) {
+	f, blocks := buildDiamond(t)
+	uses := f.NumUses()
+	phi := blocks["join"].Phis[0]
+	if uses[phi.ID] != 1 {
+		t.Errorf("phi uses = %d, want 1 (the ret)", uses[phi.ID])
+	}
+}

@@ -1,0 +1,227 @@
+// Package ir defines the compiler's intermediate representation: a typed,
+// SSA-based, control-flow-graph IR closely modelled on LLVM's.
+//
+// A Module holds globals and functions; a Func is a list of Blocks; a Block
+// holds phi nodes, ordinary instructions, and exactly one terminator. Every
+// instruction is a *Value; constants and parameters are Values too, so all
+// operands are uniform. The IR begins in non-SSA "memory form" (locals are
+// Allocas accessed by Load/Store) and the mem2reg pass rewrites it into
+// pruned SSA with phis.
+package ir
+
+import "fmt"
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+// Opcodes.
+const (
+	OpInvalid Op = iota
+
+	// Pseudo-values (not stored in blocks).
+	OpConst // Aux = constant value
+	OpParam // Aux = parameter index
+
+	// Integer arithmetic (operands and result TInt).
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // trapping on divide-by-zero at runtime
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl   // shift amounts masked to [0,63] at runtime
+	OpShr   // arithmetic shift right
+	OpNeg   // unary minus
+	OpCompl // bitwise complement
+
+	// Comparisons (operands TInt or TBool, result TBool).
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+
+	// Boolean (operands and result TBool).
+	OpNot
+
+	// Memory.
+	OpAlloca     // Aux = size in words; result TPtr (frame storage)
+	OpGlobalAddr // Sym = global name; result TPtr
+	OpIndexAddr  // Args[0] ptr, Args[1] index; Aux = array length for bounds; result TPtr
+	OpLoad       // Args[0] ptr; result TInt or TBool
+	OpStore      // Args[0] ptr, Args[1] value; result TVoid
+
+	// Calls and builtins.
+	OpCall   // Sym = callee, Args = arguments; result is callee's
+	OpPrint  // StrAux = optional label, Args = scalar values; TVoid
+	OpAssert // Args[0] = cond; StrAux = optional message; TVoid
+
+	// SSA plumbing.
+	OpPhi  // Args[i] flows in from Blocks[i]
+	OpCopy // Args[0]; inserted by phi-elimination and folded by copy-prop
+
+	// Terminators.
+	OpRet    // Args: 0 or 1 values
+	OpJump   // Blocks[0] = target
+	OpBranch // Args[0] = cond (TBool); Blocks[0] = then, Blocks[1] = else
+
+	numOps
+)
+
+var opNames = [...]string{
+	OpInvalid:    "invalid",
+	OpConst:      "const",
+	OpParam:      "param",
+	OpAdd:        "add",
+	OpSub:        "sub",
+	OpMul:        "mul",
+	OpDiv:        "div",
+	OpRem:        "rem",
+	OpAnd:        "and",
+	OpOr:         "or",
+	OpXor:        "xor",
+	OpShl:        "shl",
+	OpShr:        "shr",
+	OpNeg:        "neg",
+	OpCompl:      "compl",
+	OpEq:         "eq",
+	OpNe:         "ne",
+	OpLt:         "lt",
+	OpLe:         "le",
+	OpGt:         "gt",
+	OpGe:         "ge",
+	OpNot:        "not",
+	OpAlloca:     "alloca",
+	OpGlobalAddr: "globaladdr",
+	OpIndexAddr:  "indexaddr",
+	OpLoad:       "load",
+	OpStore:      "store",
+	OpCall:       "call",
+	OpPrint:      "print",
+	OpAssert:     "assert",
+	OpPhi:        "phi",
+	OpCopy:       "copy",
+	OpRet:        "ret",
+	OpJump:       "jump",
+	OpBranch:     "branch",
+}
+
+// String returns the opcode mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// IsTerminator reports whether the op ends a block.
+func (o Op) IsTerminator() bool { return o == OpRet || o == OpJump || o == OpBranch }
+
+// IsCommutative reports whether operand order is irrelevant.
+func (o Op) IsCommutative() bool {
+	switch o {
+	case OpAdd, OpMul, OpAnd, OpOr, OpXor, OpEq, OpNe:
+		return true
+	}
+	return false
+}
+
+// IsBinaryInt reports whether the op is a two-operand integer arithmetic op.
+func (o Op) IsBinaryInt() bool { return o >= OpAdd && o <= OpShr }
+
+// IsCompare reports whether the op is a comparison.
+func (o Op) IsCompare() bool { return o >= OpEq && o <= OpGe }
+
+// HasSideEffects reports whether the instruction must not be removed even
+// when its result is unused. Div/Rem are included because they can trap.
+func (o Op) HasSideEffects() bool {
+	switch o {
+	case OpStore, OpCall, OpPrint, OpAssert, OpRet, OpJump, OpBranch, OpDiv, OpRem, OpIndexAddr:
+		// OpIndexAddr performs a bounds check, so it is effectful too.
+		return true
+	}
+	return false
+}
+
+// IsPure reports whether the instruction's result depends only on its
+// operands (no memory, no effects), making it eligible for CSE/GVN.
+func (o Op) IsPure() bool {
+	switch o {
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpNeg, OpCompl, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpNot,
+		OpCopy, OpGlobalAddr:
+		return true
+	}
+	return false
+}
+
+// InvertCompare returns the comparison with inverted truth value
+// (Lt → Ge, Eq → Ne, ...), and ok=false for non-comparisons.
+func (o Op) InvertCompare() (Op, bool) {
+	switch o {
+	case OpEq:
+		return OpNe, true
+	case OpNe:
+		return OpEq, true
+	case OpLt:
+		return OpGe, true
+	case OpLe:
+		return OpGt, true
+	case OpGt:
+		return OpLe, true
+	case OpGe:
+		return OpLt, true
+	}
+	return OpInvalid, false
+}
+
+// SwapCompare returns the comparison with swapped operands
+// (Lt → Gt, Le → Ge, Eq → Eq), and ok=false for non-comparisons.
+func (o Op) SwapCompare() (Op, bool) {
+	switch o {
+	case OpEq:
+		return OpEq, true
+	case OpNe:
+		return OpNe, true
+	case OpLt:
+		return OpGt, true
+	case OpLe:
+		return OpGe, true
+	case OpGt:
+		return OpLt, true
+	case OpGe:
+		return OpLe, true
+	}
+	return OpInvalid, false
+}
+
+// Type is the IR-level type of a value.
+type Type uint8
+
+// IR types. Booleans are word-sized 0/1 values; TPtr is a frame or global
+// address.
+const (
+	TVoid Type = iota
+	TInt
+	TBool
+	TPtr
+)
+
+// String returns the type name.
+func (t Type) String() string {
+	switch t {
+	case TVoid:
+		return "void"
+	case TInt:
+		return "int"
+	case TBool:
+		return "bool"
+	case TPtr:
+		return "ptr"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}

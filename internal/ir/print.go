@@ -1,0 +1,134 @@
+package ir
+
+// This file implements the textual IR printer used in tests, debugging, and
+// the minicc -emit-ir mode. The format is line-oriented and stable: golden
+// tests compare it directly.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the whole module.
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %q\n", m.Unit)
+	for _, g := range m.Globals {
+		if g.Words > 1 {
+			fmt.Fprintf(&sb, "global %s [%d]int\n", g.Name, g.Words)
+		} else {
+			fmt.Fprintf(&sb, "global %s int = %d\n", g.Name, g.Init)
+		}
+	}
+	for _, e := range m.Externs {
+		fmt.Fprintf(&sb, "extern %s\n", e)
+	}
+	for i, f := range m.Funcs {
+		if i > 0 || len(m.Globals) > 0 || len(m.Externs) > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// String renders one function.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "p%d %s", p.Aux, p.Type)
+	}
+	sb.WriteString(")")
+	if f.Result != TVoid {
+		fmt.Fprintf(&sb, " %s", f.Result)
+	}
+	sb.WriteString(" {\n")
+	for _, b := range f.Blocks {
+		sb.WriteString(b.String())
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// String renders one block with its instructions.
+func (b *Block) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s:", b.Name())
+	if len(b.Preds) > 0 {
+		sb.WriteString(" ; preds:")
+		for _, p := range b.Preds {
+			fmt.Fprintf(&sb, " %s", p.Name())
+		}
+	}
+	sb.WriteByte('\n')
+	for _, v := range b.Phis {
+		fmt.Fprintf(&sb, "    %s\n", v.LongString())
+	}
+	for _, v := range b.Instrs {
+		fmt.Fprintf(&sb, "    %s\n", v.LongString())
+	}
+	if b.Term != nil {
+		fmt.Fprintf(&sb, "    %s\n", b.Term.LongString())
+	}
+	return sb.String()
+}
+
+// LongString renders an instruction with its operands, e.g.
+// "v7 = add v3, v5" or "store v2, v9".
+func (v *Value) LongString() string {
+	var sb strings.Builder
+	if v.Type != TVoid {
+		fmt.Fprintf(&sb, "v%d = ", v.ID)
+	}
+	sb.WriteString(v.Op.String())
+	switch v.Op {
+	case OpConst:
+		fmt.Fprintf(&sb, " %d", v.Aux)
+		if v.Type == TBool {
+			sb.WriteString(" (bool)")
+		}
+		return sb.String()
+	case OpParam:
+		fmt.Fprintf(&sb, " #%d", v.Aux)
+		return sb.String()
+	case OpAlloca:
+		fmt.Fprintf(&sb, " %d", v.Aux)
+		return sb.String()
+	case OpGlobalAddr:
+		fmt.Fprintf(&sb, " @%s", v.Sym)
+		return sb.String()
+	case OpCall:
+		fmt.Fprintf(&sb, " @%s", v.Sym)
+	case OpPhi:
+		for i, a := range v.Args {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, " [%s, %s]", a, v.Blocks[i].Name())
+		}
+		return sb.String()
+	case OpJump:
+		fmt.Fprintf(&sb, " %s", v.Blocks[0].Name())
+		return sb.String()
+	case OpBranch:
+		fmt.Fprintf(&sb, " %s, %s, %s", v.Args[0], v.Blocks[0].Name(), v.Blocks[1].Name())
+		return sb.String()
+	}
+	for i, a := range v.Args {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, " %s", a)
+	}
+	if v.Op == OpIndexAddr {
+		fmt.Fprintf(&sb, " (len %d)", v.Aux)
+	}
+	if v.StrAux != "" {
+		fmt.Fprintf(&sb, " %q", v.StrAux)
+	}
+	return sb.String()
+}

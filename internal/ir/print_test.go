@@ -1,0 +1,131 @@
+package ir_test
+
+// Printer coverage: every opcode's LongString form renders with its
+// operands visible, so debug dumps never hide information.
+
+import (
+	"strings"
+	"testing"
+
+	"statefulcc/internal/ir"
+)
+
+func TestLongStringAllOps(t *testing.T) {
+	f := ir.NewFunc("p", []ir.Type{ir.TInt, ir.TBool}, ir.TInt)
+	b := f.NewBlock()
+	b2 := f.NewBlock()
+
+	x := f.Params[0]
+	c := f.ConstInt(7)
+
+	cases := []struct {
+		v    *ir.Value
+		want []string
+	}{
+		{f.NewValue(ir.OpAdd, ir.TInt, x, c), []string{"add", "p0", "7"}},
+		{f.NewValue(ir.OpDiv, ir.TInt, x, c), []string{"div"}},
+		{f.NewValue(ir.OpNeg, ir.TInt, x), []string{"neg p0"}},
+		{f.NewValue(ir.OpCompl, ir.TInt, x), []string{"compl"}},
+		{f.NewValue(ir.OpEq, ir.TBool, x, c), []string{"eq"}},
+		{f.NewValue(ir.OpNot, ir.TBool, f.Params[1]), []string{"not p1"}},
+		{f.NewValue(ir.OpCopy, ir.TInt, x), []string{"copy p0"}},
+	}
+	for _, tc := range cases {
+		s := tc.v.LongString()
+		for _, w := range tc.want {
+			if !strings.Contains(s, w) {
+				t.Errorf("%s: missing %q", s, w)
+			}
+		}
+	}
+
+	al := f.NewValue(ir.OpAlloca, ir.TPtr)
+	al.Aux = 4
+	if s := al.LongString(); !strings.Contains(s, "alloca 4") {
+		t.Errorf("alloca: %s", s)
+	}
+	ga := f.NewValue(ir.OpGlobalAddr, ir.TPtr)
+	ga.Sym = "glob"
+	if s := ga.LongString(); !strings.Contains(s, "@glob") {
+		t.Errorf("globaladdr: %s", s)
+	}
+	ix := f.NewValue(ir.OpIndexAddr, ir.TPtr, al, c)
+	ix.Aux = 4
+	if s := ix.LongString(); !strings.Contains(s, "len 4") {
+		t.Errorf("indexaddr: %s", s)
+	}
+	ld := f.NewValue(ir.OpLoad, ir.TInt, ix)
+	if s := ld.LongString(); !strings.Contains(s, "load") {
+		t.Errorf("load: %s", s)
+	}
+	st := f.NewValue(ir.OpStore, ir.TVoid, ix, c)
+	if s := st.LongString(); !strings.Contains(s, "store") || strings.Contains(s, "=") {
+		t.Errorf("store must be valueless: %s", s)
+	}
+	call := f.NewValue(ir.OpCall, ir.TInt, x)
+	call.Sym = "callee"
+	if s := call.LongString(); !strings.Contains(s, "call @callee") {
+		t.Errorf("call: %s", s)
+	}
+	pr := f.NewValue(ir.OpPrint, ir.TVoid, x)
+	pr.StrAux = "lbl"
+	if s := pr.LongString(); !strings.Contains(s, `"lbl"`) {
+		t.Errorf("print: %s", s)
+	}
+	as := f.NewValue(ir.OpAssert, ir.TVoid, f.Params[1])
+	as.StrAux = "msg"
+	if s := as.LongString(); !strings.Contains(s, `"msg"`) {
+		t.Errorf("assert: %s", s)
+	}
+
+	phi := f.NewValue(ir.OpPhi, ir.TInt)
+	phi.Args = []*ir.Value{c, x}
+	phi.Blocks = []*ir.Block{b, b2}
+	if s := phi.LongString(); !strings.Contains(s, "[7, b0]") || !strings.Contains(s, "[p0, b1]") {
+		t.Errorf("phi: %s", s)
+	}
+
+	j := f.NewValue(ir.OpJump, ir.TVoid)
+	j.Blocks = []*ir.Block{b2}
+	if s := j.LongString(); !strings.Contains(s, "jump b1") {
+		t.Errorf("jump: %s", s)
+	}
+	br := f.NewValue(ir.OpBranch, ir.TVoid, f.Params[1])
+	br.Blocks = []*ir.Block{b, b2}
+	if s := br.LongString(); !strings.Contains(s, "branch p1, b0, b1") {
+		t.Errorf("branch: %s", s)
+	}
+	ret := f.NewValue(ir.OpRet, ir.TVoid, x)
+	if s := ret.LongString(); !strings.Contains(s, "ret p0") {
+		t.Errorf("ret: %s", s)
+	}
+
+	tb := f.ConstBool(true)
+	if tb.String() != "true" || f.ConstBool(false).String() != "false" {
+		t.Error("bool constant rendering")
+	}
+	if c.String() != "7" || x.String() != "p0" {
+		t.Error("operand short forms")
+	}
+	if (*ir.Value)(nil).String() != "<nil>" {
+		t.Error("nil value rendering")
+	}
+}
+
+func TestModulePrintIncludesEverything(t *testing.T) {
+	f := ir.NewFunc("fn", nil, ir.TVoid)
+	b := f.NewBlock()
+	b.SetTerm(f.NewValue(ir.OpRet, ir.TVoid))
+	m := &ir.Module{
+		Unit:    "m.mc",
+		Globals: []*ir.Global{{Name: "g", Words: 1, Init: 5}, {Name: "arr", Words: 8}},
+		Externs: []string{"helper"},
+		Funcs:   []*ir.Func{f},
+	}
+	s := m.String()
+	for _, want := range []string{`module "m.mc"`, "global g int = 5", "global arr [8]int", "extern helper", "func fn()"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("module print missing %q:\n%s", want, s)
+		}
+	}
+}

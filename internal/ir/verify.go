@@ -1,0 +1,274 @@
+package ir
+
+// This file implements the structural IR verifier. It checks the invariants
+// every pass relies on; the pipeline driver runs it between passes when
+// verification mode is enabled, so a pass that corrupts the CFG is caught at
+// the pass that broke it rather than at codegen. Dominance-based SSA
+// checking lives in internal/analysis (it needs the dominator tree).
+
+import "fmt"
+
+// Verify checks the module's structural invariants, returning the first
+// problem found or nil.
+func (m *Module) Verify() error {
+	names := make(map[string]bool)
+	for _, g := range m.Globals {
+		if names[g.Name] {
+			return fmt.Errorf("module %s: duplicate global %s", m.Unit, g.Name)
+		}
+		names[g.Name] = true
+		if g.Words < 1 {
+			return fmt.Errorf("module %s: global %s has size %d", m.Unit, g.Name, g.Words)
+		}
+	}
+	for _, f := range m.Funcs {
+		if names[f.Name] {
+			return fmt.Errorf("module %s: duplicate symbol %s", m.Unit, f.Name)
+		}
+		names[f.Name] = true
+		if err := f.Verify(); err != nil {
+			return fmt.Errorf("module %s: %w", m.Unit, err)
+		}
+	}
+	return nil
+}
+
+// Verify checks one function's structural invariants.
+func (f *Func) Verify() error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("func %s: no blocks", f.Name)
+	}
+	blockSet := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if b.Func != f {
+			return fmt.Errorf("func %s: block %s has wrong owner", f.Name, b.Name())
+		}
+		blockSet[b] = true
+	}
+	if len(f.Entry().Preds) != 0 {
+		return fmt.Errorf("func %s: entry block has predecessors", f.Name)
+	}
+
+	// Collect definitions to validate operand ownership.
+	defined := make(map[*Value]bool)
+	for _, p := range f.Params {
+		defined[p] = true
+	}
+	f.ForEachValue(func(v *Value) { defined[v] = true })
+
+	edgeCount := func(from, to *Block) int {
+		n := 0
+		for _, s := range from.Succs() {
+			if s == to {
+				n++
+			}
+		}
+		return n
+	}
+
+	for _, b := range f.Blocks {
+		if b.Term == nil {
+			return fmt.Errorf("func %s: block %s has no terminator", f.Name, b.Name())
+		}
+		if !b.Term.Op.IsTerminator() {
+			return fmt.Errorf("func %s: block %s terminator is %s", f.Name, b.Name(), b.Term.Op)
+		}
+		// Pred lists mirror successor edges (with multiplicity).
+		for _, s := range b.Succs() {
+			if !blockSet[s] {
+				return fmt.Errorf("func %s: block %s targets foreign block %s", f.Name, b.Name(), s.Name())
+			}
+			want := edgeCount(b, s)
+			got := 0
+			for _, p := range s.Preds {
+				if p == b {
+					got++
+				}
+			}
+			if got != want {
+				return fmt.Errorf("func %s: edge %s->%s has %d pred entries, want %d",
+					f.Name, b.Name(), s.Name(), got, want)
+			}
+		}
+		for _, p := range b.Preds {
+			if !blockSet[p] {
+				return fmt.Errorf("func %s: block %s has foreign pred", f.Name, b.Name())
+			}
+			if edgeCount(p, b) == 0 {
+				return fmt.Errorf("func %s: block %s lists pred %s with no edge", f.Name, b.Name(), p.Name())
+			}
+		}
+
+		check := func(v *Value, where string) error {
+			if v.Block != b {
+				return fmt.Errorf("func %s: %s %s in %s has wrong owner block", f.Name, where, v.Op, b.Name())
+			}
+			for i, a := range v.Args {
+				if a == nil {
+					return fmt.Errorf("func %s: %s in %s has nil arg %d", f.Name, v.LongString(), b.Name(), i)
+				}
+				// Constants are free-floating values, never stored in blocks.
+				if a.Op == OpConst {
+					continue
+				}
+				if !defined[a] {
+					return fmt.Errorf("func %s: %s in %s uses undefined value v%d (%s)",
+						f.Name, v.LongString(), b.Name(), a.ID, a.Op)
+				}
+			}
+			return nil
+		}
+
+		for _, phi := range b.Phis {
+			if phi.Op != OpPhi {
+				return fmt.Errorf("func %s: non-phi %s in phi list of %s", f.Name, phi.Op, b.Name())
+			}
+			if err := check(phi, "phi"); err != nil {
+				return err
+			}
+			if len(phi.Args) != len(phi.Blocks) {
+				return fmt.Errorf("func %s: phi v%d arg/block mismatch", f.Name, phi.ID)
+			}
+			if len(phi.Args) != len(b.Preds) {
+				return fmt.Errorf("func %s: phi v%d in %s has %d operands for %d preds",
+					f.Name, phi.ID, b.Name(), len(phi.Args), len(b.Preds))
+			}
+			seen := make(map[*Block]int)
+			for _, in := range phi.Blocks {
+				seen[in]++
+			}
+			for _, p := range b.Preds {
+				if seen[p] == 0 {
+					return fmt.Errorf("func %s: phi v%d in %s missing operand for pred %s",
+						f.Name, phi.ID, b.Name(), p.Name())
+				}
+				seen[p]--
+			}
+		}
+		for _, v := range b.Instrs {
+			if v.Op.IsTerminator() || v.Op == OpPhi {
+				return fmt.Errorf("func %s: %s in instruction list of %s", f.Name, v.Op, b.Name())
+			}
+			if err := check(v, "instr"); err != nil {
+				return err
+			}
+			if err := verifyOperandShape(f, v); err != nil {
+				return err
+			}
+		}
+		if err := check(b.Term, "terminator"); err != nil {
+			return err
+		}
+		if err := verifyOperandShape(f, b.Term); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyOperandShape checks opcode-specific arities and types.
+func verifyOperandShape(f *Func, v *Value) error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("func %s: %s: %s", f.Name, v.LongString(), fmt.Sprintf(format, args...))
+	}
+	argn := func(n int) error {
+		if len(v.Args) != n {
+			return bad("want %d args, have %d", n, len(v.Args))
+		}
+		return nil
+	}
+	switch v.Op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr:
+		if err := argn(2); err != nil {
+			return err
+		}
+		if v.Type != TInt {
+			return bad("result must be int")
+		}
+	case OpNeg, OpCompl:
+		if err := argn(1); err != nil {
+			return err
+		}
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		if err := argn(2); err != nil {
+			return err
+		}
+		if v.Type != TBool {
+			return bad("comparison must produce bool")
+		}
+	case OpNot:
+		if err := argn(1); err != nil {
+			return err
+		}
+		if v.Type != TBool {
+			return bad("not must produce bool")
+		}
+	case OpLoad:
+		if err := argn(1); err != nil {
+			return err
+		}
+		if v.Args[0].Type != TPtr {
+			return bad("load needs ptr operand")
+		}
+	case OpStore:
+		if err := argn(2); err != nil {
+			return err
+		}
+		if v.Args[0].Type != TPtr {
+			return bad("store needs ptr operand")
+		}
+	case OpIndexAddr:
+		if err := argn(2); err != nil {
+			return err
+		}
+		if v.Args[0].Type != TPtr || v.Type != TPtr {
+			return bad("indexaddr is ptr -> ptr")
+		}
+	case OpAlloca:
+		if v.Aux < 1 {
+			return bad("alloca size %d", v.Aux)
+		}
+		if v.Type != TPtr {
+			return bad("alloca must produce ptr")
+		}
+	case OpGlobalAddr:
+		if v.Sym == "" {
+			return bad("globaladdr without symbol")
+		}
+	case OpCall:
+		if v.Sym == "" {
+			return bad("call without callee")
+		}
+	case OpAssert:
+		if len(v.Args) != 1 {
+			return bad("assert takes 1 arg")
+		}
+	case OpRet:
+		if len(v.Args) > 1 {
+			return bad("ret takes at most 1 arg")
+		}
+		if f.Result == TVoid && len(v.Args) != 0 {
+			return bad("void function returns a value")
+		}
+		if f.Result != TVoid && len(v.Args) != 1 {
+			return bad("non-void function returns nothing")
+		}
+	case OpJump:
+		if len(v.Blocks) != 1 {
+			return bad("jump needs 1 target")
+		}
+	case OpBranch:
+		if err := argn(1); err != nil {
+			return err
+		}
+		if len(v.Blocks) != 2 {
+			return bad("branch needs 2 targets")
+		}
+		if v.Args[0].Type != TBool {
+			return bad("branch condition must be bool")
+		}
+	case OpConst, OpParam:
+		return bad("pseudo-value stored in a block")
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+package irbuild_test
+
+import (
+	"strings"
+	"testing"
+
+	"statefulcc/internal/analysis"
+	"statefulcc/internal/ir"
+	"statefulcc/internal/testutil"
+)
+
+func build(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := testutil.BuildModule("u.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func fn(t *testing.T, m *ir.Module, name string) *ir.Func {
+	t.Helper()
+	f := m.FindFunc(name)
+	if f == nil {
+		t.Fatalf("no function %s", name)
+	}
+	return f
+}
+
+func count(f *ir.Func, op ir.Op) int {
+	n := 0
+	f.ForEachValue(func(v *ir.Value) {
+		if v.Op == op {
+			n++
+		}
+	})
+	return n
+}
+
+func TestLoweringIsMemoryForm(t *testing.T) {
+	m := build(t, `func f(a int, b int) int { var x int = a + b; return x * 2; }`)
+	f := fn(t, m, "f")
+	// Params spilled + one local = 3 allocas; loads/stores present.
+	if n := count(f, ir.OpAlloca); n != 3 {
+		t.Errorf("allocas = %d, want 3 (two params + one local)\n%s", n, f)
+	}
+	if count(f, ir.OpLoad) == 0 || count(f, ir.OpStore) == 0 {
+		t.Errorf("expected load/store memory form\n%s", f)
+	}
+}
+
+func TestLoweredIRAlwaysVerifies(t *testing.T) {
+	srcs := []string{
+		`func f() { }`,
+		`func f(x int) int { return x; }`,
+		`func f(x int) int { if x > 0 { return 1; } else { return 2; } }`,
+		`func f(n int) int { var s int = 0; while n > 0 { s += n; n--; } return s; }`,
+		`func f(n int) int {
+            var s int = 0;
+            for var i int = 0; i < n; i++ {
+                if i == 3 { continue; }
+                if i == 7 { break; }
+                s += i;
+            }
+            return s;
+        }`,
+		`func f(a bool, b bool, c bool) bool { return a && (b || !c) || c && a; }`,
+		`func f() int { var t [5]int; t[0] = 1; t[4] = t[0] + 1; return t[4]; }`,
+		`func f(x int) int { while true { if x > 0 { return x; } x++; } }`,
+		`func f() { return; print(1); }`, // unreachable tail
+	}
+	for _, src := range srcs {
+		full := src
+		if !strings.Contains(src, "func main") {
+			full += "\nfunc main() { }"
+		}
+		m := build(t, full)
+		if err := m.Verify(); err != nil {
+			t.Errorf("%q: %v", src, err)
+		}
+		for _, f := range m.Funcs {
+			if err := analysis.VerifySSA(f); err != nil {
+				t.Errorf("%q: %v", src, err)
+			}
+		}
+	}
+}
+
+func TestShortCircuitCreatesControlFlow(t *testing.T) {
+	m := build(t, `func f(a bool, b bool) bool { return a && b; }`)
+	f := fn(t, m, "f")
+	if count(f, ir.OpPhi) == 0 {
+		t.Errorf("&& in value position should lower to a phi\n%s", f)
+	}
+	if len(f.Blocks) < 3 {
+		t.Errorf("&& should create control flow, got %d blocks", len(f.Blocks))
+	}
+}
+
+func TestCondShortCircuitAvoidsPhi(t *testing.T) {
+	// In condition position, && lowers as pure control flow — no phi.
+	m := build(t, `func f(a bool, b bool) int { if a && b { return 1; } return 0; }`)
+	f := fn(t, m, "f")
+	if n := count(f, ir.OpPhi); n != 0 {
+		t.Errorf("condition && lowered with %d phis, want 0\n%s", n, f)
+	}
+}
+
+func TestConstFoldingInFrontend(t *testing.T) {
+	m := build(t, `const K = 6; func f() int { return K * 7; }`)
+	f := fn(t, m, "f")
+	// The checker folds K*7 → 42; no multiply survives lowering.
+	if count(f, ir.OpMul) != 0 {
+		t.Errorf("constant expression not folded\n%s", f)
+	}
+	ret := f.Blocks[0].Term
+	if c, ok := ret.Args[0].IsConst(); !ok || c != 42 {
+		t.Errorf("return is not const 42\n%s", f)
+	}
+}
+
+func TestGlobalsAndExterns(t *testing.T) {
+	m := build(t, `
+var pub int = 3;
+var _priv [4]int;
+extern func e(x int) int;
+func main() { pub = e(pub) + _priv[0]; }`)
+	if len(m.Globals) != 2 {
+		t.Fatalf("globals = %d", len(m.Globals))
+	}
+	var pub, priv *ir.Global
+	for _, g := range m.Globals {
+		switch g.Name {
+		case "pub":
+			pub = g
+		case "_priv":
+			priv = g
+		}
+	}
+	if pub == nil || pub.Words != 1 || pub.Init != 3 || pub.Private {
+		t.Errorf("pub global wrong: %+v", pub)
+	}
+	if priv == nil || priv.Words != 4 || !priv.Private {
+		t.Errorf("_priv global wrong: %+v", priv)
+	}
+	if len(m.Externs) != 1 || m.Externs[0] != "e" {
+		t.Errorf("externs = %v", m.Externs)
+	}
+}
+
+func TestBoundsMetadataOnIndexAddr(t *testing.T) {
+	m := build(t, `func f(i int) int { var a [9]int; return a[i]; }`)
+	f := fn(t, m, "f")
+	found := false
+	f.ForEachValue(func(v *ir.Value) {
+		if v.Op == ir.OpIndexAddr {
+			found = true
+			if v.Aux != 9 {
+				t.Errorf("indexaddr bound = %d, want 9", v.Aux)
+			}
+		}
+	})
+	if !found {
+		t.Fatalf("no indexaddr\n%s", f)
+	}
+}
+
+func TestPrintAssertLowering(t *testing.T) {
+	m := build(t, `func main() { print("label", 1, true); print(); assert(true, "msg"); }`)
+	f := fn(t, m, "main")
+	var prints, asserts int
+	f.ForEachValue(func(v *ir.Value) {
+		switch v.Op {
+		case ir.OpPrint:
+			prints++
+			if prints == 1 {
+				if v.StrAux != "label" || len(v.Args) != 2 {
+					t.Errorf("print lowering wrong: %s", v.LongString())
+				}
+			}
+		case ir.OpAssert:
+			asserts++
+			if v.StrAux != "msg" {
+				t.Errorf("assert message lost: %s", v.LongString())
+			}
+		}
+	})
+	if prints != 2 || asserts != 1 {
+		t.Errorf("prints=%d asserts=%d", prints, asserts)
+	}
+}
+
+func TestCompoundAssignAndIncDec(t *testing.T) {
+	m := build(t, `
+var a [3]int;
+func main() {
+    var x int = 1;
+    x += 2;
+    x *= 3;
+    a[1] -= x;
+    x++;
+}`)
+	f := fn(t, m, "main")
+	// Compound ops load-modify-store; count the arithmetic.
+	if count(f, ir.OpAdd) < 2 || count(f, ir.OpMul) < 1 || count(f, ir.OpSub) < 1 {
+		t.Errorf("compound assignment arithmetic missing\n%s", f)
+	}
+}
+
+func TestWhileTrueNonVoidFallthrough(t *testing.T) {
+	// The checker requires returns on all paths; while-true bodies satisfy
+	// it only via internal returns. The lowered fall-through block must
+	// still terminate (dead ret).
+	m := build(t, `func f(x int) int { while true { if x > 3 { return x; } x++; } }
+func main() { }`)
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalarZeroInit(t *testing.T) {
+	m := build(t, `func f() int { var x int; return x; }`)
+	f := fn(t, m, "f")
+	// A zero store must exist for the uninitialized local.
+	found := false
+	f.ForEachValue(func(v *ir.Value) {
+		if v.Op == ir.OpStore {
+			if c, ok := v.Args[1].IsConst(); ok && c == 0 {
+				found = true
+			}
+		}
+	})
+	if !found {
+		t.Errorf("no zero initialization store\n%s", f)
+	}
+}

@@ -1,0 +1,293 @@
+// Package lexer turns MiniC source bytes into a token stream.
+//
+// The scanner is a straightforward hand-written state machine over the raw
+// byte slice: MiniC source is ASCII-only, so no UTF-8 decoding is needed.
+// Comments use // and /* */; the latter may not nest.
+package lexer
+
+import (
+	"statefulcc/internal/source"
+	"statefulcc/internal/token"
+)
+
+// Token is one lexical token with its location and raw text.
+type Token struct {
+	Kind token.Kind
+	Pos  source.Pos
+	Lit  string // raw text for IDENT, INT, STRING, COMMENT and ILLEGAL
+}
+
+// String renders the token for test failures and debugging.
+func (t Token) String() string {
+	if t.Lit != "" && (t.Kind.IsLiteral() || t.Kind == token.ILLEGAL || t.Kind == token.COMMENT) {
+		return t.Kind.String() + "(" + t.Lit + ")"
+	}
+	return t.Kind.String()
+}
+
+// Lexer scans one source file.
+type Lexer struct {
+	file   *source.File
+	src    []byte
+	offset int
+	errs   *source.ErrorList
+
+	// keepComments controls whether COMMENT tokens are emitted or skipped;
+	// the parser never wants them, but tools may.
+	keepComments bool
+}
+
+// Option configures a Lexer.
+type Option func(*Lexer)
+
+// KeepComments makes the lexer emit COMMENT tokens instead of skipping them.
+func KeepComments() Option {
+	return func(l *Lexer) { l.keepComments = true }
+}
+
+// New returns a lexer over the file, reporting problems to errs.
+func New(file *source.File, errs *source.ErrorList, opts ...Option) *Lexer {
+	l := &Lexer{file: file, src: file.Content, errs: errs}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+// File returns the underlying source file.
+func (l *Lexer) File() *source.File { return l.file }
+
+func (l *Lexer) errorf(off int, format string, args ...any) {
+	if l.errs != nil {
+		l.errs.Errorf(l.file.Position(source.Pos(off)), format, args...)
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.offset < len(l.src) {
+		return l.src[l.offset]
+	}
+	return 0
+}
+
+func (l *Lexer) peekAt(n int) byte {
+	if l.offset+n < len(l.src) {
+		return l.src[l.offset+n]
+	}
+	return 0
+}
+
+func isLetter(b byte) bool {
+	return 'a' <= b && b <= 'z' || 'A' <= b && b <= 'Z' || b == '_'
+}
+
+func isDigit(b byte) bool { return '0' <= b && b <= '9' }
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\r' || b == '\n' }
+
+// Next returns the next token. After EOF, it keeps returning EOF.
+func (l *Lexer) Next() Token {
+	for {
+		l.skipSpace()
+		start := l.offset
+		if l.offset >= len(l.src) {
+			return Token{Kind: token.EOF, Pos: source.Pos(start)}
+		}
+		b := l.src[l.offset]
+
+		switch {
+		case isLetter(b):
+			return l.scanIdent(start)
+		case isDigit(b):
+			return l.scanNumber(start)
+		case b == '"':
+			return l.scanString(start)
+		case b == '/' && (l.peekAt(1) == '/' || l.peekAt(1) == '*'):
+			tok, ok := l.scanComment(start)
+			if ok && l.keepComments {
+				return tok
+			}
+			continue // comment skipped; rescan
+		default:
+			return l.scanOperator(start)
+		}
+	}
+}
+
+// Tokenize scans the whole file into a slice, always ending with EOF.
+func (l *Lexer) Tokenize() []Token {
+	var toks []Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}
+
+func (l *Lexer) skipSpace() {
+	for l.offset < len(l.src) && isSpace(l.src[l.offset]) {
+		l.offset++
+	}
+}
+
+func (l *Lexer) scanIdent(start int) Token {
+	for l.offset < len(l.src) && (isLetter(l.src[l.offset]) || isDigit(l.src[l.offset])) {
+		l.offset++
+	}
+	lit := string(l.src[start:l.offset])
+	kind := token.Lookup(lit)
+	if kind != token.IDENT {
+		return Token{Kind: kind, Pos: source.Pos(start)}
+	}
+	return Token{Kind: token.IDENT, Pos: source.Pos(start), Lit: lit}
+}
+
+func (l *Lexer) scanNumber(start int) Token {
+	// Hex literal?
+	if l.peek() == '0' && (l.peekAt(1) == 'x' || l.peekAt(1) == 'X') {
+		l.offset += 2
+		n := 0
+		for l.offset < len(l.src) && isHexDigit(l.src[l.offset]) {
+			l.offset++
+			n++
+		}
+		if n == 0 {
+			l.errorf(start, "malformed hex literal")
+			return Token{Kind: token.ILLEGAL, Pos: source.Pos(start), Lit: string(l.src[start:l.offset])}
+		}
+		return Token{Kind: token.INT, Pos: source.Pos(start), Lit: string(l.src[start:l.offset])}
+	}
+	for l.offset < len(l.src) && isDigit(l.src[l.offset]) {
+		l.offset++
+	}
+	if l.offset < len(l.src) && isLetter(l.src[l.offset]) {
+		// 123abc is a single illegal token rather than INT IDENT.
+		for l.offset < len(l.src) && (isLetter(l.src[l.offset]) || isDigit(l.src[l.offset])) {
+			l.offset++
+		}
+		l.errorf(start, "identifier may not start with a digit")
+		return Token{Kind: token.ILLEGAL, Pos: source.Pos(start), Lit: string(l.src[start:l.offset])}
+	}
+	return Token{Kind: token.INT, Pos: source.Pos(start), Lit: string(l.src[start:l.offset])}
+}
+
+func isHexDigit(b byte) bool {
+	return isDigit(b) || 'a' <= b && b <= 'f' || 'A' <= b && b <= 'F'
+}
+
+func (l *Lexer) scanString(start int) Token {
+	l.offset++ // opening quote
+	for l.offset < len(l.src) {
+		b := l.src[l.offset]
+		if b == '"' {
+			l.offset++
+			// Lit excludes the quotes; MiniC strings have no escapes beyond \n and \\.
+			return Token{Kind: token.STRING, Pos: source.Pos(start), Lit: unescape(string(l.src[start+1 : l.offset-1]))}
+		}
+		if b == '\\' && l.offset+1 < len(l.src) {
+			l.offset++ // skip escaped char
+		}
+		if b == '\n' {
+			break
+		}
+		l.offset++
+	}
+	l.errorf(start, "unterminated string literal")
+	return Token{Kind: token.ILLEGAL, Pos: source.Pos(start), Lit: string(l.src[start:l.offset])}
+}
+
+func unescape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				out = append(out, '\n')
+			case 't':
+				out = append(out, '\t')
+			case '\\':
+				out = append(out, '\\')
+			case '"':
+				out = append(out, '"')
+			default:
+				out = append(out, '\\', s[i])
+			}
+			continue
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}
+
+func (l *Lexer) scanComment(start int) (Token, bool) {
+	if l.peekAt(1) == '/' {
+		for l.offset < len(l.src) && l.src[l.offset] != '\n' {
+			l.offset++
+		}
+		return Token{Kind: token.COMMENT, Pos: source.Pos(start), Lit: string(l.src[start:l.offset])}, true
+	}
+	// Block comment.
+	l.offset += 2
+	for l.offset+1 < len(l.src) {
+		if l.src[l.offset] == '*' && l.src[l.offset+1] == '/' {
+			l.offset += 2
+			return Token{Kind: token.COMMENT, Pos: source.Pos(start), Lit: string(l.src[start:l.offset])}, true
+		}
+		l.offset++
+	}
+	l.offset = len(l.src)
+	l.errorf(start, "unterminated block comment")
+	return Token{Kind: token.ILLEGAL, Pos: source.Pos(start), Lit: string(l.src[start:l.offset])}, false
+}
+
+// twoCharOps maps a leading byte to its possible two-character operators.
+type twoChar struct {
+	second byte
+	kind   token.Kind
+}
+
+var twoCharOps = map[byte][]twoChar{
+	'+': {{'+', token.INC}, {'=', token.ADDASSIGN}},
+	'-': {{'-', token.DEC}, {'=', token.SUBASSIGN}},
+	'*': {{'=', token.MULASSIGN}},
+	'/': {{'=', token.QUOASSIGN}},
+	'%': {{'=', token.REMASSIGN}},
+	'=': {{'=', token.EQL}},
+	'!': {{'=', token.NEQ}},
+	'<': {{'=', token.LEQ}, {'<', token.SHL}},
+	'>': {{'=', token.GEQ}, {'>', token.SHR}},
+	'&': {{'&', token.LAND}},
+	'|': {{'|', token.LOR}},
+}
+
+var oneCharOps = map[byte]token.Kind{
+	'+': token.ADD, '-': token.SUB, '*': token.MUL, '/': token.QUO, '%': token.REM,
+	'&': token.AND, '|': token.OR, '^': token.XOR,
+	'=': token.ASSIGN, '!': token.NOT, '<': token.LSS, '>': token.GTR,
+	'(': token.LPAREN, ')': token.RPAREN, '{': token.LBRACE, '}': token.RBRACE,
+	'[': token.LBRACK, ']': token.RBRACK, ',': token.COMMA, ';': token.SEMICOLON,
+	':': token.COLON,
+}
+
+func (l *Lexer) scanOperator(start int) Token {
+	b := l.src[l.offset]
+	if cands, ok := twoCharOps[b]; ok {
+		next := l.peekAt(1)
+		for _, c := range cands {
+			if next == c.second {
+				l.offset += 2
+				return Token{Kind: c.kind, Pos: source.Pos(start)}
+			}
+		}
+	}
+	if k, ok := oneCharOps[b]; ok {
+		l.offset++
+		return Token{Kind: k, Pos: source.Pos(start)}
+	}
+	l.offset++
+	l.errorf(start, "illegal character %q", string(b))
+	return Token{Kind: token.ILLEGAL, Pos: source.Pos(start), Lit: string(b)}
+}

@@ -1,0 +1,122 @@
+package lexer
+
+// Property-based lexer tests (testing/quick): tokenization must terminate,
+// cover the input, and round-trip operator/keyword spellings.
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"statefulcc/internal/source"
+	"statefulcc/internal/token"
+)
+
+// TestLexTerminatesAndCovers: for arbitrary printable input, tokenization
+// terminates with EOF and every token's position is within the file.
+func TestLexTerminatesAndCovers(t *testing.T) {
+	prop := func(raw []byte) bool {
+		// Restrict to printable ASCII + whitespace so positions are byte
+		// positions (MiniC is ASCII-only by definition).
+		buf := make([]byte, len(raw))
+		for i, b := range raw {
+			buf[i] = 32 + b%95
+			if b%13 == 0 {
+				buf[i] = '\n'
+			}
+		}
+		var errs source.ErrorList
+		l := New(source.NewFile("q.mc", buf), &errs)
+		toks := l.Tokenize()
+		if len(toks) == 0 || toks[len(toks)-1].Kind != token.EOF {
+			return false
+		}
+		prev := source.Pos(-1)
+		for _, tk := range toks[:len(toks)-1] {
+			if int(tk.Pos) < 0 || int(tk.Pos) > len(buf) {
+				return false
+			}
+			if tk.Pos < prev {
+				return false // positions must be non-decreasing
+			}
+			prev = tk.Pos
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSpellingRoundTrip: joining random operator/keyword spellings with
+// spaces lexes back to exactly those tokens.
+func TestSpellingRoundTrip(t *testing.T) {
+	kinds := []token.Kind{
+		token.ADD, token.SUB, token.MUL, token.QUO, token.REM, token.AND,
+		token.OR, token.XOR, token.SHL, token.SHR, token.LAND, token.LOR,
+		token.NOT, token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR,
+		token.GEQ, token.ASSIGN, token.ADDASSIGN, token.SUBASSIGN,
+		token.MULASSIGN, token.QUOASSIGN, token.REMASSIGN, token.INC,
+		token.DEC, token.LPAREN, token.RPAREN, token.LBRACE, token.RBRACE,
+		token.LBRACK, token.RBRACK, token.COMMA, token.SEMICOLON,
+		token.FUNC, token.VAR, token.CONST, token.IF, token.ELSE,
+		token.WHILE, token.FOR, token.RETURN, token.BREAK, token.CONTINUE,
+		token.TRUE, token.FALSE, token.EXTERN, token.INTTYPE, token.BOOLTYPE,
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(30)
+		var want []token.Kind
+		var parts []string
+		for i := 0; i < n; i++ {
+			k := kinds[rng.Intn(len(kinds))]
+			want = append(want, k)
+			parts = append(parts, k.String())
+		}
+		var errs source.ErrorList
+		l := New(source.NewFile("q.mc", []byte(strings.Join(parts, " "))), &errs)
+		toks := l.Tokenize()
+		if errs.HasErrors() {
+			t.Fatalf("trial %d: %v", trial, errs)
+		}
+		var got []token.Kind
+		for _, tk := range toks[:len(toks)-1] {
+			got = append(got, tk.Kind)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: %v != %v (input %q)", trial, got, want, strings.Join(parts, " "))
+		}
+	}
+}
+
+// TestIntLiteralRoundTrip: non-negative integers survive print → lex.
+func TestIntLiteralRoundTrip(t *testing.T) {
+	prop := func(v uint32) bool {
+		src := []byte(strings.TrimSpace(" " + itoa(int64(v)) + " "))
+		var errs source.ErrorList
+		l := New(source.NewFile("q.mc", src), &errs)
+		toks := l.Tokenize()
+		return !errs.HasErrors() && len(toks) == 2 && toks[0].Kind == token.INT &&
+			toks[0].Lit == string(src)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [24]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

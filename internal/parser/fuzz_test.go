@@ -1,0 +1,37 @@
+package parser
+
+// Native fuzz target for the frontend: any byte sequence must lex, parse,
+// and type-check without panicking or hanging (diagnostics are the only
+// acceptable outcome). Complements the seeded robustness tests.
+
+import (
+	"testing"
+
+	"statefulcc/internal/source"
+	"statefulcc/internal/types"
+)
+
+func FuzzFrontend(f *testing.F) {
+	f.Add("func main() { }")
+	f.Add(`func f(a int, b bool) int { if b { return a; } return -a; }`)
+	f.Add(`var g [4]int; const K = 1 << 3; extern func e(x int) int;`)
+	f.Add("func f() { var x int = 1 +; }")
+	f.Add("/* unterminated")
+	f.Add(`func r() { r[0] = 0; }`)
+	f.Add("\x00\xff func while 0x")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 8192 {
+			return
+		}
+		var errs source.ErrorList
+		file := source.NewFile("fuzz.mc", []byte(src))
+		tree := ParseFile(file, &errs)
+		if tree == nil {
+			t.Fatal("parser returned nil tree")
+		}
+		// The checker must also be panic-free on whatever the parser
+		// recovered.
+		types.Check(file, tree, &errs)
+	})
+}

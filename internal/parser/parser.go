@@ -1,0 +1,466 @@
+// Package parser implements a recursive-descent parser for MiniC with
+// precedence-climbing expression parsing and panic-free error recovery:
+// on a syntax error the parser records a diagnostic and resynchronizes at
+// the next statement or declaration boundary, so one bad construct does not
+// hide later errors.
+package parser
+
+import (
+	"strconv"
+
+	"statefulcc/internal/ast"
+	"statefulcc/internal/lexer"
+	"statefulcc/internal/source"
+	"statefulcc/internal/token"
+)
+
+// Parser consumes the token stream of one file.
+type Parser struct {
+	file *source.File
+	toks []lexer.Token
+	pos  int
+	errs *source.ErrorList
+}
+
+// ParseFile lexes and parses one source file, reporting problems to errs.
+// A partial AST is returned even when errors occurred.
+func ParseFile(file *source.File, errs *source.ErrorList) *ast.File {
+	lx := lexer.New(file, errs)
+	p := &Parser{file: file, toks: lx.Tokenize(), errs: errs}
+	return p.parseFile()
+}
+
+// ParseSource is a convenience wrapper over ParseFile for in-memory text.
+func ParseSource(name, src string, errs *source.ErrorList) *ast.File {
+	return ParseFile(source.NewFile(name, []byte(src)), errs)
+}
+
+// ParseExpr parses a standalone expression, for tests and tools.
+func ParseExpr(src string, errs *source.ErrorList) ast.Expr {
+	f := source.NewFile("<expr>", []byte(src))
+	lx := lexer.New(f, errs)
+	p := &Parser{file: f, toks: lx.Tokenize(), errs: errs}
+	e := p.parseExpr()
+	p.expect(token.EOF)
+	return e
+}
+
+// --- token-stream helpers ---------------------------------------------------
+
+func (p *Parser) cur() lexer.Token { return p.toks[p.pos] }
+func (p *Parser) kind() token.Kind { return p.toks[p.pos].Kind }
+func (p *Parser) peek() token.Kind {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1].Kind
+	}
+	return token.EOF
+}
+
+func (p *Parser) advance() lexer.Token {
+	t := p.toks[p.pos]
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) at(k token.Kind) bool { return p.kind() == k }
+
+func (p *Parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k token.Kind) lexer.Token {
+	if p.at(k) {
+		return p.advance()
+	}
+	p.errorf("expected %q, found %q", k.String(), p.cur().String())
+	return lexer.Token{Kind: k, Pos: p.cur().Pos}
+}
+
+func (p *Parser) errorf(format string, args ...any) {
+	p.errs.Errorf(p.file.Position(p.cur().Pos), format, args...)
+}
+
+// sync skips tokens until a likely statement/declaration boundary.
+func (p *Parser) sync(stopAtBrace bool) {
+	for {
+		switch p.kind() {
+		case token.EOF, token.FUNC, token.EXTERN:
+			return
+		case token.SEMICOLON:
+			p.advance()
+			return
+		case token.RBRACE:
+			if stopAtBrace {
+				return
+			}
+			p.advance()
+		default:
+			p.advance()
+		}
+	}
+}
+
+// --- declarations ------------------------------------------------------------
+
+func (p *Parser) parseFile() *ast.File {
+	f := &ast.File{Name: p.file.Name}
+	for !p.at(token.EOF) {
+		before := p.pos
+		if d := p.parseDecl(); d != nil {
+			f.Decls = append(f.Decls, d)
+		}
+		if p.pos == before {
+			// Guarantee progress on pathological input.
+			p.errorf("unexpected token %q at top level", p.cur().String())
+			p.advance()
+		}
+	}
+	return f
+}
+
+func (p *Parser) parseDecl() ast.Decl {
+	switch p.kind() {
+	case token.FUNC:
+		return p.parseFuncDecl()
+	case token.EXTERN:
+		return p.parseExternDecl()
+	case token.VAR:
+		d := p.parseVarDecl()
+		p.expect(token.SEMICOLON)
+		return d
+	case token.CONST:
+		return p.parseConstDecl()
+	default:
+		p.errorf("expected declaration, found %q", p.cur().String())
+		p.sync(false)
+		return nil
+	}
+}
+
+func (p *Parser) parseFuncDecl() *ast.FuncDecl {
+	fn := &ast.FuncDecl{FuncPos: p.expect(token.FUNC).Pos}
+	fn.Name = p.expect(token.IDENT).Lit
+	fn.Params = p.parseParams()
+	if p.at(token.INTTYPE) || p.at(token.BOOLTYPE) || p.at(token.LBRACK) {
+		fn.Result = p.parseType()
+	}
+	fn.Body = p.parseBlock()
+	return fn
+}
+
+func (p *Parser) parseExternDecl() *ast.ExternDecl {
+	d := &ast.ExternDecl{ExternPos: p.expect(token.EXTERN).Pos}
+	p.expect(token.FUNC)
+	d.Name = p.expect(token.IDENT).Lit
+	d.Params = p.parseParams()
+	if p.at(token.INTTYPE) || p.at(token.BOOLTYPE) || p.at(token.LBRACK) {
+		d.Result = p.parseType()
+	}
+	p.expect(token.SEMICOLON)
+	return d
+}
+
+func (p *Parser) parseParams() []*ast.Param {
+	p.expect(token.LPAREN)
+	var params []*ast.Param
+	for !p.at(token.RPAREN) && !p.at(token.EOF) {
+		if len(params) > 0 && !p.accept(token.COMMA) {
+			p.errorf("expected ',' between parameters")
+			break
+		}
+		name := p.expect(token.IDENT)
+		typ := p.parseType()
+		params = append(params, &ast.Param{NamePos: name.Pos, Name: name.Lit, Type: typ})
+	}
+	p.expect(token.RPAREN)
+	return params
+}
+
+func (p *Parser) parseType() ast.TypeExpr {
+	switch p.kind() {
+	case token.INTTYPE:
+		return &ast.ScalarType{TokPos: p.advance().Pos, Kind: token.INTTYPE}
+	case token.BOOLTYPE:
+		return &ast.ScalarType{TokPos: p.advance().Pos, Kind: token.BOOLTYPE}
+	case token.LBRACK:
+		lb := p.advance()
+		lenTok := p.expect(token.INT)
+		n, _ := parseIntLit(lenTok.Lit)
+		p.expect(token.RBRACK)
+		elemTok := p.expect(token.INTTYPE)
+		return &ast.ArrayType{
+			LbrackPos: lb.Pos,
+			Len:       n,
+			Elem:      &ast.ScalarType{TokPos: elemTok.Pos, Kind: token.INTTYPE},
+		}
+	default:
+		p.errorf("expected type, found %q", p.cur().String())
+		return &ast.ScalarType{TokPos: p.cur().Pos, Kind: token.INTTYPE}
+	}
+}
+
+func (p *Parser) parseVarDecl() *ast.VarDecl {
+	d := &ast.VarDecl{VarPos: p.expect(token.VAR).Pos}
+	d.Name = p.expect(token.IDENT).Lit
+	d.Type = p.parseType()
+	if p.accept(token.ASSIGN) {
+		d.Init = p.parseExpr()
+	}
+	return d
+}
+
+func (p *Parser) parseConstDecl() *ast.ConstDecl {
+	d := &ast.ConstDecl{ConstPos: p.expect(token.CONST).Pos}
+	d.Name = p.expect(token.IDENT).Lit
+	p.expect(token.ASSIGN)
+	d.Value = p.parseExpr()
+	p.expect(token.SEMICOLON)
+	return d
+}
+
+// --- statements ---------------------------------------------------------------
+
+func (p *Parser) parseBlock() *ast.BlockStmt {
+	b := &ast.BlockStmt{LbracePos: p.expect(token.LBRACE).Pos}
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		before := p.pos
+		if s := p.parseStmt(); s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+		if p.pos == before {
+			p.errorf("unexpected token %q in block", p.cur().String())
+			p.advance()
+		}
+	}
+	p.expect(token.RBRACE)
+	return b
+}
+
+func (p *Parser) parseStmt() ast.Stmt {
+	switch p.kind() {
+	case token.LBRACE:
+		return p.parseBlock()
+	case token.VAR:
+		d := p.parseVarDecl()
+		p.expect(token.SEMICOLON)
+		return &ast.DeclStmt{Decl: d}
+	case token.IF:
+		return p.parseIf()
+	case token.WHILE:
+		return p.parseWhile()
+	case token.FOR:
+		return p.parseFor()
+	case token.RETURN:
+		r := &ast.ReturnStmt{ReturnPos: p.advance().Pos}
+		if !p.at(token.SEMICOLON) {
+			r.Value = p.parseExpr()
+		}
+		p.expect(token.SEMICOLON)
+		return r
+	case token.BREAK:
+		s := &ast.BreakStmt{BreakPos: p.advance().Pos}
+		p.expect(token.SEMICOLON)
+		return s
+	case token.CONTINUE:
+		s := &ast.ContinueStmt{ContinuePos: p.advance().Pos}
+		p.expect(token.SEMICOLON)
+		return s
+	case token.SEMICOLON:
+		p.advance() // empty statement
+		return nil
+	default:
+		s := p.parseSimpleStmt()
+		p.expect(token.SEMICOLON)
+		return s
+	}
+}
+
+// parseSimpleStmt parses an assignment, inc/dec, or expression statement —
+// the statement forms legal in for-headers — without the trailing semicolon.
+func (p *Parser) parseSimpleStmt() ast.Stmt {
+	if p.at(token.VAR) {
+		return &ast.DeclStmt{Decl: p.parseVarDecl()}
+	}
+	e := p.parseExpr()
+	switch {
+	case p.kind().IsAssignOp():
+		op := p.advance().Kind
+		rhs := p.parseExpr()
+		if !isLvalue(e) {
+			p.errs.Errorf(p.file.Position(e.Pos()), "left side of assignment must be a variable or array element")
+		}
+		return &ast.AssignStmt{Lhs: e, Op: op, Rhs: rhs}
+	case p.at(token.INC), p.at(token.DEC):
+		op := token.ADDASSIGN
+		if p.advance().Kind == token.DEC {
+			op = token.SUBASSIGN
+		}
+		if !isLvalue(e) {
+			p.errs.Errorf(p.file.Position(e.Pos()), "operand of ++/-- must be a variable or array element")
+		}
+		return &ast.AssignStmt{Lhs: e, Op: op, Rhs: &ast.IntLit{LitPos: e.Pos(), Value: 1}}
+	default:
+		if _, ok := e.(*ast.CallExpr); !ok {
+			p.errs.Errorf(p.file.Position(e.Pos()), "expression statement must be a call")
+		}
+		return &ast.ExprStmt{X: e}
+	}
+}
+
+func isLvalue(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.IdentExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseIf() ast.Stmt {
+	s := &ast.IfStmt{IfPos: p.expect(token.IF).Pos}
+	s.Cond = p.parseExpr()
+	s.Then = p.parseBlock()
+	if p.accept(token.ELSE) {
+		if p.at(token.IF) {
+			s.Else = p.parseIf()
+		} else {
+			s.Else = p.parseBlock()
+		}
+	}
+	return s
+}
+
+func (p *Parser) parseWhile() ast.Stmt {
+	s := &ast.WhileStmt{WhilePos: p.expect(token.WHILE).Pos}
+	s.Cond = p.parseExpr()
+	s.Body = p.parseBlock()
+	return s
+}
+
+func (p *Parser) parseFor() ast.Stmt {
+	s := &ast.ForStmt{ForPos: p.expect(token.FOR).Pos}
+	if !p.at(token.SEMICOLON) {
+		s.Init = p.parseSimpleStmt()
+	}
+	p.expect(token.SEMICOLON)
+	if !p.at(token.SEMICOLON) {
+		s.Cond = p.parseExpr()
+	}
+	p.expect(token.SEMICOLON)
+	if !p.at(token.LBRACE) {
+		s.Post = p.parseSimpleStmt()
+	}
+	s.Body = p.parseBlock()
+	return s
+}
+
+// --- expressions ----------------------------------------------------------------
+
+func (p *Parser) parseExpr() ast.Expr { return p.parseBinary(1) }
+
+// parseBinary implements precedence climbing; all MiniC binary operators are
+// left-associative.
+func (p *Parser) parseBinary(minPrec int) ast.Expr {
+	x := p.parseUnary()
+	for {
+		prec := p.kind().Precedence()
+		if prec < minPrec || prec == 0 {
+			return x
+		}
+		op := p.advance().Kind
+		y := p.parseBinary(prec + 1)
+		x = &ast.BinaryExpr{X: x, Op: op, Y: y}
+	}
+}
+
+func (p *Parser) parseUnary() ast.Expr {
+	switch p.kind() {
+	case token.SUB, token.NOT, token.XOR:
+		t := p.advance()
+		return &ast.UnaryExpr{OpPos: t.Pos, Op: t.Kind, X: p.parseUnary()}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() ast.Expr {
+	x := p.parsePrimary()
+	for {
+		switch p.kind() {
+		case token.LBRACK:
+			p.advance()
+			idx := p.parseExpr()
+			p.expect(token.RBRACK)
+			x = &ast.IndexExpr{X: x, Index: idx}
+		case token.LPAREN:
+			id, ok := x.(*ast.IdentExpr)
+			if !ok {
+				p.errorf("called object is not a function name")
+				id = &ast.IdentExpr{NamePos: x.Pos(), Name: "<error>"}
+			}
+			x = p.parseCall(id)
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parseCall(callee *ast.IdentExpr) ast.Expr {
+	p.expect(token.LPAREN)
+	call := &ast.CallExpr{Callee: callee}
+	for !p.at(token.RPAREN) && !p.at(token.EOF) {
+		if len(call.Args) > 0 && !p.accept(token.COMMA) {
+			p.errorf("expected ',' between arguments")
+			break
+		}
+		call.Args = append(call.Args, p.parseExpr())
+	}
+	call.Rparen = p.expect(token.RPAREN).Pos
+	return call
+}
+
+func (p *Parser) parsePrimary() ast.Expr {
+	switch p.kind() {
+	case token.IDENT:
+		t := p.advance()
+		return &ast.IdentExpr{NamePos: t.Pos, Name: t.Lit}
+	case token.INT:
+		t := p.advance()
+		v, err := parseIntLit(t.Lit)
+		if err != nil {
+			p.errs.Errorf(p.file.Position(t.Pos), "invalid integer literal %q", t.Lit)
+		}
+		return &ast.IntLit{LitPos: t.Pos, Value: v}
+	case token.TRUE:
+		return &ast.BoolLit{LitPos: p.advance().Pos, Value: true}
+	case token.FALSE:
+		return &ast.BoolLit{LitPos: p.advance().Pos, Value: false}
+	case token.STRING:
+		t := p.advance()
+		return &ast.StringLit{LitPos: t.Pos, Value: t.Lit}
+	case token.LPAREN:
+		lp := p.advance()
+		x := p.parseExpr()
+		p.expect(token.RPAREN)
+		return &ast.ParenExpr{LparenPos: lp.Pos, X: x}
+	default:
+		p.errorf("expected expression, found %q", p.cur().String())
+		t := p.cur()
+		if !p.at(token.EOF) && !p.at(token.SEMICOLON) && !p.at(token.RBRACE) && !p.at(token.RPAREN) {
+			p.advance()
+		}
+		return &ast.IntLit{LitPos: t.Pos, Value: 0}
+	}
+}
+
+func parseIntLit(lit string) (int64, error) {
+	if len(lit) > 2 && (lit[:2] == "0x" || lit[:2] == "0X") {
+		v, err := strconv.ParseUint(lit[2:], 16, 64)
+		return int64(v), err
+	}
+	return strconv.ParseInt(lit, 10, 64)
+}

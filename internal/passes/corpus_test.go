@@ -1,0 +1,222 @@
+package passes_test
+
+// Shared MiniC test corpus: programs chosen to exercise every pass with
+// observable behaviour (prints and exit values) so differential tests can
+// detect any semantic change introduced by optimization.
+
+type corpusProgram struct {
+	name string
+	src  string
+}
+
+var corpus = []corpusProgram{
+	{"arith", `
+func main() int {
+    var a int = 15;
+    var b int = 4;
+    print(a + b, a - b, a * b, a / b, a % b);
+    print(a & b, a | b, a ^ b, a << 2, a >> 1);
+    print(-a, ^a);
+    return a * b % 7;
+}`},
+
+	{"branches", `
+func classify(x int) int {
+    if x < 0 {
+        return -1;
+    } else if x == 0 {
+        return 0;
+    } else if x < 100 {
+        return 1;
+    }
+    return 2;
+}
+func main() {
+    for var i int = -2; i < 3; i++ {
+        print(classify(i * 60));
+    }
+}`},
+
+	{"loops", `
+func main() int {
+    var total int = 0;
+    for var i int = 1; i <= 10; i++ {
+        for var j int = i; j > 0; j-- {
+            total += j;
+        }
+    }
+    var k int = 100;
+    while k > 1 {
+        if k % 2 == 0 { k /= 2; } else { k = k * 3 + 1; }
+        total++;
+    }
+    print(total);
+    return total % 256;
+}`},
+
+	{"calls", `
+func square(x int) int { return x * x; }
+func cube(x int) int { return square(x) * x; }
+func apply_twice(x int) int { return square(square(x)); }
+func main() {
+    print(square(7), cube(3), apply_twice(2));
+}`},
+
+	{"recursion", `
+func gcd(a int, b int) int {
+    if b == 0 { return a; }
+    return gcd(b, a % b);
+}
+func ackermannish(m int, n int) int {
+    if m == 0 { return n + 1; }
+    if n == 0 { return ackermannish(m - 1, 1); }
+    return ackermannish(m - 1, ackermannish(m, n - 1));
+}
+func main() {
+    print(gcd(48, 36), gcd(17, 5), ackermannish(2, 3));
+}`},
+
+	{"arrays", `
+var hist [10]int;
+func main() {
+    var data [16]int;
+    var seed int = 42;
+    for var i int = 0; i < 16; i++ {
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        if seed < 0 { seed = -seed; }
+        data[i] = seed % 10;
+        hist[data[i]] += 1;
+    }
+    var mx int = 0;
+    for var i int = 0; i < 10; i++ {
+        if hist[i] > mx { mx = hist[i]; }
+    }
+    print("max-bucket", mx);
+    print(data[0], data[7], data[15]);
+}`},
+
+	{"shortcircuit", `
+var count int = 0;
+func tick(v bool) bool { count++; return v; }
+func main() {
+    var a bool = tick(true) && tick(false) && tick(true);
+    var b bool = tick(false) || tick(true);
+    print(a, b, count);
+    if count > 0 && tick(true) || tick(false) {
+        print("taken", count);
+    }
+}`},
+
+	{"constfold", `
+const N = 12;
+const MASK = (1 << 8) - 1;
+var table [12]int;
+func main() {
+    var x int = N * 4 + MASK % 7;
+    print(x, N <= 12, MASK);
+    for var i int = 0; i < N; i++ {
+        table[i] = i * 3;
+    }
+    print(table[N - 1]);
+}`},
+
+	{"invariants", `
+func hot(n int, a int, b int) int {
+    var acc int = 0;
+    for var i int = 0; i < n; i++ {
+        var inv int = a * b + 17; // loop-invariant
+        acc += inv + i;
+    }
+    return acc;
+}
+func main() {
+    print(hot(10, 3, 4), hot(0, 9, 9), hot(1, -2, 5));
+}`},
+
+	{"smallloops", `
+func main() {
+    var s int = 0;
+    for var i int = 0; i < 4; i++ {
+        s += i * i; // fully unrollable
+    }
+    var p int = 1;
+    for var j int = 1; j <= 5; j++ {
+        p *= j;
+    }
+    print(s, p);
+}`},
+
+	{"privates", `
+var _hidden int = 99;
+var _scratch [4]int;
+func _unused() int { return 1; }
+func _helper(x int) int { return x + _hidden; }
+func main() {
+    print(_helper(1));
+    _scratch[0] = 5; // stored but never read
+}`},
+
+	{"deadcode", `
+func main() int {
+    var a int = 3;
+    var dead int = a * 1000; // never used
+    var b int = a + 0;
+    var c int = b * 1;
+    dead = dead + 1;
+    if false {
+        print("never");
+    }
+    return c - a; // 0
+}`},
+
+	{"mixed", `
+const LIM = 6;
+var acc int;
+func _mix(a int, b int) int {
+    var t int = a ^ b;
+    t = t * 9; // strength-reducible
+    return t % 1000;
+}
+func step(i int) int {
+    if i % 3 == 0 || i % 5 == 0 {
+        return _mix(i, i + 1);
+    }
+    return i * 8;
+}
+func main() int {
+    for var i int = 0; i < LIM * 2; i++ {
+        acc += step(i);
+        assert(acc >= 0, "accumulator overflow");
+    }
+    print("acc", acc);
+    return acc % 100;
+}`},
+
+	{"zerotrip", `
+func main() {
+    var s int = 1;
+    for var i int = 10; i < 10; i++ {
+        s = 999;
+    }
+    while false {
+        s = 777;
+    }
+    print(s);
+}`},
+
+	{"boolheavy", `
+func xor3(a bool, b bool, c bool) bool {
+    return a != b != c;
+}
+func main() {
+    var n int = 0;
+    for var i int = 0; i < 8; i++ {
+        var a bool = (i & 1) == 1;
+        var b bool = (i & 2) == 2;
+        var c bool = (i & 4) == 4;
+        if xor3(a, b, c) { n++; }
+        if !(a && b) || c { n += 10; }
+    }
+    print(n);
+}`},
+}

@@ -1,0 +1,68 @@
+package passes
+
+// DCE removes instructions whose results are never used and that have no
+// side effects, using mark-and-sweep from effectful roots so that dead phi
+// cycles (mutually referencing phis with no outside user) are collected too.
+
+import (
+	"statefulcc/internal/ir"
+)
+
+// DCE is the dead code elimination pass.
+type DCE struct{}
+
+// Name implements FuncPass.
+func (*DCE) Name() string { return "dce" }
+
+// Run implements FuncPass.
+func (*DCE) Run(f *ir.Func) bool {
+	live := make(map[*ir.Value]bool)
+	var work []*ir.Value
+
+	markRoot := func(v *ir.Value) {
+		if !live[v] {
+			live[v] = true
+			work = append(work, v)
+		}
+	}
+	f.ForEachValue(func(v *ir.Value) {
+		if v.Op.HasSideEffects() {
+			markRoot(v)
+		}
+	})
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, a := range v.Args {
+			if !live[a] {
+				live[a] = true
+				work = append(work, a)
+			}
+		}
+	}
+
+	changed := false
+	for _, b := range f.Blocks {
+		keepInstrs := b.Instrs[:0]
+		for _, v := range b.Instrs {
+			if live[v] || v.Op.HasSideEffects() {
+				keepInstrs = append(keepInstrs, v)
+			} else {
+				v.Block = nil
+				changed = true
+			}
+		}
+		b.Instrs = keepInstrs
+		keepPhis := b.Phis[:0]
+		for _, v := range b.Phis {
+			if live[v] {
+				keepPhis = append(keepPhis, v)
+			} else {
+				v.Block = nil
+				changed = true
+			}
+		}
+		b.Phis = keepPhis
+	}
+	return changed
+}

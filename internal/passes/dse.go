@@ -1,0 +1,185 @@
+package passes
+
+// DSE removes stores that can never be observed. Two cases are handled,
+// both restricted to allocas whose address does not escape (address used
+// only by load/store/indexaddr):
+//
+//  1. Write-only allocas: no load ever reads the alloca or any address
+//     derived from it, so every store to it — and the alloca itself — dies.
+//
+//  2. Overwritten stores: within one block, a store to the same scalar
+//     alloca address with no intervening load or call kills the earlier
+//     store.
+
+import (
+	"statefulcc/internal/ir"
+)
+
+// DSE is the dead store elimination pass.
+type DSE struct{}
+
+// Name implements FuncPass.
+func (*DSE) Name() string { return "dse" }
+
+// Run implements FuncPass.
+func (*DSE) Run(f *ir.Func) bool {
+	changed := false
+	if removeWriteOnlyAllocas(f) {
+		changed = true
+	}
+	if removeOverwrittenStores(f) {
+		changed = true
+	}
+	return changed
+}
+
+// allocaInfo classifies how each alloca's address flows.
+type allocaInfo struct {
+	escaped bool
+	loaded  bool
+	// derived index-address values rooted at the alloca.
+	derived map[*ir.Value]bool
+}
+
+func analyzeAllocas(f *ir.Func) map[*ir.Value]*allocaInfo {
+	infos := make(map[*ir.Value]*allocaInfo)
+	f.ForEachValue(func(v *ir.Value) {
+		if v.Op == ir.OpAlloca {
+			infos[v] = &allocaInfo{derived: map[*ir.Value]bool{v: true}}
+		}
+	})
+	// Propagate derived pointers (indexaddr chains are at most one level in
+	// MiniC, but iterate for safety).
+	for {
+		grew := false
+		f.ForEachValue(func(v *ir.Value) {
+			if v.Op != ir.OpIndexAddr {
+				return
+			}
+			for _, info := range infos {
+				if info.derived[v.Args[0]] && !info.derived[v] {
+					info.derived[v] = true
+					grew = true
+				}
+			}
+		})
+		if !grew {
+			break
+		}
+	}
+	// Classify uses.
+	f.ForEachValue(func(v *ir.Value) {
+		for i, a := range v.Args {
+			for _, info := range infos {
+				if !info.derived[a] {
+					continue
+				}
+				switch {
+				case v.Op == ir.OpLoad && i == 0:
+					info.loaded = true
+				case v.Op == ir.OpStore && i == 0:
+					// a pure write
+				case v.Op == ir.OpIndexAddr && i == 0:
+					// address derivation, already tracked
+				default:
+					info.escaped = true
+				}
+			}
+		}
+	})
+	return infos
+}
+
+func removeWriteOnlyAllocas(f *ir.Func) bool {
+	infos := analyzeAllocas(f)
+	changed := false
+	for _, b := range f.Blocks {
+		keep := b.Instrs[:0]
+		for _, v := range b.Instrs {
+			dead := false
+			switch v.Op {
+			case ir.OpStore:
+				for _, info := range infos {
+					if info.derived[v.Args[0]] && !info.loaded && !info.escaped {
+						dead = true
+					}
+				}
+			}
+			if dead {
+				v.Block = nil
+				changed = true
+			} else {
+				keep = append(keep, v)
+			}
+		}
+		b.Instrs = keep
+	}
+	// The allocas and their indexaddrs are now dead; leave them to DCE
+	// (indexaddr is marked effectful for bounds checks, but a bounds check
+	// on a never-read array is still required? No: the check's trap is an
+	// observable effect, so indexaddrs must stay. Only stores were removed.)
+	return changed
+}
+
+// removeOverwrittenStores kills stores overwritten in the same block before
+// any possible read. Conservative kill set: any load, call, or derived
+// address use between the two stores keeps the earlier one.
+func removeOverwrittenStores(f *ir.Func) bool {
+	infos := analyzeAllocas(f)
+	safe := func(ptr *ir.Value) bool {
+		info := infos[ptr]
+		return info != nil && !info.escaped
+	}
+	changed := false
+	for _, b := range f.Blocks {
+		// lastStore maps a scalar alloca to the index of the most recent
+		// store not yet observed.
+		lastStore := make(map[*ir.Value]int)
+		var dead []int
+		for i, v := range b.Instrs {
+			switch v.Op {
+			case ir.OpStore:
+				ptr := v.Args[0]
+				if ptr.Op == ir.OpAlloca && ptr.Aux == 1 && safe(ptr) {
+					if prev, ok := lastStore[ptr]; ok {
+						dead = append(dead, prev)
+					}
+					lastStore[ptr] = i
+				}
+			case ir.OpLoad:
+				// A load may read any alloca whose address it names; clear
+				// the matching pending store.
+				for _, info := range infos {
+					if info.derived[v.Args[0]] {
+						for a := range info.derived {
+							if a.Op == ir.OpAlloca {
+								delete(lastStore, a)
+							}
+						}
+					}
+				}
+			case ir.OpCall:
+				// Calls cannot read local allocas in MiniC (addresses never
+				// escape as values), but stay conservative anyway.
+				lastStore = make(map[*ir.Value]int)
+			}
+		}
+		if len(dead) > 0 {
+			deadSet := make(map[int]bool, len(dead))
+			for _, i := range dead {
+				deadSet[i] = true
+			}
+			keep := b.Instrs[:0]
+			for i, v := range b.Instrs {
+				if deadSet[i] {
+					v.Block = nil
+					changed = true
+				} else {
+					keep = append(keep, v)
+				}
+			}
+			b.Instrs = keep
+		}
+	}
+	return changed
+}

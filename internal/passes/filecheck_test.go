@@ -1,0 +1,116 @@
+package passes_test
+
+// FileCheck-style pass tests: every testdata/*.mc file declares a pipeline
+// and CHECK directives against the printed IR (see internal/filecheck).
+// This is the idiom real compiler repositories use for per-pass behaviour,
+// complementing the API-level tests in pipeline_test.go.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"statefulcc/internal/filecheck"
+	"statefulcc/internal/ir"
+	"statefulcc/internal/passes"
+	"statefulcc/internal/testutil"
+)
+
+func TestFileCheckCorpus(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".mc") {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			srcBytes, err := os.ReadFile(filepath.Join("testdata", name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(srcBytes)
+			script, err := filecheck.Parse(src)
+			if err != nil {
+				t.Fatalf("directives: %v", err)
+			}
+			if !script.HasChecks() {
+				t.Fatalf("%s has no CHECK directives", name)
+			}
+			// The test file may lack main; add a stub so checking passes.
+			if !strings.Contains(src, "func main") {
+				src += "\nfunc main() { }\n"
+			}
+			m, err := testutil.BuildModule(name, src)
+			if err != nil {
+				t.Fatalf("frontend: %v", err)
+			}
+			if _, err := passes.RunPipeline(m, script.Pipeline); err != nil {
+				t.Fatalf("pipeline: %v", err)
+			}
+			if err := m.Verify(); err != nil {
+				t.Fatalf("pipeline broke IR: %v", err)
+			}
+			output := m.String()
+			if script.Func != "" {
+				f := m.FindFunc(script.Func)
+				if f == nil {
+					t.Fatalf("RUN: func=%s not found after pipeline", script.Func)
+				}
+				output = f.String()
+			}
+			if err := script.Verify(output); err != nil {
+				t.Fatalf("%v", err)
+			}
+		})
+		ran++
+	}
+	if ran < 8 {
+		t.Fatalf("only %d filecheck tests found; corpus shrunk?", ran)
+	}
+}
+
+// TestFileCheckFilesStillExecute: every filecheck program must also run
+// correctly end to end under its own pipeline (directives alone could pass
+// on miscompiled code).
+func TestFileCheckFilesStillExecute(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".mc") {
+			continue
+		}
+		srcBytes, err := os.ReadFile(filepath.Join("testdata", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := string(srcBytes)
+		script, err := filecheck.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(src, "func main") {
+			src += "\nfunc main() { }\n"
+		}
+		base, baseExit, err := testutil.RunSource(src, nil)
+		if err != nil {
+			t.Fatalf("%s unoptimized: %v", e.Name(), err)
+		}
+		opt, optExit, err := testutil.RunSource(src, func(m *ir.Module) error {
+			_, err := passes.RunPipeline(m, script.Pipeline)
+			return err
+		})
+		if err != nil {
+			t.Fatalf("%s optimized: %v", e.Name(), err)
+		}
+		if base != opt || baseExit != optExit {
+			t.Errorf("%s: behaviour changed under its pipeline", e.Name())
+		}
+	}
+}

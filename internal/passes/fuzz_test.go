@@ -1,0 +1,92 @@
+package passes_test
+
+// Native Go fuzz harnesses. Under plain `go test` only the seed corpus
+// runs; `go test -fuzz=FuzzPipelineDifferential ./internal/passes` explores
+// further. The invariant fuzzed is the project's central one: any program
+// that compiles must behave identically with and without optimization.
+
+import (
+	"strings"
+	"testing"
+
+	"statefulcc/internal/analysis"
+	"statefulcc/internal/ir"
+	"statefulcc/internal/passes"
+	"statefulcc/internal/testutil"
+	"statefulcc/internal/vm"
+)
+
+func FuzzPipelineDifferential(f *testing.F) {
+	for _, prog := range corpus {
+		f.Add(prog.src)
+	}
+	f.Add(`func main() { }`)
+	f.Add(`func main() int { var z int = 0; return 1 / z; }`)
+	f.Add(`func f(x int) int { while true { if x > 0 { return x; } x++; } }
+func main() int { return f(-3); }`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		// Reject programs that do not compile — fuzzing targets the
+		// optimizer, not the frontend's error paths (those have their own
+		// fuzz tests).
+		m, err := testutil.BuildModule("fuzz.mc", src)
+		if err != nil {
+			return
+		}
+		mainFn := m.FindFunc("main")
+		if mainFn == nil || len(mainFn.Params) != 0 {
+			return
+		}
+		if len(m.Externs) > 0 {
+			return // cannot link without the other unit
+		}
+
+		run := func(tf testutil.Transform) (string, int64, error) {
+			p, err := testutil.LinkProgram(map[string]string{"fuzz.mc": src}, tf)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			out, res, err := vm.RunCapture(p, vm.Config{MaxSteps: 2_000_000})
+			if err != nil {
+				return out, 0, err
+			}
+			return out, res.ExitValue, nil
+		}
+
+		baseOut, baseExit, baseErr := run(nil)
+		optOut, optExit, optErr := run(func(m *ir.Module) error {
+			if _, err := passes.RunPipeline(m, passes.StandardPipeline); err != nil {
+				return err
+			}
+			if err := m.Verify(); err != nil {
+				t.Fatalf("pipeline broke IR: %v", err)
+			}
+			for _, fn := range m.Funcs {
+				if err := analysis.VerifySSA(fn); err != nil {
+					t.Fatalf("pipeline broke SSA: %v", err)
+				}
+			}
+			return nil
+		})
+
+		// A step-limit abort is indeterminate (optimization legitimately
+		// changes instruction counts), so such runs are skipped.
+		for _, e := range []error{baseErr, optErr} {
+			if e != nil && strings.Contains(e.Error(), "step limit") {
+				return
+			}
+		}
+		// Otherwise both must trap or both succeed with identical
+		// behaviour.
+		if (baseErr == nil) != (optErr == nil) {
+			t.Fatalf("trap behaviour diverged: base=%v opt=%v\nsrc:\n%s", baseErr, optErr, src)
+		}
+		if baseErr == nil && (baseOut != optOut || baseExit != optExit) {
+			t.Fatalf("behaviour diverged:\nbase %q/%d\nopt  %q/%d\nsrc:\n%s",
+				baseOut, baseExit, optOut, optExit, src)
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package passes
+
+// Module-level global and function cleanup. MiniC treats names with a '_'
+// prefix as unit-private (the analogue of C's static), which is what makes
+// these passes sound without whole-program information: public symbols may
+// be referenced by other units and are never touched.
+
+import (
+	"statefulcc/internal/ir"
+)
+
+// GlobalOpt removes unreferenced private globals and turns loads of
+// never-stored private scalar globals into constants.
+type GlobalOpt struct{}
+
+// Name implements ModulePass.
+func (*GlobalOpt) Name() string { return "globalopt" }
+
+// globalUsage summarizes how a global is accessed within the module.
+type globalUsage struct {
+	addrTaken bool // any OpGlobalAddr refers to it
+	stored    bool // a store reaches it (directly or via indexaddr)
+	escaped   bool // its address flows somewhere we do not track
+}
+
+func analyzeGlobals(m *ir.Module) map[string]*globalUsage {
+	usage := make(map[string]*globalUsage, len(m.Globals))
+	for _, g := range m.Globals {
+		usage[g.Name] = &globalUsage{}
+	}
+	for _, f := range m.Funcs {
+		// addrs maps values derived from each global's address.
+		addrs := make(map[*ir.Value]string)
+		f.ForEachValue(func(v *ir.Value) {
+			if v.Op == ir.OpGlobalAddr {
+				if u := usage[v.Sym]; u != nil {
+					u.addrTaken = true
+					addrs[v] = v.Sym
+				}
+			}
+		})
+		// One propagation round suffices for indexaddr chains of depth 1;
+		// iterate for safety.
+		for {
+			grew := false
+			f.ForEachValue(func(v *ir.Value) {
+				if v.Op == ir.OpIndexAddr {
+					if name, ok := addrs[v.Args[0]]; ok {
+						if _, seen := addrs[v]; !seen {
+							addrs[v] = name
+							grew = true
+						}
+					}
+				}
+			})
+			if !grew {
+				break
+			}
+		}
+		f.ForEachValue(func(v *ir.Value) {
+			for i, a := range v.Args {
+				name, ok := addrs[a]
+				if !ok {
+					continue
+				}
+				u := usage[name]
+				switch {
+				case v.Op == ir.OpLoad && i == 0:
+					// read
+				case v.Op == ir.OpStore && i == 0:
+					u.stored = true
+				case v.Op == ir.OpIndexAddr && i == 0:
+					// tracked derivation
+				default:
+					u.escaped = true
+				}
+			}
+		})
+	}
+	return usage
+}
+
+// RunModule implements ModulePass.
+func (*GlobalOpt) RunModule(m *ir.Module) bool {
+	usage := analyzeGlobals(m)
+	changed := false
+
+	// Constify loads of never-stored private scalars.
+	for _, g := range m.Globals {
+		u := usage[g.Name]
+		if !g.Private || g.Words != 1 || u.stored || u.escaped || !u.addrTaken {
+			continue
+		}
+		for _, f := range m.Funcs {
+			var deadLoads []*ir.Value
+			f.ForEachValue(func(v *ir.Value) {
+				if v.Op == ir.OpLoad && v.Args[0].Op == ir.OpGlobalAddr && v.Args[0].Sym == g.Name {
+					deadLoads = append(deadLoads, v)
+				}
+			})
+			for _, ld := range deadLoads {
+				f.ReplaceAllUses(ld, makeConst(f, g.Init, ld.Type))
+				ld.Block.RemoveInstr(ld)
+				changed = true
+			}
+		}
+	}
+
+	// Remove private globals that are no longer referenced at all
+	// (recompute after constification deleted loads; the GlobalAddr values
+	// may linger until DCE, so check for remaining addresses directly).
+	stillUsed := make(map[string]bool)
+	for _, f := range m.Funcs {
+		used := make(map[*ir.Value]bool)
+		f.ForEachValue(func(w *ir.Value) {
+			for _, a := range w.Args {
+				used[a] = true
+			}
+		})
+		f.ForEachValue(func(v *ir.Value) {
+			if v.Op == ir.OpGlobalAddr && used[v] {
+				stillUsed[v.Sym] = true
+			}
+		})
+	}
+	keep := m.Globals[:0]
+	for _, g := range m.Globals {
+		if g.Private && !stillUsed[g.Name] {
+			changed = true
+			// Also delete the now-dangling GlobalAddr instructions.
+			for _, f := range m.Funcs {
+				var dead []*ir.Value
+				f.ForEachValue(func(v *ir.Value) {
+					if v.Op == ir.OpGlobalAddr && v.Sym == g.Name {
+						dead = append(dead, v)
+					}
+				})
+				for _, v := range dead {
+					v.Block.RemoveInstr(v)
+				}
+			}
+			continue
+		}
+		keep = append(keep, g)
+	}
+	m.Globals = keep
+	return changed
+}
+
+// DeadFunc removes unit-private functions that are never called within the
+// module, iterating because removing one may orphan another.
+type DeadFunc struct{}
+
+// Name implements ModulePass.
+func (*DeadFunc) Name() string { return "deadfunc" }
+
+// RunModule implements ModulePass.
+func (*DeadFunc) RunModule(m *ir.Module) bool {
+	changed := false
+	for {
+		called := make(map[string]bool)
+		for _, f := range m.Funcs {
+			f.ForEachValue(func(v *ir.Value) {
+				if v.Op == ir.OpCall {
+					called[v.Sym] = true
+				}
+			})
+		}
+		removed := false
+		for _, f := range append([]*ir.Func(nil), m.Funcs...) {
+			if f.Private && !called[f.Name] && f.Name != "main" {
+				m.RemoveFunc(f.Name)
+				removed = true
+				changed = true
+			}
+		}
+		if !removed {
+			return changed
+		}
+	}
+}

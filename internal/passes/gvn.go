@@ -1,0 +1,161 @@
+package passes
+
+// GVN performs dominator-scoped value numbering: walking the dominator tree
+// with a scoped hash table of expressions, later computations of an
+// available expression are replaced by the dominating one. Trapping div/rem
+// and bounds-checked indexaddr are safe to merge because the dominating
+// occurrence traps first on identical operands. Copies are propagated away
+// in the same walk.
+
+import (
+	"statefulcc/internal/analysis"
+	"statefulcc/internal/ir"
+)
+
+// GVN is the global value numbering pass.
+type GVN struct{}
+
+// Name implements FuncPass.
+func (*GVN) Name() string { return "gvn" }
+
+// exprKey identifies a computation up to operand identity; commutative ops
+// are canonicalized by operand ID order.
+type exprKey struct {
+	op     ir.Op
+	typ    ir.Type
+	aux    int64
+	sym    string
+	a0, a1 int
+}
+
+// Run implements FuncPass.
+func (*GVN) Run(f *ir.Func) bool {
+	f.RemoveUnreachable()
+	dom := analysis.BuildDomTree(f)
+	table := make(map[exprKey]*ir.Value)
+	// repl maps replaced values to their representatives, applied lazily so
+	// chains resolve without repeated whole-function rewrites.
+	repl := make(map[*ir.Value]*ir.Value)
+	changed := false
+
+	resolve := func(v *ir.Value) *ir.Value {
+		for {
+			nv, ok := repl[v]
+			if !ok {
+				return v
+			}
+			v = nv
+		}
+	}
+
+	// constID interns constants so equal constants share a value number.
+	constIDs := make(map[[2]int64]int)
+	valueNum := func(v *ir.Value) int {
+		v = resolve(v)
+		if v.Op == ir.OpConst {
+			k := [2]int64{v.Aux, int64(v.Type)}
+			if id, ok := constIDs[k]; ok {
+				return id
+			}
+			id := -(len(constIDs) + 2) // negative space for constants
+			constIDs[k] = id
+			return id
+		}
+		return v.ID
+	}
+
+	var visit func(b *ir.Block)
+	visit = func(b *ir.Block) {
+		var added []exprKey
+		for _, v := range append([]*ir.Value(nil), b.Instrs...) {
+			// Resolve operands through earlier replacements.
+			for i, a := range v.Args {
+				if r := resolve(a); r != a {
+					v.Args[i] = r
+					changed = true
+				}
+			}
+			if v.Op == ir.OpCopy {
+				repl[v] = v.Args[0]
+				b.RemoveInstr(v)
+				changed = true
+				continue
+			}
+			if !numberable(v.Op) {
+				continue
+			}
+			key := exprKey{op: v.Op, typ: v.Type, aux: v.Aux, sym: v.Sym}
+			switch len(v.Args) {
+			case 1:
+				key.a0 = valueNum(v.Args[0])
+				key.a1 = -1
+			case 2:
+				key.a0 = valueNum(v.Args[0])
+				key.a1 = valueNum(v.Args[1])
+				if v.Op.IsCommutative() && key.a1 < key.a0 {
+					key.a0, key.a1 = key.a1, key.a0
+				}
+			}
+			if rep, ok := table[key]; ok {
+				repl[v] = rep
+				b.RemoveInstr(v)
+				changed = true
+				continue
+			}
+			table[key] = v
+			added = append(added, key)
+		}
+		// Phis and terminators also need operand resolution.
+		for _, phi := range b.Phis {
+			for i, a := range phi.Args {
+				if r := resolve(a); r != a {
+					phi.Args[i] = r
+					changed = true
+				}
+			}
+		}
+		if b.Term != nil {
+			for i, a := range b.Term.Args {
+				if r := resolve(a); r != a {
+					b.Term.Args[i] = r
+					changed = true
+				}
+			}
+		}
+		for _, c := range dom.Children(b) {
+			visit(c)
+		}
+		for _, k := range added {
+			delete(table, k)
+		}
+	}
+	if e := f.Entry(); e != nil {
+		visit(e)
+	}
+
+	// A final sweep: phis in blocks dominated by nothing we visited after
+	// their operands were replaced (back edges) still hold stale values.
+	f.ForEachValue(func(v *ir.Value) {
+		for i, a := range v.Args {
+			if r := resolve(a); r != a {
+				v.Args[i] = r
+				changed = true
+			}
+		}
+	})
+	return changed
+}
+
+// numberable reports whether the op can be value-numbered. Loads are not
+// (memory may change); calls are not (effects); div/rem/indexaddr are —
+// their traps are preserved by the dominating occurrence.
+func numberable(op ir.Op) bool {
+	if op.IsPure() {
+		return op != ir.OpCopy // handled separately
+	}
+	switch op {
+	case ir.OpDiv, ir.OpRem, ir.OpIndexAddr:
+		return true
+	}
+	return false
+}

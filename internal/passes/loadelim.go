@@ -1,0 +1,60 @@
+package passes
+
+// LoadElim performs block-local redundant-load elimination and
+// store-to-load forwarding on the memory accesses mem2reg cannot promote
+// (array cells and globals):
+//
+//	x = a[i]; y = a[i];        → y reuses x
+//	a[i] = v; x = a[i];        → x reuses v
+//
+// Soundness without alias analysis: the availability table is keyed by
+// pointer *value* (the same SSA value ⇒ the same address), and any store
+// invalidates everything except the stored pointer's own entry; calls
+// invalidate everything (the callee may store globals). Availability never
+// crosses block boundaries.
+
+import (
+	"statefulcc/internal/ir"
+)
+
+// LoadElim is the redundant-load elimination pass.
+type LoadElim struct{}
+
+// Name implements FuncPass.
+func (*LoadElim) Name() string { return "loadelim" }
+
+// Run implements FuncPass.
+func (*LoadElim) Run(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		avail := make(map[*ir.Value]*ir.Value) // ptr -> current memory value
+		keep := b.Instrs[:0]
+		for _, v := range b.Instrs {
+			switch v.Op {
+			case ir.OpLoad:
+				ptr := v.Args[0]
+				if known, ok := avail[ptr]; ok && known.Type == v.Type {
+					f.ReplaceAllUses(v, known)
+					v.Block = nil
+					changed = true
+					continue // drop the load
+				}
+				avail[ptr] = v
+			case ir.OpStore:
+				// Any store may alias any tracked pointer except itself.
+				ptr, val := v.Args[0], v.Args[1]
+				for k := range avail {
+					delete(avail, k)
+				}
+				avail[ptr] = val
+			case ir.OpCall:
+				for k := range avail {
+					delete(avail, k)
+				}
+			}
+			keep = append(keep, v)
+		}
+		b.Instrs = keep
+	}
+	return changed
+}

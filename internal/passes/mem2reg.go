@@ -1,0 +1,226 @@
+package passes
+
+// Mem2Reg promotes scalar allocas whose address never escapes into SSA
+// values, inserting phi nodes at iterated dominance frontiers (Cytron et
+// al.) and renaming loads/stores along the dominator tree. This is the pass
+// that converts freshly lowered "memory form" IR into real SSA, so on a
+// fresh compilation it is essentially always active — and on the IR it
+// itself produced it is always dormant, a property the stateful pass
+// manager's tests pin down.
+
+import (
+	"statefulcc/internal/analysis"
+	"statefulcc/internal/ir"
+)
+
+// Mem2Reg is the alloca-promotion pass.
+type Mem2Reg struct{}
+
+// Name implements FuncPass.
+func (*Mem2Reg) Name() string { return "mem2reg" }
+
+// Run implements FuncPass.
+func (*Mem2Reg) Run(f *ir.Func) bool {
+	changed := f.RemoveUnreachable() > 0
+
+	allocas := promotable(f)
+	if len(allocas) == 0 {
+		return changed
+	}
+
+	dom := analysis.BuildDomTree(f)
+	df := dom.Frontiers()
+
+	// Phi placement at iterated dominance frontiers.
+	phiFor := make(map[*ir.Value]*ir.Value) // phi -> alloca
+	for _, a := range allocas {
+		t := allocaType(f, a)
+		hasPhi := make(map[*ir.Block]bool)
+		work := defBlocks(f, a)
+		var queue []*ir.Block
+		queue = append(queue, work...)
+		for len(queue) > 0 {
+			b := queue[0]
+			queue = queue[1:]
+			for _, fb := range df[b.ID] {
+				if hasPhi[fb] {
+					continue
+				}
+				hasPhi[fb] = true
+				phi := f.NewValue(ir.OpPhi, t)
+				fb.AddPhi(phi)
+				phiFor[phi] = a
+				queue = append(queue, fb)
+			}
+		}
+	}
+
+	// Renaming along the dominator tree.
+	type stackEntry struct {
+		alloca *ir.Value
+		val    *ir.Value
+	}
+	stacks := make(map[*ir.Value][]*ir.Value) // alloca -> def stack
+	replace := make(map[*ir.Value]*ir.Value)  // dead load -> value
+	var deadInstrs []*ir.Value
+	isPromoted := make(map[*ir.Value]bool, len(allocas))
+	for _, a := range allocas {
+		isPromoted[a] = true
+	}
+
+	top := func(a *ir.Value) *ir.Value {
+		s := stacks[a]
+		if len(s) > 0 {
+			return s[len(s)-1]
+		}
+		// Uninitialized path: MiniC zero-initializes scalars, so this value
+		// is unobservable; zero keeps the IR well-defined.
+		if allocaType(f, a) == ir.TBool {
+			return f.ConstBool(false)
+		}
+		return f.ConstInt(0)
+	}
+
+	var visit func(b *ir.Block)
+	visit = func(b *ir.Block) {
+		var pushed []stackEntry
+		for _, phi := range b.Phis {
+			if a, ok := phiFor[phi]; ok {
+				stacks[a] = append(stacks[a], phi)
+				pushed = append(pushed, stackEntry{a, phi})
+			}
+		}
+		for _, v := range b.Instrs {
+			switch v.Op {
+			case ir.OpStore:
+				if a := v.Args[0]; isPromoted[a] {
+					stacks[a] = append(stacks[a], v.Args[1])
+					pushed = append(pushed, stackEntry{a, v.Args[1]})
+					deadInstrs = append(deadInstrs, v)
+				}
+			case ir.OpLoad:
+				if a := v.Args[0]; isPromoted[a] {
+					replace[v] = top(a)
+					deadInstrs = append(deadInstrs, v)
+				}
+			}
+		}
+		for _, s := range b.Succs() {
+			for _, phi := range s.Phis {
+				if a, ok := phiFor[phi]; ok {
+					phi.SetIncoming(b, top(a))
+				}
+			}
+		}
+		for _, c := range dom.Children(b) {
+			visit(c)
+		}
+		for _, pe := range pushed {
+			s := stacks[pe.alloca]
+			stacks[pe.alloca] = s[:len(s)-1]
+		}
+	}
+	visit(f.Entry())
+
+	// Substitute dead loads everywhere, resolving chains (a load replaced
+	// by another load that is itself replaced).
+	resolve := func(v *ir.Value) *ir.Value {
+		for {
+			nv, ok := replace[v]
+			if !ok {
+				return v
+			}
+			v = nv
+		}
+	}
+	f.ForEachValue(func(v *ir.Value) {
+		for i, a := range v.Args {
+			v.Args[i] = resolve(a)
+		}
+	})
+
+	// Delete the rewritten loads/stores and the allocas themselves.
+	for _, v := range deadInstrs {
+		v.Block.RemoveInstr(v)
+	}
+	for _, a := range allocas {
+		a.Block.RemoveInstr(a)
+	}
+	return true
+}
+
+// promotable returns the single-word allocas used only as the address
+// operand of loads and stores, in deterministic (layout) order.
+func promotable(f *ir.Func) []*ir.Value {
+	bad := make(map[*ir.Value]bool)
+	seen := make(map[*ir.Value]bool)
+	var candidates []*ir.Value
+
+	f.ForEachValue(func(v *ir.Value) {
+		if v.Op == ir.OpAlloca {
+			seen[v] = true
+			if v.Aux == 1 {
+				candidates = append(candidates, v)
+			} else {
+				bad[v] = true
+			}
+		}
+		for i, a := range v.Args {
+			if a.Op != ir.OpAlloca {
+				continue
+			}
+			okUse := (v.Op == ir.OpLoad && i == 0) || (v.Op == ir.OpStore && i == 0)
+			if !okUse {
+				bad[a] = true
+			}
+		}
+	})
+	var out []*ir.Value
+	for _, a := range candidates {
+		if !bad[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// allocaType infers the scalar type stored in the alloca from its first
+// load or store; untouched allocas default to int.
+func allocaType(f *ir.Func, a *ir.Value) ir.Type {
+	t := ir.TInt
+	found := false
+	f.ForEachValue(func(v *ir.Value) {
+		if found {
+			return
+		}
+		switch v.Op {
+		case ir.OpLoad:
+			if v.Args[0] == a {
+				t = v.Type
+				found = true
+			}
+		case ir.OpStore:
+			if v.Args[0] == a {
+				t = v.Args[1].Type
+				found = true
+			}
+		}
+	})
+	return t
+}
+
+// defBlocks returns the blocks containing stores to a, deduplicated, in
+// layout order.
+func defBlocks(f *ir.Func, a *ir.Value) []*ir.Block {
+	var out []*ir.Block
+	last := map[*ir.Block]bool{}
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			if v.Op == ir.OpStore && v.Args[0] == a && !last[b] {
+				last[b] = true
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}

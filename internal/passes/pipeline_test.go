@@ -1,0 +1,782 @@
+package passes_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"statefulcc/internal/analysis"
+	"statefulcc/internal/ir"
+	"statefulcc/internal/passes"
+	"statefulcc/internal/testutil"
+)
+
+// runPipeline is a testutil.Transform applying the named pipeline.
+func runPipeline(pipeline []string) testutil.Transform {
+	return func(m *ir.Module) error {
+		_, err := passes.RunPipeline(m, pipeline)
+		return err
+	}
+}
+
+// TestDifferentialPipelines is the linchpin semantic test: every corpus
+// program must behave identically unoptimized, under the quick pipeline,
+// and under the full standard pipeline.
+func TestDifferentialPipelines(t *testing.T) {
+	for _, prog := range corpus {
+		prog := prog
+		t.Run(prog.name, func(t *testing.T) {
+			baseOut, baseExit, err := testutil.RunSource(prog.src, nil)
+			if err != nil {
+				t.Fatalf("unoptimized run failed: %v", err)
+			}
+			for _, pl := range [][]string{passes.QuickPipeline, passes.StandardPipeline} {
+				out, exit, err := testutil.RunSource(prog.src, runPipeline(pl))
+				if err != nil {
+					t.Fatalf("optimized run failed (%d passes): %v", len(pl), err)
+				}
+				if out != baseOut || exit != baseExit {
+					t.Errorf("behaviour changed (%d passes):\nbase: exit=%d out=%q\nopt:  exit=%d out=%q",
+						len(pl), baseExit, baseOut, exit, out)
+				}
+			}
+		})
+	}
+}
+
+// TestPassesPreserveInvariants runs the standard pipeline pass by pass,
+// checking structural and SSA validity after every step — so a pass that
+// corrupts the IR is identified by name.
+func TestPassesPreserveInvariants(t *testing.T) {
+	for _, prog := range corpus {
+		prog := prog
+		t.Run(prog.name, func(t *testing.T) {
+			m, err := testutil.BuildModule("main.mc", prog.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for step, name := range passes.StandardPipeline {
+				applyOnePass(t, m, name)
+				if err := m.Verify(); err != nil {
+					t.Fatalf("after pass %d (%s): %v\n%s", step, name, err, m)
+				}
+				for _, f := range m.Funcs {
+					if err := analysis.VerifySSA(f); err != nil {
+						t.Fatalf("after pass %d (%s): %v\n%s", step, name, err, f)
+					}
+				}
+			}
+		})
+	}
+}
+
+func applyOnePass(t *testing.T, m *ir.Module, name string) bool {
+	t.Helper()
+	info, ok := passes.Lookup(name)
+	if !ok {
+		t.Fatalf("unknown pass %s", name)
+	}
+	if info.Module {
+		return info.New().(passes.ModulePass).RunModule(m)
+	}
+	p := info.New().(passes.FuncPass)
+	changed := false
+	for _, f := range m.Funcs {
+		if p.Run(f) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// TestPipelineDeterminism: compiling the same source twice must yield
+// byte-identical optimized IR. Determinism is the property that makes
+// fingerprint-guarded dormant-pass skipping sound, so this test is
+// load-bearing for the whole reproduction.
+func TestPipelineDeterminism(t *testing.T) {
+	for _, prog := range corpus {
+		prog := prog
+		t.Run(prog.name, func(t *testing.T) {
+			render := func() string {
+				m, err := testutil.BuildModule("main.mc", prog.src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := passes.RunPipeline(m, passes.StandardPipeline); err != nil {
+					t.Fatal(err)
+				}
+				return m.String()
+			}
+			a, b := render(), render()
+			if a != b {
+				t.Errorf("pipeline is nondeterministic:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestFunctionPassDeterminism checks each function pass in isolation: on
+// the same input IR (rebuilt from source), two runs must produce identical
+// output IR and the same changed verdict.
+func TestFunctionPassDeterminism(t *testing.T) {
+	for _, info := range passes.Registry() {
+		if info.Module {
+			continue
+		}
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			for _, prog := range corpus {
+				render := func() (string, string) {
+					m, err := testutil.BuildModule("main.mc", prog.src)
+					if err != nil {
+						t.Fatal(err)
+					}
+					p := info.New().(passes.FuncPass)
+					verdicts := ""
+					for _, f := range m.Funcs {
+						verdicts += fmt.Sprintf("%s=%t;", f.Name, p.Run(f))
+					}
+					return m.String(), verdicts
+				}
+				ir1, v1 := render()
+				ir2, v2 := render()
+				if ir1 != ir2 || v1 != v2 {
+					t.Fatalf("%s nondeterministic on %s (verdicts %q vs %q)", info.Name, prog.name, v1, v2)
+				}
+			}
+		})
+	}
+}
+
+// TestDormancyOnOwnOutput: running a function pass twice in a row — the
+// second run on the pass's own output — must report no change for the
+// idempotent cleanup passes. This is the micro-behaviour behind the
+// paper's dormancy statistics.
+func TestDormancyOnOwnOutput(t *testing.T) {
+	idempotent := []string{"mem2reg", "simplifycfg", "instcombine", "sccp", "gvn", "licm", "unroll", "strength", "loadelim", "dse", "dce"}
+	for _, name := range idempotent {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, prog := range corpus {
+				m, err := testutil.BuildModule("main.mc", prog.src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := passes.NewFuncPass(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, f := range m.Funcs {
+					p.Run(f)
+					if p.Run(f) {
+						t.Errorf("%s not dormant on its own output for %s.%s", name, prog.name, f.Name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// --- per-pass behavioural checks ---------------------------------------------
+
+func buildFunc(t *testing.T, src, fn string) (*ir.Module, *ir.Func) {
+	t.Helper()
+	m, err := testutil.BuildModule("main.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.FindFunc(fn)
+	if f == nil {
+		t.Fatalf("no function %s", fn)
+	}
+	return m, f
+}
+
+func countOps(f *ir.Func, op ir.Op) int {
+	n := 0
+	f.ForEachValue(func(v *ir.Value) {
+		if v.Op == op {
+			n++
+		}
+	})
+	return n
+}
+
+func mustRun(t *testing.T, name string, f *ir.Func) bool {
+	t.Helper()
+	p, err := passes.NewFuncPass(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := p.Run(f)
+	if err := f.Verify(); err != nil {
+		t.Fatalf("%s broke IR: %v\n%s", name, err, f)
+	}
+	if err := analysis.VerifySSA(f); err != nil {
+		t.Fatalf("%s broke SSA: %v\n%s", name, err, f)
+	}
+	return changed
+}
+
+func TestMem2RegPromotesScalars(t *testing.T) {
+	_, f := buildFunc(t, `
+func f(a int) int {
+    var x int = a + 1;
+    var y int = x * 2;
+    if a > 0 { x = y; }
+    return x + y;
+}`, "f")
+	if countOps(f, ir.OpAlloca) == 0 {
+		t.Fatal("expected allocas before mem2reg")
+	}
+	if !mustRun(t, "mem2reg", f) {
+		t.Fatal("mem2reg reported dormant on fresh IR")
+	}
+	if n := countOps(f, ir.OpAlloca); n != 0 {
+		t.Errorf("allocas remain after mem2reg: %d\n%s", n, f)
+	}
+	if countOps(f, ir.OpPhi) == 0 {
+		t.Errorf("expected a phi for the conditional assignment\n%s", f)
+	}
+}
+
+func TestMem2RegKeepsArrays(t *testing.T) {
+	_, f := buildFunc(t, `
+func f() int {
+    var a [4]int;
+    a[1] = 5;
+    return a[1];
+}`, "f")
+	mustRun(t, "mem2reg", f)
+	if countOps(f, ir.OpAlloca) != 1 {
+		t.Errorf("array alloca should survive mem2reg\n%s", f)
+	}
+}
+
+func TestSimplifyCFGFoldsConstantBranch(t *testing.T) {
+	_, f := buildFunc(t, `
+func f() int {
+    if true { return 1; }
+    return 2;
+}`, "f")
+	mustRun(t, "mem2reg", f)
+	mustRun(t, "simplifycfg", f)
+	if n := countOps(f, ir.OpBranch); n != 0 {
+		t.Errorf("constant branch survived: %d\n%s", n, f)
+	}
+	if len(f.Blocks) != 1 {
+		t.Errorf("expected a single block, got %d\n%s", len(f.Blocks), f)
+	}
+}
+
+func TestInstCombineIdentities(t *testing.T) {
+	_, f := buildFunc(t, `
+func f(x int) int {
+    var a int = x + 0;
+    var b int = a * 1;
+    var c int = b - b;
+    var d int = b ^ 0;
+    return c + d;
+}`, "f")
+	mustRun(t, "mem2reg", f)
+	mustRun(t, "instcombine", f)
+	mustRun(t, "dce", f)
+	// Everything folds down to "return x".
+	for _, op := range []ir.Op{ir.OpAdd, ir.OpMul, ir.OpSub, ir.OpXor} {
+		if n := countOps(f, op); n != 0 {
+			t.Errorf("%s not folded (%d remain)\n%s", op, n, f)
+		}
+	}
+}
+
+func TestSCCPThroughBranches(t *testing.T) {
+	_, f := buildFunc(t, `
+func f() int {
+    var x int = 4;
+    var y int;
+    if x > 3 { y = 10; } else { y = 20; }
+    return y + x;
+}`, "f")
+	mustRun(t, "mem2reg", f)
+	mustRun(t, "sccp", f)
+	mustRun(t, "simplifycfg", f)
+	mustRun(t, "dce", f)
+	// SCCP proves the branch and the final value: only "ret 14" remains.
+	if len(f.Blocks) != 1 || len(f.Blocks[0].Instrs) != 0 {
+		t.Errorf("sccp failed to collapse:\n%s", f)
+	}
+	ret := f.Blocks[0].Term
+	if c, ok := ret.Args[0].IsConst(); !ok || c != 14 {
+		t.Errorf("return is not const 14:\n%s", f)
+	}
+}
+
+func TestGVNMergesDuplicates(t *testing.T) {
+	_, f := buildFunc(t, `
+func f(a int, b int) int {
+    var x int = a * b + 3;
+    var y int = a * b + 3;
+    return x + y;
+}`, "f")
+	mustRun(t, "mem2reg", f)
+	mustRun(t, "gvn", f)
+	mustRun(t, "dce", f)
+	if n := countOps(f, ir.OpMul); n != 1 {
+		t.Errorf("duplicate a*b not merged: %d muls\n%s", n, f)
+	}
+}
+
+func TestGVNRespectsDominance(t *testing.T) {
+	// The duplicate expressions are in sibling branches — neither dominates
+	// the other, so GVN must NOT merge them.
+	src := `
+func f(a int, b int, c bool) int {
+    var r int = 0;
+    if c { r = a * b; } else { r = a * b + 1; }
+    return r;
+}
+func main() { print(f(3, 4, true), f(3, 4, false)); }`
+	out, _, err := testutil.RunSource(src, runPipeline([]string{"mem2reg", "gvn", "dce"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "12 13\n" {
+		t.Errorf("out = %q, want \"12 13\"", out)
+	}
+}
+
+func TestLICMHoistsInvariant(t *testing.T) {
+	_, f := buildFunc(t, `
+func f(n int, a int, b int) int {
+    var acc int = 0;
+    for var i int = 0; i < n; i++ {
+        acc += a * b;
+    }
+    return acc;
+}`, "f")
+	mustRun(t, "mem2reg", f)
+	if !mustRun(t, "licm", f) {
+		t.Fatalf("licm found nothing to hoist\n%s", f)
+	}
+	// The multiply must now be outside the loop: in a block that is not
+	// part of any loop.
+	dom := analysis.BuildDomTree(f)
+	loops := analysis.FindLoops(f, dom)
+	found := false
+	f.ForEachValue(func(v *ir.Value) {
+		if v.Op == ir.OpMul {
+			found = true
+			if loops.InnermostLoop(v.Block) != nil {
+				t.Errorf("a*b still inside the loop\n%s", f)
+			}
+		}
+	})
+	if !found {
+		t.Fatalf("multiply disappeared\n%s", f)
+	}
+}
+
+func TestUnrollEliminatesLoop(t *testing.T) {
+	_, f := buildFunc(t, `
+func f() int {
+    var s int = 0;
+    for var i int = 0; i < 4; i++ {
+        s += i * i;
+    }
+    return s;
+}`, "f")
+	mustRun(t, "mem2reg", f)
+	mustRun(t, "licm", f)
+	if !mustRun(t, "unroll", f) {
+		t.Fatalf("unroll did nothing\n%s", f)
+	}
+	dom := analysis.BuildDomTree(f)
+	loops := analysis.FindLoops(f, dom)
+	if len(loops.Loops) != 0 {
+		t.Errorf("loop survived unrolling\n%s", f)
+	}
+}
+
+func TestUnrollPreservesSemantics(t *testing.T) {
+	src := `
+func sumsq(n int) int {
+    var s int = 0;
+    for var i int = 0; i < 5; i++ {
+        s += i * n;
+    }
+    return s;
+}
+func main() int {
+    var zero int = 0;
+    for var i int = 3; i < 3; i++ { zero = 1; } // zero-trip
+    print(sumsq(2), sumsq(-1), zero);
+    return sumsq(10);
+}`
+	baseOut, baseExit, err := testutil.RunSource(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, exit, err := testutil.RunSource(src, runPipeline([]string{"mem2reg", "simplifycfg", "licm", "unroll", "instcombine", "dce", "simplifycfg"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != baseOut || exit != baseExit {
+		t.Errorf("unroll changed behaviour: %q/%d vs %q/%d", baseOut, baseExit, out, exit)
+	}
+}
+
+func TestStrengthReduction(t *testing.T) {
+	_, f := buildFunc(t, `
+func f(x int) int {
+    return x * 8 + x * 9 + x * 7 + x * -1;
+}`, "f")
+	mustRun(t, "mem2reg", f)
+	mustRun(t, "strength", f)
+	if n := countOps(f, ir.OpMul); n != 0 {
+		t.Errorf("multiplications survive strength reduction: %d\n%s", n, f)
+	}
+	if countOps(f, ir.OpShl) < 3 {
+		t.Errorf("expected shifts\n%s", f)
+	}
+	if countOps(f, ir.OpNeg) != 1 {
+		t.Errorf("x * -1 should become neg\n%s", f)
+	}
+}
+
+func TestStrengthPreservesNegatives(t *testing.T) {
+	src := `
+func main() {
+    var x int = -7;
+    print(x * 8, x * 9, x * 7, x + x);
+}`
+	base, _, err := testutil.RunSource(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _, err := testutil.RunSource(src, runPipeline([]string{"mem2reg", "strength"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != opt {
+		t.Errorf("strength changed behaviour: %q vs %q", base, opt)
+	}
+}
+
+func TestDSERemovesWriteOnlyArray(t *testing.T) {
+	_, f := buildFunc(t, `
+func f(x int) int {
+    var scratch [8]int;
+    scratch[0] = x;
+    scratch[1] = x * 2;
+    return x + 1;
+}`, "f")
+	mustRun(t, "mem2reg", f)
+	if !mustRun(t, "dse", f) {
+		t.Fatalf("dse found nothing\n%s", f)
+	}
+	if n := countOps(f, ir.OpStore); n != 0 {
+		t.Errorf("dead stores remain: %d\n%s", n, f)
+	}
+}
+
+func TestDSEOverwrittenStore(t *testing.T) {
+	// Arrays resist mem2reg, so stores survive to DSE; the scalar double
+	// store is handled by mem2reg itself, so test via an array cell with a
+	// non-escaping alloca and same-block overwrite... a scalar alloca kept
+	// alive by an address-of pattern does not exist in MiniC, so check the
+	// write-only path plus semantics instead.
+	src := `
+func main() {
+    var a [2]int;
+    a[0] = 1;
+    a[0] = 2;
+    print(a[0]);
+}`
+	out, _, err := testutil.RunSource(src, runPipeline([]string{"mem2reg", "dse", "dce"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "2\n" {
+		t.Errorf("out = %q, want 2", out)
+	}
+}
+
+func TestLoadElimMergesArrayLoads(t *testing.T) {
+	_, f := buildFunc(t, `
+var a [8]int;
+func f(i int) int {
+    var x int = a[i];
+    var y int = a[i];
+    return x + y;
+}`, "f")
+	mustRun(t, "mem2reg", f)
+	mustRun(t, "gvn", f) // canonicalize the two indexaddrs to one value
+	if !mustRun(t, "loadelim", f) {
+		t.Fatalf("loadelim found nothing\n%s", f)
+	}
+	if n := countOps(f, ir.OpLoad); n != 1 {
+		t.Errorf("loads remaining = %d, want 1\n%s", n, f)
+	}
+}
+
+func TestLoadElimStoreForwarding(t *testing.T) {
+	_, f := buildFunc(t, `
+var a [8]int;
+func f(v int) int {
+    a[3] = v;
+    return a[3];
+}`, "f")
+	mustRun(t, "mem2reg", f)
+	mustRun(t, "gvn", f)
+	if !mustRun(t, "loadelim", f) {
+		t.Fatalf("loadelim found nothing\n%s", f)
+	}
+	if n := countOps(f, ir.OpLoad); n != 0 {
+		t.Errorf("store-to-load forwarding missed: %d loads\n%s", n, f)
+	}
+}
+
+func TestLoadElimRespectsClobbers(t *testing.T) {
+	// An intervening store to a *different* cell must kill availability
+	// (the indexes may alias dynamically), and a call must kill globals.
+	src := `
+var a [8]int;
+var g int;
+func set(x int) { g = x; }
+func f(i int, j int) int {
+    a[i] = 1;
+    a[j] = 2;
+    return a[i]; // may be 1 or 2 depending on i==j
+}
+func main() {
+    print(f(3, 3), f(3, 4));
+    g = 5;
+    set(9);
+    print(g);
+}`
+	base, _, err := testutil.RunSource(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _, err := testutil.RunSource(src, runPipeline(passes.StandardPipeline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != opt {
+		t.Errorf("loadelim changed behaviour: %q vs %q", base, opt)
+	}
+	if base != "2 1\n9\n" {
+		t.Errorf("baseline output unexpected: %q", base)
+	}
+}
+
+func TestDCERemovesDeadArithmetic(t *testing.T) {
+	_, f := buildFunc(t, `
+func f(x int) int {
+    var dead int = x * 12345;
+    dead = dead + 1;
+    return x;
+}`, "f")
+	mustRun(t, "mem2reg", f)
+	mustRun(t, "dce", f)
+	if n := countOps(f, ir.OpMul); n != 0 {
+		t.Errorf("dead multiply survives\n%s", f)
+	}
+}
+
+func TestInlineSmallCallee(t *testing.T) {
+	m, err := testutil.BuildModule("main.mc", `
+func tiny(x int) int { return x + 1; }
+func caller(y int) int { return tiny(y) * tiny(y + 2); }
+func main() { print(caller(5)); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := passes.NewModulePass("inline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.RunModule(m) {
+		t.Fatal("inliner did nothing")
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("inline broke IR: %v\n%s", err, m)
+	}
+	caller := m.FindFunc("caller")
+	if n := countOps(caller, ir.OpCall); n != 0 {
+		t.Errorf("calls remain in caller: %d\n%s", n, caller)
+	}
+	for _, f := range m.Funcs {
+		if err := analysis.VerifySSA(f); err != nil {
+			t.Fatalf("SSA broken after inline: %v", err)
+		}
+	}
+}
+
+func TestInlineSkipsRecursive(t *testing.T) {
+	m, err := testutil.BuildModule("main.mc", `
+func fact(n int) int {
+    if n <= 1 { return 1; }
+    return n * fact(n - 1);
+}
+func main() { print(fact(5)); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := passes.NewModulePass("inline")
+	p.RunModule(m)
+	mainFn := m.FindFunc("main")
+	if n := countOps(mainFn, ir.OpCall); n != 1 {
+		t.Errorf("recursive fact should not be inlined (calls=%d)\n%s", n, mainFn)
+	}
+}
+
+func TestInlineVoidAndMultiReturn(t *testing.T) {
+	src := `
+func note(x int) { print("note", x); }
+func pick(a int, b int) int {
+    if a > b { return a; }
+    return b;
+}
+func main() {
+    note(1);
+    print(pick(3, 9), pick(9, 3));
+}`
+	base, _, err := testutil.RunSource(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _, err := testutil.RunSource(src, runPipeline([]string{"mem2reg", "inline", "simplifycfg", "dce"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != opt {
+		t.Errorf("inline changed behaviour: %q vs %q", base, opt)
+	}
+}
+
+func TestGlobalOptConstifiesAndRemoves(t *testing.T) {
+	m, err := testutil.BuildModule("main.mc", `
+var _ro int = 17;
+var _never [4]int;
+var public int = 5;
+func main() { print(_ro + public); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// globalopt needs loads visible; run after mem2reg for realism.
+	p, _ := passes.NewModulePass("globalopt")
+	if !p.RunModule(m) {
+		t.Fatal("globalopt did nothing")
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("globalopt broke IR: %v", err)
+	}
+	if m.FindGlobal("_never") != nil {
+		t.Error("_never should be removed")
+	}
+	if m.FindGlobal("public") == nil {
+		t.Error("public global must survive")
+	}
+	// _ro's load became const 17; after DCE its address is gone too.
+	dcePass, _ := passes.NewFuncPass("dce")
+	for _, f := range m.Funcs {
+		dcePass.Run(f)
+	}
+	p.RunModule(m)
+	if m.FindGlobal("_ro") != nil {
+		t.Errorf("constified _ro should be removable:\n%s", m)
+	}
+}
+
+func TestDeadFuncRemoval(t *testing.T) {
+	m, err := testutil.BuildModule("main.mc", `
+func _orphan() int { return 1; }
+func _chain1() int { return _chain2(); }
+func _chain2() int { return _chain1(); }
+func keepme() int { return 2; }
+func main() { print(keepme()); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := passes.NewModulePass("deadfunc")
+	if !p.RunModule(m) {
+		t.Fatal("deadfunc did nothing")
+	}
+	if m.FindFunc("_orphan") != nil {
+		t.Error("_orphan survived")
+	}
+	// Mutually recursive orphans are NOT removed (each is called); that is
+	// the documented conservative behaviour.
+	if m.FindFunc("keepme") == nil || m.FindFunc("main") == nil {
+		t.Error("live functions removed")
+	}
+}
+
+func TestPipelineOnMultiUnit(t *testing.T) {
+	units := map[string]string{
+		"lib.mc": `
+var _state int = 3;
+func _bump(x int) int { _state += x; return _state; }
+func api(x int) int { return _bump(x) * 2; }
+`,
+		"main.mc": `
+extern func api(x int) int;
+func main() { print(api(1), api(2)); }
+`,
+	}
+	base, baseExit, err := testutil.Run(units, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, optExit, err := testutil.Run(units, runPipeline(passes.StandardPipeline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != opt || baseExit != optExit {
+		t.Errorf("multi-unit behaviour changed: %q vs %q", base, opt)
+	}
+}
+
+func TestRunPipelineUnknownPass(t *testing.T) {
+	m, err := testutil.BuildModule("main.mc", `func main() { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := passes.RunPipeline(m, []string{"nosuchpass"}); err == nil {
+		t.Error("expected error for unknown pass")
+	}
+}
+
+func TestRegistryIntegrity(t *testing.T) {
+	seen := map[string]bool{}
+	for _, info := range passes.Registry() {
+		if seen[info.Name] {
+			t.Errorf("duplicate pass name %s", info.Name)
+		}
+		seen[info.Name] = true
+		inst := info.New()
+		if info.Module {
+			mp, ok := inst.(passes.ModulePass)
+			if !ok || mp.Name() != info.Name {
+				t.Errorf("%s: bad module pass construction", info.Name)
+			}
+		} else {
+			fp, ok := inst.(passes.FuncPass)
+			if !ok || fp.Name() != info.Name {
+				t.Errorf("%s: bad function pass construction", info.Name)
+			}
+		}
+		if info.Module && info.FunctionLocal {
+			t.Errorf("%s: module pass cannot be function-local", info.Name)
+		}
+	}
+	for _, name := range passes.StandardPipeline {
+		if _, ok := passes.Lookup(name); !ok {
+			t.Errorf("pipeline references unknown pass %s", name)
+		}
+	}
+	if !strings.Contains(strings.Join(passes.StandardPipeline, ","), "mem2reg") {
+		t.Error("standard pipeline must start from memory form")
+	}
+}

@@ -1,0 +1,278 @@
+package passes
+
+// SCCP is sparse conditional constant propagation (Wegman–Zadeck): a
+// three-level lattice (unknown → constant → varying) propagated over SSA
+// edges together with branch-directed block reachability, so constants are
+// found even through conditionally dead paths that straight folding misses.
+
+import (
+	"statefulcc/internal/ir"
+)
+
+// SCCP is the sparse conditional constant propagation pass.
+type SCCP struct{}
+
+// Name implements FuncPass.
+func (*SCCP) Name() string { return "sccp" }
+
+type latticeKind uint8
+
+const (
+	latUnknown latticeKind = iota // never executed / no information yet
+	latConst
+	latVarying
+)
+
+type lattice struct {
+	kind latticeKind
+	val  int64
+}
+
+type sccpState struct {
+	f        *ir.Func
+	val      map[*ir.Value]lattice
+	execEdge map[[2]*ir.Block]bool
+	execBlk  map[*ir.Block]bool
+	users    map[*ir.Value][]*ir.Value
+	ssaWork  []*ir.Value
+	flowWork [][2]*ir.Block
+}
+
+// Run implements FuncPass.
+func (*SCCP) Run(f *ir.Func) bool {
+	s := &sccpState{
+		f:        f,
+		val:      make(map[*ir.Value]lattice),
+		execEdge: make(map[[2]*ir.Block]bool),
+		execBlk:  make(map[*ir.Block]bool),
+		users:    make(map[*ir.Value][]*ir.Value),
+	}
+	f.ForEachValue(func(v *ir.Value) {
+		for _, a := range v.Args {
+			s.users[a] = append(s.users[a], v)
+		}
+	})
+
+	entry := f.Entry()
+	if entry == nil {
+		return false
+	}
+	s.markBlock(entry)
+	for len(s.ssaWork) > 0 || len(s.flowWork) > 0 {
+		for len(s.flowWork) > 0 {
+			e := s.flowWork[len(s.flowWork)-1]
+			s.flowWork = s.flowWork[:len(s.flowWork)-1]
+			s.processEdge(e[0], e[1])
+		}
+		for len(s.ssaWork) > 0 {
+			v := s.ssaWork[len(s.ssaWork)-1]
+			s.ssaWork = s.ssaWork[:len(s.ssaWork)-1]
+			if v.Block != nil && s.execBlk[v.Block] {
+				s.visit(v)
+			}
+		}
+	}
+	return s.rewrite()
+}
+
+func (s *sccpState) lookup(v *ir.Value) lattice {
+	switch v.Op {
+	case ir.OpConst:
+		return lattice{latConst, v.Aux}
+	case ir.OpParam:
+		return lattice{kind: latVarying}
+	}
+	return s.val[v]
+}
+
+// lower updates v's lattice downwards, queueing its users when it changed.
+func (s *sccpState) lower(v *ir.Value, l lattice) {
+	old := s.val[v]
+	if old.kind == l.kind && (l.kind != latConst || old.val == l.val) {
+		return
+	}
+	// The lattice only moves down: unknown → const → varying.
+	if old.kind == latVarying || (old.kind == latConst && l.kind == latConst && old.val != l.val) {
+		l = lattice{kind: latVarying}
+		if old.kind == latVarying {
+			return
+		}
+	}
+	s.val[v] = l
+	s.ssaWork = append(s.ssaWork, s.users[v]...)
+}
+
+func (s *sccpState) markBlock(b *ir.Block) {
+	if s.execBlk[b] {
+		return
+	}
+	s.execBlk[b] = true
+	for _, phi := range b.Phis {
+		s.visit(phi)
+	}
+	for _, v := range b.Instrs {
+		s.visit(v)
+	}
+	if b.Term != nil {
+		s.visit(b.Term)
+	}
+}
+
+func (s *sccpState) markEdge(from, to *ir.Block) {
+	key := [2]*ir.Block{from, to}
+	if s.execEdge[key] {
+		return
+	}
+	s.execEdge[key] = true
+	s.flowWork = append(s.flowWork, key)
+}
+
+func (s *sccpState) processEdge(from, to *ir.Block) {
+	if s.execBlk[to] {
+		// Re-evaluate phis: a new incoming edge can change their meet.
+		for _, phi := range to.Phis {
+			s.visit(phi)
+		}
+		return
+	}
+	s.markBlock(to)
+}
+
+func (s *sccpState) visit(v *ir.Value) {
+	switch v.Op {
+	case ir.OpPhi:
+		s.visitPhi(v)
+	case ir.OpJump:
+		s.markEdge(v.Block, v.Blocks[0])
+	case ir.OpBranch:
+		c := s.lookup(v.Args[0])
+		switch c.kind {
+		case latConst:
+			if c.val != 0 {
+				s.markEdge(v.Block, v.Blocks[0])
+			} else {
+				s.markEdge(v.Block, v.Blocks[1])
+			}
+		case latVarying:
+			s.markEdge(v.Block, v.Blocks[0])
+			s.markEdge(v.Block, v.Blocks[1])
+		}
+	case ir.OpRet, ir.OpStore, ir.OpPrint, ir.OpAssert:
+		// No result.
+	case ir.OpCall, ir.OpLoad, ir.OpAlloca, ir.OpIndexAddr, ir.OpGlobalAddr:
+		s.lower(v, lattice{kind: latVarying})
+	default:
+		s.visitArith(v)
+	}
+}
+
+func (s *sccpState) visitPhi(v *ir.Value) {
+	res := lattice{kind: latUnknown}
+	for i, a := range v.Args {
+		if !s.execEdge[[2]*ir.Block{v.Blocks[i], v.Block}] {
+			continue
+		}
+		al := s.lookup(a)
+		switch al.kind {
+		case latUnknown:
+			// contributes nothing yet
+		case latVarying:
+			res = lattice{kind: latVarying}
+		case latConst:
+			switch res.kind {
+			case latUnknown:
+				res = al
+			case latConst:
+				if res.val != al.val {
+					res = lattice{kind: latVarying}
+				}
+			}
+		}
+		if res.kind == latVarying {
+			break
+		}
+	}
+	s.lower(v, res)
+}
+
+func (s *sccpState) visitArith(v *ir.Value) {
+	// Unary and binary pure arithmetic.
+	switch len(v.Args) {
+	case 1:
+		a := s.lookup(v.Args[0])
+		switch a.kind {
+		case latVarying:
+			s.lower(v, lattice{kind: latVarying})
+		case latConst:
+			if r, ok := ir.EvalUnary(v.Op, a.val); ok {
+				s.lower(v, lattice{latConst, r})
+			} else {
+				s.lower(v, lattice{kind: latVarying})
+			}
+		}
+	case 2:
+		a, b := s.lookup(v.Args[0]), s.lookup(v.Args[1])
+		if a.kind == latConst && b.kind == latConst {
+			if r, ok := ir.EvalBinary(v.Op, a.val, b.val); ok {
+				s.lower(v, lattice{latConst, r})
+			} else {
+				s.lower(v, lattice{kind: latVarying}) // division by zero traps
+			}
+			return
+		}
+		if a.kind == latVarying || b.kind == latVarying {
+			s.lower(v, lattice{kind: latVarying})
+		}
+	}
+}
+
+// rewrite applies the solution: constant values are substituted, constant
+// branches become jumps, and unreachable blocks are removed.
+func (s *sccpState) rewrite() bool {
+	changed := false
+	for _, b := range s.f.Blocks {
+		if !s.execBlk[b] {
+			continue
+		}
+		rewriteList := func(list []*ir.Value, remove func(*ir.Value) bool) {
+			for _, v := range append([]*ir.Value(nil), list...) {
+				l := s.val[v]
+				if l.kind != latConst || v.Type == ir.TVoid {
+					continue
+				}
+				if v.Op == ir.OpDiv || v.Op == ir.OpRem {
+					// Folded result exists, but operands proved constant
+					// only along executable paths; EvalBinary succeeded so
+					// replacement is safe.
+					_ = v
+				}
+				s.f.ReplaceAllUses(v, makeConst(s.f, l.val, v.Type))
+				if remove(v) {
+					changed = true
+				}
+			}
+		}
+		rewriteList(b.Phis, func(v *ir.Value) bool { return b.RemovePhi(v) })
+		rewriteList(b.Instrs, func(v *ir.Value) bool {
+			// Keep instructions whose execution is observable even when
+			// the result is known (calls may print; loads cannot trap but
+			// keeping DCE-able ones is harmless... they are pure reads, so
+			// removal is fine; calls are never latConst anyway).
+			return b.RemoveInstr(v)
+		})
+		if b.Term != nil && b.Term.Op == ir.OpBranch {
+			if c := s.lookup(b.Term.Args[0]); c.kind == latConst {
+				taken := b.Term.Blocks[0]
+				if c.val == 0 {
+					taken = b.Term.Blocks[1]
+				}
+				replaceTermWithJump(b, taken)
+				changed = true
+			}
+		}
+	}
+	if s.f.RemoveUnreachable() > 0 {
+		changed = true
+	}
+	return changed
+}

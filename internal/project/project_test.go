@@ -1,0 +1,86 @@
+package project_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"statefulcc/internal/project"
+)
+
+func sample() project.Snapshot {
+	return project.Snapshot{
+		"main.mc":       []byte("func main() { }\n"),
+		"src/lib.mc":    []byte("func lib() int { return 1; }\n"),
+		"src/deep/x.mc": []byte("func x() { }\n"),
+	}
+}
+
+func TestUnitsSorted(t *testing.T) {
+	units := sample().Units()
+	want := []string{"main.mc", "src/deep/x.mc", "src/lib.mc"}
+	if len(units) != len(want) {
+		t.Fatalf("units = %v", units)
+	}
+	for i := range want {
+		if units[i] != want[i] {
+			t.Errorf("units[%d] = %s, want %s", i, units[i], want[i])
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := sample()
+	b := a.Clone()
+	if d := project.Diff(a, b); len(d) != 0 {
+		t.Errorf("identical snapshots diff: %v", d)
+	}
+	b["main.mc"] = []byte("func main() int { return 1; }\n")
+	delete(b, "src/lib.mc")
+	b["new.mc"] = []byte("func n() { }\n")
+	d := project.Diff(a, b)
+	if len(d) != 3 {
+		t.Fatalf("diff = %v, want 3 entries", d)
+	}
+	// Sorted: main.mc, new.mc, src/lib.mc.
+	if d[0] != "main.mc" || d[1] != "new.mc" || d[2] != "src/lib.mc" {
+		t.Errorf("diff order: %v", d)
+	}
+}
+
+func TestLoadDirRequiresSources(t *testing.T) {
+	if _, err := project.LoadDir(t.TempDir()); err == nil {
+		t.Error("empty dir should error")
+	}
+}
+
+func TestNestedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := project.WriteDir(dir, sample()); err != nil {
+		t.Fatal(err)
+	}
+	// Non-.mc files are ignored by LoadDir.
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := project.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("loaded %d units", len(got))
+	}
+	if string(got["src/deep/x.mc"]) != "func x() { }\n" {
+		t.Error("nested unit corrupted")
+	}
+}
+
+func TestSizeHelpers(t *testing.T) {
+	s := sample()
+	if s.TotalBytes() != len(s["main.mc"])+len(s["src/lib.mc"])+len(s["src/deep/x.mc"]) {
+		t.Error("TotalBytes wrong")
+	}
+	if s.Lines() < 3 {
+		t.Errorf("Lines = %d", s.Lines())
+	}
+}

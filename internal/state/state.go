@@ -1,0 +1,346 @@
+// Package state persists the stateful compiler's dormancy records to disk.
+//
+// The format is a compact little-endian binary layout with a magic/version
+// header; writes are atomic (temp file + rename) so a crashed build never
+// leaves a truncated state file — a corrupt or stale file is simply
+// discarded by the loader and the next build runs cold, which is always
+// safe because the records are a pure optimization.
+//
+// Layout (version 3). Two observations keep the state tiny, mirroring the
+// paper's pitch:
+//
+//   - only *dormant* records can ever satisfy a skip, so records of active
+//     passes need no fingerprint at all — just a flags byte; and
+//
+//   - a run of consecutive dormant passes shares one input fingerprint, so
+//     the dormant hashes are stored once in a small distinct-hash table and
+//     referenced by varint index.
+//
+// Costs are EWMA pass times quantized to 256ns units (they only feed
+// estimated-savings reporting).
+//
+//	magic "SCCSTATE" | u32 version | u64 pipelineHash | unit string
+//	recordBlock(module slots)
+//	u32 nFuncs | nFuncs × ( string name, recordBlock(slots) )
+//
+//	recordBlock: uvarint nSlots | uvarint nHashes | nHashes × u64 |
+//	             nSlots × ( u8 flags [, uvarint hashIdx, uvarint cost256] )
+//
+// flags: bit0 = changed, bit1 = seen. hashIdx/cost follow only for seen
+// dormant (changed=0) slots.
+package state
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"statefulcc/internal/core"
+)
+
+var magic = [8]byte{'S', 'C', 'C', 'S', 'T', 'A', 'T', 'E'}
+
+// FormatVersion is the on-disk layout version.
+const FormatVersion = 3
+
+// Save writes the unit state to path atomically.
+func Save(path string, st *core.UnitState) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("state: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".state-*")
+	if err != nil {
+		return fmt.Errorf("state: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+
+	w := bufio.NewWriter(tmp)
+	if err := Encode(w, st); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("state: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("state: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("state: %w", err)
+	}
+	return nil
+}
+
+// Load reads a unit state; a missing file returns (nil, nil) and any
+// malformed file returns an error the caller should treat as "run cold".
+func Load(path string) (*core.UnitState, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("state: %w", err)
+	}
+	defer f.Close()
+	return Decode(bufio.NewReader(f))
+}
+
+// Encode streams the state in the binary format. Functions are written in
+// name order so the output is deterministic.
+func Encode(w io.Writer, st *core.UnitState) error {
+	e := &encoder{w: w}
+	e.bytes(magic[:])
+	e.u32(FormatVersion)
+	e.u64(st.PipelineHash)
+	e.str(st.Unit)
+
+	e.recordBlock(st.ModuleSlots, st.ModuleSeen)
+
+	names := make([]string, 0, len(st.Funcs))
+	for name := range st.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	e.u32(uint32(len(names)))
+	for _, name := range names {
+		fs := st.Funcs[name]
+		e.str(name)
+		e.recordBlock(fs.Slots, fs.Seen)
+	}
+	return e.err
+}
+
+// recordBlock writes slot records with the distinct-hash table compression.
+// Only seen dormant records carry a hash and cost.
+func (e *encoder) recordBlock(slots []core.Record, seen []bool) {
+	e.uv(uint64(len(slots)))
+	var hashes []uint64
+	idx := make(map[uint64]int)
+	for i, r := range slots {
+		if !seen[i] || r.Changed {
+			continue
+		}
+		if _, ok := idx[r.InputHash]; !ok {
+			idx[r.InputHash] = len(hashes)
+			hashes = append(hashes, r.InputHash)
+		}
+	}
+	e.uv(uint64(len(hashes)))
+	for _, h := range hashes {
+		e.u64(h)
+	}
+	for i, r := range slots {
+		var flags byte
+		if r.Changed {
+			flags |= 1
+		}
+		if seen[i] {
+			flags |= 2
+		}
+		e.bytes([]byte{flags})
+		if seen[i] && !r.Changed {
+			e.uv(uint64(idx[r.InputHash]))
+			e.uv(uint64(r.CostNS) >> 8)
+		}
+	}
+}
+
+func (d *decoder) recordBlock() ([]core.Record, []bool) {
+	n := d.uv()
+	if d.err == nil && n > 1<<16 {
+		d.err = fmt.Errorf("implausible slot count %d", n)
+	}
+	if d.err != nil {
+		return nil, nil
+	}
+	nHashes := d.uv()
+	if d.err == nil && nHashes > n {
+		d.err = fmt.Errorf("hash table larger than slot count")
+	}
+	if d.err != nil {
+		return nil, nil
+	}
+	hashes := make([]uint64, nHashes)
+	for i := range hashes {
+		hashes[i] = d.u64()
+	}
+	slots := make([]core.Record, n)
+	seen := make([]bool, n)
+	for i := range slots {
+		var fb [1]byte
+		d.bytes(fb[:])
+		slots[i].Changed = fb[0]&1 != 0
+		seen[i] = fb[0]&2 != 0
+		if seen[i] && !slots[i].Changed {
+			hi := d.uv()
+			if d.err == nil && hi >= uint64(len(hashes)) {
+				d.err = fmt.Errorf("hash index out of range")
+				return nil, nil
+			}
+			if d.err != nil {
+				return nil, nil
+			}
+			slots[i].InputHash = hashes[hi]
+			slots[i].CostNS = int64(d.uv()) << 8
+		}
+	}
+	return slots, seen
+}
+
+// Decode parses the binary format.
+func Decode(r io.Reader) (*core.UnitState, error) {
+	d := &decoder{r: r}
+	var m [8]byte
+	d.bytes(m[:])
+	if d.err == nil && m != magic {
+		return nil, fmt.Errorf("state: bad magic")
+	}
+	if v := d.u32(); d.err == nil && v != FormatVersion {
+		return nil, fmt.Errorf("state: unsupported version %d", v)
+	}
+	st := &core.UnitState{Funcs: make(map[string]*core.FuncState)}
+	st.PipelineHash = d.u64()
+	st.Unit = d.str()
+
+	st.ModuleSlots, st.ModuleSeen = d.recordBlock()
+
+	nFuncs := d.u32()
+	if d.err == nil && nFuncs > 1<<24 {
+		return nil, fmt.Errorf("state: implausible function count %d", nFuncs)
+	}
+	for i := uint32(0); i < nFuncs && d.err == nil; i++ {
+		name := d.str()
+		slots, seen := d.recordBlock()
+		if d.err != nil {
+			break
+		}
+		st.Funcs[name] = &core.FuncState{Slots: slots, Seen: seen}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("state: %w", d.err)
+	}
+	return st, nil
+}
+
+// FileSize reports the serialized size of a state value, used by the
+// state-overhead experiments.
+func FileSize(st *core.UnitState) (int, error) {
+	var c countWriter
+	if err := Encode(&c, st); err != nil {
+		return 0, err
+	}
+	return c.n, nil
+}
+
+type countWriter struct{ n int }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += len(p)
+	return len(p), nil
+}
+
+// --- low-level encoding -------------------------------------------------------
+
+type encoder struct {
+	w   io.Writer
+	err error
+	buf [8]byte
+}
+
+func (e *encoder) bytes(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
+}
+
+func (e *encoder) u32(v uint32) {
+	binary.LittleEndian.PutUint32(e.buf[:4], v)
+	e.bytes(e.buf[:4])
+}
+
+func (e *encoder) u64(v uint64) {
+	binary.LittleEndian.PutUint64(e.buf[:8], v)
+	e.bytes(e.buf[:8])
+}
+
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.bytes([]byte(s))
+}
+
+func (e *encoder) uv(v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	e.bytes(buf[:n])
+}
+
+type decoder struct {
+	r   io.Reader
+	err error
+	buf [8]byte
+}
+
+func (d *decoder) bytes(b []byte) {
+	if d.err != nil {
+		return
+	}
+	_, d.err = io.ReadFull(d.r, b)
+}
+
+func (d *decoder) u32() uint32 {
+	d.bytes(d.buf[:4])
+	if d.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(d.buf[:4])
+}
+
+func (d *decoder) u64() uint64 {
+	d.bytes(d.buf[:8])
+	if d.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(d.buf[:8])
+}
+
+func (d *decoder) str() string {
+	n := d.u32()
+	if d.err != nil {
+		return ""
+	}
+	if n > 1<<20 {
+		d.err = fmt.Errorf("implausible string length %d", n)
+		return ""
+	}
+	b := make([]byte, n)
+	d.bytes(b)
+	return string(b)
+}
+
+func (d *decoder) uv() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d)
+	if err != nil {
+		d.err = err
+		return 0
+	}
+	return v
+}
+
+// ReadByte makes the decoder an io.ByteReader for ReadUvarint.
+func (d *decoder) ReadByte() (byte, error) {
+	var b [1]byte
+	d.bytes(b[:])
+	if d.err != nil {
+		return 0, d.err
+	}
+	return b[0], nil
+}

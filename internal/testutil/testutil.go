@@ -1,0 +1,82 @@
+// Package testutil provides shared helpers for the compiler's test suites:
+// one-call paths from MiniC source text to checked ASTs, IR modules, linked
+// programs, and executed results. Tests across packages use these to do
+// differential testing (unoptimized vs optimized vs stateful builds).
+package testutil
+
+import (
+	"fmt"
+
+	"statefulcc/internal/codegen"
+	"statefulcc/internal/ir"
+	"statefulcc/internal/irbuild"
+	"statefulcc/internal/parser"
+	"statefulcc/internal/source"
+	"statefulcc/internal/types"
+	"statefulcc/internal/vm"
+)
+
+// BuildModule runs the frontend (parse, check, lower) on one unit.
+func BuildModule(unit, src string) (*ir.Module, error) {
+	var errs source.ErrorList
+	file := source.NewFile(unit, []byte(src))
+	tree := parser.ParseFile(file, &errs)
+	if errs.HasErrors() {
+		return nil, fmt.Errorf("parse: %w", &errs)
+	}
+	info := types.Check(file, tree, &errs)
+	if errs.HasErrors() {
+		return nil, fmt.Errorf("check: %w", &errs)
+	}
+	return irbuild.Build(unit, tree, info)
+}
+
+// Transform is an optional IR transformation applied between lowering and
+// codegen (tests plug pass pipelines in here).
+type Transform func(*ir.Module) error
+
+// LinkProgram builds, optionally transforms, compiles, and links the units.
+// The map key is the unit name; iteration order does not matter because the
+// linker sorts units.
+func LinkProgram(units map[string]string, tf Transform) (*codegen.Program, error) {
+	var objs []*codegen.Object
+	for name, src := range units {
+		m, err := BuildModule(name, src)
+		if err != nil {
+			return nil, fmt.Errorf("unit %s: %w", name, err)
+		}
+		if tf != nil {
+			if err := tf(m); err != nil {
+				return nil, fmt.Errorf("transform %s: %w", name, err)
+			}
+			if err := m.Verify(); err != nil {
+				return nil, fmt.Errorf("transform %s broke IR: %w", name, err)
+			}
+		}
+		obj, err := codegen.Compile(m)
+		if err != nil {
+			return nil, fmt.Errorf("codegen %s: %w", name, err)
+		}
+		objs = append(objs, obj)
+	}
+	return codegen.Link(objs)
+}
+
+// Run compiles and executes a set of units, returning the print output and
+// main's return value.
+func Run(units map[string]string, tf Transform) (string, int64, error) {
+	p, err := LinkProgram(units, tf)
+	if err != nil {
+		return "", 0, err
+	}
+	out, res, err := vm.RunCapture(p, vm.Config{})
+	if err != nil {
+		return out, 0, err
+	}
+	return out, res.ExitValue, nil
+}
+
+// RunSource is Run for a single unit named main.mc.
+func RunSource(src string, tf Transform) (string, int64, error) {
+	return Run(map[string]string{"main.mc": src}, tf)
+}

@@ -1,0 +1,58 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+
+	"statefulcc/internal/ir"
+)
+
+func TestBuildModuleErrors(t *testing.T) {
+	if _, err := BuildModule("u.mc", `func broken( {`); err == nil || !strings.Contains(err.Error(), "parse") {
+		t.Errorf("parse error not surfaced: %v", err)
+	}
+	if _, err := BuildModule("u.mc", `func f() { x = 1; }`); err == nil || !strings.Contains(err.Error(), "check") {
+		t.Errorf("check error not surfaced: %v", err)
+	}
+	m, err := BuildModule("u.mc", `func main() { }`)
+	if err != nil || m == nil || m.Unit != "u.mc" {
+		t.Errorf("valid build failed: %v", err)
+	}
+}
+
+func TestTransformErrorsSurface(t *testing.T) {
+	_, _, err := RunSource(`func main() { }`, func(m *ir.Module) error {
+		return errTransform
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("transform error lost: %v", err)
+	}
+}
+
+var errTransform = errStr("boom")
+
+type errStr string
+
+func (e errStr) Error() string { return string(e) }
+
+func TestTransformBreakingIRIsCaught(t *testing.T) {
+	_, _, err := RunSource(`func main() { print(1); }`, func(m *ir.Module) error {
+		// Sabotage: drop the entry block's terminator.
+		m.Funcs[0].Blocks[0].Term = nil
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "broke IR") {
+		t.Errorf("IR damage not detected: %v", err)
+	}
+}
+
+func TestRunMultiUnitOrderIndependent(t *testing.T) {
+	units := map[string]string{
+		"b.mc": `func helper() int { return 5; }`,
+		"a.mc": `extern func helper() int; func main() int { return helper(); }`,
+	}
+	out, exit, err := Run(units, nil)
+	if err != nil || out != "" || exit != 5 {
+		t.Errorf("out=%q exit=%d err=%v", out, exit, err)
+	}
+}

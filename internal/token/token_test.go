@@ -1,0 +1,89 @@
+package token
+
+import "testing"
+
+func TestClassification(t *testing.T) {
+	if !IDENT.IsLiteral() || !INT.IsLiteral() || !STRING.IsLiteral() {
+		t.Error("literal classification broken")
+	}
+	if ADD.IsLiteral() || FUNC.IsLiteral() {
+		t.Error("non-literals classified as literal")
+	}
+	if !ADD.IsOperator() || !SEMICOLON.IsOperator() {
+		t.Error("operator classification broken")
+	}
+	if !FUNC.IsKeyword() || !BOOLTYPE.IsKeyword() || IDENT.IsKeyword() {
+		t.Error("keyword classification broken")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if Lookup("while") != WHILE || Lookup("extern") != EXTERN {
+		t.Error("keyword lookup broken")
+	}
+	if Lookup("whileish") != IDENT || Lookup("") != IDENT {
+		t.Error("non-keywords should map to IDENT")
+	}
+	// Every keyword spelling must round-trip.
+	for spelling, kind := range Keywords {
+		if Lookup(spelling) != kind {
+			t.Errorf("keyword %q lookup = %v", spelling, kind)
+		}
+		if kind.String() != spelling {
+			t.Errorf("keyword %v prints %q, want %q", kind, kind.String(), spelling)
+		}
+	}
+}
+
+func TestPrecedenceTotalOrder(t *testing.T) {
+	// Binary operators must have positive precedence ≤ MaxPrecedence;
+	// everything else zero.
+	binaries := []Kind{LOR, LAND, OR, XOR, AND, EQL, NEQ, LSS, LEQ, GTR, GEQ, SHL, SHR, ADD, SUB, MUL, QUO, REM}
+	for _, k := range binaries {
+		p := k.Precedence()
+		if p < 1 || p > MaxPrecedence {
+			t.Errorf("%v precedence %d out of range", k, p)
+		}
+	}
+	for _, k := range []Kind{ASSIGN, NOT, LPAREN, IDENT, FUNC, EOF} {
+		if k.Precedence() != 0 {
+			t.Errorf("%v should have no precedence", k)
+		}
+	}
+	if MUL.Precedence() <= ADD.Precedence() || ADD.Precedence() <= EQL.Precedence() {
+		t.Error("precedence ordering wrong")
+	}
+	if LAND.Precedence() <= LOR.Precedence() {
+		t.Error("&& must bind tighter than ||")
+	}
+}
+
+func TestCompoundAssign(t *testing.T) {
+	wants := map[Kind]Kind{
+		ADDASSIGN: ADD, SUBASSIGN: SUB, MULASSIGN: MUL, QUOASSIGN: QUO, REMASSIGN: REM,
+	}
+	for compound, base := range wants {
+		got, ok := compound.CompoundAssignOp()
+		if !ok || got != base {
+			t.Errorf("%v compound base = %v/%t", compound, got, ok)
+		}
+		if !compound.IsAssignOp() {
+			t.Errorf("%v not recognized as assignment", compound)
+		}
+	}
+	if _, ok := ASSIGN.CompoundAssignOp(); ok {
+		t.Error("plain = has no compound base")
+	}
+	if !ASSIGN.IsAssignOp() || ADD.IsAssignOp() {
+		t.Error("IsAssignOp broken")
+	}
+}
+
+func TestStringFallback(t *testing.T) {
+	if s := Kind(250).String(); s == "" {
+		t.Error("unknown kind prints empty")
+	}
+	if ADD.String() != "+" || SHR.String() != ">>" || RETURN.String() != "return" {
+		t.Error("spellings wrong")
+	}
+}

@@ -1,0 +1,697 @@
+package types
+
+// This file implements the semantic checker proper: scope management,
+// statement and expression checking, constant folding, and the
+// all-paths-return analysis.
+
+import (
+	"statefulcc/internal/ast"
+	"statefulcc/internal/source"
+	"statefulcc/internal/token"
+)
+
+// Check type-checks one compilation unit. Diagnostics go to errs; the
+// returned Info is usable (for the checked parts) even on error.
+func Check(file *source.File, tree *ast.File, errs *source.ErrorList) *Info {
+	c := &checker{
+		file: file,
+		errs: errs,
+		info: newInfo(),
+		top:  newScope(nil),
+	}
+	c.declareBuiltins()
+	c.collectTopLevel(tree)
+	c.checkBodies(tree)
+	return c.info
+}
+
+type scope struct {
+	parent  *scope
+	symbols map[string]*Symbol
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, symbols: make(map[string]*Symbol)}
+}
+
+func (s *scope) lookup(name string) *Symbol {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sym, ok := sc.symbols[name]; ok {
+			return sym
+		}
+	}
+	return nil
+}
+
+func (s *scope) declare(sym *Symbol) *Symbol {
+	if prev, ok := s.symbols[sym.Name]; ok {
+		return prev
+	}
+	s.symbols[sym.Name] = sym
+	return nil
+}
+
+type checker struct {
+	file *source.File
+	errs *source.ErrorList
+	info *Info
+	top  *scope
+
+	// Per-function state.
+	fn        *ast.FuncDecl
+	fnSig     *Signature
+	loopDepth int
+}
+
+func (c *checker) errorf(pos source.Pos, format string, args ...any) {
+	c.errs.Errorf(c.file.Position(pos), format, args...)
+}
+
+func (c *checker) declareBuiltins() {
+	c.top.declare(&Symbol{
+		Kind: SymBuiltin, Name: BuiltinPrint,
+		Sig: &Signature{Result: VoidType}, // variadic; arg checking is special-cased
+	})
+	c.top.declare(&Symbol{
+		Kind: SymBuiltin, Name: BuiltinAssert,
+		Sig: &Signature{Params: []*Type{BoolType}, Result: VoidType},
+	})
+}
+
+// resolveType converts a syntactic type to a semantic one.
+func (c *checker) resolveType(t ast.TypeExpr) *Type {
+	switch t := t.(type) {
+	case *ast.ScalarType:
+		if t.Kind == token.BOOLTYPE {
+			return BoolType
+		}
+		return IntType
+	case *ast.ArrayType:
+		if t.Len <= 0 {
+			c.errorf(t.Pos(), "array length must be positive, got %d", t.Len)
+			return ArrayOf(1)
+		}
+		return ArrayOf(t.Len)
+	default:
+		return InvalidType
+	}
+}
+
+func (c *checker) signatureOf(params []*ast.Param, result ast.TypeExpr) *Signature {
+	sig := &Signature{Result: VoidType}
+	for _, p := range params {
+		t := c.resolveType(p.Type)
+		if t.Kind == Array {
+			c.errorf(p.Pos(), "arrays cannot be passed as parameters")
+			t = IntType
+		}
+		sig.Params = append(sig.Params, t)
+	}
+	if result != nil {
+		t := c.resolveType(result)
+		if t.Kind == Array {
+			c.errorf(result.Pos(), "arrays cannot be returned")
+			t = IntType
+		}
+		sig.Result = t
+	}
+	return sig
+}
+
+// collectTopLevel declares all top-level names before checking bodies, so
+// that forward references between functions work.
+func (c *checker) collectTopLevel(tree *ast.File) {
+	for _, d := range tree.Decls {
+		switch d := d.(type) {
+		case *ast.FuncDecl:
+			sym := &Symbol{Kind: SymFunc, Name: d.Name, Sig: c.signatureOf(d.Params, d.Result), Decl: d}
+			c.declareTop(sym, d.Pos())
+		case *ast.ExternDecl:
+			sym := &Symbol{Kind: SymExtern, Name: d.Name, Sig: c.signatureOf(d.Params, d.Result), Decl: d}
+			c.declareTop(sym, d.Pos())
+		case *ast.VarDecl:
+			t := c.resolveType(d.Type)
+			sym := &Symbol{Kind: SymGlobal, Name: d.Name, Type: t, Decl: d}
+			if c.declareTop(sym, d.Pos()) {
+				c.info.Globals = append(c.info.Globals, sym)
+				if d.Init != nil {
+					if t.Kind == Array {
+						c.errorf(d.Init.Pos(), "array globals cannot have initializers")
+					} else if v, ok := c.constEval(d.Init); ok {
+						c.info.GlobalInits[sym] = v
+					} else {
+						c.errorf(d.Init.Pos(), "global initializer must be a constant expression")
+					}
+				}
+			}
+		case *ast.ConstDecl:
+			v, ok := c.constEval(d.Value)
+			if !ok {
+				c.errorf(d.Value.Pos(), "const initializer must be a constant expression")
+			}
+			sym := &Symbol{Kind: SymConst, Name: d.Name, Type: IntType, Const: v, Decl: d}
+			c.declareTop(sym, d.Pos())
+		}
+	}
+}
+
+func (c *checker) declareTop(sym *Symbol, pos source.Pos) bool {
+	if prev := c.top.declare(sym); prev != nil {
+		// A matching extern followed by a definition (or vice versa) is
+		// an error in one unit: externs refer to other units only.
+		c.errorf(pos, "%s redeclared in this unit (previous declaration as %s)", sym.Name, prev.Kind)
+		return false
+	}
+	c.info.Defs[sym.Decl] = sym
+	return true
+}
+
+func (c *checker) checkBodies(tree *ast.File) {
+	for _, d := range tree.Decls {
+		fn, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		sym := c.info.Defs[fn]
+		if sym == nil {
+			continue // redeclaration; already reported
+		}
+		c.fn = fn
+		c.fnSig = sym.Sig
+		c.loopDepth = 0
+		c.info.Funcs = append(c.info.Funcs, fn)
+
+		fnScope := newScope(c.top)
+		for i, p := range fn.Params {
+			psym := &Symbol{Kind: SymParam, Name: p.Name, Type: sym.Sig.Params[i], Decl: p}
+			if prev := fnScope.declare(psym); prev != nil {
+				c.errorf(p.Pos(), "duplicate parameter %s", p.Name)
+			}
+			c.info.Defs[p] = psym
+		}
+		c.checkBlock(fn.Body, newScope(fnScope))
+
+		if sym.Sig.Result.Kind != Void && !blockReturns(fn.Body) {
+			c.errorf(fn.Pos(), "function %s: missing return on some paths", fn.Name)
+		}
+	}
+	c.fn = nil
+}
+
+// --- statements --------------------------------------------------------------
+
+func (c *checker) checkBlock(b *ast.BlockStmt, sc *scope) {
+	warned := false
+	for i, s := range b.Stmts {
+		c.checkStmt(s, sc)
+		if !warned && i+1 < len(b.Stmts) && stmtTerminates(s) {
+			c.errs.Warnf(c.file.Position(b.Stmts[i+1].Pos()), "unreachable code")
+			warned = true
+		}
+	}
+}
+
+// stmtTerminates reports whether control cannot continue past s — the
+// unreachable-code warning's (conservative) predicate.
+func stmtTerminates(s ast.Stmt) bool {
+	switch s.(type) {
+	case *ast.BreakStmt, *ast.ContinueStmt:
+		return true
+	}
+	return stmtReturns(s)
+}
+
+func (c *checker) checkStmt(s ast.Stmt, sc *scope) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.checkBlock(s, newScope(sc))
+	case *ast.DeclStmt:
+		c.checkLocalDecl(s.Decl, sc)
+	case *ast.AssignStmt:
+		c.checkAssign(s, sc)
+	case *ast.IfStmt:
+		c.checkCond(s.Cond, sc)
+		c.checkBlock(s.Then, newScope(sc))
+		if s.Else != nil {
+			c.checkStmt(s.Else, sc)
+		}
+	case *ast.WhileStmt:
+		c.checkCond(s.Cond, sc)
+		c.loopDepth++
+		c.checkBlock(s.Body, newScope(sc))
+		c.loopDepth--
+	case *ast.ForStmt:
+		inner := newScope(sc)
+		if s.Init != nil {
+			c.checkStmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			c.checkCond(s.Cond, inner)
+		}
+		if s.Post != nil {
+			c.checkStmt(s.Post, inner)
+		}
+		c.loopDepth++
+		c.checkBlock(s.Body, newScope(inner))
+		c.loopDepth--
+	case *ast.ReturnStmt:
+		c.checkReturn(s, sc)
+	case *ast.BreakStmt:
+		if c.loopDepth == 0 {
+			c.errorf(s.Pos(), "break outside loop")
+		}
+	case *ast.ContinueStmt:
+		if c.loopDepth == 0 {
+			c.errorf(s.Pos(), "continue outside loop")
+		}
+	case *ast.ExprStmt:
+		c.checkExpr(s.X, sc)
+	}
+}
+
+func (c *checker) checkLocalDecl(d *ast.VarDecl, sc *scope) {
+	t := c.resolveType(d.Type)
+	sym := &Symbol{Kind: SymLocal, Name: d.Name, Type: t, Decl: d}
+	if prev := sc.declare(sym); prev != nil {
+		c.errorf(d.Pos(), "%s redeclared in this scope", d.Name)
+	}
+	c.info.Defs[d] = sym
+	if d.Init != nil {
+		it := c.checkExpr(d.Init, sc)
+		if t.Kind == Array {
+			c.errorf(d.Init.Pos(), "array variables cannot have initializers")
+		} else if !it.Equal(t) && it.Kind != Invalid {
+			c.errorf(d.Init.Pos(), "cannot initialize %s (%s) with %s", d.Name, t, it)
+		}
+	}
+}
+
+func (c *checker) checkAssign(s *ast.AssignStmt, sc *scope) {
+	lt := c.checkExpr(s.Lhs, sc)
+	rt := c.checkExpr(s.Rhs, sc)
+	if id, ok := s.Lhs.(*ast.IdentExpr); ok {
+		if sym := c.info.Uses[id]; sym != nil {
+			switch sym.Kind {
+			case SymConst:
+				c.errorf(s.Pos(), "cannot assign to constant %s", sym.Name)
+				return
+			case SymFunc, SymExtern, SymBuiltin:
+				c.errorf(s.Pos(), "cannot assign to function %s", sym.Name)
+				return
+			}
+			if sym.Type != nil && sym.Type.Kind == Array {
+				c.errorf(s.Pos(), "cannot assign to array %s as a whole", sym.Name)
+				return
+			}
+		}
+	}
+	if op, ok := s.Op.CompoundAssignOp(); ok {
+		_ = op
+		if lt.Kind != Int && lt.Kind != Invalid {
+			c.errorf(s.Pos(), "compound assignment requires int operands, got %s", lt)
+		}
+		if rt.Kind != Int && rt.Kind != Invalid {
+			c.errorf(s.Rhs.Pos(), "compound assignment requires int operands, got %s", rt)
+		}
+		return
+	}
+	if !lt.Equal(rt) && lt.Kind != Invalid && rt.Kind != Invalid {
+		c.errorf(s.Pos(), "cannot assign %s to %s", rt, lt)
+	}
+}
+
+func (c *checker) checkReturn(s *ast.ReturnStmt, sc *scope) {
+	want := c.fnSig.Result
+	if s.Value == nil {
+		if want.Kind != Void {
+			c.errorf(s.Pos(), "missing return value (want %s)", want)
+		}
+		return
+	}
+	got := c.checkExpr(s.Value, sc)
+	if want.Kind == Void {
+		c.errorf(s.Pos(), "function %s returns no value", c.fn.Name)
+		return
+	}
+	if !got.Equal(want) && got.Kind != Invalid {
+		c.errorf(s.Value.Pos(), "cannot return %s (want %s)", got, want)
+	}
+}
+
+func (c *checker) checkCond(e ast.Expr, sc *scope) {
+	t := c.checkExpr(e, sc)
+	if t.Kind != Bool && t.Kind != Invalid {
+		c.errorf(e.Pos(), "condition must be bool, got %s", t)
+	}
+}
+
+// --- expressions ---------------------------------------------------------------
+
+func (c *checker) checkExpr(e ast.Expr, sc *scope) *Type {
+	t := c.exprType(e, sc)
+	c.info.ExprTypes[e] = t
+	return t
+}
+
+func (c *checker) exprType(e ast.Expr, sc *scope) *Type {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		c.info.ConstVals[e] = e.Value
+		return IntType
+	case *ast.BoolLit:
+		return BoolType
+	case *ast.StringLit:
+		c.errorf(e.Pos(), "string literals are only allowed as the first argument of print")
+		return InvalidType
+	case *ast.ParenExpr:
+		return c.checkExpr(e.X, sc)
+	case *ast.IdentExpr:
+		return c.identType(e, sc)
+	case *ast.UnaryExpr:
+		return c.unaryType(e, sc)
+	case *ast.BinaryExpr:
+		return c.binaryType(e, sc)
+	case *ast.IndexExpr:
+		return c.indexType(e, sc)
+	case *ast.CallExpr:
+		return c.callType(e, sc)
+	default:
+		return InvalidType
+	}
+}
+
+func (c *checker) identType(e *ast.IdentExpr, sc *scope) *Type {
+	sym := sc.lookup(e.Name)
+	if sym == nil {
+		c.errorf(e.Pos(), "undefined: %s", e.Name)
+		return InvalidType
+	}
+	c.info.Uses[e] = sym
+	switch sym.Kind {
+	case SymConst:
+		c.info.ConstVals[e] = sym.Const
+		return IntType
+	case SymFunc, SymExtern, SymBuiltin:
+		// Calls resolve their callee directly in callType, so reaching
+		// here means the function name is used as a value — MiniC has no
+		// function values.
+		c.errorf(e.Pos(), "%s is a function, not a value", e.Name)
+		return InvalidType
+	default:
+		return sym.Type
+	}
+}
+
+func (c *checker) unaryType(e *ast.UnaryExpr, sc *scope) *Type {
+	xt := c.checkExpr(e.X, sc)
+	switch e.Op {
+	case token.SUB, token.XOR:
+		if xt.Kind != Int && xt.Kind != Invalid {
+			c.errorf(e.Pos(), "operator %s requires int, got %s", e.Op, xt)
+			return InvalidType
+		}
+		if v, ok := c.info.ConstVals[e.X]; ok {
+			if e.Op == token.SUB {
+				c.info.ConstVals[e] = -v
+			} else {
+				c.info.ConstVals[e] = ^v
+			}
+		}
+		return IntType
+	case token.NOT:
+		if xt.Kind != Bool && xt.Kind != Invalid {
+			c.errorf(e.Pos(), "operator ! requires bool, got %s", xt)
+			return InvalidType
+		}
+		return BoolType
+	}
+	return InvalidType
+}
+
+func (c *checker) binaryType(e *ast.BinaryExpr, sc *scope) *Type {
+	xt := c.checkExpr(e.X, sc)
+	yt := c.checkExpr(e.Y, sc)
+	bad := xt.Kind == Invalid || yt.Kind == Invalid
+
+	fold := func(res *Type) *Type {
+		if xv, ok := c.info.ConstVals[e.X]; ok {
+			if yv, ok := c.info.ConstVals[e.Y]; ok {
+				if v, ok := foldInt(e.Op, xv, yv); ok && res.Kind == Int {
+					c.info.ConstVals[e] = v
+				}
+			}
+		}
+		return res
+	}
+
+	switch e.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.AND, token.OR, token.XOR, token.SHL, token.SHR:
+		if !bad && (xt.Kind != Int || yt.Kind != Int) {
+			c.errorf(e.Pos(), "operator %s requires int operands, got %s and %s", e.Op, xt, yt)
+			return InvalidType
+		}
+		return fold(IntType)
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		if !bad && (xt.Kind != Int || yt.Kind != Int) {
+			c.errorf(e.Pos(), "operator %s requires int operands, got %s and %s", e.Op, xt, yt)
+			return InvalidType
+		}
+		return BoolType
+	case token.EQL, token.NEQ:
+		if !bad && (!xt.Equal(yt) || !xt.IsScalar()) {
+			c.errorf(e.Pos(), "operator %s requires matching scalar operands, got %s and %s", e.Op, xt, yt)
+			return InvalidType
+		}
+		return BoolType
+	case token.LAND, token.LOR:
+		if !bad && (xt.Kind != Bool || yt.Kind != Bool) {
+			c.errorf(e.Pos(), "operator %s requires bool operands, got %s and %s", e.Op, xt, yt)
+			return InvalidType
+		}
+		return BoolType
+	}
+	return InvalidType
+}
+
+func (c *checker) indexType(e *ast.IndexExpr, sc *scope) *Type {
+	xt := c.checkExpr(e.X, sc)
+	it := c.checkExpr(e.Index, sc)
+	if it.Kind != Int && it.Kind != Invalid {
+		c.errorf(e.Index.Pos(), "array index must be int, got %s", it)
+	}
+	if xt.Kind != Array {
+		if xt.Kind != Invalid {
+			c.errorf(e.Pos(), "indexing requires an array, got %s", xt)
+		}
+		return InvalidType
+	}
+	if v, ok := c.info.ConstVals[e.Index]; ok && (v < 0 || v >= xt.Len) {
+		c.errorf(e.Index.Pos(), "constant index %d out of bounds [0,%d)", v, xt.Len)
+	}
+	return IntType
+}
+
+func (c *checker) callType(e *ast.CallExpr, sc *scope) *Type {
+	sym := sc.lookup(e.Callee.Name)
+	if sym == nil {
+		c.errorf(e.Callee.Pos(), "undefined function: %s", e.Callee.Name)
+		for _, a := range e.Args {
+			c.checkExpr(a, sc)
+		}
+		return InvalidType
+	}
+	c.info.Uses[e.Callee] = sym
+	switch sym.Kind {
+	case SymFunc, SymExtern:
+		return c.checkCallArgs(e, sym.Sig, sc)
+	case SymBuiltin:
+		return c.checkBuiltinCall(e, sym, sc)
+	default:
+		c.errorf(e.Callee.Pos(), "%s is not a function", e.Callee.Name)
+		for _, a := range e.Args {
+			c.checkExpr(a, sc)
+		}
+		return InvalidType
+	}
+}
+
+func (c *checker) checkCallArgs(e *ast.CallExpr, sig *Signature, sc *scope) *Type {
+	if len(e.Args) != len(sig.Params) {
+		c.errorf(e.Pos(), "%s expects %d arguments, got %d", e.Callee.Name, len(sig.Params), len(e.Args))
+	}
+	for i, a := range e.Args {
+		at := c.checkExpr(a, sc)
+		if i < len(sig.Params) && !at.Equal(sig.Params[i]) && at.Kind != Invalid {
+			c.errorf(a.Pos(), "argument %d of %s: cannot use %s as %s", i+1, e.Callee.Name, at, sig.Params[i])
+		}
+	}
+	return sig.Result
+}
+
+func (c *checker) checkBuiltinCall(e *ast.CallExpr, sym *Symbol, sc *scope) *Type {
+	switch sym.Name {
+	case BuiltinPrint:
+		// print(("fmt-like label")? , scalars...)
+		for i, a := range e.Args {
+			if s, ok := a.(*ast.StringLit); ok {
+				if i != 0 {
+					c.errorf(a.Pos(), "string label must be the first print argument")
+				}
+				c.info.ExprTypes[a] = InvalidType
+				_ = s
+				continue
+			}
+			at := c.checkExpr(a, sc)
+			if !at.IsScalar() && at.Kind != Invalid {
+				c.errorf(a.Pos(), "print argument must be int or bool, got %s", at)
+			}
+		}
+		return VoidType
+	case BuiltinAssert:
+		if len(e.Args) < 1 || len(e.Args) > 2 {
+			c.errorf(e.Pos(), "assert expects 1 or 2 arguments (cond, optional message)")
+		}
+		if len(e.Args) >= 1 {
+			c.checkCond(e.Args[0], sc)
+		}
+		if len(e.Args) == 2 {
+			if _, ok := e.Args[1].(*ast.StringLit); !ok {
+				c.errorf(e.Args[1].Pos(), "assert message must be a string literal")
+			}
+		}
+		return VoidType
+	}
+	return VoidType
+}
+
+// --- constant folding ----------------------------------------------------------
+
+// constEval evaluates an expression usable in constant contexts (int
+// literals, const references once declared, unary -/^, binary int ops).
+// It resolves names in the top-level scope only.
+func (c *checker) constEval(e ast.Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Value, true
+	case *ast.ParenExpr:
+		return c.constEval(e.X)
+	case *ast.IdentExpr:
+		if sym := c.top.lookup(e.Name); sym != nil && sym.Kind == SymConst {
+			c.info.Uses[e] = sym
+			return sym.Const, true
+		}
+		return 0, false
+	case *ast.UnaryExpr:
+		v, ok := c.constEval(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case token.SUB:
+			return -v, true
+		case token.XOR:
+			return ^v, true
+		}
+		return 0, false
+	case *ast.BinaryExpr:
+		x, ok := c.constEval(e.X)
+		if !ok {
+			return 0, false
+		}
+		y, ok := c.constEval(e.Y)
+		if !ok {
+			return 0, false
+		}
+		return foldInt(e.Op, x, y)
+	default:
+		return 0, false
+	}
+}
+
+// foldInt applies an integer binary operator, refusing division by zero and
+// out-of-range shifts so that folding never changes program behaviour.
+func foldInt(op token.Kind, x, y int64) (int64, bool) {
+	switch op {
+	case token.ADD:
+		return x + y, true
+	case token.SUB:
+		return x - y, true
+	case token.MUL:
+		return x * y, true
+	case token.QUO:
+		if y == 0 {
+			return 0, false
+		}
+		return x / y, true
+	case token.REM:
+		if y == 0 {
+			return 0, false
+		}
+		return x % y, true
+	case token.AND:
+		return x & y, true
+	case token.OR:
+		return x | y, true
+	case token.XOR:
+		return x ^ y, true
+	case token.SHL:
+		if y < 0 || y >= 64 {
+			return 0, false
+		}
+		return x << uint(y), true
+	case token.SHR:
+		if y < 0 || y >= 64 {
+			return 0, false
+		}
+		return x >> uint(y), true
+	}
+	return 0, false
+}
+
+// --- control-flow return analysis -------------------------------------------
+
+// blockReturns reports whether every path through b ends in a return.
+func blockReturns(b *ast.BlockStmt) bool {
+	for _, s := range b.Stmts {
+		if stmtReturns(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func stmtReturns(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BlockStmt:
+		return blockReturns(s)
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		return blockReturns(s.Then) && stmtReturns(s.Else)
+	case *ast.WhileStmt:
+		// "while true" without a break cannot fall through: control either
+		// loops forever or leaves via a return inside the body.
+		if lit, ok := s.Cond.(*ast.BoolLit); ok && lit.Value {
+			hasBreak := false
+			ast.Inspect(s.Body, func(n ast.Node) bool {
+				switch n.(type) {
+				case *ast.BreakStmt:
+					hasBreak = true
+					return false
+				case *ast.WhileStmt, *ast.ForStmt:
+					// Breaks inside nested loops do not exit this one.
+					return false
+				}
+				return true
+			})
+			return !hasBreak
+		}
+		return false
+	default:
+		return false
+	}
+}

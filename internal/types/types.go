@@ -1,0 +1,197 @@
+// Package types implements MiniC's type system and semantic checker.
+//
+// The type language is tiny — int, bool, fixed-size int arrays, and void
+// function results — but the checker does everything a real frontend does:
+// scoped symbol resolution, lvalue/rvalue discipline, call-signature
+// checking, constant-expression evaluation for globals and const
+// declarations, and a conservative all-paths-return analysis. The result is
+// an Info side table that the IR builder consumes, leaving the AST untouched.
+package types
+
+import (
+	"fmt"
+
+	"statefulcc/internal/ast"
+)
+
+// Kind classifies a Type.
+type Kind int
+
+// Type kinds.
+const (
+	Invalid Kind = iota
+	Int
+	Bool
+	Array
+	Void
+)
+
+// Type describes a MiniC type. Types are compared with Equal rather than
+// pointer identity; scalar types are interned in the package-level
+// singletons.
+type Type struct {
+	Kind Kind
+	Len  int64 // array length when Kind == Array
+}
+
+// Interned scalar types.
+var (
+	IntType     = &Type{Kind: Int}
+	BoolType    = &Type{Kind: Bool}
+	VoidType    = &Type{Kind: Void}
+	InvalidType = &Type{Kind: Invalid}
+)
+
+// ArrayOf returns the type [n]int.
+func ArrayOf(n int64) *Type { return &Type{Kind: Array, Len: n} }
+
+// String renders the type in source syntax.
+func (t *Type) String() string {
+	switch t.Kind {
+	case Int:
+		return "int"
+	case Bool:
+		return "bool"
+	case Array:
+		return fmt.Sprintf("[%d]int", t.Len)
+	case Void:
+		return "void"
+	default:
+		return "invalid"
+	}
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(u *Type) bool {
+	return t.Kind == u.Kind && (t.Kind != Array || t.Len == u.Len)
+}
+
+// IsScalar reports whether t is int or bool (a value that fits a register).
+func (t *Type) IsScalar() bool { return t.Kind == Int || t.Kind == Bool }
+
+// Signature is a function type.
+type Signature struct {
+	Params []*Type
+	Result *Type // VoidType for no result
+}
+
+// String renders "func(int, bool) int".
+func (s *Signature) String() string {
+	out := "func("
+	for i, p := range s.Params {
+		if i > 0 {
+			out += ", "
+		}
+		out += p.String()
+	}
+	out += ")"
+	if s.Result.Kind != Void {
+		out += " " + s.Result.String()
+	}
+	return out
+}
+
+// Equal reports signature equality.
+func (s *Signature) Equal(o *Signature) bool {
+	if len(s.Params) != len(o.Params) || !s.Result.Equal(o.Result) {
+		return false
+	}
+	for i := range s.Params {
+		if !s.Params[i].Equal(o.Params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// SymbolKind classifies a resolved name.
+type SymbolKind int
+
+// Symbol kinds.
+const (
+	SymLocal SymbolKind = iota
+	SymParam
+	SymGlobal
+	SymFunc
+	SymExtern
+	SymConst
+	SymBuiltin
+)
+
+// String returns the symbol kind name.
+func (k SymbolKind) String() string {
+	switch k {
+	case SymLocal:
+		return "local"
+	case SymParam:
+		return "param"
+	case SymGlobal:
+		return "global"
+	case SymFunc:
+		return "func"
+	case SymExtern:
+		return "extern"
+	case SymConst:
+		return "const"
+	case SymBuiltin:
+		return "builtin"
+	default:
+		return "symbol"
+	}
+}
+
+// Symbol is a resolved declaration.
+type Symbol struct {
+	Kind  SymbolKind
+	Name  string
+	Type  *Type      // value type (nil for functions)
+	Sig   *Signature // for SymFunc/SymExtern/SymBuiltin
+	Const int64      // value for SymConst
+	Decl  ast.Node   // declaring node (nil for builtins)
+}
+
+// Builtin function names recognized by the checker and lowered specially.
+const (
+	BuiltinPrint  = "print"
+	BuiltinAssert = "assert"
+)
+
+// Info is the checker's output: side tables keyed by AST node.
+type Info struct {
+	// ExprTypes maps each expression to its type.
+	ExprTypes map[ast.Expr]*Type
+	// Uses maps each identifier use to its symbol.
+	Uses map[*ast.IdentExpr]*Symbol
+	// Defs maps each declaring node to its symbol.
+	Defs map[ast.Node]*Symbol
+	// Funcs lists the checked function declarations in source order.
+	Funcs []*ast.FuncDecl
+	// Globals lists global variable symbols in source order.
+	Globals []*Symbol
+	// GlobalInits maps a global symbol to its constant initializer value.
+	GlobalInits map[*Symbol]int64
+	// ConstVals maps constant expressions that the checker folded
+	// (const-decl references and literal arithmetic) to their values.
+	ConstVals map[ast.Expr]int64
+}
+
+func newInfo() *Info {
+	return &Info{
+		ExprTypes:   make(map[ast.Expr]*Type),
+		Uses:        make(map[*ast.IdentExpr]*Symbol),
+		Defs:        make(map[ast.Node]*Symbol),
+		GlobalInits: make(map[*Symbol]int64),
+		ConstVals:   make(map[ast.Expr]int64),
+	}
+}
+
+// TypeOf returns the checked type of e, or InvalidType.
+func (info *Info) TypeOf(e ast.Expr) *Type {
+	if t, ok := info.ExprTypes[e]; ok {
+		return t
+	}
+	return InvalidType
+}
+
+// SymbolOf returns the symbol an identifier resolves to, or nil.
+func (info *Info) SymbolOf(e *ast.IdentExpr) *Symbol { return info.Uses[e] }

@@ -1,0 +1,192 @@
+package vm_test
+
+// Property-based operator-semantics tests: for random operand pairs, a
+// compiled-and-executed MiniC expression must agree with an independent Go
+// oracle implementing the language rules (two's-complement wraparound,
+// round-toward-zero division, masked shifts, traps on division by zero).
+// Both the unoptimized path and the full pipeline are exercised, so a
+// folding pass whose arithmetic diverged from the VM would be caught here.
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"statefulcc/internal/ir"
+	"statefulcc/internal/passes"
+	"statefulcc/internal/testutil"
+)
+
+// oracle implements MiniC's int semantics directly with Go operators.
+// ok=false means the expression traps (division by zero).
+func oracle(op string, a, b int64) (int64, bool) {
+	switch op {
+	case "+":
+		return a + b, true
+	case "-":
+		return a - b, true
+	case "*":
+		return a * b, true
+	case "/":
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case "%":
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case "&":
+		return a & b, true
+	case "|":
+		return a | b, true
+	case "^":
+		return a ^ b, true
+	case "<<":
+		return a << (uint64(b) & 63), true
+	case ">>":
+		return a >> (uint64(b) & 63), true
+	case "<":
+		return b2i(a < b), true
+	case "<=":
+		return b2i(a <= b), true
+	case ">":
+		return b2i(a > b), true
+	case ">=":
+		return b2i(a >= b), true
+	case "==":
+		return b2i(a == b), true
+	case "!=":
+		return b2i(a != b), true
+	}
+	panic("unknown op " + op)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// runBinary compiles "f(a,b) = a op b" (comparisons return via a branch so
+// bool results become ints) and runs it under the given transform.
+func runBinary(t *testing.T, op string, a, b int64, tf testutil.Transform) (int64, error) {
+	t.Helper()
+	expr := fmt.Sprintf("x %s y", op)
+	body := fmt.Sprintf("return %s;", expr)
+	switch op {
+	case "<", "<=", ">", ">=", "==", "!=":
+		body = fmt.Sprintf("if %s { return 1; } return 0;", expr)
+	}
+	src := fmt.Sprintf(`
+func f(x int, y int) int { %s }
+func main() int { return f(%d, %d) & 255; }`, body, a, b)
+	_, exit, err := testutil.RunSource(src, tf)
+	return exit, err
+}
+
+func optimized(m *ir.Module) error {
+	_, err := passes.RunPipeline(m, passes.StandardPipeline)
+	return err
+}
+
+func TestBinaryOperatorSemantics(t *testing.T) {
+	ops := []string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", "<", "<=", ">", ">=", "==", "!="}
+	cfg := &quick.Config{MaxCount: 12}
+	for _, op := range ops {
+		op := op
+		t.Run(op, func(t *testing.T) {
+			prop := func(a32, b32 int32, small uint8) bool {
+				a, b := int64(a32), int64(b32)
+				if op == "<<" || op == ">>" {
+					// Mix small and wild shift amounts.
+					if small%2 == 0 {
+						b = int64(small % 70)
+					}
+				}
+				want, wantOK := oracle(op, a, b)
+				for _, tf := range []testutil.Transform{nil, optimized} {
+					got, err := runBinary(t, op, a, b, tf)
+					if !wantOK {
+						if err == nil {
+							t.Logf("%d %s %d: expected trap, got %d", a, op, b, got)
+							return false
+						}
+						continue
+					}
+					if err != nil {
+						t.Logf("%d %s %d: unexpected error %v", a, op, b, err)
+						return false
+					}
+					if got != want&255 {
+						t.Logf("%d %s %d: got %d, want %d", a, op, b, got, want&255)
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(prop, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestUnaryOperatorSemantics(t *testing.T) {
+	prop := func(a32 int32) bool {
+		a := int64(a32)
+		src := fmt.Sprintf(`
+func f(x int) int { return (-x ^ ^x) & 1023; }
+func main() int { return f(%d); }`, a)
+		want := (-a ^ ^a) & 1023
+		for _, tf := range []testutil.Transform{nil, optimized} {
+			_, exit, err := testutil.RunSource(src, tf)
+			if err != nil {
+				t.Logf("x=%d: %v", a, err)
+				return false
+			}
+			if exit != want {
+				t.Logf("x=%d: got %d, want %d", a, exit, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConstantVsRuntimeAgreement: the same expression evaluated at compile
+// time (constants visible to folding) and at run time (hidden behind
+// params) must agree.
+func TestConstantVsRuntimeAgreement(t *testing.T) {
+	prop := func(a16, b16 int16, opIdx uint8) bool {
+		ops := []string{"+", "-", "*", "&", "|", "^", "<<", ">>"}
+		op := ops[int(opIdx)%len(ops)]
+		a, b := int64(a16), int64(b16)
+		if op == "<<" || op == ">>" {
+			b = int64(uint8(b16)) % 64
+		}
+		constSrc := fmt.Sprintf(`
+func main() int { return (%d %s %d) & 255; }`, a, op, b)
+		runtimeSrc := fmt.Sprintf(`
+func f(x int, y int) int { return (x %s y) & 255; }
+func main() int { return f(%d, %d); }`, op, a, b)
+		_, e1, err1 := testutil.RunSource(constSrc, optimized)
+		_, e2, err2 := testutil.RunSource(runtimeSrc, optimized)
+		if err1 != nil || err2 != nil {
+			t.Logf("errors: %v / %v", err1, err2)
+			return false
+		}
+		if e1 != e2 {
+			t.Logf("%d %s %d: const path %d, runtime path %d", a, op, b, e1, e2)
+		}
+		return e1 == e2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,398 @@
+package vm_test
+
+import (
+	"strings"
+	"testing"
+
+	"statefulcc/internal/testutil"
+	"statefulcc/internal/vm"
+)
+
+func run(t *testing.T, src string) (string, int64) {
+	t.Helper()
+	out, exit, err := testutil.RunSource(src, nil)
+	if err != nil {
+		t.Fatalf("run failed: %v\noutput so far:\n%s", err, out)
+	}
+	return out, exit
+}
+
+func wantTrap(t *testing.T, src, fragment string) {
+	t.Helper()
+	_, _, err := testutil.RunSource(src, nil)
+	if err == nil {
+		t.Fatalf("expected runtime error containing %q", fragment)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("error = %v, want contains %q", err, fragment)
+	}
+}
+
+func TestReturnValue(t *testing.T) {
+	_, exit := run(t, `func main() int { return 41 + 1; }`)
+	if exit != 42 {
+		t.Errorf("exit = %d, want 42", exit)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	out, _ := run(t, `
+func main() {
+    print(7 + 3, 7 - 3, 7 * 3, 7 / 3, 7 % 3);
+    print(-5 / 2, -5 % 2);
+    print(1 << 4, -16 >> 2, 6 & 3, 6 | 3, 6 ^ 3, ^0);
+}`)
+	want := "10 4 21 2 1\n-2 -1\n16 -4 2 7 5 -1\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestComparisonsAndBools(t *testing.T) {
+	out, _ := run(t, `
+func main() {
+    print(1 < 2, 2 < 1, 2 <= 2, 3 > 2, 3 >= 4, 5 == 5, 5 != 5);
+    var t bool = true;
+    var f bool = false;
+    print(t, f, !t, !f);
+}`)
+	want := "1 0 1 1 0 1 0\n1 0 0 1\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	out, _ := run(t, `
+var calls int = 0;
+
+func effect(r bool) bool {
+    calls = calls + 1;
+    return r;
+}
+
+func main() {
+    if false && effect(true) { }
+    if true || effect(true) { }
+    print("calls", calls);
+    if true && effect(true) { }
+    if false || effect(false) { }
+    print("calls", calls);
+}`)
+	want := "calls 0\ncalls 2\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	out, _ := run(t, `
+func main() {
+    var sum int = 0;
+    for var i int = 0; i < 10; i++ {
+        if i % 2 == 0 {
+            continue;
+        }
+        if i > 7 {
+            break;
+        }
+        sum += i;
+    }
+    print(sum); // 1+3+5+7 = 16
+    var n int = 3;
+    while n > 0 {
+        print("n", n);
+        n--;
+    }
+}`)
+	want := "16\nn 3\nn 2\nn 1\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	out, exit := run(t, `
+func fib(n int) int {
+    if n < 2 {
+        return n;
+    }
+    return fib(n - 1) + fib(n - 2);
+}
+
+func fact(n int) int {
+    var r int = 1;
+    for var i int = 2; i <= n; i++ {
+        r *= i;
+    }
+    return r;
+}
+
+func main() int {
+    print("fib", fib(10));
+    print("fact", fact(6));
+    return fib(10) + fact(6);
+}`)
+	if out != "fib 55\nfact 720\n" || exit != 775 {
+		t.Errorf("out=%q exit=%d", out, exit)
+	}
+}
+
+func TestArraysAndGlobals(t *testing.T) {
+	out, _ := run(t, `
+var cache [16]int;
+var hits int;
+
+func memo(i int) int {
+    if cache[i] != 0 {
+        hits++;
+        return cache[i];
+    }
+    cache[i] = i * i;
+    return cache[i];
+}
+
+func main() {
+    var local [4]int;
+    for var i int = 0; i < 4; i++ {
+        local[i] = memo(i + 1);
+    }
+    for var i int = 0; i < 4; i++ {
+        memo(i + 1);
+    }
+    print(local[0], local[1], local[2], local[3], hits);
+}`)
+	want := "1 4 9 16 4\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	out, _ := run(t, `
+const K = 7;
+var a int = K * 2;
+var b int = -3;
+var c int;
+
+func main() { print(a, b, c); }`)
+	if out != "14 -3 0\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestLocalZeroInit(t *testing.T) {
+	out, _ := run(t, `
+func f() int {
+    var x int;
+    var a [3]int;
+    return x + a[0] + a[1] + a[2];
+}
+func main() { print(f(), f()); }`)
+	if out != "0 0\n" {
+		t.Errorf("output = %q, want \"0 0\"", out)
+	}
+}
+
+func TestMultiUnit(t *testing.T) {
+	out, _, err := testutil.Run(map[string]string{
+		"util.mc": `
+var seed int = 1;
+func rand() int {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+func _helper(x int) int { return x * 2; }
+func double(x int) int { return _helper(x); }
+`,
+		"main.mc": `
+extern func rand() int;
+extern func double(x int) int;
+func main() {
+    var a int = rand();
+    var b int = rand();
+    print(a != b, double(21));
+}`,
+	}, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out != "1 42\n" {
+		t.Errorf("output = %q, want \"1 42\"", out)
+	}
+}
+
+func TestAssertPassesAndFails(t *testing.T) {
+	run(t, `func main() { assert(1 + 1 == 2, "math works"); }`)
+	wantTrap(t, `func main() { assert(1 == 2, "broken"); }`, "assertion failed: broken")
+	wantTrap(t, `func main() { assert(false); }`, "assertion failed")
+}
+
+func TestDivideByZeroTraps(t *testing.T) {
+	wantTrap(t, `func main() { var z int = 0; print(1 / z); }`, "div by zero")
+	wantTrap(t, `func main() { var z int = 0; print(1 % z); }`, "rem by zero")
+}
+
+func TestBoundsCheck(t *testing.T) {
+	wantTrap(t, `
+func main() {
+    var a [4]int;
+    var i int = 4;
+    a[i] = 1;
+}`, "out of bounds")
+	wantTrap(t, `
+func main() {
+    var a [4]int;
+    var i int = -1;
+    print(a[i]);
+}`, "out of bounds")
+}
+
+func TestShiftMasking(t *testing.T) {
+	out, _ := run(t, `
+func main() {
+    var s int = 65; // masked to 1
+    print(1 << s, 256 >> s);
+}`)
+	if out != "2 128\n" {
+		t.Errorf("output = %q, want \"2 128\"", out)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p, err := testutil.LinkProgram(map[string]string{"main.mc": `
+func main() { while true { } }`}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = vm.RunCapture(p, vm.Config{MaxSteps: 1000})
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Errorf("err = %v, want step limit", err)
+	}
+}
+
+func TestDeepRecursionOverflows(t *testing.T) {
+	wantTrap(t, `
+func down(n int) int {
+    return down(n + 1);
+}
+func main() { print(down(0)); }`, "overflow")
+}
+
+func TestPhiHeavyCode(t *testing.T) {
+	// Nested conditions and loop-carried values exercise phi lowering once
+	// mem2reg runs; without passes this still checks branch trampolines.
+	out, exit := run(t, `
+func collatz(n int) int {
+    var steps int = 0;
+    while n != 1 {
+        if n % 2 == 0 {
+            n = n / 2;
+        } else {
+            n = 3 * n + 1;
+        }
+        steps++;
+    }
+    return steps;
+}
+func main() int {
+    print(collatz(27));
+    return collatz(6);
+}`)
+	if out != "111\n" || exit != 8 {
+		t.Errorf("out=%q exit=%d, want 111/8", out, exit)
+	}
+}
+
+func TestParamMutation(t *testing.T) {
+	out, _ := run(t, `
+func f(x int) int {
+    x = x * 2;
+    x += 1;
+    return x;
+}
+func main() { print(f(10)); }`)
+	if out != "21\n" {
+		t.Errorf("output = %q, want \"21\"", out)
+	}
+}
+
+func TestProfiler(t *testing.T) {
+	p, err := testutil.LinkProgram(map[string]string{"main.mc": `
+func leaf(x int) int { return x * 2 + 1; }
+func mid(n int) int {
+    var s int = 0;
+    for var i int = 0; i < n; i++ { s += leaf(i); }
+    return s;
+}
+func main() int { return mid(10) % 100; }`}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := vm.RunCapture(p, vm.Config{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil {
+		t.Fatal("no profile collected")
+	}
+	leaf, mid, main := res.Profile["leaf"], res.Profile["mid"], res.Profile["main"]
+	if leaf.Calls != 10 || mid.Calls != 1 || main.Calls != 1 {
+		t.Errorf("call counts: leaf=%d mid=%d main=%d", leaf.Calls, mid.Calls, main.Calls)
+	}
+	// Self-steps over all functions sum to the total step count.
+	var sum int64
+	for _, fp := range res.Profile {
+		sum += fp.Steps
+	}
+	if sum != res.Steps {
+		t.Errorf("profile steps sum %d != total %d", sum, res.Steps)
+	}
+	// The loop-heavy mid dominates; ordering helper agrees.
+	top := res.TopBySteps()
+	if len(top) == 0 || top[0] != "mid" {
+		t.Errorf("TopBySteps = %v, want mid first", top)
+	}
+	// Profiling off → nil profile, identical behaviour.
+	_, res2, err := vm.RunCapture(p, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Profile != nil {
+		t.Error("profile collected without Profile flag")
+	}
+	if res2.ExitValue != res.ExitValue || res2.Steps != res.Steps {
+		t.Error("profiling changed execution")
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	// Missing extern at link time.
+	_, _, err := testutil.Run(map[string]string{
+		"main.mc": `extern func missing() int; func main() { print(missing()); }`,
+	}, nil)
+	if err == nil || !strings.Contains(err.Error(), "undefined function missing") {
+		t.Errorf("err = %v, want undefined function", err)
+	}
+	// No main.
+	_, _, err = testutil.Run(map[string]string{"a.mc": `func f() { }`}, nil)
+	if err == nil || !strings.Contains(err.Error(), "no main") {
+		t.Errorf("err = %v, want no main", err)
+	}
+	// Duplicate symbol across units.
+	_, _, err = testutil.Run(map[string]string{
+		"a.mc": `func f() { } func main() { f(); }`,
+		"b.mc": `func f() { }`,
+	}, nil)
+	if err == nil || !strings.Contains(err.Error(), "duplicate function") {
+		t.Errorf("err = %v, want duplicate function", err)
+	}
+	// Arity mismatch between extern and definition.
+	_, _, err = testutil.Run(map[string]string{
+		"a.mc": `func f(x int) int { return x; }`,
+		"b.mc": `extern func f() int; func main() { print(f()); }`,
+	}, nil)
+	if err == nil || !strings.Contains(err.Error(), "args") {
+		t.Errorf("err = %v, want arity mismatch", err)
+	}
+}

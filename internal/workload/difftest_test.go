@@ -1,0 +1,120 @@
+package workload_test
+
+// Wide-seed differential sweep: the strongest whole-system correctness
+// asset. For many random projects and commit histories, program behaviour
+// must be identical under the unoptimized, stateless-optimized, stateful,
+// and fullcache compilers, and the stateful compiler's output IR must stay
+// byte-identical to the stateless compiler's throughout the history.
+
+import (
+	"testing"
+
+	"statefulcc/internal/buildsys"
+	"statefulcc/internal/compiler"
+	"statefulcc/internal/core"
+	"statefulcc/internal/project"
+	"statefulcc/internal/vm"
+	"statefulcc/internal/workload"
+)
+
+func TestWideSeedDifferential(t *testing.T) {
+	seeds := []int64{101, 202, 303, 404, 505, 606, 707, 808, 909, 1010}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			p := smallProfile(seed)
+			base := workload.Generate(p)
+			hist := workload.GenerateHistory(base, seed*7, 4, workload.DefaultCommitOptions())
+
+			builders := map[string]*buildsys.Builder{}
+			for name, mode := range map[string]compiler.Mode{
+				"stateless": compiler.ModeStateless,
+				"stateful":  compiler.ModeStateful,
+				"fullcache": compiler.ModeFullCache,
+			} {
+				b, err := buildsys.NewBuilder(buildsys.Options{Mode: mode})
+				if err != nil {
+					t.Fatal(err)
+				}
+				builders[name] = b
+			}
+
+			for i, snap := range append([]project.Snapshot{base}, hist.Commits...) {
+				outputs := map[string]string{}
+				exits := map[string]int64{}
+				for name, b := range builders {
+					rep, err := b.Build(snap)
+					if err != nil {
+						t.Fatalf("seed %d build %d (%s): %v", seed, i, name, err)
+					}
+					out, res, err := vm.RunCapture(rep.Program, vm.Config{})
+					if err != nil {
+						t.Fatalf("seed %d build %d (%s): %v", seed, i, name, err)
+					}
+					outputs[name] = out
+					exits[name] = res.ExitValue
+				}
+				for name := range builders {
+					if outputs[name] != outputs["stateless"] || exits[name] != exits["stateless"] {
+						t.Fatalf("seed %d build %d: %s diverged:\n%s\nvs\n%s",
+							seed, i, name, outputs[name], outputs["stateless"])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStatefulIRBitIdentical walks a history compiling every changed unit
+// under both drivers and compares the final IR text — stronger than output
+// equivalence.
+func TestStatefulIRBitIdentical(t *testing.T) {
+	p := smallProfile(77)
+	base := workload.Generate(p)
+	hist := workload.GenerateHistory(base, 770, 5, workload.DefaultCommitOptions())
+
+	stateless, err := core.NewDriver(core.Options{Policy: core.Stateless})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateful, err := core.NewDriver(core.Options{Policy: core.Stateful})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := map[string]*core.UnitState{}
+
+	prev := project.Snapshot(nil)
+	for bi, snap := range append([]project.Snapshot{base}, hist.Commits...) {
+		for _, unit := range snap.Units() {
+			if prev != nil {
+				if old, ok := prev[unit]; ok && string(old) == string(snap[unit]) {
+					continue
+				}
+			}
+			m1, err := compiler.Frontend(unit, snap[unit])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := stateless.Run(m1, nil); err != nil {
+				t.Fatal(err)
+			}
+			m2, err := compiler.Frontend(unit, snap[unit])
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, _, err := stateful.Run(m2, states[unit])
+			if err != nil {
+				t.Fatal(err)
+			}
+			states[unit] = st
+			if m1.String() != m2.String() {
+				t.Fatalf("build %d unit %s: stateful IR differs from stateless", bi, unit)
+			}
+		}
+		prev = snap
+	}
+}

@@ -1,0 +1,318 @@
+package workload
+
+// The developer-edit simulator: deterministic AST-level mutations applied
+// to a snapshot, modelling the "minor changes to existing source code that
+// is then frequently recompiled" of the paper's abstract. A commit touches
+// a small number of units and functions; every edit preserves
+// type-correctness and termination by construction.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"statefulcc/internal/ast"
+	"statefulcc/internal/parser"
+	"statefulcc/internal/project"
+	"statefulcc/internal/source"
+	"statefulcc/internal/token"
+)
+
+// EditKind enumerates mutation types.
+type EditKind int
+
+// Edit kinds.
+const (
+	// EditConstTweak changes a large integer literal (safe: divisors,
+	// shift amounts, and loop bounds are small by construction).
+	EditConstTweak EditKind = iota
+	// EditAddStmt appends an accumulator update to a function body.
+	EditAddStmt
+	// EditSwapOperator flips a commutative-ish arithmetic operator.
+	EditSwapOperator
+	// EditAddFunction appends a new private helper function.
+	EditAddFunction
+	numEditKinds
+)
+
+// String names the edit kind.
+func (k EditKind) String() string {
+	switch k {
+	case EditConstTweak:
+		return "const-tweak"
+	case EditAddStmt:
+		return "add-stmt"
+	case EditSwapOperator:
+		return "swap-operator"
+	case EditAddFunction:
+		return "add-function"
+	default:
+		return fmt.Sprintf("edit(%d)", int(k))
+	}
+}
+
+// Edit records one applied mutation.
+type Edit struct {
+	Unit string
+	Func string
+	Kind EditKind
+}
+
+// Editor applies simulated commits to a project.
+type Editor struct {
+	rng    *rand.Rand
+	nextID int
+}
+
+// NewEditor creates an editor with its own deterministic randomness.
+func NewEditor(seed int64) *Editor {
+	return &Editor{rng: rand.New(rand.NewSource(seed))}
+}
+
+// CommitOptions shape one simulated commit.
+type CommitOptions struct {
+	// Units is how many files the commit touches (≥1).
+	Units int
+	// EditsPerUnit is how many mutations land in each touched file (≥1).
+	EditsPerUnit int
+}
+
+// Commit applies one simulated commit, returning the new snapshot and the
+// edits performed. The input snapshot is not modified.
+func (e *Editor) Commit(snap project.Snapshot, opts CommitOptions) (project.Snapshot, []Edit) {
+	if opts.Units < 1 {
+		opts.Units = 1
+	}
+	if opts.EditsPerUnit < 1 {
+		opts.EditsPerUnit = 1
+	}
+	out := snap.Clone()
+	units := snap.Units()
+	var edits []Edit
+	for i := 0; i < opts.Units; i++ {
+		unit := units[e.rng.Intn(len(units))]
+		newSrc, unitEdits := e.editUnit(unit, out[unit], opts.EditsPerUnit)
+		out[unit] = newSrc
+		edits = append(edits, unitEdits...)
+	}
+	return out, edits
+}
+
+// editUnit parses, mutates, and re-prints one unit.
+func (e *Editor) editUnit(unit string, src []byte, n int) ([]byte, []Edit) {
+	var errs source.ErrorList
+	tree := parser.ParseFile(source.NewFile(unit, src), &errs)
+	if errs.HasErrors() {
+		// Should not happen on generated code; leave the unit untouched.
+		return src, nil
+	}
+	var edits []Edit
+	for i := 0; i < n; i++ {
+		kind := EditKind(e.rng.Intn(int(numEditKinds)))
+		if fn, ok := e.applyEdit(tree, kind); ok {
+			edits = append(edits, Edit{Unit: unit, Func: fn, Kind: kind})
+		}
+	}
+	return []byte(ast.Print(tree)), edits
+}
+
+func (e *Editor) applyEdit(tree *ast.File, kind EditKind) (string, bool) {
+	switch kind {
+	case EditConstTweak:
+		return e.constTweak(tree)
+	case EditAddStmt:
+		return e.addStmt(tree)
+	case EditSwapOperator:
+		return e.swapOperator(tree)
+	case EditAddFunction:
+		return e.addFunction(tree)
+	}
+	return "", false
+}
+
+// indexGuarded collects every node inside an array-index expression of the
+// function. The generator guarantees indexes stay in bounds via masking
+// idioms like ((x & 1023) % size); mutating anything inside an index would
+// void that guarantee, so edits skip these subtrees.
+func indexGuarded(fd *ast.FuncDecl) map[ast.Node]bool {
+	guarded := make(map[ast.Node]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ix, ok := n.(*ast.IndexExpr); ok {
+			ast.Inspect(ix.Index, func(m ast.Node) bool {
+				guarded[m] = true
+				return true
+			})
+		}
+		return true
+	})
+	return guarded
+}
+
+// pickFunc selects a non-main function declaration uniformly.
+func (e *Editor) pickFunc(tree *ast.File) (*ast.FuncDecl, bool) {
+	var fns []*ast.FuncDecl
+	for _, d := range tree.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name != "main" {
+			fns = append(fns, fd)
+		}
+	}
+	if len(fns) == 0 {
+		return nil, false
+	}
+	return fns[e.rng.Intn(len(fns))], true
+}
+
+// constTweak nudges a large literal inside one function. Only literals
+// ≥ 10 are touched: generated divisors (2..9), shift amounts (0..6), and
+// loop bounds (≤ 12) all stay intact, preserving safety and termination.
+func (e *Editor) constTweak(tree *ast.File) (string, bool) {
+	fd, ok := e.pickFunc(tree)
+	if !ok {
+		return "", false
+	}
+	guarded := indexGuarded(fd)
+	var lits []*ast.IntLit
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.IntLit); ok && lit.Value >= 13 && !guarded[n] {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	if len(lits) == 0 {
+		return "", false
+	}
+	lit := lits[e.rng.Intn(len(lits))]
+	delta := int64(e.rng.Intn(3) + 1)
+	if e.rng.Intn(2) == 0 && lit.Value-delta >= 13 {
+		lit.Value -= delta
+	} else {
+		lit.Value += delta
+	}
+	return fd.Name, true
+}
+
+// addStmt appends "acc = acc + C;" where acc is the function's first
+// declared int local (the generator always seeds one).
+func (e *Editor) addStmt(tree *ast.File) (string, bool) {
+	fd, ok := e.pickFunc(tree)
+	if !ok {
+		return "", false
+	}
+	var target string
+	for _, s := range fd.Body.Stmts {
+		if ds, ok := s.(*ast.DeclStmt); ok {
+			if _, isScalar := ds.Decl.Type.(*ast.ScalarType); isScalar {
+				target = ds.Decl.Name
+				break
+			}
+		}
+	}
+	if target == "" {
+		return "", false
+	}
+	stmt := &ast.AssignStmt{
+		Lhs: &ast.IdentExpr{Name: target},
+		Op:  token.ADDASSIGN,
+		Rhs: &ast.IntLit{Value: int64(e.rng.Intn(90) + 13)},
+	}
+	// Insert before a trailing return so the statement is reachable.
+	stmts := fd.Body.Stmts
+	if n := len(stmts); n > 0 {
+		if _, isRet := stmts[n-1].(*ast.ReturnStmt); isRet {
+			fd.Body.Stmts = append(stmts[:n-1], stmt, stmts[n-1])
+			return fd.Name, true
+		}
+	}
+	fd.Body.Stmts = append(stmts, stmt)
+	return fd.Name, true
+}
+
+// swapOperator flips + to - or * to + in one expression. The result stays
+// type-correct and trap-free (divisions are never touched).
+func (e *Editor) swapOperator(tree *ast.File) (string, bool) {
+	fd, ok := e.pickFunc(tree)
+	if !ok {
+		return "", false
+	}
+	guarded := indexGuarded(fd)
+	var bins []*ast.BinaryExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok && !guarded[n] {
+			switch b.Op {
+			case token.ADD, token.SUB, token.MUL, token.XOR, token.AND, token.OR:
+				bins = append(bins, b)
+			}
+		}
+		return true
+	})
+	if len(bins) == 0 {
+		return "", false
+	}
+	b := bins[e.rng.Intn(len(bins))]
+	switch b.Op {
+	case token.ADD:
+		b.Op = token.SUB
+	case token.SUB:
+		b.Op = token.ADD
+	case token.MUL:
+		b.Op = token.ADD
+	case token.XOR:
+		b.Op = token.OR
+	case token.AND:
+		b.Op = token.XOR
+	case token.OR:
+		b.Op = token.ADD
+	}
+	return fd.Name, true
+}
+
+// addFunction appends a new private helper; it is immediately dead code
+// (no caller), which is exactly what deadfunc-style passes see in real
+// commits that stage new code.
+func (e *Editor) addFunction(tree *ast.File) (string, bool) {
+	e.nextID++
+	name := fmt.Sprintf("_edit%d", e.nextID)
+	c1 := int64(e.rng.Intn(90) + 13)
+	c2 := int64(e.rng.Intn(90) + 13)
+	fd := &ast.FuncDecl{
+		Name: name,
+		Params: []*ast.Param{{
+			Name: "x", Type: &ast.ScalarType{Kind: token.INTTYPE},
+		}},
+		Result: &ast.ScalarType{Kind: token.INTTYPE},
+		Body: &ast.BlockStmt{Stmts: []ast.Stmt{
+			&ast.ReturnStmt{Value: &ast.BinaryExpr{
+				X:  &ast.BinaryExpr{X: &ast.IdentExpr{Name: "x"}, Op: token.MUL, Y: &ast.IntLit{Value: c1}},
+				Op: token.ADD,
+				Y:  &ast.IntLit{Value: c2},
+			}},
+		}},
+	}
+	tree.Decls = append(tree.Decls, fd)
+	return name, true
+}
+
+// History generates a sequence of commits from a base snapshot: the
+// standard incremental-build workload used across experiments.
+type History struct {
+	// Base is the initial snapshot (build 0 compiles it cold).
+	Base project.Snapshot
+	// Commits holds successive snapshots; Commits[i] is the tree after
+	// commit i+1.
+	Commits []project.Snapshot
+	// Edits[i] describes what commit i changed.
+	Edits [][]Edit
+}
+
+// GenerateHistory produces a deterministic commit sequence.
+func GenerateHistory(base project.Snapshot, seed int64, commits int, opts CommitOptions) *History {
+	ed := NewEditor(seed)
+	h := &History{Base: base}
+	cur := base
+	for i := 0; i < commits; i++ {
+		next, edits := ed.Commit(cur, opts)
+		h.Commits = append(h.Commits, next)
+		h.Edits = append(h.Edits, edits)
+		cur = next
+	}
+	return h
+}

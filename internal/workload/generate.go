@@ -1,0 +1,315 @@
+// Package workload generates synthetic MiniC projects and simulates
+// developer edit histories over them — the reproduction's stand-in for the
+// paper's real-world C++ projects (see DESIGN.md §6).
+//
+// Programs are generated as ASTs (type-correct by construction) and printed
+// to source, so every generated project parses, checks, compiles, and — by
+// construction of the statement/expression grammar — terminates:
+//
+//   - loops are counted for-loops with small constant bounds;
+//   - call graphs are layered DAGs (a function only calls lower layers, and
+//     calls inside loops only reach layer-0 leaf functions);
+//   - divisors, shift amounts, and array indexes come from safe value
+//     ranges.
+//
+// Generation is deterministic in the profile's seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"statefulcc/internal/ast"
+	"statefulcc/internal/project"
+	"statefulcc/internal/token"
+)
+
+// Profile describes one synthetic project.
+type Profile struct {
+	// Name labels the project in reports (e.g. "medium-lib").
+	Name string
+	// Seed drives all randomness.
+	Seed int64
+	// Files is the number of source units (main.mc included).
+	Files int
+	// FuncsPerFileMin/Max bound the functions per unit.
+	FuncsPerFileMin, FuncsPerFileMax int
+	// StmtsPerFuncMin/Max bound top-level statements per function body.
+	StmtsPerFuncMin, StmtsPerFuncMax int
+	// GlobalsPerFile bounds globals per unit.
+	GlobalsPerFile int
+	// CrossFileCallFrac is the probability a call targets another unit.
+	CrossFileCallFrac float64
+	// PrivateFrac is the probability a function is unit-private.
+	PrivateFrac float64
+}
+
+// funcInfo describes a generated function for later call sites.
+type funcInfo struct {
+	unit    string
+	name    string
+	params  int  // all int parameters
+	returns bool // int return value
+	level   int  // call-DAG layer; 0 = leaf
+	private bool
+}
+
+type generator struct {
+	p       Profile
+	rng     *rand.Rand
+	funcs   []funcInfo
+	nextID  int
+	globals map[string][]string // unit -> global scalar names
+	arrays  map[string][]arrInfo
+}
+
+type arrInfo struct {
+	name string
+	size int64
+}
+
+// Generate builds the project snapshot for a profile.
+func Generate(p Profile) project.Snapshot {
+	if p.Files < 1 {
+		p.Files = 1
+	}
+	g := &generator{
+		p:       p,
+		rng:     rand.New(rand.NewSource(p.Seed)),
+		globals: make(map[string][]string),
+		arrays:  make(map[string][]arrInfo),
+	}
+	snap := make(project.Snapshot, p.Files)
+
+	// Library units first so cross-file calls have targets, then main.
+	unitNames := make([]string, 0, p.Files)
+	for i := 0; i < p.Files-1; i++ {
+		unitNames = append(unitNames, fmt.Sprintf("src/lib_%03d.mc", i))
+	}
+	for _, unit := range unitNames {
+		snap[unit] = []byte(ast.Print(g.genUnit(unit, false)))
+	}
+	snap["main.mc"] = []byte(ast.Print(g.genUnit("main.mc", true)))
+	return snap
+}
+
+func (g *generator) intn(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + g.rng.Intn(hi-lo+1)
+}
+
+func (g *generator) chance(p float64) bool { return g.rng.Float64() < p }
+
+func (g *generator) fresh(prefix string) string {
+	g.nextID++
+	return fmt.Sprintf("%s%d", prefix, g.nextID)
+}
+
+// genUnit generates one compilation unit.
+func (g *generator) genUnit(unit string, isMain bool) *ast.File {
+	f := &ast.File{Name: unit}
+
+	// Consts and globals.
+	nConsts := g.intn(1, 3)
+	var constNames []string
+	for i := 0; i < nConsts; i++ {
+		name := g.fresh("K")
+		constNames = append(constNames, name)
+		f.Decls = append(f.Decls, &ast.ConstDecl{
+			Name:  name,
+			Value: intLit(int64(g.intn(2, 64))),
+		})
+	}
+	for i := 0; i < g.intn(0, g.p.GlobalsPerFile); i++ {
+		if g.chance(0.3) {
+			size := int64(g.intn(4, 16))
+			name := g.fresh("_tbl")
+			f.Decls = append(f.Decls, &ast.VarDecl{
+				Name: name,
+				Type: &ast.ArrayType{Len: size, Elem: &ast.ScalarType{Kind: token.INTTYPE}},
+			})
+			g.arrays[unit] = append(g.arrays[unit], arrInfo{name, size})
+		} else {
+			name := g.fresh("g")
+			if g.chance(0.5) {
+				name = "_" + name
+			}
+			f.Decls = append(f.Decls, &ast.VarDecl{
+				Name: name,
+				Type: &ast.ScalarType{Kind: token.INTTYPE},
+				Init: intLit(int64(g.intn(0, 100))),
+			})
+			g.globals[unit] = append(g.globals[unit], name)
+		}
+	}
+
+	// Functions.
+	nFuncs := g.intn(g.p.FuncsPerFileMin, g.p.FuncsPerFileMax)
+	externsNeeded := map[string]funcInfo{}
+	var newFuncs []funcInfo
+	for i := 0; i < nFuncs; i++ {
+		fd, info := g.genFunc(unit, constNames, externsNeeded)
+		f.Decls = append(f.Decls, fd)
+		newFuncs = append(newFuncs, info)
+	}
+	if isMain {
+		f.Decls = append(f.Decls, g.genMain(unit, externsNeeded))
+	}
+	g.funcs = append(g.funcs, newFuncs...)
+
+	// Prepend extern declarations for cross-unit callees.
+	var externDecls []ast.Decl
+	for _, name := range sortedFuncNames(externsNeeded) {
+		fi := externsNeeded[name]
+		ed := &ast.ExternDecl{Name: fi.name}
+		for p := 0; p < fi.params; p++ {
+			ed.Params = append(ed.Params, &ast.Param{
+				Name: fmt.Sprintf("a%d", p),
+				Type: &ast.ScalarType{Kind: token.INTTYPE},
+			})
+		}
+		if fi.returns {
+			ed.Result = &ast.ScalarType{Kind: token.INTTYPE}
+		}
+		externDecls = append(externDecls, ed)
+	}
+	f.Decls = append(externDecls, f.Decls...)
+	return f
+}
+
+func sortedFuncNames(m map[string]funcInfo) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// Insertion sort keeps this dependency-free and deterministic.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// bodyCtx tracks scope while generating a function body.
+type bodyCtx struct {
+	unit    string
+	consts  []string
+	intVars []string // assignable int locals/params
+	// readVars are readable but never assignment targets (loop counters —
+	// reassigning them could break termination).
+	readVars []string
+	// boolVars are assignable bool locals.
+	boolVars []string
+	arrays   []arrInfo
+	externs  map[string]funcInfo
+	level    int
+	inLoop   bool
+	depth    int
+}
+
+func (g *generator) genFunc(unit string, consts []string, externs map[string]funcInfo) (*ast.FuncDecl, funcInfo) {
+	private := g.chance(g.p.PrivateFrac)
+	base := g.fresh("fn")
+	name := base
+	if private {
+		name = "_" + base
+	}
+	nParams := g.intn(1, 3)
+	returns := g.chance(0.8)
+
+	fd := &ast.FuncDecl{Name: name, Body: &ast.BlockStmt{}}
+	ctx := &bodyCtx{unit: unit, consts: consts, externs: externs}
+	for i := 0; i < nParams; i++ {
+		pname := fmt.Sprintf("p%d", i)
+		fd.Params = append(fd.Params, &ast.Param{Name: pname, Type: &ast.ScalarType{Kind: token.INTTYPE}})
+		ctx.intVars = append(ctx.intVars, pname)
+	}
+	if returns {
+		fd.Result = &ast.ScalarType{Kind: token.INTTYPE}
+	}
+	ctx.arrays = g.arrays[unit]
+
+	// Levels: leaf functions (no calls) are level 0; others are one above
+	// their highest callee. Decide up front whether this function calls.
+	maxLevel := 0
+	for _, fi := range g.funcs {
+		if fi.level > maxLevel {
+			maxLevel = fi.level
+		}
+	}
+	ctx.level = 0
+	if len(g.funcs) > 0 && g.chance(0.7) {
+		ctx.level = maxLevel + 1
+		if ctx.level > 6 {
+			ctx.level = 6
+		}
+	}
+
+	nStmts := g.intn(g.p.StmtsPerFuncMin, g.p.StmtsPerFuncMax)
+	// Seed an accumulator local so edits and statements have a target.
+	acc := g.fresh("acc")
+	fd.Body.Stmts = append(fd.Body.Stmts, &ast.DeclStmt{Decl: &ast.VarDecl{
+		Name: acc,
+		Type: &ast.ScalarType{Kind: token.INTTYPE},
+		Init: g.intExpr(ctx, 1),
+	}})
+	ctx.intVars = append(ctx.intVars, acc)
+
+	for i := 0; i < nStmts; i++ {
+		fd.Body.Stmts = append(fd.Body.Stmts, g.stmt(ctx))
+	}
+	if returns {
+		fd.Body.Stmts = append(fd.Body.Stmts, &ast.ReturnStmt{Value: g.intExpr(ctx, 2)})
+	}
+	info := funcInfo{unit: unit, name: name, params: nParams, returns: returns, level: ctx.level, private: private}
+	return fd, info
+}
+
+// genMain builds main(): it calls public functions across the project and
+// prints their results, making whole-program behaviour observable.
+func (g *generator) genMain(unit string, externs map[string]funcInfo) *ast.FuncDecl {
+	fd := &ast.FuncDecl{Name: "main", Body: &ast.BlockStmt{}}
+	ctx := &bodyCtx{unit: unit, externs: externs, arrays: g.arrays[unit]}
+
+	total := g.fresh("total")
+	fd.Body.Stmts = append(fd.Body.Stmts, &ast.DeclStmt{Decl: &ast.VarDecl{
+		Name: total, Type: &ast.ScalarType{Kind: token.INTTYPE}, Init: intLit(0),
+	}})
+	ctx.intVars = append(ctx.intVars, total)
+
+	// Call a sample of public functions with deterministic arguments.
+	nCalls := 0
+	for _, fi := range g.funcs {
+		if fi.private || !fi.returns {
+			continue
+		}
+		if !g.chance(0.6) {
+			continue
+		}
+		call := g.callExpr(ctx, fi)
+		fd.Body.Stmts = append(fd.Body.Stmts, &ast.AssignStmt{
+			Lhs: ident(total), Op: token.ADDASSIGN, Rhs: call,
+		})
+		nCalls++
+		if nCalls >= 24 {
+			break
+		}
+	}
+	fd.Body.Stmts = append(fd.Body.Stmts,
+		&ast.ExprStmt{X: &ast.CallExpr{
+			Callee: ident("print"),
+			Args:   []ast.Expr{&ast.StringLit{Value: "total"}, ident(total)},
+		}},
+		&ast.ExprStmt{X: &ast.CallExpr{
+			Callee: ident("print"),
+			Args:   []ast.Expr{&ast.StringLit{Value: "parity"}, &ast.BinaryExpr{X: ident(total), Op: token.REM, Y: intLit(2)}},
+		}},
+	)
+	return fd
+}
+
+func ident(name string) *ast.IdentExpr { return &ast.IdentExpr{Name: name} }
+func intLit(v int64) *ast.IntLit       { return &ast.IntLit{Value: v} }

@@ -1,0 +1,327 @@
+package workload
+
+// Statement and expression generation: a small grammar-driven sampler that
+// only emits terminating, trap-free constructs.
+
+import (
+	"statefulcc/internal/ast"
+	"statefulcc/internal/token"
+)
+
+// stmt samples one statement.
+func (g *generator) stmt(ctx *bodyCtx) ast.Stmt {
+	if ctx.depth > 2 {
+		return g.simpleStmt(ctx)
+	}
+	switch g.intn(0, 11) {
+	case 0, 1:
+		return g.declStmt(ctx)
+	case 2, 3:
+		return g.simpleStmt(ctx)
+	case 4, 5:
+		return g.ifStmt(ctx)
+	case 6, 7:
+		return g.forStmt(ctx)
+	case 8:
+		return g.arrayStmt(ctx)
+	case 9:
+		return g.whileStmt(ctx)
+	case 10:
+		return g.boolStmt(ctx)
+	default:
+		return g.callOrSimple(ctx)
+	}
+}
+
+// boolStmt declares or updates a bool local.
+func (g *generator) boolStmt(ctx *bodyCtx) ast.Stmt {
+	if len(ctx.boolVars) > 0 && g.chance(0.5) {
+		name := ctx.boolVars[g.intn(0, len(ctx.boolVars)-1)]
+		return &ast.AssignStmt{Lhs: ident(name), Op: token.ASSIGN, Rhs: g.boolExpr(ctx, 1)}
+	}
+	name := g.fresh("b")
+	d := &ast.VarDecl{
+		Name: name,
+		Type: &ast.ScalarType{Kind: token.BOOLTYPE},
+		Init: g.boolExpr(ctx, 1),
+	}
+	ctx.boolVars = append(ctx.boolVars, name)
+	return &ast.DeclStmt{Decl: d}
+}
+
+// whileStmt emits a while loop over a dedicated strictly-decreasing
+// counter, so termination holds no matter what the body does (the counter
+// is never exposed as an assignable variable, and the final body statement
+// always decrements it).
+func (g *generator) whileStmt(ctx *bodyCtx) ast.Stmt {
+	ctx.depth++
+	wasInLoop := ctx.inLoop
+	ctx.inLoop = true
+	defer func() { ctx.depth--; ctx.inLoop = wasInLoop }()
+
+	w := g.fresh("w")
+	init := &ast.DeclStmt{Decl: &ast.VarDecl{
+		Name: w, Type: &ast.ScalarType{Kind: token.INTTYPE}, Init: intLit(int64(g.intn(2, 10))),
+	}}
+	savedRead := ctx.readVars
+	ctx.readVars = append(append([]string(nil), ctx.readVars...), w)
+	body := g.smallBlock(ctx, 1, 2)
+	ctx.readVars = savedRead
+	body.Stmts = append(body.Stmts, &ast.AssignStmt{
+		Lhs: ident(w), Op: token.SUBASSIGN, Rhs: intLit(int64(g.intn(1, 2))),
+	})
+	loop := &ast.WhileStmt{
+		Cond: &ast.BinaryExpr{X: ident(w), Op: token.GTR, Y: intLit(0)},
+		Body: body,
+	}
+	return &ast.BlockStmt{Stmts: []ast.Stmt{init, loop}}
+}
+
+func (g *generator) declStmt(ctx *bodyCtx) ast.Stmt {
+	name := g.fresh("v")
+	d := &ast.VarDecl{
+		Name: name,
+		Type: &ast.ScalarType{Kind: token.INTTYPE},
+		Init: g.intExpr(ctx, 2),
+	}
+	ctx.intVars = append(ctx.intVars, name)
+	return &ast.DeclStmt{Decl: d}
+}
+
+func (g *generator) simpleStmt(ctx *bodyCtx) ast.Stmt {
+	target := g.pickVar(ctx)
+	ops := []token.Kind{token.ASSIGN, token.ADDASSIGN, token.SUBASSIGN, token.MULASSIGN}
+	return &ast.AssignStmt{
+		Lhs: ident(target),
+		Op:  ops[g.intn(0, len(ops)-1)],
+		Rhs: g.intExpr(ctx, 2),
+	}
+}
+
+func (g *generator) ifStmt(ctx *bodyCtx) ast.Stmt {
+	ctx.depth++
+	defer func() { ctx.depth-- }()
+	s := &ast.IfStmt{
+		Cond: g.boolExpr(ctx, 1),
+		Then: g.smallBlock(ctx, 1, 2),
+	}
+	if g.chance(0.5) {
+		s.Else = g.smallBlock(ctx, 1, 2)
+	}
+	return s
+}
+
+// forStmt emits a bounded counted loop. Calls inside the loop body are
+// restricted to leaf functions (see stmt grammar notes in the package doc).
+func (g *generator) forStmt(ctx *bodyCtx) ast.Stmt {
+	ctx.depth++
+	wasInLoop := ctx.inLoop
+	ctx.inLoop = true
+	defer func() { ctx.depth--; ctx.inLoop = wasInLoop }()
+
+	iv := g.fresh("i")
+	bound := int64(g.intn(2, 12))
+	init := &ast.DeclStmt{Decl: &ast.VarDecl{
+		Name: iv, Type: &ast.ScalarType{Kind: token.INTTYPE}, Init: intLit(0),
+	}}
+	// The induction variable is readable inside but never reassigned.
+	savedRead := ctx.readVars
+	ctx.readVars = append(append([]string(nil), ctx.readVars...), iv)
+	body := g.smallBlock(ctx, 1, 3)
+	ctx.readVars = savedRead
+
+	return &ast.ForStmt{
+		Init: init,
+		Cond: &ast.BinaryExpr{X: ident(iv), Op: token.LSS, Y: intLit(bound)},
+		Post: &ast.AssignStmt{Lhs: ident(iv), Op: token.ADDASSIGN, Rhs: intLit(1)},
+		Body: body,
+	}
+}
+
+// arrayStmt writes to a global array with a safe index.
+func (g *generator) arrayStmt(ctx *bodyCtx) ast.Stmt {
+	if len(ctx.arrays) == 0 {
+		return g.simpleStmt(ctx)
+	}
+	arr := ctx.arrays[g.intn(0, len(ctx.arrays)-1)]
+	idx := g.safeIndex(ctx, arr.size)
+	return &ast.AssignStmt{
+		Lhs: &ast.IndexExpr{X: ident(arr.name), Index: idx},
+		Op:  token.ASSIGN,
+		Rhs: g.intExpr(ctx, 1),
+	}
+}
+
+func (g *generator) callOrSimple(ctx *bodyCtx) ast.Stmt {
+	if fi, ok := g.pickCallee(ctx); ok && fi.returns {
+		return &ast.AssignStmt{
+			Lhs: ident(g.pickVar(ctx)),
+			Op:  token.ADDASSIGN,
+			Rhs: g.callExpr(ctx, fi),
+		}
+	}
+	return g.simpleStmt(ctx)
+}
+
+func (g *generator) smallBlock(ctx *bodyCtx, lo, hi int) *ast.BlockStmt {
+	b := &ast.BlockStmt{}
+	// New scope: locals declared inside must not leak out.
+	savedInt := append([]string(nil), ctx.intVars...)
+	savedBool := append([]string(nil), ctx.boolVars...)
+	n := g.intn(lo, hi)
+	for i := 0; i < n; i++ {
+		b.Stmts = append(b.Stmts, g.stmt(ctx))
+	}
+	ctx.intVars = savedInt
+	ctx.boolVars = savedBool
+	return b
+}
+
+func (g *generator) pickVar(ctx *bodyCtx) string {
+	return ctx.intVars[g.intn(0, len(ctx.intVars)-1)]
+}
+
+// pickCallee chooses a callable function: lower level than the current
+// function, leaf-only inside loops, honoring the cross-file fraction and
+// privacy.
+func (g *generator) pickCallee(ctx *bodyCtx) (funcInfo, bool) {
+	var candidates []funcInfo
+	for _, fi := range g.funcs {
+		if fi.level >= ctx.level && ctx.level > 0 {
+			continue
+		}
+		if ctx.level == 0 {
+			continue // leaf functions make no calls
+		}
+		if ctx.inLoop && fi.level != 0 {
+			continue
+		}
+		sameUnit := fi.unit == ctx.unit
+		if !sameUnit && fi.private {
+			continue
+		}
+		if !sameUnit && !g.chance(g.p.CrossFileCallFrac) {
+			continue
+		}
+		candidates = append(candidates, fi)
+	}
+	if len(candidates) == 0 {
+		return funcInfo{}, false
+	}
+	fi := candidates[g.intn(0, len(candidates)-1)]
+	if fi.unit != ctx.unit && ctx.externs != nil {
+		ctx.externs[fi.name] = fi
+	}
+	return fi, true
+}
+
+func (g *generator) callExpr(ctx *bodyCtx, fi funcInfo) *ast.CallExpr {
+	call := &ast.CallExpr{Callee: ident(fi.name)}
+	for i := 0; i < fi.params; i++ {
+		call.Args = append(call.Args, g.intExpr(ctx, 1))
+	}
+	if fi.unit != ctx.unit && ctx.externs != nil {
+		ctx.externs[fi.name] = fi
+	}
+	return call
+}
+
+// --- expressions -----------------------------------------------------------
+
+// intExpr samples an int-typed expression of bounded depth.
+func (g *generator) intExpr(ctx *bodyCtx, depth int) ast.Expr {
+	if depth <= 0 {
+		return g.intLeaf(ctx)
+	}
+	switch g.intn(0, 9) {
+	case 0, 1, 2:
+		return g.intLeaf(ctx)
+	case 3, 4, 5:
+		ops := []token.Kind{token.ADD, token.SUB, token.MUL, token.AND, token.OR, token.XOR}
+		return &ast.BinaryExpr{
+			X:  g.intExpr(ctx, depth-1),
+			Op: ops[g.intn(0, len(ops)-1)],
+			Y:  g.intExpr(ctx, depth-1),
+		}
+	case 6:
+		// Division and remainder by safe nonzero constants.
+		op := token.QUO
+		if g.chance(0.5) {
+			op = token.REM
+		}
+		return &ast.BinaryExpr{
+			X:  g.intExpr(ctx, depth-1),
+			Op: op,
+			Y:  intLit(int64(g.intn(2, 9))),
+		}
+	case 7:
+		// Shifts by safe constant amounts.
+		op := token.SHL
+		if g.chance(0.5) {
+			op = token.SHR
+		}
+		return &ast.BinaryExpr{X: g.intExpr(ctx, depth-1), Op: op, Y: intLit(int64(g.intn(0, 6)))}
+	case 8:
+		return &ast.UnaryExpr{Op: token.SUB, X: g.intExpr(ctx, depth-1)}
+	default:
+		if fi, ok := g.pickCallee(ctx); ok && fi.returns {
+			return g.callExpr(ctx, fi)
+		}
+		return g.intLeaf(ctx)
+	}
+}
+
+func (g *generator) intLeaf(ctx *bodyCtx) ast.Expr {
+	roll := g.intn(0, 9)
+	switch {
+	case roll <= 3 && len(ctx.intVars)+len(ctx.readVars) > 0:
+		all := append(append([]string(nil), ctx.intVars...), ctx.readVars...)
+		return ident(all[g.intn(0, len(all)-1)])
+	case roll <= 5 && len(ctx.consts) > 0:
+		return ident(ctx.consts[g.intn(0, len(ctx.consts)-1)])
+	case roll == 6 && len(ctx.arrays) > 0:
+		arr := ctx.arrays[g.intn(0, len(ctx.arrays)-1)]
+		return &ast.IndexExpr{X: ident(arr.name), Index: g.safeIndex(ctx, arr.size)}
+	case roll == 7:
+		// Large literal: the edit simulator's const-tweak targets these.
+		return intLit(int64(g.intn(10, 999)))
+	default:
+		return intLit(int64(g.intn(0, 9)))
+	}
+}
+
+// safeIndex produces an expression guaranteed to be within [0, size):
+// either a constant or (nonNegExpr % size)... with a mask to force
+// non-negativity: ((e & 1023) % size).
+func (g *generator) safeIndex(ctx *bodyCtx, size int64) ast.Expr {
+	if g.chance(0.5) || len(ctx.intVars) == 0 {
+		return intLit(int64(g.intn(0, int(size-1))))
+	}
+	masked := &ast.BinaryExpr{X: ident(g.pickVar(ctx)), Op: token.AND, Y: intLit(1023)}
+	return &ast.BinaryExpr{X: &ast.ParenExpr{X: masked}, Op: token.REM, Y: intLit(size)}
+}
+
+// boolExpr samples a bool-typed expression.
+func (g *generator) boolExpr(ctx *bodyCtx, depth int) ast.Expr {
+	if depth <= 0 {
+		if len(ctx.boolVars) > 0 && g.chance(0.3) {
+			return ident(ctx.boolVars[g.intn(0, len(ctx.boolVars)-1)])
+		}
+		ops := []token.Kind{token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ}
+		return &ast.BinaryExpr{
+			X:  g.intExpr(ctx, 0),
+			Op: ops[g.intn(0, len(ops)-1)],
+			Y:  g.intExpr(ctx, 0),
+		}
+	}
+	switch g.intn(0, 3) {
+	case 0:
+		return &ast.BinaryExpr{X: g.boolExpr(ctx, depth-1), Op: token.LAND, Y: g.boolExpr(ctx, depth-1)}
+	case 1:
+		return &ast.BinaryExpr{X: g.boolExpr(ctx, depth-1), Op: token.LOR, Y: g.boolExpr(ctx, depth-1)}
+	case 2:
+		return &ast.UnaryExpr{Op: token.NOT, X: g.boolExpr(ctx, depth-1)}
+	default:
+		return g.boolExpr(ctx, 0)
+	}
+}
