@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench-baseline
+
+# ci is the tier-1 gate: everything must stay green.
+ci: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race exercises the parallel build engine and the workload differential
+# suite under the race detector.
+race:
+	$(GO) test -race ./internal/buildsys ./internal/workload
+
+# bench-baseline regenerates the committed performance baseline.
+bench-baseline:
+	$(GO) run ./cmd/benchbaseline -out BENCH_baseline.json

@@ -1,0 +1,124 @@
+// benchbaseline records the repository's performance trajectory: it runs
+// the T2-style stateless-vs-stateful incremental comparison on a few small
+// standard-suite profiles and writes the result as JSON (committed as
+// BENCH_baseline.json at the repo root), so later changes have a baseline
+// to compare against.
+//
+//	go run ./cmd/benchbaseline -out BENCH_baseline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+
+	"statefulcc/internal/bench"
+	"statefulcc/internal/compiler"
+	"statefulcc/internal/workload"
+)
+
+// ProfileResult is one project's stateless-vs-stateful comparison.
+type ProfileResult struct {
+	Name                   string  `json:"name"`
+	Files                  int     `json:"files"`
+	StatelessColdMS        float64 `json:"stateless_cold_ms"`
+	StatefulColdMS         float64 `json:"stateful_cold_ms"`
+	StatelessIncrementalMS float64 `json:"stateless_incremental_ms"`
+	StatefulIncrementalMS  float64 `json:"stateful_incremental_ms"`
+	SpeedupPct             float64 `json:"speedup_pct"`
+	StateKiB               float64 `json:"state_kib"`
+}
+
+// Baseline is the committed document.
+type Baseline struct {
+	GeneratedBy    string          `json:"generated_by"`
+	GoVersion      string          `json:"go_version"`
+	GOMAXPROCS     int             `json:"gomaxprocs"`
+	Commits        int             `json:"commits"`
+	Repeats        int             `json:"repeats"`
+	Profiles       []ProfileResult `json:"profiles"`
+	MeanSpeedupPct float64         `json:"mean_speedup_pct"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchbaseline:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchbaseline", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_baseline.json", "output file ('-' for stdout)")
+	commits := fs.Int("commits", 12, "simulated commits per project")
+	repeats := fs.Int("repeats", 3, "timing repeats per history (min kept)")
+	nprofiles := fs.Int("profiles", 3, "number of standard-suite profiles (smallest first)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	suite := workload.StandardSuite()
+	if *nprofiles < len(suite) {
+		suite = suite[:*nprofiles]
+	}
+	cfg := bench.Config{Commits: *commits, Repeats: *repeats}
+	modes := []compiler.Mode{compiler.ModeStateless, compiler.ModeStateful}
+
+	doc := Baseline{
+		GeneratedBy: fmt.Sprintf("go run ./cmd/benchbaseline -commits %d -repeats %d -profiles %d",
+			*commits, *repeats, *nprofiles),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Commits:    *commits,
+		Repeats:    *repeats,
+	}
+
+	var speedupSum float64
+	for _, p := range suite {
+		runs, err := bench.CompareHistories(p, modes, cfg)
+		if err != nil {
+			return err
+		}
+		sl, sf := runs[compiler.ModeStateless], runs[compiler.ModeStateful]
+		slIncr := float64(sl.MeanIncrementalNS()) / 1e6
+		sfIncr := float64(sf.MeanIncrementalNS()) / 1e6
+		speedup := (slIncr/sfIncr - 1) * 100
+		speedupSum += speedup
+
+		stateBytes := sf.Cold.StateBytes
+		if n := len(sf.Incremental); n > 0 {
+			stateBytes = sf.Incremental[n-1].StateBytes
+		}
+		doc.Profiles = append(doc.Profiles, ProfileResult{
+			Name:                   p.Name,
+			Files:                  p.Files,
+			StatelessColdMS:        round3(float64(sl.Cold.TotalNS) / 1e6),
+			StatefulColdMS:         round3(float64(sf.Cold.TotalNS) / 1e6),
+			StatelessIncrementalMS: round3(slIncr),
+			StatefulIncrementalMS:  round3(sfIncr),
+			SpeedupPct:             round3(speedup),
+			StateKiB:               round3(float64(stateBytes) / 1024),
+		})
+		fmt.Fprintf(os.Stderr, "%-12s stateless %.3fms  stateful %.3fms  speedup %+.2f%%\n",
+			p.Name, slIncr, sfIncr, speedup)
+	}
+	doc.MeanSpeedupPct = round3(speedupSum / float64(len(suite)))
+
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+func round3(v float64) float64 {
+	return math.Round(v*1000) / 1000
+}

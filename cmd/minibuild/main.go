@@ -2,8 +2,8 @@
 // MiniC sources, keeping object and compiler state across invocations via a
 // cache directory, and optionally runs the resulting program.
 //
-//	minibuild -dir ./proj -mode stateful -cache .minibuild
-//	minibuild -dir ./proj -run
+//	minibuild -dir ./proj -mode stateful -state .minibuild
+//	minibuild -dir ./proj -run -j 8
 //	minibuild -dir ./proj -watch-stats   per-build pipeline statistics
 //
 // Within one process the object cache lives in memory; the dormancy state
@@ -35,9 +35,10 @@ func run(args []string) error {
 	dir := fs.String("dir", ".", "project directory (*.mc files)")
 	mode := fs.String("mode", "stateful", "compiler policy: stateless|stateful|predictive|fullcache")
 	cache := fs.String("cache", "", "cache directory for persistent state (default <dir>/.minibuild)")
+	fs.StringVar(cache, "state", "", "alias for -cache")
 	runProg := fs.Bool("run", false, "execute the built program")
 	showStats := fs.Bool("watch-stats", false, "print pipeline statistics")
-	jobs := fs.Int("j", 1, "parallel compile workers")
+	jobs := fs.Int("j", 0, "parallel compile workers (default GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -1,0 +1,250 @@
+// Package buildsys is the content-hash incremental build system layered
+// under the stateful compiler — the "internal build system" the paper's
+// end-to-end numbers are measured through. A Builder retains state across
+// Build calls:
+//
+//   - a per-unit object cache keyed by a content hash of the source, so
+//     unchanged units are never recompiled (the make/ninja file-level
+//     skipping the paper's dilution structure depends on);
+//
+//   - per-unit dormancy state for the stateful/predictive policies, fed
+//     back into the compiler when a changed unit *is* recompiled, and
+//     optionally persisted to a state directory so the next process still
+//     skips dormant passes; and
+//
+//   - one compiler per worker slot, so changed units compile concurrently
+//     on a bounded pool (compilers are not safe for concurrent use).
+//
+// Correctness contract: a parallel stateful build produces byte-identical
+// linked programs to a serial stateless build of the same snapshot. Unit
+// compilation is deterministic and independent, and the linker orders
+// objects by unit name, so neither worker scheduling nor the skipping
+// policy can leak into the output.
+package buildsys
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"statefulcc/internal/codegen"
+	"statefulcc/internal/compiler"
+	"statefulcc/internal/core"
+	"statefulcc/internal/fingerprint"
+	"statefulcc/internal/passes"
+	"statefulcc/internal/project"
+	"statefulcc/internal/state"
+)
+
+// Options configures a Builder.
+type Options struct {
+	// Mode is the compilation policy for every unit.
+	Mode compiler.Mode
+	// Workers bounds concurrent unit compilations; values < 1 normalize to
+	// GOMAXPROCS.
+	Workers int
+	// StateDir, when set, persists per-unit dormancy state across
+	// processes (stateful/predictive modes). Missing or corrupt state
+	// files are treated as a cold start, never an error.
+	StateDir string
+	// VerifyIR forwards to the compiler (slow; tests only).
+	VerifyIR bool
+	// Pipeline overrides the pass list (default passes.StandardPipeline).
+	Pipeline []string
+}
+
+// UnitReport describes one unit within a build.
+type UnitReport struct {
+	// Compiled is false when the unit came from the object cache.
+	Compiled bool
+	// CompileNS is the unit's own compile wall time (0 when cached).
+	CompileNS int64
+}
+
+// Report summarizes one Build call.
+type Report struct {
+	// TotalNS is the end-to-end build wall time.
+	TotalNS int64
+	// CompileNS is the wall time of the (parallel) compile phase.
+	CompileNS int64
+	// LinkNS is the link wall time.
+	LinkNS int64
+	// UnitsCompiled / UnitsCached partition the snapshot's units.
+	UnitsCompiled, UnitsCached int
+	// StateBytes is the persistent-state footprint after this build
+	// (serialized dormancy state, or the full cache's memory footprint).
+	StateBytes int
+	// Units maps every unit in the snapshot to its outcome.
+	Units map[string]UnitReport
+	// Program is the linked executable.
+	Program *codegen.Program
+
+	stats *core.Stats
+}
+
+// Stats returns the pass-manager statistics merged across the units
+// compiled by this build (empty — never nil — when everything was cached
+// or the mode records none).
+func (r *Report) Stats() *core.Stats { return r.stats }
+
+// unitEntry is the retained per-unit build state.
+type unitEntry struct {
+	hash       uint64          // content hash of the compiled source
+	obj        *codegen.Object // cached object
+	state      *core.UnitState // dormancy records (stateful/predictive)
+	stateBytes int             // serialized size of state
+	diskProbed bool            // StateDir was already consulted for this unit
+}
+
+// Builder runs incremental builds, retaining object and compiler state
+// between Build calls. It is not safe for concurrent use; one Build runs
+// at a time (its internal workers provide the parallelism).
+type Builder struct {
+	opts    Options
+	workers []*compiler.Compiler // one per worker slot, reused across builds
+	units   map[string]*unitEntry
+}
+
+// NewBuilder creates an incremental builder.
+func NewBuilder(opts Options) (*Builder, error) {
+	if opts.Workers < 1 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if len(opts.Pipeline) == 0 {
+		opts.Pipeline = passes.StandardPipeline
+	}
+	opts.Pipeline = append([]string(nil), opts.Pipeline...)
+
+	b := &Builder{opts: opts, units: make(map[string]*unitEntry)}
+	for i := 0; i < opts.Workers; i++ {
+		c, err := compiler.New(compiler.Options{
+			Pipeline: opts.Pipeline,
+			Mode:     opts.Mode,
+			VerifyIR: opts.VerifyIR,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("buildsys: %w", err)
+		}
+		b.workers = append(b.workers, c)
+	}
+	return b, nil
+}
+
+// Workers returns the normalized worker count.
+func (b *Builder) Workers() int { return b.opts.Workers }
+
+// Mode returns the builder's compilation policy.
+func (b *Builder) Mode() compiler.Mode { return b.opts.Mode }
+
+// Build compiles the snapshot incrementally: unchanged units come from the
+// object cache, changed units compile concurrently, and the result links
+// deterministically (unit-name order, independent of scheduling).
+func (b *Builder) Build(snap project.Snapshot) (*Report, error) {
+	start := time.Now()
+	if len(snap) == 0 {
+		return nil, fmt.Errorf("buildsys: empty snapshot (no units to build)")
+	}
+
+	// Drop units removed from the project, including their on-disk state.
+	for name := range b.units {
+		if _, ok := snap[name]; !ok {
+			delete(b.units, name)
+			b.removeUnitState(name)
+		}
+	}
+
+	rep := &Report{
+		Units: make(map[string]UnitReport, len(snap)),
+		stats: &core.Stats{},
+	}
+
+	// Partition: content-hash every unit, collect the ones needing work.
+	units := snap.Units()
+	var work []string
+	for _, name := range units {
+		h := contentHash(snap[name])
+		if e, ok := b.units[name]; ok && e.hash == h && e.obj != nil {
+			rep.Units[name] = UnitReport{}
+			rep.UnitsCached++
+			continue
+		}
+		work = append(work, name)
+	}
+
+	// Compile changed units on the worker pool.
+	compileStart := time.Now()
+	outcomes, err := b.runCompiles(snap, work)
+	if err != nil {
+		return nil, err
+	}
+	rep.CompileNS = time.Since(compileStart).Nanoseconds()
+
+	// Commit outcomes in unit order so report stats, cache contents, and
+	// state sizes never depend on worker scheduling.
+	for i, name := range work {
+		out := outcomes[i]
+		e, ok := b.units[name]
+		if !ok {
+			e = &unitEntry{}
+			b.units[name] = e
+		}
+		e.hash = contentHash(snap[name])
+		e.obj = out.res.Object
+		e.diskProbed = true // fresh state below supersedes anything on disk
+		if st := out.res.State; st != nil {
+			e.state = st
+			if n, err := state.FileSize(st); err == nil {
+				e.stateBytes = n
+			}
+		}
+		if out.res.Stats != nil {
+			rep.stats.Merge(out.res.Stats)
+		}
+		rep.Units[name] = UnitReport{Compiled: true, CompileNS: out.res.Timings.TotalNS}
+		rep.UnitsCompiled++
+	}
+
+	// Link everything, cached and fresh, in deterministic order.
+	linkStart := time.Now()
+	objs := make([]*codegen.Object, 0, len(units))
+	for _, name := range units {
+		objs = append(objs, b.units[name].obj)
+	}
+	prog, err := codegen.Link(objs)
+	if err != nil {
+		return nil, fmt.Errorf("buildsys: %w", err)
+	}
+	rep.LinkNS = time.Since(linkStart).Nanoseconds()
+	rep.Program = prog
+
+	rep.StateBytes = b.stateBytes()
+	rep.TotalNS = time.Since(start).Nanoseconds()
+	return rep, nil
+}
+
+// stateBytes reports the retained persistent-state footprint: serialized
+// dormancy state for the record-keeping modes, the in-memory cache size
+// for fullcache.
+func (b *Builder) stateBytes() int {
+	n := 0
+	if b.opts.Mode == compiler.ModeFullCache {
+		for _, c := range b.workers {
+			n += c.FullCacheStateBytes()
+		}
+		return n
+	}
+	for _, e := range b.units {
+		n += e.stateBytes
+	}
+	return n
+}
+
+// contentHash fingerprints a unit's source bytes — the file-level identity
+// the object cache is keyed by.
+func contentHash(src []byte) uint64 {
+	// The IR fingerprint hasher doubles as a fast general-purpose hash;
+	// length prefixing (inside String) keeps it unambiguous.
+	h := fingerprint.New()
+	h.String(string(src))
+	return h.Sum()
+}

@@ -1,0 +1,178 @@
+package buildsys_test
+
+// Concurrency correctness: the whole point of the parallel builder is that
+// scheduling must be unobservable. These tests pin that down three ways —
+// identical linked-program bytes across worker counts, parallel-stateful
+// vs serial-stateless equivalence over edit histories, and the bench
+// harness's own behavioural check over several workloads. All of them run
+// clean under `go test -race`.
+
+import (
+	"testing"
+
+	"statefulcc/internal/bench"
+	"statefulcc/internal/buildsys"
+	"statefulcc/internal/codegen"
+	"statefulcc/internal/compiler"
+	"statefulcc/internal/project"
+	"statefulcc/internal/vm"
+	"statefulcc/internal/workload"
+)
+
+func testProfile(seed int64) workload.Profile {
+	return workload.Profile{
+		Name: "buildsys-test", Seed: seed,
+		Files: 6, FuncsPerFileMin: 2, FuncsPerFileMax: 5,
+		StmtsPerFuncMin: 3, StmtsPerFuncMax: 8,
+		GlobalsPerFile: 2, CrossFileCallFrac: 0.5, PrivateFrac: 0.4,
+	}
+}
+
+// history returns a base snapshot plus a few commits.
+func history(t *testing.T, seed int64, commits int) []project.Snapshot {
+	t.Helper()
+	base := workload.Generate(testProfile(seed))
+	h := workload.GenerateHistory(base, seed*13, commits, workload.DefaultCommitOptions())
+	return append([]project.Snapshot{base}, h.Commits...)
+}
+
+// buildSeq runs a snapshot sequence through one builder, returning the
+// disassembled program text (a canonical byte-for-byte rendering) and VM
+// behaviour after each build.
+func buildSeq(t *testing.T, opts buildsys.Options, seq []project.Snapshot) (progs []string, outs []string, exits []int64) {
+	t.Helper()
+	b, err := buildsys.NewBuilder(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, snap := range seq {
+		rep, err := b.Build(snap)
+		if err != nil {
+			t.Fatalf("build %d: %v", i, err)
+		}
+		out, res, err := vm.RunCapture(rep.Program, vm.Config{})
+		if err != nil {
+			t.Fatalf("build %d: execution: %v", i, err)
+		}
+		progs = append(progs, codegen.DisassembleProgram(rep.Program))
+		outs = append(outs, out)
+		exits = append(exits, res.ExitValue)
+	}
+	return progs, outs, exits
+}
+
+// TestWorkerCountDeterminism: Workers ∈ {1,2,8} must produce identical
+// linked programs and identical VM behaviour at every step of a history.
+func TestWorkerCountDeterminism(t *testing.T) {
+	seq := history(t, 31, 4)
+	refProgs, refOuts, refExits := buildSeq(t, buildsys.Options{Mode: compiler.ModeStateful, Workers: 1}, seq)
+	for _, workers := range []int{2, 8} {
+		progs, outs, exits := buildSeq(t, buildsys.Options{Mode: compiler.ModeStateful, Workers: workers}, seq)
+		for i := range seq {
+			if progs[i] != refProgs[i] {
+				t.Fatalf("workers=%d build %d: linked program differs from workers=1", workers, i)
+			}
+			if outs[i] != refOuts[i] || exits[i] != refExits[i] {
+				t.Fatalf("workers=%d build %d: behaviour differs: %q/%d vs %q/%d",
+					workers, i, outs[i], exits[i], refOuts[i], refExits[i])
+			}
+		}
+	}
+}
+
+// TestParallelStatefulMatchesSerialStateless: the stateful policy on a
+// parallel pool must be indistinguishable — program bytes and behaviour —
+// from the conventional serial compiler throughout an edit history.
+func TestParallelStatefulMatchesSerialStateless(t *testing.T) {
+	seq := history(t, 47, 5)
+	slProgs, slOuts, slExits := buildSeq(t, buildsys.Options{Mode: compiler.ModeStateless, Workers: 1}, seq)
+	sfProgs, sfOuts, sfExits := buildSeq(t, buildsys.Options{Mode: compiler.ModeStateful, Workers: 8}, seq)
+	for i := range seq {
+		if sfProgs[i] != slProgs[i] {
+			t.Fatalf("build %d: parallel stateful program differs from serial stateless", i)
+		}
+		if sfOuts[i] != slOuts[i] || sfExits[i] != slExits[i] {
+			t.Fatalf("build %d: behaviour differs: %q/%d vs %q/%d",
+				i, sfOuts[i], sfExits[i], slOuts[i], slExits[i])
+		}
+	}
+}
+
+// TestVerifyParallelBehaviour runs the bench harness's behavioural check
+// over several generated workloads.
+func TestVerifyParallelBehaviour(t *testing.T) {
+	for _, seed := range []int64{3, 17, 59} {
+		snap := workload.Generate(testProfile(seed))
+		if err := bench.VerifyParallelBehaviour(snap); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestIncrementalAccounting: unchanged units come from the cache, changed
+// units recompile, and the union covers the snapshot.
+func TestIncrementalAccounting(t *testing.T) {
+	seq := history(t, 9, 2)
+	b, err := buildsys.NewBuilder(buildsys.Options{Mode: compiler.ModeStateful, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := b.Build(seq[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UnitsCompiled != len(seq[0]) || rep.UnitsCached != 0 {
+		t.Errorf("cold build: compiled=%d cached=%d want %d/0", rep.UnitsCompiled, rep.UnitsCached, len(seq[0]))
+	}
+	for i, snap := range seq[1:] {
+		changed := project.Diff(seq[i], snap)
+		rep, err := b.Build(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.UnitsCompiled != len(changed) {
+			t.Errorf("build %d: compiled %d units, want %d (%v)", i+1, rep.UnitsCompiled, len(changed), changed)
+		}
+		if rep.UnitsCompiled+rep.UnitsCached != len(snap) {
+			t.Errorf("build %d: accounting %d+%d != %d", i+1, rep.UnitsCompiled, rep.UnitsCached, len(snap))
+		}
+		for name, ur := range rep.Units {
+			if ur.Compiled && ur.CompileNS <= 0 {
+				t.Errorf("build %d: compiled unit %s has no compile time", i+1, name)
+			}
+		}
+	}
+}
+
+// TestReportStatsMergedAcrossUnits: a cold stateful build must report
+// pipeline statistics covering every unit, and Stats is never nil.
+func TestReportStatsMergedAcrossUnits(t *testing.T) {
+	snap := workload.Generate(testProfile(5))
+	b, err := buildsys.NewBuilder(buildsys.Options{Mode: compiler.ModeStateful, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := b.Build(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Stats()
+	if st == nil {
+		t.Fatal("Stats returned nil")
+	}
+	if runs, _, _ := st.Totals(); runs == 0 {
+		t.Error("cold build recorded no pass runs")
+	}
+	// A rebuild of the identical snapshot compiles nothing: stats must be
+	// empty but still non-nil.
+	rep2, err := b.Build(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Stats() == nil {
+		t.Fatal("cached rebuild Stats returned nil")
+	}
+	if runs, _, _ := rep2.Stats().Totals(); runs != 0 {
+		t.Errorf("cached rebuild reports %d pass runs", runs)
+	}
+}

@@ -1,0 +1,154 @@
+package buildsys
+
+// The parallel compile phase. Each worker slot owns one compiler (they are
+// not safe for concurrent use), and changed units are dispatched across
+// the slots:
+//
+//   - record-keeping modes pull from a shared queue (work stealing), which
+//     balances cold builds well — dormancy state is per unit and travels
+//     with the job, so it does not matter which worker compiles a unit;
+//
+//   - fullcache mode shards units to workers by unit-name hash, so a unit
+//     recompiles on the worker whose in-memory function cache saw it last
+//     and cross-build cache hits survive parallelism.
+//
+// Outcomes land in a results slice indexed by job order; nothing about the
+// build's observable behaviour depends on scheduling. On error the pool
+// stops issuing new jobs, drains, and reports the failure of the
+// lowest-indexed unit so error messages are deterministic too.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"statefulcc/internal/compiler"
+	"statefulcc/internal/core"
+	"statefulcc/internal/project"
+)
+
+// outcome is one unit's compile result.
+type outcome struct {
+	res *compiler.UnitResult
+	err error
+}
+
+// compileJob carries everything a worker needs, precomputed so workers
+// never touch the builder's maps concurrently.
+type compileJob struct {
+	name string
+	src  []byte
+	// prev is the unit's in-memory dormancy state, if any.
+	prev *core.UnitState
+	// probeDisk asks the worker to try loading state from StateDir first
+	// (first compile of this unit in this process).
+	probeDisk bool
+}
+
+// runCompiles compiles work (in unit-name order) and returns per-job
+// outcomes aligned with it.
+func (b *Builder) runCompiles(snap project.Snapshot, work []string) ([]outcome, error) {
+	jobs := make([]compileJob, len(work))
+	for i, name := range work {
+		j := compileJob{name: name, src: snap[name]}
+		if e, ok := b.units[name]; ok {
+			j.prev = e.state
+			j.probeDisk = !e.diskProbed && e.state == nil
+		} else {
+			j.probeDisk = true
+		}
+		jobs[i] = j
+	}
+
+	results := make([]outcome, len(jobs))
+	nworkers := len(b.workers)
+	if nworkers > len(jobs) {
+		nworkers = len(jobs)
+	}
+	if nworkers == 0 {
+		return results, nil
+	}
+
+	if b.opts.Mode == compiler.ModeFullCache {
+		b.runSharded(jobs, results, nworkers)
+	} else {
+		b.runStealing(jobs, results, nworkers)
+	}
+
+	for i := range results {
+		if results[i].err != nil {
+			return nil, fmt.Errorf("buildsys: %w", results[i].err)
+		}
+	}
+	return results, nil
+}
+
+// runStealing drains jobs through a shared atomic cursor.
+func (b *Builder) runStealing(jobs []compileJob, results []outcome, nworkers int) {
+	var next int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < nworkers; w++ {
+		wg.Add(1)
+		go func(c *compiler.Compiler) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1) - 1)
+				if i >= len(jobs) || failed.Load() {
+					return
+				}
+				results[i] = b.compileOne(c, jobs[i])
+				if results[i].err != nil {
+					failed.Store(true)
+				}
+			}
+		}(b.workers[w])
+	}
+	wg.Wait()
+}
+
+// runSharded assigns each job to a fixed worker by unit-name hash.
+func (b *Builder) runSharded(jobs []compileJob, results []outcome, nworkers int) {
+	shards := make([][]int, nworkers)
+	for i, j := range jobs {
+		// Shard on the full worker set, not nworkers: the unit→worker
+		// mapping must not depend on how many units this build touches.
+		s := int(contentHash([]byte(j.name)) % uint64(len(b.workers)))
+		if s >= nworkers {
+			// Fewer active workers than slots this build; fold in.
+			s %= nworkers
+		}
+		shards[s] = append(shards[s], i)
+	}
+	// No early abort here: a shard must finish its whole list, or a
+	// later-indexed failure in one shard could mask an earlier-indexed one
+	// in another and make the reported error scheduling-dependent.
+	var wg sync.WaitGroup
+	for w := 0; w < nworkers; w++ {
+		wg.Add(1)
+		go func(c *compiler.Compiler, idxs []int) {
+			defer wg.Done()
+			for _, i := range idxs {
+				results[i] = b.compileOne(c, jobs[i])
+			}
+		}(b.workers[w], shards[w])
+	}
+	wg.Wait()
+}
+
+// compileOne runs one unit through a worker's compiler, loading and saving
+// persistent dormancy state around it when a state directory is set.
+func (b *Builder) compileOne(c *compiler.Compiler, j compileJob) outcome {
+	prev := j.prev
+	if prev == nil && j.probeDisk {
+		prev = b.loadUnitState(j.name)
+	}
+	res, err := c.CompileUnit(j.name, j.src, prev)
+	if err != nil {
+		return outcome{err: err}
+	}
+	if res.State != nil {
+		b.saveUnitState(j.name, res.State)
+	}
+	return outcome{res: res}
+}

@@ -1,0 +1,259 @@
+package buildsys_test
+
+// Robustness of the builder's edges: the persistent-state path must never
+// turn disk problems into build failures, worker counts normalize, and
+// degenerate snapshots (empty, shrinking) are handled.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"statefulcc/internal/buildsys"
+	"statefulcc/internal/compiler"
+	"statefulcc/internal/project"
+	"statefulcc/internal/vm"
+)
+
+// twoUnitSnap is a minimal cross-unit project.
+func twoUnitSnap() project.Snapshot {
+	return project.Snapshot{
+		"lib.mc": []byte(`
+func helper(n int) int {
+    var s int = 0;
+    for var i int = 0; i < n; i++ { s += i; }
+    return s;
+}
+`),
+		"main.mc": []byte(`
+extern func helper(n int) int;
+func main() int { print("sum", helper(5)); return helper(5); }
+`),
+	}
+}
+
+func mustBuild(t *testing.T, b *buildsys.Builder, snap project.Snapshot) *buildsys.Report {
+	t.Helper()
+	rep, err := b.Build(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestStatePersistenceAcrossBuilders: dormancy state written by one
+// builder warms a fresh builder in a new "process".
+func TestStatePersistenceAcrossBuilders(t *testing.T) {
+	dir := t.TempDir()
+	snap := twoUnitSnap()
+
+	b1, err := buildsys.NewBuilder(buildsys.Options{Mode: compiler.ModeStateful, StateDir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustBuild(t, b1, snap)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stateFiles []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".state") {
+			stateFiles = append(stateFiles, e.Name())
+		}
+	}
+	if len(stateFiles) != len(snap) {
+		t.Fatalf("state files = %d, want %d (%v)", len(stateFiles), len(snap), stateFiles)
+	}
+
+	// A fresh builder has an empty object cache, so it recompiles — but
+	// the disk state must make those recompiles skip dormant passes.
+	b2, err := buildsys.NewBuilder(buildsys.Options{Mode: compiler.ModeStateful, StateDir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := mustBuild(t, b2, snap)
+	if rep.UnitsCompiled != len(snap) {
+		t.Fatalf("fresh builder compiled %d units, want %d", rep.UnitsCompiled, len(snap))
+	}
+	if _, _, skipped := rep.Stats().Totals(); skipped == 0 {
+		t.Error("persisted state produced no skips in a fresh builder")
+	}
+	if rep.StateBytes <= 0 {
+		t.Error("stateful build reports no state bytes")
+	}
+}
+
+// TestCorruptStateIsColdStart: truncated or garbage state files must yield
+// a correct cold rebuild, never an error.
+func TestCorruptStateIsColdStart(t *testing.T) {
+	dir := t.TempDir()
+	snap := twoUnitSnap()
+
+	b1, err := buildsys.NewBuilder(buildsys.Options{Mode: compiler.ModeStateful, StateDir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := mustBuild(t, b1, snap)
+	refOut, refRes, err := vm.RunCapture(ref.Program, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt every state file a different way: truncate one, fill the
+	// next with garbage.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".state") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		if i%2 == 0 {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)/3], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := os.WriteFile(path, []byte("not a state file at all"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		i++
+	}
+	if i == 0 {
+		t.Fatal("no state files written")
+	}
+
+	b2, err := buildsys.NewBuilder(buildsys.Options{Mode: compiler.ModeStateful, StateDir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := b2.Build(snap)
+	if err != nil {
+		t.Fatalf("corrupt state must cold-start, got error: %v", err)
+	}
+	out, res, err := vm.RunCapture(rep.Program, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != refOut || res.ExitValue != refRes.ExitValue {
+		t.Errorf("cold rebuild behaviour differs: %q/%d vs %q/%d", out, res.ExitValue, refOut, refRes.ExitValue)
+	}
+}
+
+// TestWorkersNormalized: zero and negative worker counts fall back to a
+// sane positive default.
+func TestWorkersNormalized(t *testing.T) {
+	for _, w := range []int{0, -1, -8} {
+		b, err := buildsys.NewBuilder(buildsys.Options{Mode: compiler.ModeStateful, Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if b.Workers() < 1 {
+			t.Errorf("workers=%d normalized to %d", w, b.Workers())
+		}
+		if _, err := b.Build(twoUnitSnap()); err != nil {
+			t.Errorf("workers=%d: build failed: %v", w, err)
+		}
+	}
+}
+
+// TestEmptySnapshot: building nothing is a clean error and leaves the
+// builder usable.
+func TestEmptySnapshot(t *testing.T) {
+	b, err := buildsys.NewBuilder(buildsys.Options{Mode: compiler.ModeStateful})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(project.Snapshot{}); err == nil {
+		t.Error("empty snapshot built without error")
+	}
+	if _, err := b.Build(twoUnitSnap()); err != nil {
+		t.Errorf("builder unusable after empty snapshot: %v", err)
+	}
+}
+
+// TestRemovedUnitRebuild: shrinking the project drops the removed unit
+// from the cache, its state file from disk, and the link.
+func TestRemovedUnitRebuild(t *testing.T) {
+	dir := t.TempDir()
+	full := twoUnitSnap()
+	full["extra.mc"] = []byte(`func unused_extra(x int) int { return x * 2; }`)
+
+	b, err := buildsys.NewBuilder(buildsys.Options{Mode: compiler.ModeStateful, StateDir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustBuild(t, b, full)
+
+	count := func() int {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".state") {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(); got != 3 {
+		t.Fatalf("state files after full build = %d, want 3", got)
+	}
+
+	shrunk := twoUnitSnap()
+	rep := mustBuild(t, b, shrunk)
+	if rep.UnitsCompiled != 0 || rep.UnitsCached != 2 {
+		t.Errorf("shrunk rebuild: compiled=%d cached=%d, want 0/2", rep.UnitsCompiled, rep.UnitsCached)
+	}
+	if _, ok := rep.Units["extra.mc"]; ok {
+		t.Error("removed unit still reported")
+	}
+	if got := count(); got != 2 {
+		t.Errorf("state files after removal = %d, want 2", got)
+	}
+	if _, _, err := vm.RunCapture(rep.Program, vm.Config{}); err != nil {
+		t.Errorf("shrunk program failed: %v", err)
+	}
+
+	// Growing back recompiles only the returning unit.
+	rep = mustBuild(t, b, full)
+	if rep.UnitsCompiled != 1 || rep.UnitsCached != 2 {
+		t.Errorf("regrown rebuild: compiled=%d cached=%d, want 1/2", rep.UnitsCompiled, rep.UnitsCached)
+	}
+}
+
+// TestBuilderErrorRecovery: a snapshot with a broken unit fails the build
+// deterministically but the builder keeps working afterwards.
+func TestBuilderErrorRecovery(t *testing.T) {
+	b, err := buildsys.NewBuilder(buildsys.Options{Mode: compiler.ModeStateful, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := twoUnitSnap()
+	mustBuild(t, b, good)
+
+	broken := good.Clone()
+	broken["main.mc"] = []byte(`func main() int { return undefined_thing(); }`)
+	if _, err := b.Build(broken); err == nil {
+		t.Fatal("broken snapshot built without error")
+	} else if !strings.Contains(err.Error(), "main.mc") {
+		t.Errorf("error does not name the failing unit: %v", err)
+	}
+
+	rep := mustBuild(t, b, good)
+	if _, _, err := vm.RunCapture(rep.Program, vm.Config{}); err != nil {
+		t.Errorf("recovered build failed to run: %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+package buildsys
+
+// Persistent per-unit dormancy state. Each unit's records live in their
+// own file under Options.StateDir, named from a sanitized unit name plus a
+// hash of the full name (unit names contain path separators and may
+// collide after sanitizing). The state is a pure optimization: loads that
+// fail for any reason — missing file, truncation, corruption, version
+// mismatch — yield a cold start, and save failures are dropped rather than
+// failing the build (internal/state writes atomically, so a crashed or
+// failed save never leaves a half-written file to confuse the next run).
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+
+	"statefulcc/internal/core"
+	"statefulcc/internal/state"
+)
+
+// stateSuffix is the per-unit state file extension.
+const stateSuffix = ".state"
+
+// statePath maps a unit name to its state file path ("" without StateDir).
+func (b *Builder) statePath(unit string) string {
+	if b.opts.StateDir == "" {
+		return ""
+	}
+	var sb strings.Builder
+	for _, r := range unit {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	name := fmt16(contentHash([]byte(unit)))
+	return filepath.Join(b.opts.StateDir, sb.String()+"-"+name+stateSuffix)
+}
+
+// fmt16 renders a hash as fixed-width lowercase hex without pulling fmt
+// into the hot path.
+func fmt16(v uint64) string {
+	const digits = "0123456789abcdef"
+	var buf [16]byte
+	for i := 15; i >= 0; i-- {
+		buf[i] = digits[v&0xF]
+		v >>= 4
+	}
+	return string(buf[:])
+}
+
+// loadUnitState reads a unit's persisted state; any failure is a cold
+// start, never an error.
+func (b *Builder) loadUnitState(unit string) *core.UnitState {
+	path := b.statePath(unit)
+	if path == "" {
+		return nil
+	}
+	st, err := state.Load(path)
+	if err != nil {
+		return nil
+	}
+	return st
+}
+
+// saveUnitState persists a unit's state; failures are dropped (state is
+// advisory, and the atomic writer never leaves partial files).
+func (b *Builder) saveUnitState(unit string, st *core.UnitState) {
+	path := b.statePath(unit)
+	if path == "" {
+		return
+	}
+	_ = state.Save(path, st)
+}
+
+// removeUnitState deletes a removed unit's state file so StateDir tracks
+// the live project.
+func (b *Builder) removeUnitState(unit string) {
+	if path := b.statePath(unit); path != "" {
+		_ = os.Remove(path)
+	}
+}
