@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench-baseline
+.PHONY: ci vet build test race fuzz bench-baseline
 
-# ci is the tier-1 gate: everything must stay green.
-ci: vet build test
+# ci is the tier-1 gate: everything must stay green, including the race
+# detector over the worker pool and the observability counters.
+ci: vet build test race
 
 vet:
 	$(GO) vet ./...
@@ -14,10 +15,16 @@ build:
 test:
 	$(GO) test ./...
 
-# race exercises the parallel build engine and the workload differential
-# suite under the race detector.
+# race exercises the parallel build engine (including the obs counters
+# registry and tracer under concurrent workers) and the workload
+# differential suite under the race detector.
 race:
-	$(GO) test -race ./internal/buildsys ./internal/workload
+	$(GO) test -race ./internal/buildsys/... ./internal/obs/... ./internal/workload
+
+# fuzz runs the fingerprint stability/sensitivity fuzzer for a short burst
+# beyond its committed corpus.
+fuzz:
+	$(GO) test -fuzz FuzzFingerprintStability -fuzztime 30s ./internal/fingerprint
 
 # bench-baseline regenerates the committed performance baseline.
 bench-baseline:

@@ -17,6 +17,7 @@ import (
 
 	"statefulcc/internal/bench"
 	"statefulcc/internal/compiler"
+	"statefulcc/internal/obs"
 	"statefulcc/internal/workload"
 )
 
@@ -30,6 +31,12 @@ type ProfileResult struct {
 	StatefulIncrementalMS  float64 `json:"stateful_incremental_ms"`
 	SpeedupPct             float64 `json:"speedup_pct"`
 	StateKiB               float64 `json:"state_kib"`
+	// Metrics is the stateful builder's full counters registry after the
+	// history (schema: docs/OBSERVABILITY.md) — the per-profile dormancy
+	// and fingerprint accounting behind the headline speedup.
+	Metrics map[string]int64 `json:"metrics"`
+	// SkipRatePct is pass.skipped / (pass.runs + pass.skipped) × 100.
+	SkipRatePct float64 `json:"skip_rate_pct"`
 }
 
 // Baseline is the committed document.
@@ -101,9 +108,11 @@ func run(args []string) error {
 			StatefulIncrementalMS:  round3(sfIncr),
 			SpeedupPct:             round3(speedup),
 			StateKiB:               round3(float64(stateBytes) / 1024),
+			Metrics:                sf.Metrics,
+			SkipRatePct:            round3(100 * obs.SkipRate(sf.Metrics)),
 		})
-		fmt.Fprintf(os.Stderr, "%-12s stateless %.3fms  stateful %.3fms  speedup %+.2f%%\n",
-			p.Name, slIncr, sfIncr, speedup)
+		fmt.Fprintf(os.Stderr, "%-12s stateless %.3fms  stateful %.3fms  speedup %+.2f%%  skip-rate %.1f%%\n",
+			p.Name, slIncr, sfIncr, speedup, 100*obs.SkipRate(sf.Metrics))
 	}
 	doc.MeanSpeedupPct = round3(speedupSum / float64(len(suite)))
 

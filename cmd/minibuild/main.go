@@ -5,6 +5,8 @@
 //	minibuild -dir ./proj -mode stateful -state .minibuild
 //	minibuild -dir ./proj -run -j 8
 //	minibuild -dir ./proj -watch-stats   per-build pipeline statistics
+//	minibuild -dir ./proj -trace out.json   Chrome trace_event profile
+//	minibuild -dir ./proj -metrics       machine-readable counters block
 //
 // Within one process the object cache lives in memory; the dormancy state
 // additionally persists to -cache so the *next* invocation's recompiles
@@ -19,6 +21,7 @@ import (
 
 	"statefulcc/internal/buildsys"
 	"statefulcc/internal/compiler"
+	"statefulcc/internal/obs"
 	"statefulcc/internal/project"
 	"statefulcc/internal/vm"
 )
@@ -39,6 +42,8 @@ func run(args []string) error {
 	runProg := fs.Bool("run", false, "execute the built program")
 	showStats := fs.Bool("watch-stats", false, "print pipeline statistics")
 	jobs := fs.Int("j", 0, "parallel compile workers (default GOMAXPROCS)")
+	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON profile to this file")
+	showMetrics := fs.Bool("metrics", false, "print the machine-readable counters block")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,7 +79,11 @@ func run(args []string) error {
 		return err
 	}
 
-	builder, err := buildsys.NewBuilder(buildsys.Options{Mode: cmode, StateDir: stateDir, Workers: *jobs})
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+	}
+	builder, err := buildsys.NewBuilder(buildsys.Options{Mode: cmode, StateDir: stateDir, Workers: *jobs, Trace: tracer})
 	if err != nil {
 		return err
 	}
@@ -86,11 +95,33 @@ func run(args []string) error {
 		rep.UnitsCompiled+rep.UnitsCached, rep.UnitsCompiled, rep.UnitsCached,
 		float64(rep.TotalNS)/1e6, float64(rep.CompileNS)/1e6, float64(rep.LinkNS)/1e6,
 		float64(rep.StateBytes)/1024)
+	if runs, _, skipped := rep.Stats().Totals(); runs+skipped > 0 {
+		fmt.Printf("dormancy: %d pass runs, %d skipped (skip rate %.1f%%), pool utilization %.0f%%\n",
+			runs, skipped, 100*obs.SkipRate(rep.Metrics), 100*rep.Utilization())
+	}
 
 	if *showStats {
 		if st := rep.Stats(); len(st.Slots) > 0 {
 			fmt.Print(st)
 		}
+	}
+	if *showMetrics {
+		fmt.Print(obs.FormatMetrics(rep.Metrics))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		werr := obs.WriteChrome(f, tracer.Spans(), rep.Metrics)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("trace: %d spans written to %s (load in chrome://tracing or ui.perfetto.dev)\n",
+			tracer.Len(), *traceOut)
 	}
 
 	if *runProg {

@@ -9,6 +9,8 @@
 //	minicc -run file.mc...            execute the linked program
 //	minicc -emit-ir file.mc           print optimized IR
 //	minicc -stats file.mc             print pipeline statistics
+//	minicc -trace out.json file.mc    write a Chrome trace_event profile
+//	minicc -metrics file.mc           print the counters block
 //	minicc -O0|-O1|-O2 ...            pipeline selection
 package main
 
@@ -23,6 +25,7 @@ import (
 	"statefulcc/internal/compiler"
 	"statefulcc/internal/core"
 	"statefulcc/internal/fingerprint"
+	"statefulcc/internal/obs"
 	"statefulcc/internal/passes"
 	"statefulcc/internal/state"
 	"statefulcc/internal/vm"
@@ -48,6 +51,8 @@ func run(args []string) error {
 	o2 := fs.Bool("O2", true, "standard pipeline (default)")
 	verifyIR := fs.Bool("verify-ir", false, "verify IR after every pass")
 	verifyState := fs.Bool("verify-state", false, "re-run skipped passes and cross-check dormancy")
+	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON profile to this file")
+	showMetrics := fs.Bool("metrics", false, "print the machine-readable counters block")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,11 +82,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+	}
+	reg := obs.NewRegistry()
 	comp, err := compiler.New(compiler.Options{
 		Pipeline:    pipeline,
 		Mode:        cmode,
 		VerifyIR:    *verifyIR,
 		VerifySkips: *verifyState,
+		Obs:         &obs.Sink{Tracer: tracer, Pass: reg.Pass(), TID: 1},
 	})
 	if err != nil {
 		return err
@@ -123,6 +134,24 @@ func run(args []string) error {
 			fmt.Printf("--- %s ---\n%s", unit, res.Stats)
 		}
 		objects = append(objects, res.Object)
+	}
+
+	if *showMetrics {
+		fmt.Print(obs.FormatMetrics(reg.Snapshot()))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		werr := obs.WriteChrome(f, tracer.Spans(), reg.Snapshot())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(os.Stderr, "minicc: trace with %d spans written to %s\n", tracer.Len(), *traceOut)
 	}
 
 	if *emitIR || *emitAsm {

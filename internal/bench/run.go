@@ -73,6 +73,9 @@ type ProjectRun struct {
 	Cold BuildSample
 	// Incremental holds builds 1..N (one per commit).
 	Incremental []BuildSample
+	// Metrics is the builder's counters registry after the whole history
+	// (first repeat): cumulative dormancy, fingerprint, and stage totals.
+	Metrics map[string]int64
 }
 
 // MeanIncrementalNS averages incremental build times.
@@ -119,6 +122,7 @@ func RunHistory(p workload.Profile, mode compiler.Mode, cfg Config) (*ProjectRun
 		}
 		if run == nil {
 			run = cur
+			run.Metrics = builder.Metrics()
 			continue
 		}
 		// Keep per-build minimum times.

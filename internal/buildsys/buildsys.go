@@ -31,6 +31,7 @@ import (
 	"statefulcc/internal/compiler"
 	"statefulcc/internal/core"
 	"statefulcc/internal/fingerprint"
+	"statefulcc/internal/obs"
 	"statefulcc/internal/passes"
 	"statefulcc/internal/project"
 	"statefulcc/internal/state"
@@ -51,6 +52,10 @@ type Options struct {
 	VerifyIR bool
 	// Pipeline overrides the pass list (default passes.StandardPipeline).
 	Pipeline []string
+	// Trace, when set, receives build/link/unit/stage/pass spans from
+	// every Build call on a shared timeline (minibuild -trace). Nil
+	// disables span collection; counters are always kept.
+	Trace *obs.Tracer
 }
 
 // UnitReport describes one unit within a build.
@@ -78,6 +83,14 @@ type Report struct {
 	Units map[string]UnitReport
 	// Program is the linked executable.
 	Program *codegen.Program
+	// Metrics is a snapshot of the builder's counters registry taken after
+	// this build. Counters are cumulative across the builder's lifetime
+	// (dormancy hit/skip totals, fingerprint vs pass time, state I/O,
+	// worker busy time); see docs/OBSERVABILITY.md for the schema.
+	Metrics map[string]int64
+	// WorkerBusyNS is each worker slot's busy time during this build's
+	// compile phase (index = worker slot).
+	WorkerBusyNS []int64
 
 	stats *core.Stats
 }
@@ -86,6 +99,12 @@ type Report struct {
 // compiled by this build (empty — never nil — when everything was cached
 // or the mode records none).
 func (r *Report) Stats() *core.Stats { return r.stats }
+
+// Utilization reports the worker pool's utilization of this build's
+// compile phase: busy time across workers / (workers × phase wall time).
+func (r *Report) Utilization() float64 {
+	return obs.Utilization(r.WorkerBusyNS, r.CompileNS)
+}
 
 // unitEntry is the retained per-unit build state.
 type unitEntry struct {
@@ -103,6 +122,26 @@ type Builder struct {
 	opts    Options
 	workers []*compiler.Compiler // one per worker slot, reused across builds
 	units   map[string]*unitEntry
+
+	// Observability: reg is the builder's counter registry; ctr holds the
+	// pre-resolved counters the build loop and workers update; busy is
+	// per-worker busy time, reset each Build (each worker writes only its
+	// own slot, so no synchronization is needed within a build).
+	reg  *obs.Registry
+	ctr  builderCounters
+	busy []int64
+}
+
+// builderCounters are the registry counters the build system updates
+// directly (the pipeline's own counters are resolved by obs.Registry.Pass
+// and updated from worker goroutines via the compiler sinks).
+type builderCounters struct {
+	builds, unitsCompiled, unitsCached  *obs.Counter
+	linkNS                              *obs.Counter
+	frontendNS, passesNS, codegenNS     *obs.Counter
+	cacheHits, cacheMisses              *obs.Counter
+	stateLoads, stateLoadMisses, stateSaves *obs.Counter
+	workerBusyNS                        *obs.Counter
 }
 
 // NewBuilder creates an incremental builder.
@@ -115,20 +154,50 @@ func NewBuilder(opts Options) (*Builder, error) {
 	}
 	opts.Pipeline = append([]string(nil), opts.Pipeline...)
 
-	b := &Builder{opts: opts, units: make(map[string]*unitEntry)}
+	reg := obs.NewRegistry()
+	b := &Builder{
+		opts:  opts,
+		units: make(map[string]*unitEntry),
+		reg:   reg,
+		ctr: builderCounters{
+			builds:          reg.Counter(obs.CtrBuilds),
+			unitsCompiled:   reg.Counter(obs.CtrUnitsCompiled),
+			unitsCached:     reg.Counter(obs.CtrUnitsCached),
+			linkNS:          reg.Counter(obs.CtrLinkNS),
+			frontendNS:      reg.Counter(obs.CtrFrontendNS),
+			passesNS:        reg.Counter(obs.CtrPassesNS),
+			codegenNS:       reg.Counter(obs.CtrCodegenNS),
+			cacheHits:       reg.Counter(obs.CtrCacheHits),
+			cacheMisses:     reg.Counter(obs.CtrCacheMisses),
+			stateLoads:      reg.Counter(obs.CtrStateLoads),
+			stateLoadMisses: reg.Counter(obs.CtrStateLoadMisses),
+			stateSaves:      reg.Counter(obs.CtrStateSaves),
+			workerBusyNS:    reg.Counter(obs.CtrWorkerBusyNS),
+		},
+		busy: make([]int64, opts.Workers),
+	}
+	pass := reg.Pass()
 	for i := 0; i < opts.Workers; i++ {
 		c, err := compiler.New(compiler.Options{
 			Pipeline: opts.Pipeline,
 			Mode:     opts.Mode,
 			VerifyIR: opts.VerifyIR,
+			// Worker i reports as logical thread i+1; thread 0 is the
+			// build orchestrator.
+			Obs: &obs.Sink{Tracer: opts.Trace, Pass: pass, TID: i + 1},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("buildsys: %w", err)
 		}
 		b.workers = append(b.workers, c)
 	}
+	b.sweepStateTemp()
 	return b, nil
 }
+
+// Metrics snapshots the builder's counters registry (cumulative across
+// builds; see docs/OBSERVABILITY.md for the counter schema).
+func (b *Builder) Metrics() map[string]int64 { return b.reg.Snapshot() }
 
 // Workers returns the normalized worker count.
 func (b *Builder) Workers() int { return b.opts.Workers }
@@ -141,8 +210,12 @@ func (b *Builder) Mode() compiler.Mode { return b.opts.Mode }
 // deterministically (unit-name order, independent of scheduling).
 func (b *Builder) Build(snap project.Snapshot) (*Report, error) {
 	start := time.Now()
+	buildStart := b.opts.Trace.Now()
 	if len(snap) == 0 {
 		return nil, fmt.Errorf("buildsys: empty snapshot (no units to build)")
+	}
+	for i := range b.busy {
+		b.busy[i] = 0
 	}
 
 	// Drop units removed from the project, including their on-disk state.
@@ -200,12 +273,18 @@ func (b *Builder) Build(snap project.Snapshot) (*Report, error) {
 		if out.res.Stats != nil {
 			rep.stats.Merge(out.res.Stats)
 		}
-		rep.Units[name] = UnitReport{Compiled: true, CompileNS: out.res.Timings.TotalNS}
+		b.ctr.frontendNS.Add(out.res.StageNS(compiler.StageFrontend))
+		b.ctr.passesNS.Add(out.res.StageNS(compiler.StagePasses))
+		b.ctr.codegenNS.Add(out.res.StageNS(compiler.StageCodegen))
+		b.ctr.cacheHits.Add(int64(out.res.CacheHits))
+		b.ctr.cacheMisses.Add(int64(out.res.CacheMisses))
+		rep.Units[name] = UnitReport{Compiled: true, CompileNS: out.res.TotalNS}
 		rep.UnitsCompiled++
 	}
 
 	// Link everything, cached and fresh, in deterministic order.
 	linkStart := time.Now()
+	linkSpanStart := b.opts.Trace.Now()
 	objs := make([]*codegen.Object, 0, len(units))
 	for _, name := range units {
 		objs = append(objs, b.units[name].obj)
@@ -216,9 +295,25 @@ func (b *Builder) Build(snap project.Snapshot) (*Report, error) {
 	}
 	rep.LinkNS = time.Since(linkStart).Nanoseconds()
 	rep.Program = prog
+	b.opts.Trace.Emit(obs.Span{Name: "link", Cat: obs.CatBuild, TID: 0,
+		Start: linkSpanStart, Dur: rep.LinkNS})
 
 	rep.StateBytes = b.stateBytes()
 	rep.TotalNS = time.Since(start).Nanoseconds()
+
+	// Build-level accounting: counters first, then the snapshot the
+	// report carries.
+	b.ctr.builds.Inc()
+	b.ctr.unitsCompiled.Add(int64(rep.UnitsCompiled))
+	b.ctr.unitsCached.Add(int64(rep.UnitsCached))
+	b.ctr.linkNS.Add(rep.LinkNS)
+	rep.WorkerBusyNS = append([]int64(nil), b.busy...)
+	for _, ns := range b.busy {
+		b.ctr.workerBusyNS.Add(ns)
+	}
+	rep.Metrics = b.reg.Snapshot()
+	b.opts.Trace.Emit(obs.Span{Name: "build", Cat: obs.CatBuild, TID: 0,
+		Start: buildStart, Dur: rep.TotalNS})
 	return rep, nil
 }
 

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"statefulcc/internal/compiler"
 	"statefulcc/internal/core"
@@ -90,19 +91,19 @@ func (b *Builder) runStealing(jobs []compileJob, results []outcome, nworkers int
 	var wg sync.WaitGroup
 	for w := 0; w < nworkers; w++ {
 		wg.Add(1)
-		go func(c *compiler.Compiler) {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1) - 1)
 				if i >= len(jobs) || failed.Load() {
 					return
 				}
-				results[i] = b.compileOne(c, jobs[i])
+				results[i] = b.compileOne(w, jobs[i])
 				if results[i].err != nil {
 					failed.Store(true)
 				}
 			}
-		}(b.workers[w])
+		}(w)
 	}
 	wg.Wait()
 }
@@ -126,19 +127,28 @@ func (b *Builder) runSharded(jobs []compileJob, results []outcome, nworkers int)
 	var wg sync.WaitGroup
 	for w := 0; w < nworkers; w++ {
 		wg.Add(1)
-		go func(c *compiler.Compiler, idxs []int) {
+		go func(w int, idxs []int) {
 			defer wg.Done()
 			for _, i := range idxs {
-				results[i] = b.compileOne(c, jobs[i])
+				results[i] = b.compileOne(w, jobs[i])
 			}
-		}(b.workers[w], shards[w])
+		}(w, shards[w])
 	}
 	wg.Wait()
 }
 
-// compileOne runs one unit through a worker's compiler, loading and saving
-// persistent dormancy state around it when a state directory is set.
-func (b *Builder) compileOne(c *compiler.Compiler, j compileJob) outcome {
+// compileOne runs one unit through worker w's compiler, loading and saving
+// persistent dormancy state around it when a state directory is set. Busy
+// time (including state I/O) accrues to the worker's slot in b.busy —
+// written only by this worker, so no synchronization is needed; the shared
+// counters it touches are atomic.
+func (b *Builder) compileOne(w int, j compileJob) outcome {
+	c := b.workers[w]
+	busyStart := time.Now()
+	defer func() {
+		b.busy[w] += time.Since(busyStart).Nanoseconds()
+	}()
+
 	prev := j.prev
 	if prev == nil && j.probeDisk {
 		prev = b.loadUnitState(j.name)

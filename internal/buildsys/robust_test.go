@@ -13,6 +13,7 @@ import (
 	"statefulcc/internal/buildsys"
 	"statefulcc/internal/compiler"
 	"statefulcc/internal/project"
+	"statefulcc/internal/state"
 	"statefulcc/internal/vm"
 )
 
@@ -147,6 +148,89 @@ func TestCorruptStateIsColdStart(t *testing.T) {
 	}
 	if out != refOut || res.ExitValue != refRes.ExitValue {
 		t.Errorf("cold rebuild behaviour differs: %q/%d vs %q/%d", out, res.ExitValue, refOut, refRes.ExitValue)
+	}
+}
+
+// TestCrashMidStateWrite simulates a process killed partway through
+// persisting dormancy state: an orphaned atomic-writer temp file sits next
+// to a truncated state file. The next builder must cold-start cleanly,
+// produce the same program, and sweep the orphan so temp files cannot
+// accumulate across crashes.
+func TestCrashMidStateWrite(t *testing.T) {
+	dir := t.TempDir()
+	snap := twoUnitSnap()
+
+	b1, err := buildsys.NewBuilder(buildsys.Options{Mode: compiler.ModeStateful, StateDir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := mustBuild(t, b1, snap)
+	refOut, refRes, err := vm.RunCapture(ref.Program, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash leftovers: a half-written temp (matching state.TempPattern, as
+	// os.CreateTemp would name it) plus one real state file cut short.
+	orphan := filepath.Join(dir, ".state-3141592653")
+	if err := os.WriteFile(orphan, []byte("partial write, process died here"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := filepath.Match(state.TempPattern, filepath.Base(orphan)); err != nil || !ok {
+		t.Fatalf("test orphan %q does not match state.TempPattern %q", orphan, state.TempPattern)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncated := false
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".state") {
+			path := filepath.Join(dir, e.Name())
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			truncated = true
+			break
+		}
+	}
+	if !truncated {
+		t.Fatal("no state file to truncate")
+	}
+
+	// "Restart": a fresh builder over the damaged directory.
+	b2, err := buildsys.NewBuilder(buildsys.Options{Mode: compiler.ModeStateful, StateDir: dir, Workers: 2})
+	if err != nil {
+		t.Fatalf("builder creation must survive crash leftovers: %v", err)
+	}
+	rep, err := b2.Build(snap)
+	if err != nil {
+		t.Fatalf("crash leftovers must cold-start, got error: %v", err)
+	}
+	out, res, err := vm.RunCapture(rep.Program, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != refOut || res.ExitValue != refRes.ExitValue {
+		t.Errorf("post-crash rebuild behaviour differs: %q/%d vs %q/%d",
+			out, res.ExitValue, refOut, refRes.ExitValue)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Errorf("orphaned temp file not swept at builder start (stat err: %v)", err)
+	}
+
+	// The rebuild rewrote good state; one more fresh builder must skip again.
+	b3, err := buildsys.NewBuilder(buildsys.Options{Mode: compiler.ModeStateful, StateDir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep3 := mustBuild(t, b3, snap)
+	if _, _, skipped := rep3.Stats().Totals(); skipped == 0 {
+		t.Error("state not re-persisted after crash recovery")
 	}
 }
 

@@ -53,16 +53,19 @@ func fmt16(v uint64) string {
 }
 
 // loadUnitState reads a unit's persisted state; any failure is a cold
-// start, never an error.
+// start, never an error. Called concurrently from worker goroutines; the
+// counters it updates are atomic.
 func (b *Builder) loadUnitState(unit string) *core.UnitState {
 	path := b.statePath(unit)
 	if path == "" {
 		return nil
 	}
 	st, err := state.Load(path)
-	if err != nil {
+	if err != nil || st == nil {
+		b.ctr.stateLoadMisses.Inc()
 		return nil
 	}
+	b.ctr.stateLoads.Inc()
 	return st
 }
 
@@ -73,7 +76,26 @@ func (b *Builder) saveUnitState(unit string, st *core.UnitState) {
 	if path == "" {
 		return
 	}
-	_ = state.Save(path, st)
+	if state.Save(path, st) == nil {
+		b.ctr.stateSaves.Inc()
+	}
+}
+
+// sweepStateTemp removes orphaned atomic-write temp files from StateDir.
+// A process that crashes between state.Save's temp creation and rename
+// leaves one behind; they are never read back, so a new builder (the
+// directory's single writer) deletes them at startup.
+func (b *Builder) sweepStateTemp() {
+	if b.opts.StateDir == "" {
+		return
+	}
+	matches, err := filepath.Glob(filepath.Join(b.opts.StateDir, state.TempPattern))
+	if err != nil {
+		return
+	}
+	for _, m := range matches {
+		_ = os.Remove(m)
+	}
 }
 
 // removeUnitState deletes a removed unit's state file so StateDir tracks

@@ -22,6 +22,7 @@ import (
 	"statefulcc/internal/core"
 	"statefulcc/internal/ir"
 	"statefulcc/internal/irbuild"
+	"statefulcc/internal/obs"
 	"statefulcc/internal/parser"
 	"statefulcc/internal/passes"
 	"statefulcc/internal/source"
@@ -67,6 +68,10 @@ type Options struct {
 	VerifyIR bool
 	// SkipCodegen stops after the pipeline (used by IR-dumping tools).
 	SkipCodegen bool
+	// Obs carries the observability context (shared tracer, counters,
+	// worker thread id). Nil disables tracing; stage spans are still
+	// recorded in each UnitResult.
+	Obs *obs.Sink
 }
 
 // Compiler compiles units under a fixed policy. It is not safe for
@@ -97,6 +102,7 @@ func New(opts Options) (*Compiler, error) {
 			Policy:      policy,
 			VerifySkips: opts.VerifySkips,
 			VerifyIR:    opts.VerifyIR,
+			Obs:         opts.Obs,
 		})
 		if err != nil {
 			return nil, err
@@ -125,13 +131,12 @@ func (c *Compiler) FullCacheStateBytes() int {
 	return c.cache.SizeBytes()
 }
 
-// Timings breaks a unit compilation into stages.
-type Timings struct {
-	FrontendNS int64
-	PassNS     int64
-	CodegenNS  int64
-	TotalNS    int64
-}
+// Stage span names emitted for every unit compilation.
+const (
+	StageFrontend = "frontend"
+	StagePasses   = "passes"
+	StageCodegen  = "codegen"
+)
 
 // UnitResult is the outcome of compiling one unit.
 type UnitResult struct {
@@ -145,8 +150,22 @@ type UnitResult struct {
 	Stats *core.Stats
 	// CacheHits/CacheMisses count full-cache function lookups.
 	CacheHits, CacheMisses int
-	// Timings is the stage breakdown.
-	Timings Timings
+	// Spans is the structured stage breakdown (frontend/passes/codegen).
+	// Start times are relative to the tracer epoch when tracing, or to the
+	// unit compile start otherwise; per-pass spans go to the tracer only.
+	Spans []obs.Span
+	// TotalNS is the unit's end-to-end compile wall time.
+	TotalNS int64
+}
+
+// StageNS returns the duration of the named stage span (0 when absent).
+func (r *UnitResult) StageNS(name string) int64 {
+	for _, sp := range r.Spans {
+		if sp.Name == name {
+			return sp.Dur
+		}
+	}
+	return 0
 }
 
 // Frontend runs lex/parse/check/lower on one unit.
@@ -170,18 +189,35 @@ func Frontend(unitName string, src []byte) (*ir.Module, error) {
 // policies, st carries the previous build's dormancy records (nil on cold
 // builds) and the updated state is returned in the result.
 func (c *Compiler) CompileUnit(unitName string, src []byte, st *core.UnitState) (*UnitResult, error) {
-	total := time.Now()
+	// Span clock: the shared tracer's epoch when tracing, the unit start
+	// otherwise — either way spans within one unit share a timeline.
+	tr := c.opts.Obs.Trace()
+	tid := c.opts.Obs.ThreadID()
+	unitStart := time.Now()
+	now := func() int64 {
+		if tr != nil {
+			return tr.Now()
+		}
+		return time.Since(unitStart).Nanoseconds()
+	}
 	res := &UnitResult{}
+	stage := func(name string, start int64) {
+		sp := obs.Span{Name: name, Cat: obs.CatStage, Unit: unitName, TID: tid,
+			Start: start, Dur: now() - start}
+		res.Spans = append(res.Spans, sp)
+		tr.Emit(sp)
+	}
+	t0 := now()
 
-	start := time.Now()
+	start := now()
 	m, err := Frontend(unitName, src)
 	if err != nil {
 		return nil, err
 	}
-	res.Timings.FrontendNS = time.Since(start).Nanoseconds()
+	stage(StageFrontend, start)
 	res.Module = m
 
-	start = time.Now()
+	start = now()
 	switch c.opts.Mode {
 	case ModeFullCache:
 		hits, misses, err := c.cache.Optimize(m)
@@ -201,17 +237,19 @@ func (c *Compiler) CompileUnit(unitName string, src []byte, st *core.UnitState) 
 		}
 		res.Stats = stats
 	}
-	res.Timings.PassNS = time.Since(start).Nanoseconds()
+	stage(StagePasses, start)
 
 	if !c.opts.SkipCodegen {
-		start = time.Now()
+		start = now()
 		obj, err := codegen.Compile(m)
 		if err != nil {
 			return nil, err
 		}
-		res.Timings.CodegenNS = time.Since(start).Nanoseconds()
+		stage(StageCodegen, start)
 		res.Object = obj
 	}
-	res.Timings.TotalNS = time.Since(total).Nanoseconds()
+	res.TotalNS = now() - t0
+	tr.Emit(obs.Span{Name: "unit " + unitName, Cat: obs.CatUnit, Unit: unitName,
+		TID: tid, Start: t0, Dur: res.TotalNS})
 	return res, nil
 }

@@ -121,8 +121,11 @@ func TestStatefulSkipsOnRebuild(t *testing.T) {
 	if _, _, skipped := r2.Stats.Totals(); skipped == 0 {
 		t.Error("no skips on identical rebuild")
 	}
-	if r2.Timings.TotalNS <= 0 || r2.Timings.FrontendNS <= 0 {
-		t.Error("timings not populated")
+	if r2.TotalNS <= 0 || r2.StageNS(compiler.StageFrontend) <= 0 {
+		t.Error("stage spans not populated")
+	}
+	if len(r2.Spans) != 3 {
+		t.Errorf("stage spans = %d, want 3 (frontend/passes/codegen)", len(r2.Spans))
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 
 	"statefulcc/internal/fingerprint"
 	"statefulcc/internal/ir"
+	"statefulcc/internal/obs"
 	"statefulcc/internal/passes"
 )
 
@@ -70,6 +71,9 @@ type Options struct {
 	VerifySkips bool
 	// VerifyIR runs the IR verifier after every pass (slow; tests only).
 	VerifyIR bool
+	// Obs carries the observability context: per-slot spans go to its
+	// tracer, pipeline totals to its counters. Nil disables both.
+	Obs *obs.Sink
 }
 
 // Driver executes a pipeline over modules, maintaining dormancy state.
@@ -157,27 +161,69 @@ func (d *Driver) Run(m *ir.Module, st *UnitState) (*UnitState, *Stats, error) {
 		live[f.Name] = true
 	}
 
+	tr := d.opts.Obs.Trace()
 	for slot, info := range d.infos {
 		ss := &stats.Slots[slot]
+		// Per-slot span bookkeeping: a slot's work is contiguous, so one
+		// span covers it; hash time is attributed by delta.
+		spanStart := tr.Now()
+		hashes0, hashNS0 := stats.Hashes, stats.HashNS
+
+		var err error
 		if info.Module {
-			if err := d.runModuleSlot(m, st, slot, ss, cache); err != nil {
-				return st, stats, err
+			err = d.runModuleSlot(m, st, slot, ss, cache)
+		} else {
+			// Function slot: iterate a snapshot (module passes may have
+			// changed the list; function passes do not).
+			funcs := append([]*ir.Func(nil), m.Funcs...)
+			for _, f := range funcs {
+				if err = d.runFuncSlot(m, f, st, slot, ss, cache); err != nil {
+					break
+				}
 			}
-			continue
 		}
-		// Function slot: iterate a snapshot (module passes may have
-		// changed the list; function passes do not).
-		funcs := append([]*ir.Func(nil), m.Funcs...)
-		for _, f := range funcs {
-			if err := d.runFuncSlot(m, f, st, slot, ss, cache); err != nil {
-				return st, stats, err
-			}
+		if tr != nil {
+			tr.Emit(obs.Span{
+				Name: "pass:" + info.Name, Cat: obs.CatPass,
+				Unit: m.Unit, TID: d.opts.Obs.ThreadID(),
+				Start: spanStart, Dur: tr.Now() - spanStart,
+				Slot: slot, Runs: ss.Runs, Skipped: ss.Skipped, Dormant: ss.Dormant,
+				Hashes: stats.Hashes - hashes0, HashNS: stats.HashNS - hashNS0,
+				SavedNS: ss.SavedNS,
+			})
+		}
+		if err != nil {
+			d.countStats(stats)
+			return st, stats, err
 		}
 	}
 
 	// Garbage-collect records of functions deleted from the source.
 	st.Prune(live)
+	d.countStats(stats)
 	return st, stats, nil
+}
+
+// countStats folds one compilation's totals into the shared pass counters
+// — a handful of atomic adds per unit, safe under the worker pool.
+func (d *Driver) countStats(stats *Stats) {
+	pc := d.opts.Obs.PassCtrs()
+	if pc == nil {
+		return
+	}
+	runs, dormant, skipped := stats.Totals()
+	var mispredicted int
+	for _, sl := range stats.Slots {
+		mispredicted += sl.Mispredicted
+	}
+	pc.Runs.Add(int64(runs))
+	pc.Dormant.Add(int64(dormant))
+	pc.Skipped.Add(int64(skipped))
+	pc.Mispredicted.Add(int64(mispredicted))
+	pc.RunNS.Add(stats.PassTimeNS())
+	pc.SavedNS.Add(stats.SavedNS())
+	pc.Hashes.Add(int64(stats.Hashes))
+	pc.HashNS.Add(stats.HashNS)
 }
 
 func (d *Driver) runFuncSlot(m *ir.Module, f *ir.Func, st *UnitState, slot int, ss *SlotStats, cache *hashCache) error {

@@ -1,0 +1,135 @@
+package fingerprint_test
+
+// Native fuzz target for the fingerprint function — the correctness
+// linchpin of the whole stateful design. Two properties are fuzzed:
+//
+//  1. Stability: structurally equal IR (same source parsed twice, or a
+//     deep clone) must produce identical per-function and module
+//     fingerprints. A violation means spurious recompiles at best and
+//     nondeterministic dormancy records at worst.
+//  2. Sensitivity: if mutating the source changes a function's printed
+//     IR, that function's fingerprint must change too. A violation means
+//     a real edit could be treated as "unchanged" and a stale dormancy
+//     record would skip passes that now matter — silent miscompilation.
+//
+// Run with: go test -fuzz FuzzFingerprintStability ./internal/fingerprint
+
+import (
+	"strings"
+	"testing"
+
+	"statefulcc/internal/fingerprint"
+	"statefulcc/internal/ir"
+	"statefulcc/internal/testutil"
+)
+
+func FuzzFingerprintStability(f *testing.F) {
+	f.Add("func main() int { return 42; }")
+	f.Add("const K = 7;\nfunc main() int { var x int = K * 6; return x; }")
+	f.Add(`
+func helper(n int) int {
+    var s int = 0;
+    for var i int = 0; i < n; i++ { s += i * i; }
+    return s;
+}
+func main() int { print("h", helper(9)); return 0; }
+`)
+	f.Add(`
+var g int = 3;
+func twice(x int) int { return x * 2; }
+func main() int {
+    if g > 2 { g = twice(g); } else { g = 0; }
+    while g > 10 { g -= 4; }
+    return g;
+}
+`)
+	f.Add(`
+func pick(a int, b int, c bool) int {
+    if c { return a; }
+    return b;
+}
+func main() int {
+    var arr [4]int;
+    arr[0] = pick(1, 2, true);
+    arr[1] = pick(3, 4, false);
+    return arr[0] + arr[1];
+}
+`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		m1, err := testutil.BuildModule("fuzz.mc", src)
+		if err != nil {
+			t.Skip() // not a valid MiniC program; nothing to fingerprint
+		}
+		m2, err := testutil.BuildModule("fuzz.mc", src)
+		if err != nil {
+			t.Fatalf("second parse of accepted input failed: %v", err)
+		}
+
+		// Property 1a: re-parsing the same source reproduces every hash.
+		if h1, h2 := fingerprint.Module(m1), fingerprint.Module(m2); h1 != h2 {
+			t.Fatalf("module fingerprint unstable across parses: %016x vs %016x", h1, h2)
+		}
+		fns2 := map[string]*ir.Func{}
+		for _, fn := range m2.Funcs {
+			fns2[fn.Name] = fn
+		}
+		for _, fn := range m1.Funcs {
+			other, ok := fns2[fn.Name]
+			if !ok {
+				t.Fatalf("function %s missing from second parse", fn.Name)
+			}
+			if h1, h2 := fingerprint.Function(fn), fingerprint.Function(other); h1 != h2 {
+				t.Fatalf("function %s fingerprint unstable across parses: %016x vs %016x", fn.Name, h1, h2)
+			}
+			// Property 1b: a deep clone hashes identically to its source.
+			if hc := fingerprint.Function(ir.CloneFunc(fn)); hc != fingerprint.Function(fn) {
+				t.Fatalf("function %s clone fingerprint differs", fn.Name)
+			}
+		}
+		if hc := fingerprint.Module(ir.CloneModule(m1)); hc != fingerprint.Module(m1) {
+			t.Fatal("module clone fingerprint differs")
+		}
+
+		// Property 2: flip one digit in the source; every function whose
+		// printed IR changed must change its fingerprint.
+		mutated := mutateDigit(src)
+		if mutated == src {
+			return
+		}
+		m3, err := testutil.BuildModule("fuzz.mc", mutated)
+		if err != nil {
+			return // mutation broke the program; sensitivity is moot
+		}
+		fns3 := map[string]*ir.Func{}
+		for _, fn := range m3.Funcs {
+			fns3[fn.Name] = fn
+		}
+		for _, fn := range m1.Funcs {
+			other, ok := fns3[fn.Name]
+			if !ok {
+				continue
+			}
+			if fn.String() != other.String() && fingerprint.Function(fn) == fingerprint.Function(other) {
+				t.Fatalf("function %s: IR differs but fingerprint collides\n--- before ---\n%s\n--- after ---\n%s",
+					fn.Name, fn.String(), other.String())
+			}
+		}
+		if m1.String() != m3.String() && fingerprint.Module(m1) == fingerprint.Module(m3) {
+			t.Fatal("module IR differs but module fingerprint collides")
+		}
+	})
+}
+
+// mutateDigit replaces the first decimal digit in src with a different
+// one, a minimal semantics-affecting edit that usually still parses.
+func mutateDigit(src string) string {
+	if i := strings.IndexAny(src, "0123456789"); i >= 0 {
+		repl := byte('1')
+		if src[i] == '1' {
+			repl = '2'
+		}
+		return src[:i] + string(repl) + src[i+1:]
+	}
+	return src
+}

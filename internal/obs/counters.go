@@ -1,0 +1,157 @@
+package obs
+
+// The counters registry. Names are resolved to *Counter once at setup;
+// from then on every update is one atomic add, which is what keeps the
+// registry safe and cheap under the build system's worker pool.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Standard counter names. Components may register additional names; these
+// are the ones the stack emits and the docs/metrics schema guarantee.
+const (
+	// Pipeline counters (updated once per compiled unit by the driver).
+	CtrPassRuns         = "pass.runs"
+	CtrPassDormant      = "pass.dormant"
+	CtrPassSkipped      = "pass.skipped"
+	CtrPassMispredicted = "pass.mispredicted"
+	CtrPassRunNS        = "pass.run_ns"
+	CtrPassSavedNS      = "pass.saved_ns"
+	CtrHashes           = "fingerprint.hashes"
+	CtrHashNS           = "fingerprint.hash_ns"
+
+	// Per-unit stage counters (updated by the build system at commit).
+	CtrFrontendNS = "stage.frontend_ns"
+	CtrPassesNS   = "stage.passes_ns"
+	CtrCodegenNS  = "stage.codegen_ns"
+
+	// Build counters.
+	CtrBuilds        = "build.count"
+	CtrUnitsCompiled = "build.units_compiled"
+	CtrUnitsCached   = "build.units_cached"
+	CtrLinkNS        = "build.link_ns"
+
+	// Full-cache counters.
+	CtrCacheHits   = "fullcache.hits"
+	CtrCacheMisses = "fullcache.misses"
+
+	// Persistent-state counters (updated concurrently by workers).
+	CtrStateLoads      = "state.loads"
+	CtrStateLoadMisses = "state.load_misses"
+	CtrStateSaves      = "state.saves"
+
+	// Worker-pool counters.
+	CtrWorkerBusyNS = "worker.busy_ns"
+)
+
+// Counter is a monotonically updated 64-bit metric. All methods are atomic
+// and safe on a nil receiver (no-ops), so unresolved counters cost nothing.
+type Counter struct {
+	v int64
+}
+
+// Add folds n into the counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	atomic.AddInt64(&c.v, n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 on nil).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&c.v)
+}
+
+// Registry is a named-counter table. Counter resolves names under a mutex;
+// the returned pointers are then update-able lock-free, so the mutex is off
+// every hot path. The zero value is not usable; create with NewRegistry.
+type Registry struct {
+	mu sync.Mutex
+	m  map[string]*Counter
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]*Counter)}
+}
+
+// Counter returns the named counter, creating it on first use. Nil-safe:
+// a nil registry returns nil, and nil counters no-op.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.m[name]
+	if !ok {
+		c = &Counter{}
+		r.m[name] = c
+	}
+	return c
+}
+
+// Snapshot returns the current value of every counter.
+func (r *Registry) Snapshot() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.m))
+	for name, c := range r.m {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// Names returns the registered counter names, sorted.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.m))
+	for name := range r.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PassCounters are the pipeline driver's hot-path counters, pre-resolved
+// so the driver updates them without touching the registry.
+type PassCounters struct {
+	Runs, Dormant, Skipped, Mispredicted *Counter
+	RunNS, SavedNS                       *Counter
+	Hashes, HashNS                       *Counter
+}
+
+// Pass resolves the standard pipeline counters (nil-safe: a nil registry
+// yields nil, which disables pipeline counting).
+func (r *Registry) Pass() *PassCounters {
+	if r == nil {
+		return nil
+	}
+	return &PassCounters{
+		Runs:         r.Counter(CtrPassRuns),
+		Dormant:      r.Counter(CtrPassDormant),
+		Skipped:      r.Counter(CtrPassSkipped),
+		Mispredicted: r.Counter(CtrPassMispredicted),
+		RunNS:        r.Counter(CtrPassRunNS),
+		SavedNS:      r.Counter(CtrPassSavedNS),
+		Hashes:       r.Counter(CtrHashes),
+		HashNS:       r.Counter(CtrHashNS),
+	}
+}

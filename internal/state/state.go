@@ -47,12 +47,18 @@ var magic = [8]byte{'S', 'C', 'C', 'S', 'T', 'A', 'T', 'E'}
 // FormatVersion is the on-disk layout version.
 const FormatVersion = 3
 
+// TempPattern is the glob the atomic writer's in-flight temp files match.
+// A crash between temp creation and rename orphans one; owners of a state
+// directory may sweep matches from a single-writer context (the files are
+// never read back, so removal is always safe).
+const TempPattern = ".state-*"
+
 // Save writes the unit state to path atomically.
 func Save(path string, st *core.UnitState) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("state: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".state-*")
+	tmp, err := os.CreateTemp(filepath.Dir(path), TempPattern)
 	if err != nil {
 		return fmt.Errorf("state: %w", err)
 	}

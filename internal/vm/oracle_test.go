@@ -1,0 +1,90 @@
+package vm_test
+
+// VM semantics oracle for the stateful compiler: workload-generated
+// programs are compiled twice at the compiler layer (no build system in
+// between) — once stateless, once stateful with dormancy state threaded
+// commit to commit — and executed. Output and exit value must be
+// identical. Unlike the buildsys differential tests, this drives
+// compiler.CompileUnit directly, so a divergence points at the pass
+// driver's skipping rather than at caching above it.
+
+import (
+	"testing"
+
+	"statefulcc/internal/codegen"
+	"statefulcc/internal/compiler"
+	"statefulcc/internal/core"
+	"statefulcc/internal/project"
+	"statefulcc/internal/vm"
+	"statefulcc/internal/workload"
+)
+
+// compileSnap compiles every unit of a snapshot with comp, threading
+// per-unit state from states (which it updates), and links the result.
+func compileSnap(t *testing.T, comp *compiler.Compiler, snap project.Snapshot,
+	states map[string]*core.UnitState) *codegen.Program {
+	t.Helper()
+	var objs []*codegen.Object
+	for _, name := range snap.Units() {
+		var st *core.UnitState
+		if states != nil {
+			st = states[name]
+		}
+		res, err := comp.CompileUnit(name, snap[name], st)
+		if err != nil {
+			t.Fatalf("compile %s: %v", name, err)
+		}
+		if states != nil {
+			states[name] = res.State
+		}
+		objs = append(objs, res.Object)
+	}
+	prog, err := codegen.Link(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestOracleStatefulMatchesStateless(t *testing.T) {
+	profiles := workload.QuickSuite()
+	if !testing.Short() {
+		profiles = workload.StandardSuite()[:4]
+	}
+	for _, p := range profiles {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			base := workload.Generate(p)
+			hist := workload.GenerateHistory(base, p.Seed^0x0ac1e, 3, workload.DefaultCommitOptions())
+
+			stateless, err := compiler.New(compiler.Options{Mode: compiler.ModeStateless})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stateful, err := compiler.New(compiler.Options{Mode: compiler.ModeStateful})
+			if err != nil {
+				t.Fatal(err)
+			}
+			states := map[string]*core.UnitState{}
+
+			for i, snap := range append([]project.Snapshot{base}, hist.Commits...) {
+				ref := compileSnap(t, stateless, snap, nil)
+				got := compileSnap(t, stateful, snap, states)
+
+				refOut, refRes, err := vm.RunCapture(ref, vm.Config{})
+				if err != nil {
+					t.Fatalf("commit %d stateless run: %v", i, err)
+				}
+				gotOut, gotRes, err := vm.RunCapture(got, vm.Config{})
+				if err != nil {
+					t.Fatalf("commit %d stateful run: %v", i, err)
+				}
+				if gotOut != refOut || gotRes.ExitValue != refRes.ExitValue {
+					t.Errorf("commit %d: stateful behaviour diverges\nstateless: %q exit=%d\nstateful:  %q exit=%d",
+						i, refOut, refRes.ExitValue, gotOut, gotRes.ExitValue)
+				}
+			}
+		})
+	}
+}
