@@ -1,10 +1,12 @@
 GO ?= go
+SMOKEDIR ?= .smoke
 
-.PHONY: ci vet build test race fuzz bench-baseline
+.PHONY: ci vet build test race fuzz bench bench-baseline smoke
 
 # ci is the tier-1 gate: everything must stay green, including the race
-# detector over the worker pool and the observability counters.
-ci: vet build test race
+# detector over the worker pool, the observability counters, and the
+# flight-recorder regression check on the example project.
+ci: vet build test race smoke
 
 vet:
 	$(GO) vet ./...
@@ -29,3 +31,24 @@ fuzz:
 # bench-baseline regenerates the committed performance baseline.
 bench-baseline:
 	$(GO) run ./cmd/benchbaseline -out BENCH_baseline.json
+
+# bench records this PR's measurement alongside the seed baseline,
+# including the decision-provenance counters.
+bench:
+	$(GO) run ./cmd/benchbaseline -out BENCH_pr3.json
+
+# smoke is the flight-recorder end-to-end check: cold build, comment-only
+# edit, incremental rebuild, then gate on the recorded history — regress
+# exits 2 unless the rebuild actually skipped dormant passes, and explain
+# must render the edited unit's decision table.
+smoke:
+	rm -rf $(SMOKEDIR)
+	mkdir -p $(SMOKEDIR)/proj
+	cp examples/project/*.mc $(SMOKEDIR)/proj/
+	$(GO) build -o $(SMOKEDIR)/minibuild ./cmd/minibuild
+	$(SMOKEDIR)/minibuild -dir $(SMOKEDIR)/proj -mode stateful
+	printf '\n// smoke edit\n' >> $(SMOKEDIR)/proj/math.mc
+	$(SMOKEDIR)/minibuild -dir $(SMOKEDIR)/proj -mode stateful
+	$(SMOKEDIR)/minibuild regress -dir $(SMOKEDIR)/proj -min-skip-rate 10
+	$(SMOKEDIR)/minibuild explain -dir $(SMOKEDIR)/proj math.mc
+	rm -rf $(SMOKEDIR)

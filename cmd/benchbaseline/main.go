@@ -35,6 +35,9 @@ type ProfileResult struct {
 	// history (schema: docs/OBSERVABILITY.md) — the per-profile dormancy
 	// and fingerprint accounting behind the headline speedup.
 	Metrics map[string]int64 `json:"metrics"`
+	// Decisions is the decision-provenance slice of Metrics: how many pass
+	// executions were charged to each reason (see docs/OBSERVABILITY.md).
+	Decisions map[string]int64 `json:"decisions"`
 	// SkipRatePct is pass.skipped / (pass.runs + pass.skipped) × 100.
 	SkipRatePct float64 `json:"skip_rate_pct"`
 }
@@ -109,6 +112,7 @@ func run(args []string) error {
 			SpeedupPct:             round3(speedup),
 			StateKiB:               round3(float64(stateBytes) / 1024),
 			Metrics:                sf.Metrics,
+			Decisions:              obs.DecisionCounts(sf.Metrics),
 			SkipRatePct:            round3(100 * obs.SkipRate(sf.Metrics)),
 		})
 		fmt.Fprintf(os.Stderr, "%-12s stateless %.3fms  stateful %.3fms  speedup %+.2f%%  skip-rate %.1f%%\n",

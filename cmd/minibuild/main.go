@@ -1,12 +1,19 @@
 // minibuild is the incremental build system CLI: it builds a directory of
 // MiniC sources, keeping object and compiler state across invocations via a
-// cache directory, and optionally runs the resulting program.
+// cache directory, and optionally runs the resulting program. Every build
+// with a state directory also appends a record to the build flight recorder
+// (<state>/history.jsonl), which the subcommands consume:
 //
 //	minibuild -dir ./proj -mode stateful -state .minibuild
 //	minibuild -dir ./proj -run -j 8
-//	minibuild -dir ./proj -watch-stats   per-build pipeline statistics
-//	minibuild -dir ./proj -trace out.json   Chrome trace_event profile
-//	minibuild -dir ./proj -metrics       machine-readable counters block
+//	minibuild -dir ./proj -watch-stats       per-build pipeline statistics
+//	minibuild -dir ./proj -trace out.json    Chrome trace_event profile
+//	minibuild -dir ./proj -metrics           machine-readable counters block
+//	minibuild explain -dir ./proj [unit]     last build's decision table
+//	minibuild history -dir ./proj            recent flight-recorder records
+//	minibuild regress -dir ./proj            CI regression gate (exit 2)
+//	minibuild serve -dir ./proj -addr :8377  daemon with /metrics, /builds,
+//	                                         /healthz and /debug/pprof
 //
 // Within one process the object cache lives in memory; the dormancy state
 // additionally persists to -cache so the *next* invocation's recompiles
@@ -26,46 +33,93 @@ import (
 	"statefulcc/internal/vm"
 )
 
+// errRegression marks the regress subcommand's threshold failure so main
+// can exit with a distinct status (2) CI scripts can branch on.
+type errRegression struct{ report string }
+
+func (e errRegression) Error() string { return e.report }
+
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "minibuild:", err)
-		os.Exit(1)
+	err := run(os.Args[1:])
+	if err == nil {
+		return
 	}
+	if re, ok := err.(errRegression); ok {
+		fmt.Fprint(os.Stderr, re.report)
+		os.Exit(2)
+	}
+	fmt.Fprintln(os.Stderr, "minibuild:", err)
+	os.Exit(1)
 }
 
 func run(args []string) error {
-	fs := flag.NewFlagSet("minibuild", flag.ContinueOnError)
-	dir := fs.String("dir", ".", "project directory (*.mc files)")
-	mode := fs.String("mode", "stateful", "compiler policy: stateless|stateful|predictive|fullcache")
-	cache := fs.String("cache", "", "cache directory for persistent state (default <dir>/.minibuild)")
+	if len(args) > 0 {
+		switch args[0] {
+		case "explain":
+			return runExplain(args[1:])
+		case "history":
+			return runHistory(args[1:])
+		case "regress":
+			return runRegress(args[1:])
+		case "serve":
+			return runServe(args[1:])
+		}
+	}
+	return runBuild(args)
+}
+
+// parseMode maps the -mode flag to a compiler policy.
+func parseMode(mode string) (compiler.Mode, error) {
+	switch mode {
+	case "stateless":
+		return compiler.ModeStateless, nil
+	case "stateful":
+		return compiler.ModeStateful, nil
+	case "predictive":
+		return compiler.ModePredictive, nil
+	case "fullcache":
+		return compiler.ModeFullCache, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+// stateDirFlags installs the -dir and -cache/-state flags shared by every
+// subcommand and returns their destinations.
+func stateDirFlags(fs *flag.FlagSet) (dir, cache *string) {
+	dir = fs.String("dir", ".", "project directory (*.mc files)")
+	cache = fs.String("cache", "", "cache directory for persistent state (default <dir>/.minibuild)")
 	fs.StringVar(cache, "state", "", "alias for -cache")
+	return dir, cache
+}
+
+// resolveStateDir applies the default state-directory location.
+func resolveStateDir(dir, cache string) string {
+	if cache != "" {
+		return cache
+	}
+	return filepath.Join(dir, ".minibuild")
+}
+
+func runBuild(args []string) error {
+	fs := flag.NewFlagSet("minibuild", flag.ContinueOnError)
+	dir, cache := stateDirFlags(fs)
+	mode := fs.String("mode", "stateful", "compiler policy: stateless|stateful|predictive|fullcache")
 	runProg := fs.Bool("run", false, "execute the built program")
 	showStats := fs.Bool("watch-stats", false, "print pipeline statistics")
 	jobs := fs.Int("j", 0, "parallel compile workers (default GOMAXPROCS)")
-	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON profile to this file")
-	showMetrics := fs.Bool("metrics", false, "print the machine-readable counters block")
+	var export obs.CLIExport
+	export.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cmode := compiler.ModeStateful
-	switch *mode {
-	case "stateless":
-		cmode = compiler.ModeStateless
-	case "stateful":
-		cmode = compiler.ModeStateful
-	case "predictive":
-		cmode = compiler.ModePredictive
-	case "fullcache":
-		cmode = compiler.ModeFullCache
-	default:
-		return fmt.Errorf("unknown mode %q", *mode)
+	cmode, err := parseMode(*mode)
+	if err != nil {
+		return err
 	}
 
-	stateDir := *cache
-	if stateDir == "" {
-		stateDir = filepath.Join(*dir, ".minibuild")
-	}
+	stateDir := resolveStateDir(*dir, *cache)
 	if cmode == compiler.ModeStateful || cmode == compiler.ModePredictive {
 		if err := os.MkdirAll(stateDir, 0o755); err != nil {
 			return err
@@ -79,11 +133,9 @@ func run(args []string) error {
 		return err
 	}
 
-	var tracer *obs.Tracer
-	if *traceOut != "" {
-		tracer = obs.NewTracer()
-	}
-	builder, err := buildsys.NewBuilder(buildsys.Options{Mode: cmode, StateDir: stateDir, Workers: *jobs, Trace: tracer})
+	builder, err := buildsys.NewBuilder(buildsys.Options{
+		Mode: cmode, StateDir: stateDir, Workers: *jobs, Trace: export.Tracer(),
+	})
 	if err != nil {
 		return err
 	}
@@ -105,23 +157,8 @@ func run(args []string) error {
 			fmt.Print(st)
 		}
 	}
-	if *showMetrics {
-		fmt.Print(obs.FormatMetrics(rep.Metrics))
-	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			return err
-		}
-		werr := obs.WriteChrome(f, tracer.Spans(), rep.Metrics)
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			return werr
-		}
-		fmt.Printf("trace: %d spans written to %s (load in chrome://tracing or ui.perfetto.dev)\n",
-			tracer.Len(), *traceOut)
+	if err := export.Export(os.Stdout, os.Stdout, rep.Metrics); err != nil {
+		return err
 	}
 
 	if *runProg {

@@ -1,0 +1,235 @@
+package main
+
+// minibuild serve — the long-lived daemon mode: the builder stays resident
+// (retaining its object cache, dormancy state, and counters registry),
+// polls the project directory for source changes, rebuilds incrementally,
+// and exposes live observability over HTTP:
+//
+//	/metrics      counters registry in Prometheus text format
+//	/healthz      liveness + last-build status (JSON)
+//	/builds       recent flight-recorder records (JSON, ?n= to bound)
+//	/debug/pprof  net/http/pprof profiles of the daemon itself
+//
+// Polling (os.Stat-free, whole-directory reload + content diff) keeps the
+// daemon dependency-free; MiniC projects are small enough that a re-read
+// per interval is negligible next to a build.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"statefulcc/internal/buildsys"
+	"statefulcc/internal/compiler"
+	"statefulcc/internal/history"
+	"statefulcc/internal/obs"
+	"statefulcc/internal/project"
+)
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("minibuild serve", flag.ContinueOnError)
+	dir, cache := stateDirFlags(fs)
+	mode := fs.String("mode", "stateful", "compiler policy: stateless|stateful|predictive|fullcache")
+	jobs := fs.Int("j", 0, "parallel compile workers (default GOMAXPROCS)")
+	addr := fs.String("addr", "127.0.0.1:8377", "HTTP listen address")
+	interval := fs.Duration("interval", 500*time.Millisecond, "project poll interval")
+	limit := fs.Int("history-limit", history.DefaultLimit, "flight-recorder record cap")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, err := newBuildServer(*dir, *cache, *mode, *jobs, *limit)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Initial build before announcing readiness; failures are recorded in
+	// /healthz and retried by the poll loop rather than killing the daemon.
+	if built, err := srv.pollOnce(); err != nil {
+		fmt.Fprintf(os.Stderr, "minibuild serve: initial build: %v\n", err)
+	} else if built {
+		fmt.Printf("serving %s on http://%s (mode %s, poll %s) — /metrics /healthz /builds /debug/pprof\n",
+			srv.dir, ln.Addr(), *mode, *interval)
+	}
+
+	go func() {
+		t := time.NewTicker(*interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if _, err := srv.pollOnce(); err != nil {
+					fmt.Fprintf(os.Stderr, "minibuild serve: %v\n", err)
+				}
+			}
+		}
+	}()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shutdownCtx)
+		fmt.Println("minibuild serve: shut down")
+		return nil
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// buildServer owns the resident builder and the daemon's HTTP state.
+type buildServer struct {
+	dir      string
+	histPath string
+
+	mu      sync.Mutex // serializes builds and lastSnap/lastErr access
+	builder *buildsys.Builder
+	lastSnap project.Snapshot
+	builds   int
+	lastErr  string
+	lastTime time.Time
+}
+
+// newBuildServer constructs the resident builder. Unlike one-shot builds,
+// serve records flight-recorder history for every mode: the state
+// directory exists even when the policy itself persists nothing.
+func newBuildServer(dir, cache, mode string, jobs, histLimit int) (*buildServer, error) {
+	cmode, err := parseMode(mode)
+	if err != nil {
+		return nil, err
+	}
+	stateDir := resolveStateDir(dir, cache)
+	if err := os.MkdirAll(stateDir, 0o755); err != nil {
+		return nil, err
+	}
+	histPath := history.Path(stateDir)
+	if cmode != compiler.ModeStateful && cmode != compiler.ModePredictive {
+		stateDir = ""
+	}
+	b, err := buildsys.NewBuilder(buildsys.Options{
+		Mode:         cmode,
+		StateDir:     stateDir,
+		Workers:      jobs,
+		HistoryPath:  histPath,
+		HistoryLimit: histLimit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &buildServer{dir: dir, histPath: histPath, builder: b}, nil
+}
+
+// pollOnce reloads the project and rebuilds when any unit's content
+// changed (or on the first call). Reports whether a build ran.
+func (s *buildServer) pollOnce() (bool, error) {
+	snap, err := project.LoadDir(s.dir)
+	if err != nil {
+		s.noteErr(err)
+		return false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastSnap != nil && len(project.Diff(s.lastSnap, snap)) == 0 {
+		return false, nil
+	}
+	if _, err := s.builder.Build(snap); err != nil {
+		s.lastErr = err.Error()
+		return false, err
+	}
+	s.lastSnap = snap
+	s.builds++
+	s.lastErr = ""
+	s.lastTime = time.Now()
+	return true, nil
+}
+
+func (s *buildServer) noteErr(err error) {
+	s.mu.Lock()
+	s.lastErr = err.Error()
+	s.mu.Unlock()
+}
+
+// handler assembles the daemon's HTTP mux.
+func (s *buildServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/builds", s.handleBuilds)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// handleMetrics renders the builder's counters registry as Prometheus text
+// exposition format; values reconcile exactly with Builder.Metrics().
+func (s *buildServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, obs.FormatProm(s.builder.Metrics()))
+}
+
+// handleHealthz reports liveness and the last build outcome.
+func (s *buildServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := map[string]any{
+		"status":             "ok",
+		"builds":             s.builds,
+		"last_build_unix_ms": s.lastTime.UnixMilli(),
+	}
+	if s.lastErr != "" {
+		out["status"] = "degraded"
+		out["last_error"] = s.lastErr
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// handleBuilds serves recent flight-recorder records as a JSON array
+// (newest last); ?n= bounds the count.
+func (s *buildServer) handleBuilds(w http.ResponseWriter, r *http.Request) {
+	recs, err := history.Load(s.histPath)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if nv := r.URL.Query().Get("n"); nv != "" {
+		var n int
+		if _, err := fmt.Sscanf(nv, "%d", &n); err == nil && n > 0 && len(recs) > n {
+			recs = recs[len(recs)-n:]
+		}
+	}
+	if recs == nil {
+		recs = []history.Record{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(recs)
+}

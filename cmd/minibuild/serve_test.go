@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"statefulcc/internal/history"
+	"statefulcc/internal/obs"
+)
+
+const serveProg = `
+func main() int {
+    var x int = 40;
+    return x + 2;
+}
+`
+
+func newTestServer(t *testing.T) *buildServer {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "main.mc"), []byte(serveProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newBuildServer(dir, filepath.Join(dir, ".minibuild"), "stateful", 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built, err := srv.pollOnce(); err != nil || !built {
+		t.Fatalf("initial build: built=%v err=%v", built, err)
+	}
+	return srv
+}
+
+// TestServeMetricsReconcile is the acceptance check: /metrics must be valid
+// Prometheus text whose counter values reconcile exactly with the obs
+// registry snapshot for the same build.
+func TestServeMetricsReconcile(t *testing.T) {
+	srv := newTestServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	res, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed := obs.ParseProm(string(body))
+
+	snap := srv.builder.Metrics()
+	if len(parsed) != len(snap) {
+		t.Fatalf("/metrics exposes %d counters, registry has %d", len(parsed), len(snap))
+	}
+	for name, v := range snap {
+		if got := parsed[obs.PromName(name)]; got != v {
+			t.Errorf("counter %s: /metrics=%d registry=%d", name, got, v)
+		}
+	}
+	if parsed[obs.PromName(obs.CtrBuilds)] != 1 {
+		t.Errorf("build count %d after one build", parsed[obs.PromName(obs.CtrBuilds)])
+	}
+	if parsed[obs.PromName(obs.CtrDecCold)] == 0 {
+		t.Error("decision.cold_state absent from /metrics after a cold build")
+	}
+}
+
+func TestServeHealthzAndBuilds(t *testing.T) {
+	srv := newTestServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	res, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Status string `json:"status"`
+		Builds int    `json:"builds"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if hz.Status != "ok" || hz.Builds != 1 {
+		t.Errorf("healthz = %+v, want status ok with 1 build", hz)
+	}
+
+	res, err = ts.Client().Get(ts.URL + "/builds?n=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []history.Record
+	if err := json.NewDecoder(res.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if len(recs) != 1 || recs[0].Seq != 1 {
+		t.Fatalf("/builds returned %+v, want one record with seq 1", recs)
+	}
+	if recs[0].Units["main.mc"].Passes == nil {
+		t.Error("/builds record missing pass decisions")
+	}
+}
+
+// TestServePollRebuilds: an on-disk edit triggers exactly one incremental
+// rebuild; an unchanged poll is a no-op.
+func TestServePollRebuilds(t *testing.T) {
+	srv := newTestServer(t)
+
+	if built, err := srv.pollOnce(); err != nil || built {
+		t.Fatalf("unchanged poll rebuilt: built=%v err=%v", built, err)
+	}
+
+	path := filepath.Join(srv.dir, "main.mc")
+	if err := os.WriteFile(path, []byte(serveProg+"\n// edit\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if built, err := srv.pollOnce(); err != nil || !built {
+		t.Fatalf("edited poll did not rebuild: built=%v err=%v", built, err)
+	}
+
+	recs, err := history.Load(srv.histPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d history records after two builds, want 2", len(recs))
+	}
+	if recs[1].SkipRatePct <= 0 {
+		t.Errorf("incremental rebuild skip rate %.1f%%, want > 0", recs[1].SkipRatePct)
+	}
+}

@@ -51,8 +51,8 @@ func run(args []string) error {
 	o2 := fs.Bool("O2", true, "standard pipeline (default)")
 	verifyIR := fs.Bool("verify-ir", false, "verify IR after every pass")
 	verifyState := fs.Bool("verify-state", false, "re-run skipped passes and cross-check dormancy")
-	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON profile to this file")
-	showMetrics := fs.Bool("metrics", false, "print the machine-readable counters block")
+	var export obs.CLIExport
+	export.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,17 +82,13 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	var tracer *obs.Tracer
-	if *traceOut != "" {
-		tracer = obs.NewTracer()
-	}
 	reg := obs.NewRegistry()
 	comp, err := compiler.New(compiler.Options{
 		Pipeline:    pipeline,
 		Mode:        cmode,
 		VerifyIR:    *verifyIR,
 		VerifySkips: *verifyState,
-		Obs:         &obs.Sink{Tracer: tracer, Pass: reg.Pass(), TID: 1},
+		Obs:         &obs.Sink{Tracer: export.Tracer(), Pass: reg.Pass(), TID: 1},
 	})
 	if err != nil {
 		return err
@@ -136,22 +132,8 @@ func run(args []string) error {
 		objects = append(objects, res.Object)
 	}
 
-	if *showMetrics {
-		fmt.Print(obs.FormatMetrics(reg.Snapshot()))
-	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			return err
-		}
-		werr := obs.WriteChrome(f, tracer.Spans(), reg.Snapshot())
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			return werr
-		}
-		fmt.Fprintf(os.Stderr, "minicc: trace with %d spans written to %s\n", tracer.Len(), *traceOut)
+	if err := export.Export(os.Stdout, os.Stderr, reg.Snapshot()); err != nil {
+		return err
 	}
 
 	if *emitIR || *emitAsm {

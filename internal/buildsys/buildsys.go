@@ -56,6 +56,14 @@ type Options struct {
 	// every Build call on a shared timeline (minibuild -trace). Nil
 	// disables span collection; counters are always kept.
 	Trace *obs.Tracer
+	// HistoryPath is the flight-recorder file every successful Build
+	// appends a record to. Empty defaults to history.Path(StateDir) when a
+	// state directory is set; "-" disables recording entirely. Appends are
+	// advisory: failures never fail the build.
+	HistoryPath string
+	// HistoryLimit bounds the history file to the newest N records
+	// (default history.DefaultLimit).
+	HistoryLimit int
 }
 
 // UnitReport describes one unit within a build.
@@ -64,6 +72,10 @@ type UnitReport struct {
 	Compiled bool
 	// CompileNS is the unit's own compile wall time (0 when cached).
 	CompileNS int64
+	// Slots is the unit's per-pipeline-slot statistics including decision
+	// provenance (nil for cached units and for modes without a pass
+	// driver, e.g. fullcache) — the raw material of `minibuild explain`.
+	Slots []core.SlotStats
 }
 
 // Report summarizes one Build call.
@@ -270,15 +282,17 @@ func (b *Builder) Build(snap project.Snapshot) (*Report, error) {
 				e.stateBytes = n
 			}
 		}
+		ur := UnitReport{Compiled: true, CompileNS: out.res.TotalNS}
 		if out.res.Stats != nil {
 			rep.stats.Merge(out.res.Stats)
+			ur.Slots = append([]core.SlotStats(nil), out.res.Stats.Slots...)
 		}
 		b.ctr.frontendNS.Add(out.res.StageNS(compiler.StageFrontend))
 		b.ctr.passesNS.Add(out.res.StageNS(compiler.StagePasses))
 		b.ctr.codegenNS.Add(out.res.StageNS(compiler.StageCodegen))
 		b.ctr.cacheHits.Add(int64(out.res.CacheHits))
 		b.ctr.cacheMisses.Add(int64(out.res.CacheMisses))
-		rep.Units[name] = UnitReport{Compiled: true, CompileNS: out.res.TotalNS}
+		rep.Units[name] = ur
 		rep.UnitsCompiled++
 	}
 
@@ -314,6 +328,7 @@ func (b *Builder) Build(snap project.Snapshot) (*Report, error) {
 	rep.Metrics = b.reg.Snapshot()
 	b.opts.Trace.Emit(obs.Span{Name: "build", Cat: obs.CatBuild, TID: 0,
 		Start: buildStart, Dur: rep.TotalNS})
+	b.recordHistory(rep)
 	return rep, nil
 }
 

@@ -1,0 +1,79 @@
+package buildsys
+
+// Flight-recorder integration: after every successful Build, one
+// internal/history record — build timings, the counters-registry snapshot,
+// and each unit's per-slot decision provenance — is appended to the state
+// directory. Recording is advisory: it is skipped without a destination
+// and append failures never fail a build.
+
+import (
+	"time"
+
+	"statefulcc/internal/history"
+	"statefulcc/internal/obs"
+)
+
+// historyPath resolves the flight-recorder destination: an explicit
+// Options.HistoryPath wins, "-" disables, and otherwise a configured state
+// directory implies its history.jsonl.
+func (b *Builder) historyPath() string {
+	switch {
+	case b.opts.HistoryPath == "-":
+		return ""
+	case b.opts.HistoryPath != "":
+		return b.opts.HistoryPath
+	case b.opts.StateDir != "":
+		return history.Path(b.opts.StateDir)
+	}
+	return ""
+}
+
+// recordHistory appends one record for a completed build.
+func (b *Builder) recordHistory(rep *Report) {
+	path := b.historyPath()
+	if path == "" {
+		return
+	}
+	_ = history.Append(path, b.historyRecord(rep), b.opts.HistoryLimit)
+}
+
+// historyRecord converts a build report into its flight-recorder record.
+func (b *Builder) historyRecord(rep *Report) *history.Record {
+	rec := &history.Record{
+		TimeUnixMS:    time.Now().UnixMilli(),
+		Mode:          b.opts.Mode.String(),
+		Workers:       b.opts.Workers,
+		TotalNS:       rep.TotalNS,
+		CompileNS:     rep.CompileNS,
+		LinkNS:        rep.LinkNS,
+		UnitsCompiled: rep.UnitsCompiled,
+		UnitsCached:   rep.UnitsCached,
+		StateBytes:    rep.StateBytes,
+		SkipRatePct:   100 * obs.SkipRate(rep.Metrics),
+		Metrics:       rep.Metrics,
+		Units:         make(map[string]history.UnitRecord, len(rep.Units)),
+	}
+	for name, ur := range rep.Units {
+		u := history.UnitRecord{Cached: !ur.Compiled, CompileNS: ur.CompileNS}
+		for slot := range ur.Slots {
+			sl := &ur.Slots[slot]
+			u.Passes = append(u.Passes, history.PassDecision{
+				Pass:       sl.Pass,
+				Slot:       slot,
+				Module:     sl.Module,
+				Reason:     sl.Reason(),
+				Runs:       sl.Runs,
+				Dormant:    sl.Dormant,
+				Skipped:    sl.Skipped,
+				Cold:       sl.Cold,
+				NotDormant: sl.NotDormant,
+				FPMismatch: sl.FPMismatch,
+				Policy:     sl.Policy,
+				RunNS:      sl.RunNS,
+				SavedNS:    sl.SavedNS,
+			})
+		}
+		rec.Units[name] = u
+	}
+	return rec
+}

@@ -41,6 +41,11 @@ var schedulingInvariant = []string{
 	obs.CtrStateLoads,
 	obs.CtrStateLoadMisses,
 	obs.CtrStateSaves,
+	obs.CtrDecSkippedDormant,
+	obs.CtrDecCold,
+	obs.CtrDecNotDormant,
+	obs.CtrDecFPMismatch,
+	obs.CtrDecPolicy,
 }
 
 // runHistory builds base + commits with a traced stateful builder and

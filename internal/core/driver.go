@@ -212,9 +212,13 @@ func (d *Driver) countStats(stats *Stats) {
 		return
 	}
 	runs, dormant, skipped := stats.Totals()
-	var mispredicted int
+	var mispredicted, cold, notDormant, fpMismatch, policy int
 	for _, sl := range stats.Slots {
 		mispredicted += sl.Mispredicted
+		cold += sl.Cold
+		notDormant += sl.NotDormant
+		fpMismatch += sl.FPMismatch
+		policy += sl.Policy
 	}
 	pc.Runs.Add(int64(runs))
 	pc.Dormant.Add(int64(dormant))
@@ -224,6 +228,11 @@ func (d *Driver) countStats(stats *Stats) {
 	pc.SavedNS.Add(stats.SavedNS())
 	pc.Hashes.Add(int64(stats.Hashes))
 	pc.HashNS.Add(stats.HashNS)
+	pc.DecSkipped.Add(int64(skipped))
+	pc.DecCold.Add(int64(cold))
+	pc.DecNotDormant.Add(int64(notDormant))
+	pc.DecFPMismatch.Add(int64(fpMismatch))
+	pc.DecPolicy.Add(int64(policy))
 }
 
 func (d *Driver) runFuncSlot(m *ir.Module, f *ir.Func, st *UnitState, slot int, ss *SlotStats, cache *hashCache) error {
@@ -237,19 +246,40 @@ func (d *Driver) runFuncSlot(m *ir.Module, f *ir.Func, st *UnitState, slot int, 
 	// and (in the persisted format) carries no fingerprint, so the hash is
 	// computed only when a dormant record exists to check against — or
 	// after a run that turns out dormant, when the (unmodified) IR still
-	// equals the pass input.
+	// equals the pass input. runReason points at the decision-provenance
+	// counter a non-skipped execution charges.
 	skippable := false
 	var h uint64
 	haveHash := false
+	runReason := &ss.Policy
 	switch d.opts.Policy {
 	case Stateful:
-		if info.FunctionLocal && seen && !rec.Changed {
+		switch {
+		case !info.FunctionLocal:
+			// Ineligible pass: skipping disabled by policy.
+		case !seen:
+			runReason = &ss.Cold
+		case rec.Changed:
+			runReason = &ss.NotDormant
+		default:
 			h = cache.get(f)
 			haveHash = true
-			skippable = rec.InputHash == h
+			if rec.InputHash == h {
+				skippable = true
+			} else {
+				runReason = &ss.FPMismatch
+			}
 		}
 	case Predictive:
-		skippable = seen && !rec.Changed
+		switch {
+		case !info.FunctionLocal:
+		case !seen:
+			runReason = &ss.Cold
+		case rec.Changed:
+			runReason = &ss.NotDormant
+		default:
+			skippable = true
+		}
 	}
 
 	if skippable && !d.opts.VerifySkips {
@@ -274,6 +304,7 @@ func (d *Driver) runFuncSlot(m *ir.Module, f *ir.Func, st *UnitState, slot int, 
 		}
 	} else {
 		ss.Runs++
+		(*runReason)++
 		ss.RunNS += elapsed
 		if !changed {
 			ss.Dormant++
@@ -324,15 +355,32 @@ func (d *Driver) runModuleSlot(m *ir.Module, st *UnitState, slot int, ss *SlotSt
 	var h uint64
 	haveHash := false
 	skippable := false
+	runReason := &ss.Policy
 	switch d.opts.Policy {
 	case Stateful:
-		if seen && !rec.Changed {
+		switch {
+		case !seen:
+			runReason = &ss.Cold
+		case rec.Changed:
+			runReason = &ss.NotDormant
+		default:
 			h = fingerprint.ModuleWith(m, cache.get)
 			haveHash = true
-			skippable = rec.InputHash == h
+			if rec.InputHash == h {
+				skippable = true
+			} else {
+				runReason = &ss.FPMismatch
+			}
 		}
 	case Predictive:
-		skippable = seen && !rec.Changed
+		switch {
+		case !seen:
+			runReason = &ss.Cold
+		case rec.Changed:
+			runReason = &ss.NotDormant
+		default:
+			skippable = true
+		}
 	}
 
 	if skippable && !d.opts.VerifySkips {
@@ -357,6 +405,7 @@ func (d *Driver) runModuleSlot(m *ir.Module, st *UnitState, slot int, ss *SlotSt
 		}
 	} else {
 		ss.Runs++
+		(*runReason)++
 		ss.RunNS += elapsed
 		if !changed {
 			ss.Dormant++

@@ -9,6 +9,27 @@ import (
 	"strings"
 )
 
+// Decision reasons — why a pass execution ran or was skipped. These are
+// the provenance taxonomy the build flight recorder (internal/history) and
+// `minibuild explain` report; docs/OBSERVABILITY.md documents each.
+const (
+	// ReasonSkippedDormant: a fingerprint-matched (or, in predictive mode,
+	// record-only) dormancy record allowed the execution to be skipped.
+	ReasonSkippedDormant = "skipped-dormant"
+	// ReasonColdState: no prior observation existed for this slot.
+	ReasonColdState = "cold-state"
+	// ReasonNotDormant: the record says the pass changed the IR last time.
+	ReasonNotDormant = "not-dormant-last-time"
+	// ReasonFingerprintMismatch: a dormant record existed but the input IR
+	// fingerprint no longer matches it.
+	ReasonFingerprintMismatch = "fingerprint-mismatch"
+	// ReasonPolicyDisabled: the policy (stateless) or the pass's own
+	// eligibility (not function-local) rules out skipping entirely.
+	ReasonPolicyDisabled = "policy-disabled"
+	// ReasonRan is the generic fallback when no finer reason was recorded.
+	ReasonRan = "ran"
+)
+
 // SlotStats aggregates one pipeline slot's behaviour over the functions (or
 // the module) it processed.
 type SlotStats struct {
@@ -29,6 +50,47 @@ type SlotStats struct {
 	RunNS int64
 	// SavedNS estimates the time skipping avoided (sum of recorded costs).
 	SavedNS int64
+
+	// Decision provenance: every execution counted in Runs has exactly one
+	// of these reasons (Skipped executions are all ReasonSkippedDormant).
+	// See the Reason* constants.
+
+	// Cold counts runs with no prior observation for the slot.
+	Cold int
+	// NotDormant counts runs whose record said "changed last time".
+	NotDormant int
+	// FPMismatch counts runs whose dormant record failed the fingerprint
+	// guard (stateful policy only).
+	FPMismatch int
+	// Policy counts runs where skipping was ruled out by policy or pass
+	// eligibility (stateless mode, or non-function-local function passes).
+	Policy int
+}
+
+// Reason returns the slot's dominant decision reason — the reason covering
+// the most executions, with skips breaking ties (they are the interesting
+// outcome), then the run reasons in guard order. ReasonRan covers slots
+// that executed without finer provenance; an idle slot reports "".
+func (sl *SlotStats) Reason() string {
+	best, n := "", 0
+	for _, c := range []struct {
+		reason string
+		count  int
+	}{
+		{ReasonSkippedDormant, sl.Skipped},
+		{ReasonFingerprintMismatch, sl.FPMismatch},
+		{ReasonNotDormant, sl.NotDormant},
+		{ReasonColdState, sl.Cold},
+		{ReasonPolicyDisabled, sl.Policy},
+	} {
+		if c.count > n {
+			best, n = c.reason, c.count
+		}
+	}
+	if best == "" && sl.Runs > 0 {
+		return ReasonRan
+	}
+	return best
 }
 
 // Stats aggregates one compilation.
@@ -102,6 +164,10 @@ func (s *Stats) Merge(other *Stats) {
 		s.Slots[i].Mispredicted += other.Slots[i].Mispredicted
 		s.Slots[i].RunNS += other.Slots[i].RunNS
 		s.Slots[i].SavedNS += other.Slots[i].SavedNS
+		s.Slots[i].Cold += other.Slots[i].Cold
+		s.Slots[i].NotDormant += other.Slots[i].NotDormant
+		s.Slots[i].FPMismatch += other.Slots[i].FPMismatch
+		s.Slots[i].Policy += other.Slots[i].Policy
 	}
 	s.HashNS += other.HashNS
 	s.Hashes += other.Hashes
@@ -122,6 +188,10 @@ func (s *Stats) ByPass() map[string]SlotStats {
 		agg.Mispredicted += sl.Mispredicted
 		agg.RunNS += sl.RunNS
 		agg.SavedNS += sl.SavedNS
+		agg.Cold += sl.Cold
+		agg.NotDormant += sl.NotDormant
+		agg.FPMismatch += sl.FPMismatch
+		agg.Policy += sl.Policy
 		out[sl.Pass] = agg
 	}
 	return out

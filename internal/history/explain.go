@@ -1,0 +1,113 @@
+package history
+
+// Rendering for the flight recorder's human consumers: `minibuild explain`
+// (the last build's per-unit decision tables, with the previous build's
+// reasons alongside so "why did this pass run when it was skipped last
+// time?" is answerable at a glance) and `minibuild history` (one summary
+// line per record).
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderExplain renders the newest record's decision tables. With unit
+// non-empty, only that unit is shown (an unknown unit is an error). The
+// previous record, when present, supplies the prev-reason column and the
+// headline skip-rate delta.
+func RenderExplain(recs []Record, unit string) (string, error) {
+	if len(recs) == 0 {
+		return "", fmt.Errorf("history: no builds recorded yet")
+	}
+	last := recs[len(recs)-1]
+	var prev *Record
+	if len(recs) > 1 {
+		prev = &recs[len(recs)-2]
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "build #%d (%s, %d workers) at %s — %d compiled, %d cached, skip rate %.1f%%",
+		last.Seq, last.Mode, last.Workers,
+		time.UnixMilli(last.TimeUnixMS).UTC().Format(time.RFC3339),
+		last.UnitsCompiled, last.UnitsCached, last.SkipRatePct)
+	if prev != nil {
+		fmt.Fprintf(&sb, " (prev #%d: %.1f%%)", prev.Seq, prev.SkipRatePct)
+	}
+	sb.WriteString("\n")
+
+	units := make([]string, 0, len(last.Units))
+	for name := range last.Units {
+		units = append(units, name)
+	}
+	sort.Strings(units)
+	if unit != "" {
+		if _, ok := last.Units[unit]; !ok {
+			return "", fmt.Errorf("history: unit %q not in build #%d (units: %s)",
+				unit, last.Seq, strings.Join(units, ", "))
+		}
+		units = []string{unit}
+	}
+
+	for _, name := range units {
+		ur := last.Units[name]
+		sb.WriteString("\n")
+		if ur.Cached {
+			fmt.Fprintf(&sb, "unit %s — cached (content hash unchanged, nothing recompiled)\n", name)
+			continue
+		}
+		fmt.Fprintf(&sb, "unit %s — compiled in %.3fms\n", name, float64(ur.CompileNS)/1e6)
+		if len(ur.Passes) == 0 {
+			sb.WriteString("  (no pass decisions recorded for this mode)\n")
+			continue
+		}
+		var prevPasses []PassDecision
+		if prev != nil {
+			if pu, ok := prev.Units[name]; ok {
+				prevPasses = pu.Passes
+			}
+		}
+		fmt.Fprintf(&sb, "  %-4s %-12s %-22s %5s %5s %5s %9s %9s  %s\n",
+			"slot", "pass", "reason", "runs", "skip", "dorm", "time", "saved", "prev-reason")
+		for _, pd := range ur.Passes {
+			fmt.Fprintf(&sb, "  [%2d] %-12s %-22s %5d %5d %5d %8.3fms %8.3fms  %s\n",
+				pd.Slot, pd.Pass, pd.Reason, pd.Runs, pd.Skipped, pd.Dormant,
+				float64(pd.RunNS)/1e6, float64(pd.SavedNS)/1e6,
+				prevReason(prevPasses, pd.Slot))
+		}
+	}
+	return sb.String(), nil
+}
+
+// prevReason finds the previous build's reason for the same slot ("-" when
+// the unit was cached, absent, or differently shaped last build).
+func prevReason(passes []PassDecision, slot int) string {
+	for _, pd := range passes {
+		if pd.Slot == slot {
+			return pd.Reason
+		}
+	}
+	return "-"
+}
+
+// RenderHistory renders one summary line per record, oldest first, for the
+// newest n records (all when n <= 0).
+func RenderHistory(recs []Record, n int) string {
+	if n > 0 && len(recs) > n {
+		recs = recs[len(recs)-n:]
+	}
+	if len(recs) == 0 {
+		return "history: no builds recorded yet\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-5s %-20s %-10s %8s %7s %7s %9s %9s\n",
+		"seq", "time", "mode", "compiled", "cached", "skip%", "total", "state")
+	for _, r := range recs {
+		fmt.Fprintf(&sb, "#%-4d %-20s %-10s %8d %7d %6.1f%% %8.2fms %8.1fK\n",
+			r.Seq, time.UnixMilli(r.TimeUnixMS).UTC().Format("2006-01-02T15:04:05Z"),
+			r.Mode, r.UnitsCompiled, r.UnitsCached, r.SkipRatePct,
+			float64(r.TotalNS)/1e6, float64(r.StateBytes)/1024)
+	}
+	return sb.String()
+}

@@ -1,0 +1,247 @@
+// Package history is the build flight recorder: one structured JSONL
+// record per Builder.Build call, appended to the state directory, so the
+// questions the in-process observability layer cannot answer after exit —
+// "why did pass X run this time when it was skipped last time?", "did the
+// skip rate regress over the last N builds?" — stay answerable across
+// processes. Three consumers sit on top: `minibuild explain` (decision
+// tables with deltas, explain.go), `minibuild history`/`regress`
+// (summaries and CI regression gating, regress.go), and `minibuild serve`
+// (the /builds endpoint).
+//
+// The file is bounded: Append keeps only the newest Limit records
+// (default DefaultLimit), rewriting atomically when rotation is needed. A
+// torn trailing line from a crashed append is dropped on the next read —
+// the recorder is advisory, and must never fail a build.
+//
+// Determinism: records encode via encoding/json, which sorts map keys, so
+// two encodings of the same record (and the metrics/unit tables inside it)
+// are byte-identical and history files diff cleanly.
+package history
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FileName is the flight-recorder file inside a state directory.
+const FileName = "history.jsonl"
+
+// DefaultLimit is the default record cap of a history file.
+const DefaultLimit = 200
+
+// PassDecision is one pipeline slot's decision provenance for one unit:
+// what the slot did and, for every execution, why. Reason strings are the
+// core.Reason* taxonomy (skipped-dormant, cold-state, not-dormant-last-time,
+// fingerprint-mismatch, policy-disabled, ran).
+type PassDecision struct {
+	Pass   string `json:"pass"`
+	Slot   int    `json:"slot"`
+	Module bool   `json:"module,omitempty"`
+	// Reason is the slot's dominant decision reason.
+	Reason string `json:"reason"`
+	// Per-outcome execution counts.
+	Runs    int `json:"runs,omitempty"`
+	Dormant int `json:"dormant,omitempty"`
+	Skipped int `json:"skipped,omitempty"`
+	// Per-reason run counts (each run charged to exactly one).
+	Cold       int `json:"cold,omitempty"`
+	NotDormant int `json:"not_dormant,omitempty"`
+	FPMismatch int `json:"fingerprint_mismatch,omitempty"`
+	Policy     int `json:"policy_disabled,omitempty"`
+	// Timing: pass execution time and estimated time skipping saved.
+	RunNS   int64 `json:"run_ns,omitempty"`
+	SavedNS int64 `json:"saved_ns,omitempty"`
+}
+
+// UnitRecord is one unit's outcome within a build.
+type UnitRecord struct {
+	// Cached marks units served whole from the object cache (content hash
+	// unchanged); no compilation, hence no pass decisions.
+	Cached bool `json:"cached,omitempty"`
+	// CompileNS is the unit's compile wall time (0 when cached).
+	CompileNS int64 `json:"compile_ns,omitempty"`
+	// Passes is the per-slot decision table (nil for cached units and for
+	// modes without a pass driver, e.g. fullcache).
+	Passes []PassDecision `json:"passes,omitempty"`
+}
+
+// Record is one build's flight-recorder entry.
+type Record struct {
+	// Seq numbers records monotonically within one history file (assigned
+	// by Append).
+	Seq int `json:"seq"`
+	// TimeUnixMS is the build's completion wall-clock time.
+	TimeUnixMS int64 `json:"time_unix_ms"`
+	// Mode and Workers describe the builder configuration.
+	Mode    string `json:"mode"`
+	Workers int    `json:"workers"`
+	// Build-level timings and tallies.
+	TotalNS       int64 `json:"total_ns"`
+	CompileNS     int64 `json:"compile_ns"`
+	LinkNS        int64 `json:"link_ns"`
+	UnitsCompiled int   `json:"units_compiled"`
+	UnitsCached   int   `json:"units_cached"`
+	StateBytes    int   `json:"state_bytes"`
+	// SkipRatePct is this build's registry skip rate ×100 at record time.
+	SkipRatePct float64 `json:"skip_rate_pct"`
+	// Metrics is the builder's counters-registry snapshot after the build
+	// (cumulative across the builder's lifetime; schema in
+	// docs/OBSERVABILITY.md). encoding/json sorts the keys.
+	Metrics map[string]int64 `json:"metrics"`
+	// Units maps every unit in the snapshot to its outcome and decisions.
+	Units map[string]UnitRecord `json:"units"`
+}
+
+// Encode renders the record as its canonical single JSON line (no trailing
+// newline). Encoding the same record twice is byte-identical.
+func (r *Record) Encode() ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// Path returns the history file path inside a state directory.
+func Path(stateDir string) string {
+	return filepath.Join(stateDir, FileName)
+}
+
+// Load reads every parseable record from a history file. A missing file is
+// an empty history; corrupt lines — in particular a torn trailing line from
+// a crashed append — are dropped, never an error. Records are returned in
+// file order (oldest first).
+func Load(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("history: %w", err)
+	}
+	defer f.Close()
+
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue // torn or corrupt line: drop, stay usable
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		// A scanner failure mid-file (e.g. an absurdly long corrupt line)
+		// still yields whatever parsed before it.
+		return recs, nil
+	}
+	return recs, nil
+}
+
+// Append writes rec to the history file at path, assigning the next Seq and
+// bounding the file to the newest limit records (DefaultLimit when limit
+// <= 0). The fast path is a plain O_APPEND write; when rotation or corrupt
+// lines make a rewrite necessary, the file is replaced atomically
+// (temp + rename) so a crash never loses the existing history.
+func Append(path string, rec *Record, limit int) error {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+
+	prev, err := Load(path)
+	if err != nil {
+		return err
+	}
+	rec.Seq = 1
+	if n := len(prev); n > 0 {
+		rec.Seq = prev[n-1].Seq + 1
+	}
+	line, err := rec.Encode()
+	if err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	line = append(line, '\n')
+
+	if lines, partial, _ := fileShape(path); !partial && lines == len(prev) && len(prev)+1 <= limit {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("history: %w", err)
+		}
+		_, werr := f.Write(line)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("history: %w", werr)
+		}
+		return nil
+	}
+
+	// Rewrite: drop corrupt lines, keep the newest limit-1 old records plus
+	// the new one, and swap atomically.
+	if len(prev) > limit-1 {
+		prev = prev[len(prev)-(limit-1):]
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".history-*")
+	if err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	for i := range prev {
+		old, err := prev[i].Encode()
+		if err != nil {
+			continue
+		}
+		w.Write(old)
+		w.WriteByte('\n')
+	}
+	w.Write(line)
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("history: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	return nil
+}
+
+// fileShape reports the number of newline-terminated lines and whether the
+// file ends in a partial (torn) line. A line count differing from the
+// parseable-record count, or a partial tail, forces the rewrite path — a
+// plain append after a torn line would fuse the new record onto it.
+func fileShape(path string) (lines int, partialTail bool, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		b, err := r.ReadByte()
+		if err != nil {
+			break
+		}
+		if b == '\n' {
+			lines++
+			partialTail = false
+		} else {
+			partialTail = true
+		}
+	}
+	return lines, partialTail, nil
+}

@@ -1,0 +1,204 @@
+package history
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testRecord(skipPct float64, totalNS int64) *Record {
+	return &Record{
+		TimeUnixMS:    1700000000000,
+		Mode:          "stateful",
+		Workers:       2,
+		TotalNS:       totalNS,
+		CompileNS:     totalNS / 2,
+		LinkNS:        totalNS / 10,
+		UnitsCompiled: 1,
+		UnitsCached:   1,
+		SkipRatePct:   skipPct,
+		Metrics:       map[string]int64{"pass.runs": 10, "pass.skipped": 5, "build.count": 1},
+		Units: map[string]UnitRecord{
+			"a.mc": {CompileNS: totalNS / 2, Passes: []PassDecision{
+				{Pass: "mem2reg", Slot: 0, Reason: "cold-state", Runs: 1, Cold: 1},
+			}},
+			"b.mc": {Cached: true},
+		},
+	}
+}
+
+// TestAppendLoadRoundTrip: records append with monotonic Seq and read back
+// in order with their content intact.
+func TestAppendLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), FileName)
+	for i := 0; i < 3; i++ {
+		if err := Append(path, testRecord(float64(i), int64(1000+i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != i+1 {
+			t.Errorf("record %d: seq %d, want %d", i, r.Seq, i+1)
+		}
+		if r.SkipRatePct != float64(i) {
+			t.Errorf("record %d: skip %v, want %v", i, r.SkipRatePct, float64(i))
+		}
+	}
+	if got := recs[0].Units["a.mc"].Passes[0].Reason; got != "cold-state" {
+		t.Errorf("decision reason lost: %q", got)
+	}
+	if !recs[1].Units["b.mc"].Cached {
+		t.Error("cached flag lost")
+	}
+}
+
+// TestRotation: the file is bounded to the newest limit records and Seq
+// keeps rising across rotations.
+func TestRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), FileName)
+	const limit = 5
+	for i := 0; i < limit*3; i++ {
+		if err := Append(path, testRecord(float64(i), 1000), limit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != limit {
+		t.Fatalf("after rotation: %d records, want %d", len(recs), limit)
+	}
+	for i, r := range recs {
+		want := limit*3 - limit + i + 1
+		if r.Seq != want {
+			t.Errorf("record %d: seq %d, want %d", i, r.Seq, want)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(data, []byte("\n")); n != limit {
+		t.Errorf("file has %d lines, want %d", n, limit)
+	}
+}
+
+// TestTornTrailingLine: a crash mid-append leaves a partial trailing line;
+// the next Load drops it and the next Append still succeeds with a correct
+// Seq — the recorder never wedges.
+func TestTornTrailingLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), FileName)
+	for i := 0; i < 2; i++ {
+		if err := Append(path, testRecord(1, 1000), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate the torn write: half a JSON object, no trailing newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"time_unix_ms":17`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("torn line not dropped: %d records, want 2", len(recs))
+	}
+
+	if err := Append(path, testRecord(2, 2000), 0); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("after recovery append: %d records, want 3", len(recs))
+	}
+	if recs[2].Seq != 3 {
+		t.Errorf("recovered seq %d, want 3", recs[2].Seq)
+	}
+	// The rewrite path must have purged the torn bytes entirely: every
+	// remaining line parses as a full record.
+	data, _ := os.ReadFile(path)
+	for _, line := range bytes.Split(bytes.TrimRight(data, "\n"), []byte("\n")) {
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Errorf("torn bytes survived rewrite: line %q: %v", line, err)
+		}
+	}
+}
+
+// TestDeterministicEncoding: encoding the same record twice is
+// byte-identical (maps inside are key-sorted by encoding/json).
+func TestDeterministicEncoding(t *testing.T) {
+	rec := testRecord(42, 1234)
+	rec.Metrics = map[string]int64{}
+	for _, k := range []string{"z.last", "a.first", "m.mid", "pass.runs", "decision.cold_state"} {
+		rec.Metrics[k] = int64(len(k))
+	}
+	a, err := rec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two encodings of the same record differ")
+	}
+	// Sorted keys: a.first must appear before z.last in the output.
+	if bytes.Index(a, []byte("a.first")) > bytes.Index(a, []byte("z.last")) {
+		t.Error("metrics keys not sorted in encoding")
+	}
+}
+
+// TestCheckRegress covers the three tripwires and the healthy path.
+func TestCheckRegress(t *testing.T) {
+	base := []Record{
+		{Seq: 1, SkipRatePct: 60, TotalNS: 10e6},
+		{Seq: 2, SkipRatePct: 62, TotalNS: 10e6},
+	}
+	// Healthy: small wobble.
+	res, err := CheckRegress(append(base, Record{Seq: 3, SkipRatePct: 58, TotalNS: 11e6}), RegressOptions{})
+	if err != nil || res.Regressed {
+		t.Fatalf("healthy history flagged: %+v err=%v", res, err)
+	}
+	// Skip-rate collapse.
+	res, err = CheckRegress(append(base, Record{Seq: 3, SkipRatePct: 10, TotalNS: 10e6}), RegressOptions{})
+	if err != nil || !res.Regressed {
+		t.Fatalf("skip-rate drop not flagged: %+v err=%v", res, err)
+	}
+	// Wall-time blowup.
+	res, err = CheckRegress(append(base, Record{Seq: 3, SkipRatePct: 61, TotalNS: 30e6}), RegressOptions{})
+	if err != nil || !res.Regressed {
+		t.Fatalf("wall-time rise not flagged: %+v err=%v", res, err)
+	}
+	// Skip-rate floor (CI smoke's "was a skip rate recorded at all").
+	res, err = CheckRegress(append(base, Record{Seq: 3, SkipRatePct: 0.05, TotalNS: 1e6}),
+		RegressOptions{SkipDropPts: 1000, MinSkipRatePct: 0.1})
+	if err != nil || !res.Regressed {
+		t.Fatalf("skip-rate floor not enforced: %+v err=%v", res, err)
+	}
+	// Too short.
+	if _, err := CheckRegress(base[:1], RegressOptions{}); err == nil {
+		t.Fatal("single-record history should error")
+	}
+}

@@ -1,0 +1,68 @@
+package obs
+
+// CLIExport is the shared -trace/-metrics flag wiring used by cmd/minibuild,
+// cmd/minicc, and the serve daemon (previously copied between the two
+// binaries). Register the flags, hand Tracer() to the builder/compiler, and
+// call Export once with the final counters snapshot.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// CLIExport bundles the observability export flags of a CLI.
+type CLIExport struct {
+	// TraceOut is the -trace destination ("" disables tracing).
+	TraceOut string
+	// Metrics is the -metrics switch (print the fenced counters block).
+	Metrics bool
+
+	tracer *Tracer
+}
+
+// Register installs the -trace and -metrics flags on fs.
+func (c *CLIExport) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.TraceOut, "trace", "", "write a Chrome trace_event JSON profile to this file")
+	fs.BoolVar(&c.Metrics, "metrics", false, "print the machine-readable counters block")
+}
+
+// Tracer returns the shared tracer, created on first call when -trace is
+// set; nil (tracing disabled) otherwise.
+func (c *CLIExport) Tracer() *Tracer {
+	if c == nil || c.TraceOut == "" {
+		return nil
+	}
+	if c.tracer == nil {
+		c.tracer = NewTracer()
+	}
+	return c.tracer
+}
+
+// Export emits whatever the flags enabled: the metrics block for snap to w,
+// and the Chrome trace file to TraceOut with a one-line note to notew.
+func (c *CLIExport) Export(w, notew io.Writer, snap map[string]int64) error {
+	if c == nil {
+		return nil
+	}
+	if c.Metrics {
+		fmt.Fprint(w, FormatMetrics(snap))
+	}
+	if c.TraceOut != "" {
+		f, err := os.Create(c.TraceOut)
+		if err != nil {
+			return err
+		}
+		werr := WriteChrome(f, c.Tracer().Spans(), snap)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(notew, "trace: %d spans written to %s (load in chrome://tracing or ui.perfetto.dev)\n",
+			c.Tracer().Len(), c.TraceOut)
+	}
+	return nil
+}

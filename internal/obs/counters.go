@@ -23,6 +23,16 @@ const (
 	CtrHashes           = "fingerprint.hashes"
 	CtrHashNS           = "fingerprint.hash_ns"
 
+	// Decision-provenance counters: every pass execution decision falls
+	// into exactly one bucket (see core.Reason* and docs/OBSERVABILITY.md).
+	// decision.skipped_dormant always equals pass.skipped; it exists so the
+	// whole taxonomy lives under one namespace in exports.
+	CtrDecSkippedDormant = "decision.skipped_dormant"
+	CtrDecCold           = "decision.cold_state"
+	CtrDecNotDormant     = "decision.not_dormant"
+	CtrDecFPMismatch     = "decision.fingerprint_mismatch"
+	CtrDecPolicy         = "decision.policy_disabled"
+
 	// Per-unit stage counters (updated by the build system at commit).
 	CtrFrontendNS = "stage.frontend_ns"
 	CtrPassesNS   = "stage.passes_ns"
@@ -136,6 +146,8 @@ type PassCounters struct {
 	Runs, Dormant, Skipped, Mispredicted *Counter
 	RunNS, SavedNS                       *Counter
 	Hashes, HashNS                       *Counter
+	// Decision-provenance buckets (decision.* counters).
+	DecSkipped, DecCold, DecNotDormant, DecFPMismatch, DecPolicy *Counter
 }
 
 // Pass resolves the standard pipeline counters (nil-safe: a nil registry
@@ -153,5 +165,10 @@ func (r *Registry) Pass() *PassCounters {
 		SavedNS:      r.Counter(CtrPassSavedNS),
 		Hashes:       r.Counter(CtrHashes),
 		HashNS:       r.Counter(CtrHashNS),
+		DecSkipped:   r.Counter(CtrDecSkippedDormant),
+		DecCold:      r.Counter(CtrDecCold),
+		DecNotDormant: r.Counter(CtrDecNotDormant),
+		DecFPMismatch: r.Counter(CtrDecFPMismatch),
+		DecPolicy:     r.Counter(CtrDecPolicy),
 	}
 }

@@ -1,0 +1,85 @@
+package obs
+
+// Prometheus text-format exporter for a counters snapshot, used by the
+// `minibuild serve` /metrics endpoint. Every registry counter is monotonic,
+// so everything exports as a prometheus counter; names are the registry
+// names with dots replaced by underscores under a "statefulcc_" prefix
+// (e.g. pass.runs → statefulcc_pass_runs). Output is sorted by name so two
+// exports of the same snapshot are byte-identical.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromPrefix is the metric-name namespace of every exported counter.
+const PromPrefix = "statefulcc_"
+
+// PromName maps a registry counter name to its Prometheus metric name.
+func PromName(name string) string {
+	var sb strings.Builder
+	sb.WriteString(PromPrefix)
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// FormatProm renders a counters snapshot as Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers plus one sample per counter,
+// sorted by registry name. The values reconcile exactly with the snapshot.
+func FormatProm(snap map[string]int64) string {
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		pn := PromName(name)
+		fmt.Fprintf(&sb, "# HELP %s statefulcc obs registry counter %q (see docs/OBSERVABILITY.md).\n", pn, name)
+		fmt.Fprintf(&sb, "# TYPE %s counter\n", pn)
+		fmt.Fprintf(&sb, "%s %d\n", pn, snap[name])
+	}
+	return sb.String()
+}
+
+// ParseProm parses FormatProm-style text back into metric-name → value
+// (comments and malformed lines are ignored). Used by tests and the CI
+// smoke check to reconcile /metrics output against a registry snapshot.
+func ParseProm(s string) map[string]int64 {
+	out := make(map[string]int64)
+	for _, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		if v, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64); err == nil {
+			out[name] = v
+		}
+	}
+	return out
+}
+
+// DecisionCounts extracts the decision.* provenance counters from a
+// snapshot — the per-reason execution totals behind a skip rate.
+func DecisionCounts(snap map[string]int64) map[string]int64 {
+	out := make(map[string]int64)
+	for name, v := range snap {
+		if strings.HasPrefix(name, "decision.") {
+			out[name] = v
+		}
+	}
+	return out
+}
