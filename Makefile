@@ -1,12 +1,13 @@
 GO ?= go
 SMOKEDIR ?= .smoke
 
-.PHONY: ci vet build test race fuzz bench bench-baseline smoke
+.PHONY: ci vet build test race fuzz chaos bench bench-baseline smoke
 
 # ci is the tier-1 gate: everything must stay green, including the race
-# detector over the worker pool, the observability counters, and the
-# flight-recorder regression check on the example project.
-ci: vet build test race smoke
+# detector over the worker pool, the observability counters, the
+# crash/chaos robustness walk, and the flight-recorder regression check on
+# the example project.
+ci: vet build test race chaos smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +27,16 @@ race:
 # fuzz runs the fingerprint stability/sensitivity fuzzer for a short burst
 # beyond its committed corpus.
 fuzz:
+	$(GO) test -fuzz FuzzFingerprintStability -fuzztime 30s ./internal/fingerprint
+
+# chaos is the robustness gate (docs/ROBUSTNESS.md): the fault-injection
+# walks over every state/history I/O call (under the race detector, since
+# faults land on concurrent worker paths), plus fuzz bursts on the two
+# attacker-grade parsers — the state decoder and the IR fingerprinter.
+chaos:
+	$(GO) test -race ./internal/vfs/...
+	$(GO) test -race -run 'TestChaos|TestSaveSyncs' ./internal/state ./internal/history ./internal/buildsys
+	$(GO) test -fuzz FuzzStateDecode -fuzztime 30s ./internal/state
 	$(GO) test -fuzz FuzzFingerprintStability -fuzztime 30s ./internal/fingerprint
 
 # bench-baseline regenerates the committed performance baseline.

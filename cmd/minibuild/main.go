@@ -143,6 +143,11 @@ func runBuild(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Degradation warnings (state/history I/O the build absorbed): the
+	// build is correct but the next one may run cold.
+	for _, w := range rep.Warnings {
+		fmt.Fprintln(os.Stderr, "minibuild: warning:", w)
+	}
 	fmt.Printf("built %d units (%d compiled, %d cached) in %.2fms (compile %.2fms, link %.2fms), state %.1fKiB\n",
 		rep.UnitsCompiled+rep.UnitsCached, rep.UnitsCompiled, rep.UnitsCached,
 		float64(rep.TotalNS)/1e6, float64(rep.CompileNS)/1e6, float64(rep.LinkNS)/1e6,

@@ -158,9 +158,16 @@ func (s *buildServer) pollOnce() (bool, error) {
 	if s.lastSnap != nil && len(project.Diff(s.lastSnap, snap)) == 0 {
 		return false, nil
 	}
-	if _, err := s.builder.Build(snap); err != nil {
+	rep, err := s.builder.Build(snap)
+	if err != nil {
 		s.lastErr = err.Error()
 		return false, err
+	}
+	// State/history I/O degradation is non-fatal for a resident daemon;
+	// log it (the state.io_error / history.io_error counters on /metrics
+	// carry the same signal for alerting).
+	for _, w := range rep.Warnings {
+		fmt.Fprintln(os.Stderr, "minibuild serve: warning:", w)
 	}
 	s.lastSnap = snap
 	s.builds++

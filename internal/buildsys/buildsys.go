@@ -25,6 +25,7 @@ package buildsys
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"statefulcc/internal/codegen"
@@ -35,6 +36,7 @@ import (
 	"statefulcc/internal/passes"
 	"statefulcc/internal/project"
 	"statefulcc/internal/state"
+	"statefulcc/internal/vfs"
 )
 
 // Options configures a Builder.
@@ -64,6 +66,11 @@ type Options struct {
 	// HistoryLimit bounds the history file to the newest N records
 	// (default history.DefaultLimit).
 	HistoryLimit int
+	// FS is the filesystem the state and history layers perform their I/O
+	// through. Nil means the real filesystem; the chaos suites inject a
+	// vfs.FaultFS here to prove every I/O failure degrades to at most a
+	// cold build (see docs/ROBUSTNESS.md).
+	FS vfs.FS
 }
 
 // UnitReport describes one unit within a build.
@@ -103,6 +110,11 @@ type Report struct {
 	// WorkerBusyNS is each worker slot's busy time during this build's
 	// compile phase (index = worker slot).
 	WorkerBusyNS []int64
+	// Warnings lists the state/history I/O failures this build absorbed:
+	// the build is correct but ran degraded (cold starts, unpersisted
+	// state, dropped flight-recorder records). Mirrored by the
+	// state.io_error / history.io_error counters in Metrics.
+	Warnings []string
 
 	stats *core.Stats
 }
@@ -132,6 +144,7 @@ type unitEntry struct {
 // at a time (its internal workers provide the parallelism).
 type Builder struct {
 	opts    Options
+	fs      vfs.FS // normalized Options.FS (never nil)
 	workers []*compiler.Compiler // one per worker slot, reused across builds
 	units   map[string]*unitEntry
 
@@ -142,6 +155,12 @@ type Builder struct {
 	reg  *obs.Registry
 	ctr  builderCounters
 	busy []int64
+
+	// Degradation warnings accumulated during the current Build (workers
+	// append concurrently), snapshotted into Report.Warnings.
+	warnMu      sync.Mutex
+	warnings    []string
+	warnDropped int
 }
 
 // builderCounters are the registry counters the build system updates
@@ -153,6 +172,7 @@ type builderCounters struct {
 	frontendNS, passesNS, codegenNS     *obs.Counter
 	cacheHits, cacheMisses              *obs.Counter
 	stateLoads, stateLoadMisses, stateSaves *obs.Counter
+	stateIOErrors, historyIOErrors      *obs.Counter
 	workerBusyNS                        *obs.Counter
 }
 
@@ -169,6 +189,7 @@ func NewBuilder(opts Options) (*Builder, error) {
 	reg := obs.NewRegistry()
 	b := &Builder{
 		opts:  opts,
+		fs:    vfs.Default(opts.FS),
 		units: make(map[string]*unitEntry),
 		reg:   reg,
 		ctr: builderCounters{
@@ -184,6 +205,8 @@ func NewBuilder(opts Options) (*Builder, error) {
 			stateLoads:      reg.Counter(obs.CtrStateLoads),
 			stateLoadMisses: reg.Counter(obs.CtrStateLoadMisses),
 			stateSaves:      reg.Counter(obs.CtrStateSaves),
+			stateIOErrors:   reg.Counter(obs.CtrStateIOErrors),
+			historyIOErrors: reg.Counter(obs.CtrHistoryIOErrors),
 			workerBusyNS:    reg.Counter(obs.CtrWorkerBusyNS),
 		},
 		busy: make([]int64, opts.Workers),
@@ -229,6 +252,9 @@ func (b *Builder) Build(snap project.Snapshot) (*Report, error) {
 	for i := range b.busy {
 		b.busy[i] = 0
 	}
+	b.warnMu.Lock()
+	b.warnings, b.warnDropped = nil, 0
+	b.warnMu.Unlock()
 
 	// Drop units removed from the project, including their on-disk state.
 	for name := range b.units {
@@ -329,7 +355,33 @@ func (b *Builder) Build(snap project.Snapshot) (*Report, error) {
 	b.opts.Trace.Emit(obs.Span{Name: "build", Cat: obs.CatBuild, TID: 0,
 		Start: buildStart, Dur: rep.TotalNS})
 	b.recordHistory(rep)
+	rep.Warnings = b.takeWarnings()
 	return rep, nil
+}
+
+// warnf records one degradation warning for the current build. Bounded:
+// a pathological filesystem (every op failing) must not balloon the
+// report, so past the cap only a count is kept.
+func (b *Builder) warnf(format string, args ...any) {
+	const maxWarnings = 32
+	b.warnMu.Lock()
+	defer b.warnMu.Unlock()
+	if len(b.warnings) >= maxWarnings {
+		b.warnDropped++
+		return
+	}
+	b.warnings = append(b.warnings, fmt.Sprintf(format, args...))
+}
+
+// takeWarnings snapshots the current build's warnings for its report.
+func (b *Builder) takeWarnings() []string {
+	b.warnMu.Lock()
+	defer b.warnMu.Unlock()
+	out := append([]string(nil), b.warnings...)
+	if b.warnDropped > 0 {
+		out = append(out, fmt.Sprintf("… and %d more state/history I/O warnings", b.warnDropped))
+	}
+	return out
 }
 
 // stateBytes reports the retained persistent-state footprint: serialized

@@ -28,13 +28,20 @@ func (b *Builder) historyPath() string {
 	return ""
 }
 
-// recordHistory appends one record for a completed build.
+// recordHistory appends one record for a completed build. Failures never
+// fail the build, but they are surfaced — history.io_error counter plus a
+// report warning — instead of silently dropping the record. (The counter
+// increments after this build's Metrics snapshot was taken, so it shows
+// up in Builder.Metrics and the next build's record.)
 func (b *Builder) recordHistory(rep *Report) {
 	path := b.historyPath()
 	if path == "" {
 		return
 	}
-	_ = history.Append(path, b.historyRecord(rep), b.opts.HistoryLimit)
+	if err := history.AppendFS(b.fs, path, b.historyRecord(rep), b.opts.HistoryLimit); err != nil {
+		b.ctr.historyIOErrors.Inc()
+		b.warnf("history: append: %v (flight-recorder record dropped)", err)
+	}
 }
 
 // historyRecord converts a build report into its flight-recorder record.

@@ -5,16 +5,21 @@ package buildsys
 // hash of the full name (unit names contain path separators and may
 // collide after sanitizing). The state is a pure optimization: loads that
 // fail for any reason — missing file, truncation, corruption, version
-// mismatch — yield a cold start, and save failures are dropped rather than
-// failing the build (internal/state writes atomically, so a crashed or
-// failed save never leaves a half-written file to confuse the next run).
+// mismatch, injected I/O fault — yield a cold start, and save failures
+// are reported as warnings and state.io_error counts rather than failing
+// the build (internal/state writes atomically through the vfs seam, so a
+// crashed or failed save never leaves a half-written file to confuse the
+// next run). The chaos suite (chaos_test.go) walks every fault point on
+// these paths and proves the degradation is graceful.
 
 import (
-	"os"
+	"errors"
+	"io/fs"
 	"path/filepath"
 	"strings"
 
 	"statefulcc/internal/core"
+	"statefulcc/internal/history"
 	"statefulcc/internal/state"
 )
 
@@ -53,14 +58,20 @@ func fmt16(v uint64) string {
 }
 
 // loadUnitState reads a unit's persisted state; any failure is a cold
-// start, never an error. Called concurrently from worker goroutines; the
-// counters it updates are atomic.
+// start, never an error. Real failures (as opposed to a simply missing
+// file) additionally count as state.io_error and warn, so degraded disks
+// are visible. Called concurrently from worker goroutines; the counters
+// and warning list are synchronized.
 func (b *Builder) loadUnitState(unit string) *core.UnitState {
 	path := b.statePath(unit)
 	if path == "" {
 		return nil
 	}
-	st, err := state.Load(path)
+	st, err := state.LoadFS(b.fs, path)
+	if err != nil {
+		b.ctr.stateIOErrors.Inc()
+		b.warnf("state: load %s: %v (running cold)", filepath.Base(path), err)
+	}
 	if err != nil || st == nil {
 		b.ctr.stateLoadMisses.Inc()
 		return nil
@@ -69,39 +80,62 @@ func (b *Builder) loadUnitState(unit string) *core.UnitState {
 	return st
 }
 
-// saveUnitState persists a unit's state; failures are dropped (state is
-// advisory, and the atomic writer never leaves partial files).
+// saveUnitState persists a unit's state; failures degrade to a warning
+// and a state.io_error count (state is advisory, and the atomic writer
+// never leaves partial files).
 func (b *Builder) saveUnitState(unit string, st *core.UnitState) {
 	path := b.statePath(unit)
 	if path == "" {
 		return
 	}
-	if state.Save(path, st) == nil {
-		b.ctr.stateSaves.Inc()
+	if err := state.SaveFS(b.fs, path, st); err != nil {
+		b.ctr.stateIOErrors.Inc()
+		b.warnf("state: save %s: %v (state not persisted)", filepath.Base(path), err)
+		return
 	}
+	b.ctr.stateSaves.Inc()
 }
 
-// sweepStateTemp removes orphaned atomic-write temp files from StateDir.
-// A process that crashes between state.Save's temp creation and rename
-// leaves one behind; they are never read back, so a new builder (the
-// directory's single writer) deletes them at startup.
+// sweepStateTemp removes orphaned atomic-write temp files (state and
+// history rotation) from StateDir. A process that crashes between temp
+// creation and rename leaves one behind; they are never read back, so a
+// new builder (the directory's single writer) deletes them at startup.
+// Failures only count — the state directory may not even exist yet.
 func (b *Builder) sweepStateTemp() {
 	if b.opts.StateDir == "" {
 		return
 	}
-	matches, err := filepath.Glob(filepath.Join(b.opts.StateDir, state.TempPattern))
+	entries, err := b.fs.ReadDir(b.opts.StateDir)
 	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			b.ctr.stateIOErrors.Inc()
+		}
 		return
 	}
-	for _, m := range matches {
-		_ = os.Remove(m)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		stateTemp, _ := filepath.Match(state.TempPattern, e.Name())
+		histTemp, _ := filepath.Match(history.TempPattern, e.Name())
+		if !stateTemp && !histTemp {
+			continue
+		}
+		if err := b.fs.Remove(filepath.Join(b.opts.StateDir, e.Name())); err != nil {
+			b.ctr.stateIOErrors.Inc()
+		}
 	}
 }
 
 // removeUnitState deletes a removed unit's state file so StateDir tracks
 // the live project.
 func (b *Builder) removeUnitState(unit string) {
-	if path := b.statePath(unit); path != "" {
-		_ = os.Remove(path)
+	path := b.statePath(unit)
+	if path == "" {
+		return
+	}
+	if err := b.fs.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		b.ctr.stateIOErrors.Inc()
+		b.warnf("state: remove %s: %v (stale state file left behind)", filepath.Base(path), err)
 	}
 }

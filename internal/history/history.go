@@ -22,8 +22,11 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+
+	"statefulcc/internal/vfs"
 )
 
 // FileName is the flight-recorder file inside a state directory.
@@ -31,6 +34,12 @@ const FileName = "history.jsonl"
 
 // DefaultLimit is the default record cap of a history file.
 const DefaultLimit = 200
+
+// TempPattern is the glob the rotation rewriter's in-flight temp files
+// match. A crash mid-rewrite orphans one; like state.TempPattern files,
+// they are never read back, so a state directory's single writer may
+// sweep matches at startup.
+const TempPattern = ".history-*"
 
 // PassDecision is one pipeline slot's decision provenance for one unit:
 // what the slot did and, for every execution, why. Reason strings are the
@@ -111,7 +120,13 @@ func Path(stateDir string) string {
 // a crashed append — are dropped, never an error. Records are returned in
 // file order (oldest first).
 func Load(path string) ([]Record, error) {
-	f, err := os.Open(path)
+	return LoadFS(vfs.OS, path)
+}
+
+// LoadFS is Load through an injectable filesystem (nil means the real
+// one).
+func LoadFS(fsys vfs.FS, path string) ([]Record, error) {
+	f, err := vfs.Default(fsys).Open(path)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -146,16 +161,27 @@ func Load(path string) ([]Record, error) {
 // bounding the file to the newest limit records (DefaultLimit when limit
 // <= 0). The fast path is a plain O_APPEND write; when rotation or corrupt
 // lines make a rewrite necessary, the file is replaced atomically
-// (temp + rename) so a crash never loses the existing history.
+// (temp + fsync + rename) so a crash never loses the existing history.
 func Append(path string, rec *Record, limit int) error {
+	return AppendFS(vfs.OS, path, rec, limit)
+}
+
+// AppendFS is Append through an injectable filesystem (nil means the real
+// one). Every failure — including a short write or a failing Close on the
+// O_APPEND handle, which can silently drop a buffered record — is
+// detected and returned; callers that treat the recorder as advisory
+// (the build system) surface the error as a warning and counter rather
+// than dropping it on the floor.
+func AppendFS(fsys vfs.FS, path string, rec *Record, limit int) error {
+	fsys = vfs.Default(fsys)
 	if limit <= 0 {
 		limit = DefaultLimit
 	}
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	if err := fsys.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("history: %w", err)
 	}
 
-	prev, err := Load(path)
+	prev, err := LoadFS(fsys, path)
 	if err != nil {
 		return err
 	}
@@ -169,12 +195,17 @@ func Append(path string, rec *Record, limit int) error {
 	}
 	line = append(line, '\n')
 
-	if lines, partial, _ := fileShape(path); !partial && lines == len(prev) && len(prev)+1 <= limit {
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if lines, partial, _ := fileShape(fsys, path); !partial && lines == len(prev) && len(prev)+1 <= limit {
+		f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return fmt.Errorf("history: %w", err)
 		}
-		_, werr := f.Write(line)
+		n, werr := f.Write(line)
+		if werr == nil && n != len(line) {
+			// A short write without an error would silently truncate the
+			// record; report it so the caller can count and warn.
+			werr = io.ErrShortWrite
+		}
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
@@ -189,11 +220,11 @@ func Append(path string, rec *Record, limit int) error {
 	if len(prev) > limit-1 {
 		prev = prev[len(prev)-(limit-1):]
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".history-*")
+	tmp, err := fsys.CreateTemp(filepath.Dir(path), TempPattern)
 	if err != nil {
 		return fmt.Errorf("history: %w", err)
 	}
-	defer os.Remove(tmp.Name())
+	defer fsys.Remove(tmp.Name())
 	w := bufio.NewWriter(tmp)
 	for i := range prev {
 		old, err := prev[i].Encode()
@@ -208,10 +239,14 @@ func Append(path string, rec *Record, limit int) error {
 		tmp.Close()
 		return fmt.Errorf("history: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("history: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("history: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("history: %w", err)
 	}
 	return nil
@@ -221,8 +256,8 @@ func Append(path string, rec *Record, limit int) error {
 // file ends in a partial (torn) line. A line count differing from the
 // parseable-record count, or a partial tail, forces the rewrite path — a
 // plain append after a torn line would fuse the new record onto it.
-func fileShape(path string) (lines int, partialTail bool, err error) {
-	f, err := os.Open(path)
+func fileShape(fsys vfs.FS, path string) (lines int, partialTail bool, err error) {
+	f, err := fsys.Open(path)
 	if os.IsNotExist(err) {
 		return 0, false, nil
 	}

@@ -53,6 +53,13 @@ const (
 	CtrStateLoadMisses = "state.load_misses"
 	CtrStateSaves      = "state.saves"
 
+	// Degradation counters: state/history I/O failures the build absorbed
+	// (cold start, dropped save, dropped flight-recorder record) instead
+	// of failing. Nonzero values mean the build ran degraded but correct;
+	// `minibuild serve` exports them so operators can alert on them.
+	CtrStateIOErrors   = "state.io_error"
+	CtrHistoryIOErrors = "history.io_error"
+
 	// Worker-pool counters.
 	CtrWorkerBusyNS = "worker.busy_ns"
 )

@@ -1,0 +1,211 @@
+package state_test
+
+// State-layer chaos suite: walk every injectable I/O fault point of a
+// Save-over-existing-state + Load workload and prove the atomic-write
+// contract under all of them — the published state file only ever holds
+// the complete old bytes or the complete new bytes (a faulted save never
+// publishes a torn file), and the loader either returns one of the two
+// valid states or an error the callers treat as a cold start. The fault
+// points come from recording a clean run, not from a hand-kept list.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"statefulcc/internal/core"
+	"statefulcc/internal/state"
+	"statefulcc/internal/testutil"
+	"statefulcc/internal/vfs"
+	"statefulcc/internal/vfs/chaostest"
+)
+
+// buildStateFrom compiles src into a populated dormancy state.
+func buildStateFrom(t *testing.T, src string) *core.UnitState {
+	t.Helper()
+	d, err := core.NewDriver(core.Options{Policy: core.Stateful})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := testutil.BuildModule("unit.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := d.Run(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// chaosStates builds two distinct valid states plus their canonical
+// encodings.
+func chaosStates(t *testing.T) (stOld, stNew *core.UnitState, encOld, encNew []byte) {
+	t.Helper()
+	stOld = buildStateFrom(t, `func main() int { return 1; }`)
+	stNew = buildStateFrom(t, `
+func helper(x int) int { return x + 3; }
+func main() int { return helper(4); }`)
+	var a, b bytes.Buffer
+	if err := state.Encode(&a, stOld); err != nil {
+		t.Fatal(err)
+	}
+	if err := state.Encode(&b, stNew); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("test states encode identically; chaos invariant would be vacuous")
+	}
+	return stOld, stNew, a.Bytes(), b.Bytes()
+}
+
+// TestSaveSyncsBeforeRename pins the power-loss fix: the atomic writer
+// must fsync the temp file before renaming it over the state file.
+func TestSaveSyncsBeforeRename(t *testing.T) {
+	st := buildStateFrom(t, `func main() int { return 7; }`)
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(vfs.OS, vfs.WithCanon(chaostest.Canon(dir, state.TempPattern)))
+	if err := state.SaveFS(ffs, filepath.Join(dir, "unit.state"), st); err != nil {
+		t.Fatal(err)
+	}
+	syncAt, renameAt := -1, -1
+	for i, c := range ffs.Calls() {
+		switch c.Op {
+		case vfs.OpSync:
+			if syncAt < 0 {
+				syncAt = i
+			}
+		case vfs.OpRename:
+			if renameAt < 0 {
+				renameAt = i
+			}
+		}
+	}
+	if syncAt < 0 {
+		t.Fatal("Save never syncs the temp file: a power loss can publish an empty state file")
+	}
+	if renameAt < 0 {
+		t.Fatal("Save never renamed (atomic publish missing)")
+	}
+	if syncAt > renameAt {
+		t.Fatalf("Sync (call %d) happens after Rename (call %d); must be before", syncAt, renameAt)
+	}
+}
+
+// TestChaosSaveLoad is the fault-point walk.
+func TestChaosSaveLoad(t *testing.T) {
+	stOld, stNew, encOld, encNew := chaosStates(t)
+
+	// The workload under test: overwrite existing state, then read it back.
+	workload := func(fsys vfs.FS, path string) {
+		_ = state.SaveFS(fsys, path, stNew) // may fail under fault: that is the point
+		_, _ = state.LoadFS(fsys, path)
+	}
+	seed := func(t *testing.T, path string) {
+		t.Helper()
+		if err := state.SaveFS(nil, path, stOld); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Record a clean run to enumerate the fault points.
+	recDir := t.TempDir()
+	recPath := filepath.Join(recDir, "unit.state")
+	seed(t, recPath)
+	rec := vfs.NewFaultFS(vfs.OS, vfs.WithCanon(chaostest.Canon(recDir, state.TempPattern)))
+	workload(rec, recPath)
+	points := chaostest.Points(rec.Calls())
+	if len(points) < 8 {
+		t.Fatalf("recorded only %d fault points; the seam has shrunk: %v", len(points), points)
+	}
+	cov := chaostest.OpsCovered(points)
+	for _, op := range []vfs.Op{vfs.OpCreateTemp, vfs.OpWrite, vfs.OpSync, vfs.OpClose, vfs.OpRename, vfs.OpOpen, vfs.OpRead} {
+		if cov[op] == 0 {
+			t.Fatalf("workload never performs %s; recording is not covering the save/load path (%v)", op, cov)
+		}
+	}
+
+	for _, p := range points {
+		kinds := []vfs.Fault{vfs.FaultError, vfs.FaultCrash}
+		if p.Op == vfs.OpWrite {
+			kinds = append(kinds, vfs.FaultTorn)
+		}
+		for _, kind := range kinds {
+			p, kind := p, kind
+			t.Run(chaostest.Name(p, kind), func(t *testing.T) {
+				dir := t.TempDir()
+				path := filepath.Join(dir, "unit.state")
+				seed(t, path)
+				ffs := vfs.NewFaultFS(vfs.OS,
+					vfs.WithCanon(chaostest.Canon(dir, state.TempPattern)),
+					vfs.WithRules(chaostest.RuleFor(p, kind)))
+				workload(ffs, path)
+				chaostest.AssertFired(t, ffs, p)
+
+				// Invariant 1: the published file is exactly the old or the
+				// new encoding — an atomic writer never leaves a third thing.
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("state file vanished under a save fault: %v", err)
+				}
+				isOld, isNew := bytes.Equal(raw, encOld), bytes.Equal(raw, encNew)
+				if !isOld && !isNew {
+					t.Fatalf("state file holds %d bytes that are neither the old nor the new encoding", len(raw))
+				}
+
+				// Invariant 2: a clean load returns the matching valid state.
+				got, err := state.LoadFS(nil, path)
+				if err != nil || got == nil {
+					t.Fatalf("clean load of intact file failed: %v", err)
+				}
+				want := stOld
+				if isNew {
+					want = stNew
+				}
+				if got.Unit != want.Unit || got.RecordCount() != want.RecordCount() {
+					t.Fatalf("loaded state does not match the on-disk encoding's source state")
+				}
+
+				// Invariant 3: recovery — the next clean save fully heals.
+				if err := state.SaveFS(nil, path, stNew); err != nil {
+					t.Fatalf("clean save after fault failed: %v", err)
+				}
+				raw, err = os.ReadFile(path)
+				if err != nil || !bytes.Equal(raw, encNew) {
+					t.Fatalf("recovery save did not publish the new state: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosLoadNeverWrongState: torn on-disk prefixes of a valid file
+// (every length) must load as an error or reject — never decode into a
+// state that differs from the file's true source. This is the
+// crash-mid-write spectrum the atomic writer is supposed to make
+// impossible at the publish path; the loader must still be safe if a
+// non-atomic writer (or a failing disk) produces one.
+func TestChaosLoadNeverWrongState(t *testing.T) {
+	_, stNew, _, encNew := chaosStates(t)
+	dir := t.TempDir()
+	for n := 0; n < len(encNew); n += 7 {
+		path := filepath.Join(dir, "trunc.state")
+		if err := os.WriteFile(path, encNew[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := state.LoadFS(nil, path)
+		if err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error (%v)", n, got)
+		}
+	}
+	// The full file still loads.
+	path := filepath.Join(dir, "full.state")
+	if err := os.WriteFile(path, encNew, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := state.LoadFS(nil, path)
+	if err != nil || got == nil || got.RecordCount() != stNew.RecordCount() {
+		t.Fatalf("full encoding failed to load: %v", err)
+	}
+}

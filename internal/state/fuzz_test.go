@@ -1,0 +1,119 @@
+package state_test
+
+// Native fuzz target for the state decoder — the one parser in the system
+// that consumes attacker-grade input (a state directory is plain files;
+// anything can be in them). Properties:
+//
+//  1. Decode never panics and never over-allocates, no matter the bytes:
+//     every slice it grows is bounded by the bytes actually present, not
+//     by counts declared in the header.
+//  2. Anything Decode accepts is canonical: re-encoding the decoded state
+//     succeeds, FileSize agrees with the re-encoded length, and decoding
+//     the re-encoding reproduces the state exactly.
+//
+// Run with: go test -fuzz FuzzStateDecode ./internal/state
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"statefulcc/internal/core"
+	"statefulcc/internal/state"
+)
+
+// fuzzSeedStates are hand-built states spanning the format's shapes:
+// empty, module-only, shared dormant hashes, changed and unseen slots,
+// zero-slot functions.
+func fuzzSeedStates() []*core.UnitState {
+	return []*core.UnitState{
+		{
+			Unit:        "empty.mc",
+			Funcs:       map[string]*core.FuncState{},
+			ModuleSlots: []core.Record{},
+			ModuleSeen:  []bool{},
+		},
+		{
+			Unit:         "mod.mc",
+			PipelineHash: 0xDEADBEEF,
+			Funcs:        map[string]*core.FuncState{},
+			ModuleSlots:  []core.Record{{InputHash: 7, CostNS: 256}, {Changed: true}},
+			ModuleSeen:   []bool{true, true},
+		},
+		{
+			Unit:         "funcs.mc",
+			PipelineHash: 1,
+			ModuleSlots:  []core.Record{{}},
+			ModuleSeen:   []bool{false},
+			Funcs: map[string]*core.FuncState{
+				"shared": {
+					Slots: []core.Record{
+						{InputHash: 0xAB, CostNS: 512},
+						{InputHash: 0xAB, CostNS: 512},
+						{InputHash: 0xCD, CostNS: 0},
+					},
+					Seen: []bool{true, true, true},
+				},
+				"zero": {Slots: []core.Record{}, Seen: []bool{}},
+			},
+		},
+	}
+}
+
+func FuzzStateDecode(f *testing.F) {
+	for _, st := range fuzzSeedStates() {
+		var buf bytes.Buffer
+		if err := state.Encode(&buf, st); err != nil {
+			f.Fatal(err)
+		}
+		data := buf.Bytes()
+		f.Add(append([]byte(nil), data...))
+		// Truncations steer the fuzzer at every mid-structure boundary.
+		for _, n := range []int{0, 4, 8, 12, len(data) / 2, len(data) - 1} {
+			if n <= len(data) {
+				f.Add(append([]byte(nil), data[:n]...))
+			}
+		}
+	}
+	// Adversarial header: valid magic/version, then huge declared counts
+	// with no bytes behind them — the over-allocation shape.
+	hdr := []byte("SCCSTATE")
+	hdr = binary.LittleEndian.AppendUint32(hdr, state.FormatVersion)
+	hdr = binary.LittleEndian.AppendUint64(hdr, 42)     // pipeline hash
+	hdr = binary.LittleEndian.AppendUint32(hdr, 1<<19)  // huge unit-name length
+	f.Add(append([]byte(nil), hdr...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := state.Decode(bytes.NewReader(data))
+		if err != nil {
+			if st != nil {
+				t.Fatal("Decode returned both a state and an error")
+			}
+			return
+		}
+		if st == nil {
+			t.Fatal("Decode returned neither state nor error")
+		}
+
+		// Accepted input must round-trip canonically.
+		var buf bytes.Buffer
+		if err := state.Encode(&buf, st); err != nil {
+			t.Fatalf("re-encoding a decoded state failed: %v", err)
+		}
+		n, err := state.FileSize(st)
+		if err != nil {
+			t.Fatalf("FileSize of a decoded state failed: %v", err)
+		}
+		if n != buf.Len() {
+			t.Fatalf("FileSize %d disagrees with encoded length %d", n, buf.Len())
+		}
+		st2, err := state.Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding a re-encoded state failed: %v", err)
+		}
+		if !reflect.DeepEqual(st, st2) {
+			t.Fatalf("re-encode/decode drifted:\nfirst:  %+v\nsecond: %+v", st, st2)
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package state_test
+
+// Golden-file pin of the version-3 on-disk layout. The state format is a
+// cross-process, cross-version contract: a byte produced by one build is
+// consumed by a later process of a possibly different binary. This test
+// freezes the exact bytes so any encoder change — intended or not — shows
+// up as a diff against testdata/, and an intended change forces a
+// conscious FormatVersion bump plus `go test ./internal/state -update`.
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"statefulcc/internal/core"
+	"statefulcc/internal/state"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenState exercises every shape the format distinguishes: unseen
+// slots, seen-changed slots, seen-dormant slots sharing one hash-table
+// entry, a zero-slot function, and an empty-but-seen module block. All
+// values are normalized the way the encoder stores them (costs in 256ns
+// quanta) so the decoded state compares deeply equal.
+func goldenState() *core.UnitState {
+	return &core.UnitState{
+		Unit:         "golden.mc",
+		PipelineHash: 0x1122334455667788,
+		ModuleSlots: []core.Record{
+			{},                                        // unseen
+			{InputHash: 0xAABBCCDD, CostNS: 512},      // seen dormant
+			{Changed: true},                           // seen changed: no hash, no cost
+			{InputHash: 0xAABBCCDD, CostNS: 256},      // shares the hash-table entry
+		},
+		ModuleSeen: []bool{false, true, true, true},
+		Funcs: map[string]*core.FuncState{
+			"helper": {
+				Slots: []core.Record{
+					{InputHash: 0x0102030405060708, CostNS: 0}, // dormant, zero cost
+					{InputHash: 0x0102030405060708, CostNS: (1<<63 - 1) &^ 255}, // max quantized EWMA
+				},
+				Seen: []bool{true, true},
+			},
+			"zero_slots": {Slots: []core.Record{}, Seen: []bool{}},
+		},
+	}
+}
+
+func TestGoldenFormatV3(t *testing.T) {
+	if state.FormatVersion != 3 {
+		t.Fatalf("FormatVersion is %d; regenerate the golden file for the new layout "+
+			"(go test ./internal/state -update) and rename it accordingly", state.FormatVersion)
+	}
+	path := filepath.Join("testdata", "unitstate_v3.golden")
+
+	var buf bytes.Buffer
+	if err := state.Encode(&buf, goldenState()); err != nil {
+		t.Fatal(err)
+	}
+
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("encoder output differs from the pinned v3 bytes — this breaks "+
+			"states written by released binaries; bump FormatVersion if intended\n"+
+			"got:\n%s\nwant:\n%s", hex.Dump(buf.Bytes()), hex.Dump(want))
+	}
+
+	// The pinned bytes must also decode back to exactly the source state —
+	// the decoder half of the contract.
+	got, err := state.Decode(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("pinned golden bytes no longer decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, goldenState()) {
+		t.Fatalf("golden bytes decode to a different state:\ngot:  %+v\nwant: %+v",
+			got, goldenState())
+	}
+}

@@ -1,0 +1,148 @@
+package state_test
+
+// Property-based round-trip: Decode(Encode(st)) must reproduce st exactly
+// for every well-formed state, and FileSize must agree with the encoded
+// length. States are generated from a fixed seed over the shapes that have
+// bitten binary formats before: empty units, zero-slot functions, runs of
+// dormant slots sharing one hash (the distinct-hash table), hash zero,
+// zero and maximum quantized costs, and empty function names.
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"statefulcc/internal/core"
+	"statefulcc/internal/state"
+)
+
+// maxQuantCost is the largest EWMA the 256ns-quantized encoding can carry.
+const maxQuantCost = (1<<63 - 1) &^ 255
+
+// randBlock generates one record block. Slots are independently unseen,
+// seen-changed, or seen-dormant; dormant slots draw from a small shared
+// hash pool (plus fresh hashes) so the distinct-hash table gets both
+// sharing and growth.
+func randBlock(r *rand.Rand, n int, pool []uint64) ([]core.Record, []bool) {
+	slots := make([]core.Record, n)
+	seen := make([]bool, n)
+	for i := range slots {
+		switch r.Intn(5) {
+		case 0: // unseen: must stay the zero record
+		case 1: // seen, changed: flags only
+			seen[i] = true
+			slots[i].Changed = true
+		default: // seen, dormant: hash + quantized cost
+			seen[i] = true
+			if r.Intn(3) == 0 {
+				slots[i].InputHash = r.Uint64()
+			} else {
+				slots[i].InputHash = pool[r.Intn(len(pool))]
+			}
+			switch r.Intn(4) {
+			case 0:
+				slots[i].CostNS = 0
+			case 1:
+				slots[i].CostNS = maxQuantCost
+			default:
+				slots[i].CostNS = int64(r.Intn(1<<20)) << 8
+			}
+		}
+	}
+	return slots, seen
+}
+
+// randState generates one well-formed, encoder-normalized unit state.
+func randState(r *rand.Rand) *core.UnitState {
+	pool := []uint64{0, r.Uint64(), r.Uint64()} // hash 0 is a legal value
+	st := &core.UnitState{
+		Unit:         string([]byte("unit__.mc")[:r.Intn(9)+1]),
+		PipelineHash: r.Uint64(),
+		Funcs:        make(map[string]*core.FuncState),
+	}
+	st.ModuleSlots, st.ModuleSeen = randBlock(r, r.Intn(6), pool)
+	for i, n := 0, r.Intn(5); i < n; i++ {
+		name := "fn" + strconv.Itoa(i)
+		if i == 0 && r.Intn(4) == 0 {
+			name = "" // empty function name is representable
+		}
+		st.Funcs[name] = &core.FuncState{}
+		st.Funcs[name].Slots, st.Funcs[name].Seen = randBlock(r, r.Intn(6), pool)
+	}
+	return st
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(0x5CC57A7E))
+	for i := 0; i < 1000; i++ {
+		st := randState(r)
+		var buf bytes.Buffer
+		if err := state.Encode(&buf, st); err != nil {
+			t.Fatalf("case %d: encode: %v\nstate: %+v", i, err, st)
+		}
+		n, err := state.FileSize(st)
+		if err != nil {
+			t.Fatalf("case %d: FileSize: %v", i, err)
+		}
+		if n != buf.Len() {
+			t.Fatalf("case %d: FileSize %d != encoded length %d", i, n, buf.Len())
+		}
+		got, err := state.Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("case %d: decode: %v\nstate: %+v", i, err, st)
+		}
+		if !reflect.DeepEqual(got, st) {
+			t.Fatalf("case %d: round trip drifted\n got: %+v\nwant: %+v", i, got, st)
+		}
+	}
+}
+
+// TestRoundTripHandPickedEdges pins the named edge shapes individually so
+// a failure reads as the shape, not a seed.
+func TestRoundTripHandPickedEdges(t *testing.T) {
+	cases := map[string]*core.UnitState{
+		"empty unit": {
+			Unit: "e.mc", Funcs: map[string]*core.FuncState{},
+			ModuleSlots: []core.Record{}, ModuleSeen: []bool{},
+		},
+		"zero-slot func": {
+			Unit: "z.mc", ModuleSlots: []core.Record{}, ModuleSeen: []bool{},
+			Funcs: map[string]*core.FuncState{
+				"f": {Slots: []core.Record{}, Seen: []bool{}},
+			},
+		},
+		"all slots share one hash": {
+			Unit: "s.mc", ModuleSlots: []core.Record{}, ModuleSeen: []bool{},
+			Funcs: map[string]*core.FuncState{
+				"f": {
+					Slots: []core.Record{
+						{InputHash: 9, CostNS: 256}, {InputHash: 9, CostNS: 256},
+						{InputHash: 9, CostNS: 256}, {InputHash: 9, CostNS: 256},
+					},
+					Seen: []bool{true, true, true, true},
+				},
+			},
+		},
+		"max cost EWMA": {
+			Unit: "m.mc",
+			ModuleSlots: []core.Record{{InputHash: 1, CostNS: maxQuantCost}},
+			ModuleSeen:  []bool{true},
+			Funcs:       map[string]*core.FuncState{},
+		},
+	}
+	for name, st := range cases {
+		var buf bytes.Buffer
+		if err := state.Encode(&buf, st); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		got, err := state.Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, st) {
+			t.Fatalf("%s: round trip drifted\n got: %+v\nwant: %+v", name, got, st)
+		}
+	}
+}

@@ -1,10 +1,13 @@
 // Package state persists the stateful compiler's dormancy records to disk.
 //
 // The format is a compact little-endian binary layout with a magic/version
-// header; writes are atomic (temp file + rename) so a crashed build never
-// leaves a truncated state file — a corrupt or stale file is simply
-// discarded by the loader and the next build runs cold, which is always
-// safe because the records are a pure optimization.
+// header; writes are atomic (temp file + fsync + rename) so a crashed
+// build or power loss never publishes a truncated state file — a corrupt
+// or stale file is simply discarded by the loader and the next build runs
+// cold, which is always safe because the records are a pure optimization.
+// That degradation guarantee is proven, not asserted: all I/O goes through
+// the internal/vfs seam (SaveFS/LoadFS), and the chaos suites walk every
+// injectable fault point (docs/ROBUSTNESS.md).
 //
 // Layout (version 3). Two observations keep the state tiny, mirroring the
 // paper's pitch:
@@ -40,6 +43,7 @@ import (
 	"sort"
 
 	"statefulcc/internal/core"
+	"statefulcc/internal/vfs"
 )
 
 var magic = [8]byte{'S', 'C', 'C', 'S', 'T', 'A', 'T', 'E'}
@@ -53,16 +57,26 @@ const FormatVersion = 3
 // never read back, so removal is always safe).
 const TempPattern = ".state-*"
 
-// Save writes the unit state to path atomically.
+// Save writes the unit state to path atomically via the real filesystem.
 func Save(path string, st *core.UnitState) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	return SaveFS(vfs.OS, path, st)
+}
+
+// SaveFS writes the unit state to path atomically through fsys (nil means
+// the real filesystem): encode to a temp file, fsync it, then rename. The
+// Sync matters — without it a power loss after the rename could publish
+// an empty or truncated file; with it, either the old state or the
+// complete new state is on disk.
+func SaveFS(fsys vfs.FS, path string, st *core.UnitState) error {
+	fsys = vfs.Default(fsys)
+	if err := fsys.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("state: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), TempPattern)
+	tmp, err := fsys.CreateTemp(filepath.Dir(path), TempPattern)
 	if err != nil {
 		return fmt.Errorf("state: %w", err)
 	}
-	defer os.Remove(tmp.Name())
+	defer fsys.Remove(tmp.Name())
 
 	w := bufio.NewWriter(tmp)
 	if err := Encode(w, st); err != nil {
@@ -73,19 +87,30 @@ func Save(path string, st *core.UnitState) error {
 		tmp.Close()
 		return fmt.Errorf("state: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("state: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("state: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("state: %w", err)
 	}
 	return nil
 }
 
-// Load reads a unit state; a missing file returns (nil, nil) and any
-// malformed file returns an error the caller should treat as "run cold".
+// Load reads a unit state from the real filesystem; a missing file
+// returns (nil, nil) and any malformed file returns an error the caller
+// should treat as "run cold".
 func Load(path string) (*core.UnitState, error) {
-	f, err := os.Open(path)
+	return LoadFS(vfs.OS, path)
+}
+
+// LoadFS is Load through an injectable filesystem (nil means the real
+// one).
+func LoadFS(fsys vfs.FS, path string) (*core.UnitState, error) {
+	f, err := vfs.Default(fsys).Open(path)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -171,29 +196,45 @@ func (d *decoder) recordBlock() ([]core.Record, []bool) {
 	if d.err != nil {
 		return nil, nil
 	}
-	hashes := make([]uint64, nHashes)
-	for i := range hashes {
-		hashes[i] = d.u64()
+	// Counts are attacker-controlled (uvarints from the file), so
+	// allocations grow with the bytes actually present instead of
+	// trusting the declared sizes — a crafted header cannot force a large
+	// up-front allocation.
+	hashes := make([]uint64, 0, min(nHashes, 64))
+	for i := uint64(0); i < nHashes; i++ {
+		h := d.u64()
+		if d.err != nil {
+			return nil, nil
+		}
+		hashes = append(hashes, h)
 	}
-	slots := make([]core.Record, n)
-	seen := make([]bool, n)
-	for i := range slots {
+	slots := make([]core.Record, 0, min(n, 256))
+	seen := make([]bool, 0, min(n, 256))
+	for i := uint64(0); i < n; i++ {
 		var fb [1]byte
 		d.bytes(fb[:])
-		slots[i].Changed = fb[0]&1 != 0
-		seen[i] = fb[0]&2 != 0
-		if seen[i] && !slots[i].Changed {
+		if d.err != nil {
+			return nil, nil
+		}
+		var r core.Record
+		r.Changed = fb[0]&1 != 0
+		sn := fb[0]&2 != 0
+		if sn && !r.Changed {
 			hi := d.uv()
 			if d.err == nil && hi >= uint64(len(hashes)) {
 				d.err = fmt.Errorf("hash index out of range")
-				return nil, nil
 			}
 			if d.err != nil {
 				return nil, nil
 			}
-			slots[i].InputHash = hashes[hi]
-			slots[i].CostNS = int64(d.uv()) << 8
+			r.InputHash = hashes[hi]
+			r.CostNS = int64(d.uv()) << 8
+			if d.err != nil {
+				return nil, nil
+			}
 		}
+		slots = append(slots, r)
+		seen = append(seen, sn)
 	}
 	return slots, seen
 }
@@ -324,8 +365,21 @@ func (d *decoder) str() string {
 		d.err = fmt.Errorf("implausible string length %d", n)
 		return ""
 	}
-	b := make([]byte, n)
-	d.bytes(b)
+	// Chunked read: a bogus length field only costs as much memory as the
+	// file actually provides bytes for.
+	b := make([]byte, 0, min(n, 4096))
+	var chunk [4096]byte
+	for uint32(len(b)) < n && d.err == nil {
+		k := n - uint32(len(b))
+		if k > uint32(len(chunk)) {
+			k = uint32(len(chunk))
+		}
+		d.bytes(chunk[:k])
+		b = append(b, chunk[:k]...)
+	}
+	if d.err != nil {
+		return ""
+	}
 	return string(b)
 }
 

@@ -1,0 +1,394 @@
+package vfs
+
+// FaultFS: the deterministic fault injector. It wraps any FS, records
+// every operation in a call log, and injects failures according to
+// explicit rules and/or a seeded probabilistic schedule. Determinism is
+// the design center: a call is identified by (op, canonical path, nth
+// occurrence of that pair), a key that does not depend on goroutine
+// interleaving across distinct paths — so a fault schedule replays
+// exactly, even under the build system's worker pool, and a failing chaos
+// seed reproduces from its seed alone.
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the base error of every injected (non-crash) fault.
+var ErrInjected = errors.New("vfs: injected fault")
+
+// ErrCrashed is returned by every operation after a crash fault fires —
+// the filesystem behaves as if the process lost its disk mid-run.
+var ErrCrashed = errors.New("vfs: crashed by fault injection")
+
+// Fault selects how a firing rule fails the operation.
+type Fault int
+
+const (
+	// FaultError fails the operation with ErrInjected (or Rule.Err).
+	FaultError Fault = iota
+	// FaultTorn, on a write, writes only half the buffer before failing —
+	// a torn/short write. On any other op it behaves like FaultError.
+	FaultTorn
+	// FaultCrash fails the operation and every subsequent operation on
+	// this FaultFS (and all files opened through it) with ErrCrashed.
+	FaultCrash
+)
+
+// String names the fault kind for logs and subtest labels.
+func (k Fault) String() string {
+	switch k {
+	case FaultError:
+		return "error"
+	case FaultTorn:
+		return "torn"
+	case FaultCrash:
+		return "crash"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Rule selects calls to fail. Zero fields match everything: an empty Op
+// matches any operation, an empty Path matches any path, and Nth 0 fires
+// on every matching call (Nth n > 0 fires only on the nth matching call,
+// counted per rule).
+type Rule struct {
+	Op   Op
+	Path string // glob, matched against the canonical path and its base
+	Nth  int
+	Kind Fault
+	Err  error // error to inject; nil defaults to ErrInjected
+}
+
+// Call is one logged filesystem operation. N is the 1-based occurrence
+// index of this (Op, Path) pair — the replay-stable identity of the call.
+type Call struct {
+	Op   Op
+	Path string
+	N    int
+}
+
+// String renders the call as its subtest-friendly identity.
+func (c Call) String() string { return fmt.Sprintf("%s:%s#%d", c.Op, c.Path, c.N) }
+
+// Schedule injects faults probabilistically but reproducibly: whether a
+// call fails is a pure function of (Seed, op, canonical path, occurrence
+// index), so the same seed over the same workload injects the same faults
+// regardless of thread interleaving.
+type Schedule struct {
+	Seed uint64
+	// Prob is the per-call injection probability in [0, 1].
+	Prob float64
+	// Torn additionally turns half the injected write faults into torn
+	// writes (decided by the same hash, so still reproducible).
+	Torn bool
+}
+
+// decide returns whether the call faults and how.
+func (s *Schedule) decide(c Call) (bool, Fault) {
+	if s == nil || s.Prob <= 0 {
+		return false, FaultError
+	}
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	mix := func(b byte) { h ^= uint64(b); h *= 1099511628211 }
+	for i := 0; i < 8; i++ {
+		mix(byte(s.Seed >> (8 * i)))
+	}
+	for i := 0; i < len(c.Op); i++ {
+		mix(c.Op[i])
+	}
+	mix(0)
+	for i := 0; i < len(c.Path); i++ {
+		mix(c.Path[i])
+	}
+	mix(0)
+	for i := 0; i < 8; i++ {
+		mix(byte(uint64(c.N) >> (8 * i)))
+	}
+	if float64(h&0xFFFFFFFF)/float64(1<<32) >= s.Prob {
+		return false, FaultError
+	}
+	if s.Torn && c.Op == OpWrite && h&(1<<33) != 0 {
+		return true, FaultTorn
+	}
+	return true, FaultError
+}
+
+// FaultFS wraps an FS with call logging and deterministic fault
+// injection. With no rules and no schedule it is a pure recorder — the
+// chaos harness uses that mode to enumerate the fault-point space. Safe
+// for concurrent use.
+type FaultFS struct {
+	inner FS
+	canon func(string) string
+
+	mu       sync.Mutex
+	rules    []Rule
+	matches  []int // per-rule matching-call count (drives Nth)
+	sched    *Schedule
+	keyCount map[Call]int // (op, path) → occurrences; N field zero in keys
+	calls    []Call
+	injected []Call
+	crashed  bool
+}
+
+// Option configures a FaultFS.
+type Option func(*FaultFS)
+
+// WithCanon sets the path canonicalizer applied before rule matching and
+// logging. The chaos harness uses it to strip test-temp roots and fold
+// randomized temp-file names into their patterns, making call identities
+// stable across runs. Must be idempotent; nil means identity.
+func WithCanon(f func(string) string) Option {
+	return func(ffs *FaultFS) { ffs.canon = f }
+}
+
+// WithRules installs explicit fault rules.
+func WithRules(rules ...Rule) Option {
+	return func(ffs *FaultFS) { ffs.rules = append(ffs.rules, rules...) }
+}
+
+// WithSchedule installs a seeded probabilistic schedule.
+func WithSchedule(s *Schedule) Option {
+	return func(ffs *FaultFS) { ffs.sched = s }
+}
+
+// NewFaultFS wraps inner.
+func NewFaultFS(inner FS, opts ...Option) *FaultFS {
+	ffs := &FaultFS{inner: inner, keyCount: make(map[Call]int)}
+	for _, o := range opts {
+		o(ffs)
+	}
+	ffs.matches = make([]int, len(ffs.rules))
+	return ffs
+}
+
+// Calls returns a copy of the full call log, in observation order.
+func (f *FaultFS) Calls() []Call {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Call(nil), f.calls...)
+}
+
+// Injected returns the calls that had a fault injected.
+func (f *FaultFS) Injected() []Call {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Call(nil), f.injected...)
+}
+
+// Crashed reports whether a crash fault has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// begin logs one operation and decides its fate: a nil error means the
+// operation proceeds to the wrapped FS; kind is meaningful only when err
+// is non-nil (FaultTorn lets the caller perform a partial write).
+func (f *FaultFS) begin(op Op, path string) (kind Fault, err error) {
+	if f.canon != nil {
+		path = f.canon(path)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	key := Call{Op: op, Path: path}
+	f.keyCount[key]++
+	call := Call{Op: op, Path: path, N: f.keyCount[key]}
+	f.calls = append(f.calls, call)
+
+	if f.crashed {
+		f.injected = append(f.injected, call)
+		return FaultCrash, fmt.Errorf("%s %s: %w", op, path, ErrCrashed)
+	}
+	for i := range f.rules {
+		r := &f.rules[i]
+		if !ruleMatches(r, call) {
+			continue
+		}
+		f.matches[i]++
+		if r.Nth != 0 && f.matches[i] != r.Nth {
+			continue
+		}
+		return f.fire(call, r.Kind, r.Err)
+	}
+	if ok, kind := f.sched.decide(call); ok {
+		return f.fire(call, kind, nil)
+	}
+	return FaultError, nil
+}
+
+// fire records an injection and builds its error (mu held).
+func (f *FaultFS) fire(call Call, kind Fault, base error) (Fault, error) {
+	f.injected = append(f.injected, call)
+	if kind == FaultCrash {
+		f.crashed = true
+		return kind, fmt.Errorf("%s %s: %w", call.Op, call.Path, ErrCrashed)
+	}
+	if base == nil {
+		base = ErrInjected
+	}
+	return kind, fmt.Errorf("%s %s: %w", call.Op, call.Path, base)
+}
+
+// ruleMatches reports whether a rule selects a call (ignoring Nth).
+func ruleMatches(r *Rule, c Call) bool {
+	if r.Op != "" && r.Op != c.Op {
+		return false
+	}
+	if r.Path == "" {
+		return true
+	}
+	if ok, _ := filepath.Match(r.Path, c.Path); ok {
+		return true
+	}
+	if strings.ContainsRune(r.Path, filepath.Separator) {
+		// A glob with a separator is anchored to the full path; only
+		// bare-name globs fall back to base matching.
+		return false
+	}
+	ok, _ := filepath.Match(r.Path, filepath.Base(c.Path))
+	return ok
+}
+
+// --- FS implementation --------------------------------------------------------
+
+func (f *FaultFS) Open(name string) (File, error) {
+	if _, err := f.begin(OpOpen, name); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner, path: name}, nil
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if _, err := f.begin(OpCreate, name); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner, path: name}, nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if _, err := f.begin(OpOpenFile, name); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner, path: name}, nil
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	// The call is identified by dir/pattern — the randomized generated
+	// name could never replay.
+	if _, err := f.begin(OpCreateTemp, filepath.Join(dir, pattern)); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner, path: inner.Name()}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	// Identified by the destination: the source is usually a randomized
+	// temp name.
+	if _, err := f.begin(OpRename, newpath); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if _, err := f.begin(OpRemove, name); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	if _, err := f.begin(OpMkdirAll, path); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if _, err := f.begin(OpReadDir, name); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) {
+	if _, err := f.begin(OpStat, name); err != nil {
+		return nil, err
+	}
+	return f.inner.Stat(name)
+}
+
+// faultFile routes handle-level ops back through the injector. It keeps
+// the raw path; canonicalization happens in begin, so a temp file's ops
+// fold into its pattern class.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+	path  string
+}
+
+func (f *faultFile) Name() string { return f.inner.Name() }
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if _, err := f.fs.begin(OpRead, f.path); err != nil {
+		return 0, err
+	}
+	return f.inner.Read(p)
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	kind, err := f.fs.begin(OpWrite, f.path)
+	if err != nil {
+		if kind == FaultTorn && len(p) > 0 {
+			// Torn write: half the buffer lands, then the failure.
+			n, werr := f.inner.Write(p[:len(p)/2])
+			if werr != nil {
+				return n, werr
+			}
+			return n, err
+		}
+		return 0, err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if _, err := f.fs.begin(OpSync, f.path); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error {
+	if _, err := f.fs.begin(OpClose, f.path); err != nil {
+		// The underlying handle must still be released, or fault walks
+		// leak descriptors; the injected error still reports failure.
+		_ = f.inner.Close()
+		return err
+	}
+	return f.inner.Close()
+}
