@@ -16,13 +16,13 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 10m ./...
 
 # race exercises the parallel build engine (including the obs counters
-# registry and tracer under concurrent workers) and the workload
-# differential suite under the race detector.
+# registry and tracer under concurrent workers), the daemon's drain path,
+# and the workload differential suite under the race detector.
 race:
-	$(GO) test -race ./internal/buildsys/... ./internal/obs/... ./internal/workload
+	$(GO) test -race -timeout 15m ./internal/buildsys/... ./internal/obs/... ./internal/workload ./cmd/minibuild
 
 # fuzz runs the fingerprint stability/sensitivity fuzzer for a short burst
 # beyond its committed corpus.
@@ -31,11 +31,16 @@ fuzz:
 
 # chaos is the robustness gate (docs/ROBUSTNESS.md): the fault-injection
 # walks over every state/history I/O call (under the race detector, since
-# faults land on concurrent worker paths), plus fuzz bursts on the two
-# attacker-grade parsers — the state decoder and the IR fingerprinter.
+# faults land on concurrent worker paths), the execution-fault walk — pass
+# panics, a nondeterministic pass caught by the soundness sentinel,
+# cancellation mid-build, and the daemon's SIGTERM drain — plus fuzz bursts
+# on the two attacker-grade parsers: the state decoder and the IR
+# fingerprinter.
 chaos:
-	$(GO) test -race ./internal/vfs/...
-	$(GO) test -race -run 'TestChaos|TestSaveSyncs' ./internal/state ./internal/history ./internal/buildsys
+	$(GO) test -race -timeout 15m ./internal/vfs/...
+	$(GO) test -race -timeout 15m -run 'TestChaos|TestSaveSyncs' ./internal/state ./internal/history ./internal/buildsys
+	$(GO) test -race -timeout 15m -run 'TestPanic|TestSentinel|TestCancelled|TestAudited|TestWarnf' ./internal/buildsys
+	$(GO) test -race -timeout 15m -run 'TestServeSIGTERMDrain|TestServePollSkipsOverlap' ./cmd/minibuild
 	$(GO) test -fuzz FuzzStateDecode -fuzztime 30s ./internal/state
 	$(GO) test -fuzz FuzzFingerprintStability -fuzztime 30s ./internal/fingerprint
 
@@ -44,9 +49,10 @@ bench-baseline:
 	$(GO) run ./cmd/benchbaseline -out BENCH_baseline.json
 
 # bench records this PR's measurement alongside the seed baseline,
-# including the decision-provenance counters.
+# including the decision-provenance counters and the soundness sentinel's
+# overhead (unaudited p=0 vs sampled p=0.05 on the same histories).
 bench:
-	$(GO) run ./cmd/benchbaseline -out BENCH_pr3.json
+	$(GO) run ./cmd/benchbaseline -audit 0.05 -out BENCH_pr5.json
 
 # smoke is the flight-recorder end-to-end check: cold build, comment-only
 # edit, incremental rebuild, then gate on the recorded history — regress

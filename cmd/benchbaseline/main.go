@@ -40,6 +40,19 @@ type ProfileResult struct {
 	Decisions map[string]int64 `json:"decisions"`
 	// SkipRatePct is pass.skipped / (pass.runs + pass.skipped) × 100.
 	SkipRatePct float64 `json:"skip_rate_pct"`
+	// AuditRate is the soundness-sentinel sampling probability of the
+	// audited comparison run (0 when -audit is unset; the headline
+	// stateful numbers above are always measured unaudited).
+	AuditRate float64 `json:"audit_rate"`
+	// StatefulAuditedIncrementalMS re-measures the stateful incremental
+	// mean with the sentinel sampling at AuditRate; AuditOverheadPct is its
+	// cost relative to the unaudited run. AuditSampled/AuditUnsound are the
+	// audited run's sentinel counters (unsound must be 0 for honest
+	// pipelines).
+	StatefulAuditedIncrementalMS float64 `json:"stateful_audited_incremental_ms,omitempty"`
+	AuditOverheadPct             float64 `json:"audit_overhead_pct,omitempty"`
+	AuditSampled                 int64   `json:"audit_sampled,omitempty"`
+	AuditUnsound                 int64   `json:"audit_unsound,omitempty"`
 }
 
 // Baseline is the committed document.
@@ -66,8 +79,12 @@ func run(args []string) error {
 	commits := fs.Int("commits", 12, "simulated commits per project")
 	repeats := fs.Int("repeats", 3, "timing repeats per history (min kept)")
 	nprofiles := fs.Int("profiles", 3, "number of standard-suite profiles (smallest first)")
+	audit := fs.Float64("audit", 0, "also measure stateful with the soundness sentinel sampling at this rate (0 disables the comparison)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *audit < 0 || *audit > 1 {
+		return fmt.Errorf("-audit %v out of range [0,1]", *audit)
 	}
 
 	suite := workload.StandardSuite()
@@ -77,9 +94,13 @@ func run(args []string) error {
 	cfg := bench.Config{Commits: *commits, Repeats: *repeats}
 	modes := []compiler.Mode{compiler.ModeStateless, compiler.ModeStateful}
 
+	genBy := fmt.Sprintf("go run ./cmd/benchbaseline -commits %d -repeats %d -profiles %d",
+		*commits, *repeats, *nprofiles)
+	if *audit > 0 {
+		genBy += fmt.Sprintf(" -audit %g", *audit)
+	}
 	doc := Baseline{
-		GeneratedBy: fmt.Sprintf("go run ./cmd/benchbaseline -commits %d -repeats %d -profiles %d",
-			*commits, *repeats, *nprofiles),
+		GeneratedBy: genBy,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Commits:    *commits,
@@ -102,7 +123,7 @@ func run(args []string) error {
 		if n := len(sf.Incremental); n > 0 {
 			stateBytes = sf.Incremental[n-1].StateBytes
 		}
-		doc.Profiles = append(doc.Profiles, ProfileResult{
+		pr := ProfileResult{
 			Name:                   p.Name,
 			Files:                  p.Files,
 			StatelessColdMS:        round3(float64(sl.Cold.TotalNS) / 1e6),
@@ -114,9 +135,33 @@ func run(args []string) error {
 			Metrics:                sf.Metrics,
 			Decisions:              obs.DecisionCounts(sf.Metrics),
 			SkipRatePct:            round3(100 * obs.SkipRate(sf.Metrics)),
-		})
+		}
+		if *audit > 0 {
+			// Sentinel-overhead comparison: the same history, stateful, with
+			// skip audits sampling at -audit. The delta vs the unaudited run
+			// above prices the sentinel.
+			acfg := cfg
+			acfg.AuditRate = *audit
+			arun, err := bench.RunHistory(p, compiler.ModeStateful, acfg)
+			if err != nil {
+				return err
+			}
+			aIncr := float64(arun.MeanIncrementalNS()) / 1e6
+			pr.AuditRate = *audit
+			pr.StatefulAuditedIncrementalMS = round3(aIncr)
+			if sfIncr > 0 {
+				pr.AuditOverheadPct = round3((aIncr/sfIncr - 1) * 100)
+			}
+			pr.AuditSampled = arun.Metrics[obs.CtrAuditSampled]
+			pr.AuditUnsound = arun.Metrics[obs.CtrAuditUnsound]
+		}
+		doc.Profiles = append(doc.Profiles, pr)
 		fmt.Fprintf(os.Stderr, "%-12s stateless %.3fms  stateful %.3fms  speedup %+.2f%%  skip-rate %.1f%%\n",
 			p.Name, slIncr, sfIncr, speedup, 100*obs.SkipRate(sf.Metrics))
+		if *audit > 0 {
+			fmt.Fprintf(os.Stderr, "%-12s audited(p=%.2f) %.3fms  overhead %+.2f%%  sampled %d  unsound %d\n",
+				"", *audit, pr.StatefulAuditedIncrementalMS, pr.AuditOverheadPct, pr.AuditSampled, pr.AuditUnsound)
+		}
 	}
 	doc.MeanSpeedupPct = round3(speedupSum / float64(len(suite)))
 

@@ -9,6 +9,8 @@
 //	minibuild -dir ./proj -watch-stats       per-build pipeline statistics
 //	minibuild -dir ./proj -trace out.json    Chrome trace_event profile
 //	minibuild -dir ./proj -metrics           machine-readable counters block
+//	minibuild -dir ./proj -timeout 30s       deadline; ^C also cancels cleanly
+//	minibuild -dir ./proj -audit 0.05        soundness-sentinel skip audits
 //	minibuild explain -dir ./proj [unit]     last build's decision table
 //	minibuild history -dir ./proj            recent flight-recorder records
 //	minibuild regress -dir ./proj            CI regression gate (exit 2)
@@ -21,9 +23,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"statefulcc/internal/buildsys"
@@ -108,15 +112,32 @@ func runBuild(args []string) error {
 	runProg := fs.Bool("run", false, "execute the built program")
 	showStats := fs.Bool("watch-stats", false, "print pipeline statistics")
 	jobs := fs.Int("j", 0, "parallel compile workers (default GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "abort the build after this duration (0 = no deadline); partial results are reported and the state directory stays consistent")
+	audit := fs.Float64("audit", 0, "soundness-sentinel audit rate in [0,1]: probability a would-be-skipped pass executes anyway for verification (see docs/ROBUSTNESS.md)")
 	var export obs.CLIExport
 	export.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *audit < 0 || *audit > 1 {
+		return fmt.Errorf("-audit %v out of range [0,1]", *audit)
+	}
 
 	cmode, err := parseMode(*mode)
 	if err != nil {
 		return err
+	}
+
+	// Cooperative cancellation: ^C (and an optional -timeout deadline)
+	// aborts the build between pass slots rather than killing the process
+	// mid-write — completed units' state files are fully written, the rest
+	// untouched, so the next invocation always finds a loadable state dir.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	stateDir := resolveStateDir(*dir, *cache)
@@ -135,12 +156,22 @@ func runBuild(args []string) error {
 
 	builder, err := buildsys.NewBuilder(buildsys.Options{
 		Mode: cmode, StateDir: stateDir, Workers: *jobs, Trace: export.Tracer(),
+		AuditRate: *audit,
 	})
 	if err != nil {
 		return err
 	}
-	rep, err := builder.Build(snap)
+	rep, err := builder.BuildContext(ctx, snap)
 	if err != nil {
+		if rep != nil {
+			// Cancelled/timed-out build: surface what the partial report
+			// knows before exiting non-zero.
+			for _, w := range rep.Warnings {
+				fmt.Fprintln(os.Stderr, "minibuild: warning:", w)
+			}
+			fmt.Fprintf(os.Stderr, "minibuild: partial build: %d units compiled, %d cached before cancellation (state directory remains consistent)\n",
+				rep.UnitsCompiled, rep.UnitsCached)
+		}
 		return err
 	}
 	// Degradation warnings (state/history I/O the build absorbed): the

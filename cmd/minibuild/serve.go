@@ -13,6 +13,12 @@ package main
 // Polling (os.Stat-free, whole-directory reload + content diff) keeps the
 // daemon dependency-free; MiniC projects are small enough that a re-read
 // per interval is negligible next to a build.
+//
+// Shutdown is a drain, not a kill: SIGINT/SIGTERM flips /healthz to
+// "draining", refuses new builds, gives the in-flight build a grace window
+// to finish (its state commits normally), and only then cancels it
+// cooperatively — either way the state directory stays loadable by the
+// next cold start. See docs/ROBUSTNESS.md.
 
 import (
 	"context"
@@ -20,6 +26,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -36,6 +43,15 @@ import (
 	"statefulcc/internal/project"
 )
 
+// Drain/shutdown tuning.
+const (
+	// defaultDrainGrace is how long a drain waits for the in-flight build
+	// before cancelling it.
+	defaultDrainGrace = 5 * time.Second
+	// httpShutdownGrace bounds http.Server.Shutdown once builds are settled.
+	httpShutdownGrace = 3 * time.Second
+)
+
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("minibuild serve", flag.ContinueOnError)
 	dir, cache := stateDirFlags(fs)
@@ -44,11 +60,18 @@ func runServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8377", "HTTP listen address")
 	interval := fs.Duration("interval", 500*time.Millisecond, "project poll interval")
 	limit := fs.Int("history-limit", history.DefaultLimit, "flight-recorder record cap")
+	audit := fs.Float64("audit", 0, "soundness-sentinel audit rate in [0,1]: probability a would-be-skipped pass executes anyway for verification")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *audit < 0 || *audit > 1 {
+		return fmt.Errorf("minibuild serve: -audit %v out of range [0,1]", *audit)
+	}
 
-	srv, err := newBuildServer(*dir, *cache, *mode, *jobs, *limit)
+	srv, err := newBuildServerCfg(serveConfig{
+		dir: *dir, cache: *cache, mode: *mode,
+		jobs: *jobs, histLimit: *limit, auditRate: *audit,
+	})
 	if err != nil {
 		return err
 	}
@@ -57,29 +80,56 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	return serveLoop(ctx, srv, ln, *interval, os.Stdout)
+}
+
+// newHTTPServer wraps the daemon mux in an http.Server with read and idle
+// timeouts: even a local daemon must not let a stuck or malicious client
+// pin a connection (or a half-sent request header — slowloris) forever.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+}
+
+// serveLoop runs the daemon: initial build, poll ticker, HTTP server, and
+// the graceful drain on ctx cancellation (SIGINT/SIGTERM in runServe). It
+// is split from runServe so tests can drive the drain end-to-end with a
+// real signal against a real listener.
+func serveLoop(ctx context.Context, srv *buildServer, ln net.Listener, interval time.Duration, out io.Writer) error {
+	// Builds run under their own context: a drain first *waits* for the
+	// in-flight build (drainGrace), and only a build that overstays is
+	// cancelled. Cancelling ctx directly would abort work that was about to
+	// finish cleanly.
+	buildCtx, buildCancel := context.WithCancel(context.Background())
+	defer buildCancel()
+
+	hs := newHTTPServer(srv.handler())
 
 	// Initial build before announcing readiness; failures are recorded in
 	// /healthz and retried by the poll loop rather than killing the daemon.
-	if built, err := srv.pollOnce(); err != nil {
+	if built, err := srv.pollOnce(buildCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "minibuild serve: initial build: %v\n", err)
 	} else if built {
-		fmt.Printf("serving %s on http://%s (mode %s, poll %s) — /metrics /healthz /builds /debug/pprof\n",
-			srv.dir, ln.Addr(), *mode, *interval)
+		fmt.Fprintf(out, "serving %s on http://%s (mode %s, poll %s) — /metrics /healthz /builds /debug/pprof\n",
+			srv.dir, ln.Addr(), srv.mode, interval)
 	}
 
 	go func() {
-		t := time.NewTicker(*interval)
+		t := time.NewTicker(interval)
 		defer t.Stop()
 		for {
 			select {
 			case <-ctx.Done():
 				return
 			case <-t.C:
-				if _, err := srv.pollOnce(); err != nil {
+				if _, err := srv.pollOnce(buildCtx); err != nil {
 					fmt.Fprintf(os.Stderr, "minibuild serve: %v\n", err)
 				}
 			}
@@ -90,10 +140,27 @@ func runServe(args []string) error {
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		// Drain: refuse new builds, wait out the in-flight one, cancel it if
+		// it overstays the grace window (a cancelled build leaves every state
+		// file either untouched or fully written — loadable either way), and
+		// only then tear down HTTP so /healthz reports "draining" throughout.
+		srv.setDraining()
+		idle := make(chan struct{})
+		go func() {
+			srv.buildMu.Lock() // blocks until the in-flight build releases it
+			srv.buildMu.Unlock()
+			close(idle)
+		}()
+		select {
+		case <-idle:
+		case <-time.After(srv.drainGrace):
+			buildCancel()
+			<-idle
+		}
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), httpShutdownGrace)
 		defer cancel()
 		_ = hs.Shutdown(shutdownCtx)
-		fmt.Println("minibuild serve: shut down")
+		fmt.Fprintln(out, "minibuild serve: drained, shut down")
 		return nil
 	case err := <-errc:
 		if errors.Is(err, http.ErrServerClosed) {
@@ -105,26 +172,53 @@ func runServe(args []string) error {
 
 // buildServer owns the resident builder and the daemon's HTTP state.
 type buildServer struct {
-	dir      string
-	histPath string
+	dir        string
+	histPath   string
+	mode       string
+	drainGrace time.Duration
 
-	mu      sync.Mutex // serializes builds and lastSnap/lastErr access
+	// buildMu is held for the duration of one build. pollOnce *skips* a
+	// poll it cannot start (TryLock) rather than queueing behind the build
+	// in flight — the next tick re-evaluates against fresh content — and
+	// the drain path waits on it for the in-flight build to settle.
+	buildMu sync.Mutex
+
 	builder *buildsys.Builder
-	lastSnap project.Snapshot
-	builds   int
-	lastErr  string
-	lastTime time.Time
+
+	mu           sync.Mutex // guards the status fields below
+	lastSnap     project.Snapshot
+	builds       int
+	pollsSkipped int
+	lastErr      string
+	lastTime     time.Time
+	draining     bool
 }
 
-// newBuildServer constructs the resident builder. Unlike one-shot builds,
-// serve records flight-recorder history for every mode: the state
-// directory exists even when the policy itself persists nothing.
+// serveConfig configures a buildServer; the zero value of the optional
+// fields picks the production defaults (tests override pipeline and
+// drainGrace).
+type serveConfig struct {
+	dir, cache, mode string
+	jobs, histLimit  int
+	auditRate        float64
+	pipeline         []string      // pass-list override (tests)
+	drainGrace       time.Duration // 0 means defaultDrainGrace
+}
+
+// newBuildServer constructs the resident builder with default tuning.
 func newBuildServer(dir, cache, mode string, jobs, histLimit int) (*buildServer, error) {
-	cmode, err := parseMode(mode)
+	return newBuildServerCfg(serveConfig{dir: dir, cache: cache, mode: mode, jobs: jobs, histLimit: histLimit})
+}
+
+// newBuildServerCfg constructs the resident builder. Unlike one-shot
+// builds, serve records flight-recorder history for every mode: the state
+// directory exists even when the policy itself persists nothing.
+func newBuildServerCfg(cfg serveConfig) (*buildServer, error) {
+	cmode, err := parseMode(cfg.mode)
 	if err != nil {
 		return nil, err
 	}
-	stateDir := resolveStateDir(dir, cache)
+	stateDir := resolveStateDir(cfg.dir, cfg.cache)
 	if err := os.MkdirAll(stateDir, 0o755); err != nil {
 		return nil, err
 	}
@@ -135,45 +229,83 @@ func newBuildServer(dir, cache, mode string, jobs, histLimit int) (*buildServer,
 	b, err := buildsys.NewBuilder(buildsys.Options{
 		Mode:         cmode,
 		StateDir:     stateDir,
-		Workers:      jobs,
+		Workers:      cfg.jobs,
 		HistoryPath:  histPath,
-		HistoryLimit: histLimit,
+		HistoryLimit: cfg.histLimit,
+		AuditRate:    cfg.auditRate,
+		Pipeline:     cfg.pipeline,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &buildServer{dir: dir, histPath: histPath, builder: b}, nil
+	if cfg.drainGrace <= 0 {
+		cfg.drainGrace = defaultDrainGrace
+	}
+	return &buildServer{
+		dir: cfg.dir, histPath: histPath, mode: cfg.mode,
+		drainGrace: cfg.drainGrace, builder: b,
+	}, nil
 }
 
 // pollOnce reloads the project and rebuilds when any unit's content
-// changed (or on the first call). Reports whether a build ran.
-func (s *buildServer) pollOnce() (bool, error) {
+// changed (or on the first call). Overlap-safe: when another build is
+// already in flight the poll is skipped, not queued, and a draining server
+// builds nothing. Reports whether a build ran.
+func (s *buildServer) pollOnce(ctx context.Context) (bool, error) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		return false, nil
+	}
+	if !s.buildMu.TryLock() {
+		s.mu.Lock()
+		s.pollsSkipped++
+		s.mu.Unlock()
+		return false, nil
+	}
+	defer s.buildMu.Unlock()
+
 	snap, err := project.LoadDir(s.dir)
 	if err != nil {
 		s.noteErr(err)
 		return false, err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.lastSnap != nil && len(project.Diff(s.lastSnap, snap)) == 0 {
+	unchanged := s.lastSnap != nil && len(project.Diff(s.lastSnap, snap)) == 0
+	s.mu.Unlock()
+	if unchanged {
 		return false, nil
 	}
-	rep, err := s.builder.Build(snap)
+	rep, err := s.builder.BuildContext(ctx, snap)
+	if rep != nil {
+		// State/history I/O degradation is non-fatal for a resident daemon;
+		// log it (the state.io_error / history.io_error counters on /metrics
+		// carry the same signal for alerting). A cancelled build still
+		// surfaces the warnings its partial report accumulated.
+		for _, w := range rep.Warnings {
+			fmt.Fprintln(os.Stderr, "minibuild serve: warning:", w)
+		}
+	}
 	if err != nil {
-		s.lastErr = err.Error()
+		s.noteErr(err)
 		return false, err
 	}
-	// State/history I/O degradation is non-fatal for a resident daemon;
-	// log it (the state.io_error / history.io_error counters on /metrics
-	// carry the same signal for alerting).
-	for _, w := range rep.Warnings {
-		fmt.Fprintln(os.Stderr, "minibuild serve: warning:", w)
-	}
+	s.mu.Lock()
 	s.lastSnap = snap
 	s.builds++
 	s.lastErr = ""
 	s.lastTime = time.Now()
+	s.mu.Unlock()
 	return true, nil
+}
+
+// setDraining flips the server into drain mode: /healthz reports
+// "draining" and subsequent polls build nothing.
+func (s *buildServer) setDraining() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
 }
 
 func (s *buildServer) noteErr(err error) {
@@ -203,7 +335,9 @@ func (s *buildServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprint(w, obs.FormatProm(s.builder.Metrics()))
 }
 
-// handleHealthz reports liveness and the last build outcome.
+// handleHealthz reports liveness and the last build outcome. Status is
+// "ok", "degraded" (last build errored), or "draining" (shutdown in
+// progress — overrides degraded).
 func (s *buildServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	out := map[string]any{
@@ -211,9 +345,16 @@ func (s *buildServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"builds":             s.builds,
 		"last_build_unix_ms": s.lastTime.UnixMilli(),
 	}
+	if s.pollsSkipped > 0 {
+		out["polls_skipped"] = s.pollsSkipped
+	}
 	if s.lastErr != "" {
 		out["status"] = "degraded"
 		out["last_error"] = s.lastErr
+	}
+	if s.draining {
+		out["status"] = "draining"
+		out["draining"] = true
 	}
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")

@@ -28,6 +28,10 @@ type Config struct {
 	Seed int64
 	// RunPrograms executes each built program (correctness experiments).
 	RunPrograms bool
+	// AuditRate forwards to buildsys.Options: the soundness sentinel's
+	// sampling probability (0 disables). Used to measure the sentinel's
+	// overhead against an unaudited run of the same history.
+	AuditRate float64
 }
 
 func (c Config) withDefaults() Config {
@@ -104,7 +108,7 @@ func RunHistory(p workload.Profile, mode compiler.Mode, cfg Config) (*ProjectRun
 
 	var run *ProjectRun
 	for rep := 0; rep < cfg.Repeats; rep++ {
-		builder, err := buildsys.NewBuilder(buildsys.Options{Mode: mode})
+		builder, err := buildsys.NewBuilder(buildsys.Options{Mode: mode, AuditRate: cfg.AuditRate})
 		if err != nil {
 			return nil, err
 		}

@@ -23,6 +23,7 @@
 package buildsys
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -52,6 +53,14 @@ type Options struct {
 	StateDir string
 	// VerifyIR forwards to the compiler (slow; tests only).
 	VerifyIR bool
+	// AuditRate enables the soundness sentinel: with this probability a
+	// pass that would be skipped as dormant executes anyway and its output
+	// fingerprint is verified against the input. 0 disables; 1 audits every
+	// skip (tests). See docs/ROBUSTNESS.md.
+	AuditRate float64
+	// AuditSeed seeds the sentinel's sampler (0 means a fixed default).
+	// Each worker slot derives its own stream from it.
+	AuditSeed uint64
 	// Pipeline overrides the pass list (default passes.StandardPipeline).
 	Pipeline []string
 	// Trace, when set, receives build/link/unit/stage/pass spans from
@@ -83,6 +92,12 @@ type UnitReport struct {
 	// provenance (nil for cached units and for modes without a pass
 	// driver, e.g. fullcache) — the raw material of `minibuild explain`.
 	Slots []core.SlotStats
+	// Panicked means a pass panicked compiling this unit; the panic was
+	// isolated and the unit recompiled through the stateless fallback.
+	Panicked bool
+	// Quarantine is the unit's active quarantine reason after this build
+	// ("" when none): core.QuarantinePanic or core.QuarantineUnsound.
+	Quarantine string
 }
 
 // Report summarizes one Build call.
@@ -144,9 +159,16 @@ type unitEntry struct {
 // at a time (its internal workers provide the parallelism).
 type Builder struct {
 	opts    Options
-	fs      vfs.FS // normalized Options.FS (never nil)
+	fs      vfs.FS               // normalized Options.FS (never nil)
 	workers []*compiler.Compiler // one per worker slot, reused across builds
 	units   map[string]*unitEntry
+
+	// fallbacks are lazily created stateless compilers, one per worker
+	// slot, used to retry a unit whose compile panicked (panic isolation)
+	// and to compile whole-unit-quarantined units until their quarantine
+	// lifts.
+	fallbacks []*compiler.Compiler
+	passCtrs  *obs.PassCounters
 
 	// Observability: reg is the builder's counter registry; ctr holds the
 	// pre-resolved counters the build loop and workers update; busy is
@@ -157,9 +179,11 @@ type Builder struct {
 	busy []int64
 
 	// Degradation warnings accumulated during the current Build (workers
-	// append concurrently), snapshotted into Report.Warnings.
+	// append concurrently), deduplicated by message and snapshotted into
+	// Report.Warnings.
 	warnMu      sync.Mutex
-	warnings    []string
+	warnSeen    map[string]int
+	warnOrder   []string
 	warnDropped int
 }
 
@@ -167,13 +191,15 @@ type Builder struct {
 // directly (the pipeline's own counters are resolved by obs.Registry.Pass
 // and updated from worker goroutines via the compiler sinks).
 type builderCounters struct {
-	builds, unitsCompiled, unitsCached  *obs.Counter
-	linkNS                              *obs.Counter
-	frontendNS, passesNS, codegenNS     *obs.Counter
-	cacheHits, cacheMisses              *obs.Counter
+	builds, unitsCompiled, unitsCached      *obs.Counter
+	linkNS                                  *obs.Counter
+	frontendNS, passesNS, codegenNS         *obs.Counter
+	cacheHits, cacheMisses                  *obs.Counter
 	stateLoads, stateLoadMisses, stateSaves *obs.Counter
-	stateIOErrors, historyIOErrors      *obs.Counter
-	workerBusyNS                        *obs.Counter
+	stateIOErrors, historyIOErrors          *obs.Counter
+	workerBusyNS                            *obs.Counter
+	panics, cancelled                       *obs.Counter
+	quarantineEngaged, quarantineLifted     *obs.Counter
 }
 
 // NewBuilder creates an incremental builder.
@@ -193,30 +219,45 @@ func NewBuilder(opts Options) (*Builder, error) {
 		units: make(map[string]*unitEntry),
 		reg:   reg,
 		ctr: builderCounters{
-			builds:          reg.Counter(obs.CtrBuilds),
-			unitsCompiled:   reg.Counter(obs.CtrUnitsCompiled),
-			unitsCached:     reg.Counter(obs.CtrUnitsCached),
-			linkNS:          reg.Counter(obs.CtrLinkNS),
-			frontendNS:      reg.Counter(obs.CtrFrontendNS),
-			passesNS:        reg.Counter(obs.CtrPassesNS),
-			codegenNS:       reg.Counter(obs.CtrCodegenNS),
-			cacheHits:       reg.Counter(obs.CtrCacheHits),
-			cacheMisses:     reg.Counter(obs.CtrCacheMisses),
-			stateLoads:      reg.Counter(obs.CtrStateLoads),
-			stateLoadMisses: reg.Counter(obs.CtrStateLoadMisses),
-			stateSaves:      reg.Counter(obs.CtrStateSaves),
-			stateIOErrors:   reg.Counter(obs.CtrStateIOErrors),
-			historyIOErrors: reg.Counter(obs.CtrHistoryIOErrors),
-			workerBusyNS:    reg.Counter(obs.CtrWorkerBusyNS),
+			builds:            reg.Counter(obs.CtrBuilds),
+			unitsCompiled:     reg.Counter(obs.CtrUnitsCompiled),
+			unitsCached:       reg.Counter(obs.CtrUnitsCached),
+			linkNS:            reg.Counter(obs.CtrLinkNS),
+			frontendNS:        reg.Counter(obs.CtrFrontendNS),
+			passesNS:          reg.Counter(obs.CtrPassesNS),
+			codegenNS:         reg.Counter(obs.CtrCodegenNS),
+			cacheHits:         reg.Counter(obs.CtrCacheHits),
+			cacheMisses:       reg.Counter(obs.CtrCacheMisses),
+			stateLoads:        reg.Counter(obs.CtrStateLoads),
+			stateLoadMisses:   reg.Counter(obs.CtrStateLoadMisses),
+			stateSaves:        reg.Counter(obs.CtrStateSaves),
+			stateIOErrors:     reg.Counter(obs.CtrStateIOErrors),
+			historyIOErrors:   reg.Counter(obs.CtrHistoryIOErrors),
+			workerBusyNS:      reg.Counter(obs.CtrWorkerBusyNS),
+			panics:            reg.Counter(obs.CtrBuildPanics),
+			cancelled:         reg.Counter(obs.CtrBuildCancelled),
+			quarantineEngaged: reg.Counter(obs.CtrQuarantineEngaged),
+			quarantineLifted:  reg.Counter(obs.CtrQuarantineLifted),
 		},
-		busy: make([]int64, opts.Workers),
+		busy:      make([]int64, opts.Workers),
+		fallbacks: make([]*compiler.Compiler, opts.Workers),
+		warnSeen:  make(map[string]int),
 	}
 	pass := reg.Pass()
+	b.passCtrs = pass
+	seed := opts.AuditSeed
+	if seed == 0 {
+		seed = 1
+	}
 	for i := 0; i < opts.Workers; i++ {
 		c, err := compiler.New(compiler.Options{
-			Pipeline: opts.Pipeline,
-			Mode:     opts.Mode,
-			VerifyIR: opts.VerifyIR,
+			Pipeline:  opts.Pipeline,
+			Mode:      opts.Mode,
+			VerifyIR:  opts.VerifyIR,
+			AuditRate: opts.AuditRate,
+			// Each worker slot gets its own sampling stream so audits are
+			// not correlated across workers.
+			AuditSeed: seed + uint64(i),
 			// Worker i reports as logical thread i+1; thread 0 is the
 			// build orchestrator.
 			Obs: &obs.Sink{Tracer: opts.Trace, Pass: pass, TID: i + 1},
@@ -228,6 +269,31 @@ func NewBuilder(opts Options) (*Builder, error) {
 	}
 	b.sweepStateTemp()
 	return b, nil
+}
+
+// fallback returns worker w's stateless fallback compiler, creating it on
+// first use. The fallback compiles a unit whose normal compile panicked
+// (or that is whole-unit quarantined) with no persistent state involved.
+func (b *Builder) fallback(w int) (*compiler.Compiler, error) {
+	if b.fallbacks[w] == nil {
+		c, err := compiler.New(compiler.Options{
+			Pipeline: b.opts.Pipeline,
+			Mode:     compiler.ModeStateless,
+			VerifyIR: b.opts.VerifyIR,
+			Obs:      &obs.Sink{Tracer: b.opts.Trace, Pass: b.passCtrs, TID: w + 1},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("buildsys: fallback compiler: %w", err)
+		}
+		b.fallbacks[w] = c
+	}
+	return b.fallbacks[w], nil
+}
+
+// statefulMode reports whether the builder's mode keeps per-unit dormancy
+// state (and therefore has something to quarantine).
+func (b *Builder) statefulMode() bool {
+	return b.opts.Mode == compiler.ModeStateful || b.opts.Mode == compiler.ModePredictive
 }
 
 // Metrics snapshots the builder's counters registry (cumulative across
@@ -244,6 +310,16 @@ func (b *Builder) Mode() compiler.Mode { return b.opts.Mode }
 // object cache, changed units compile concurrently, and the result links
 // deterministically (unit-name order, independent of scheduling).
 func (b *Builder) Build(snap project.Snapshot) (*Report, error) {
+	return b.BuildContext(context.Background(), snap)
+}
+
+// BuildContext is Build under a cancellation context. A deadline or
+// cancellation aborts the build cooperatively: in-flight units stop
+// between pass slots, their state is not persisted, and the call returns
+// a *partial* Report (the units that did complete, no Program) alongside
+// an error wrapping ctx's error. Completed units' state files are fully
+// written, so the state directory is always loadable by the next process.
+func (b *Builder) BuildContext(ctx context.Context, snap project.Snapshot) (*Report, error) {
 	start := time.Now()
 	buildStart := b.opts.Trace.Now()
 	if len(snap) == 0 {
@@ -253,7 +329,7 @@ func (b *Builder) Build(snap project.Snapshot) (*Report, error) {
 		b.busy[i] = 0
 	}
 	b.warnMu.Lock()
-	b.warnings, b.warnDropped = nil, 0
+	b.warnSeen, b.warnOrder, b.warnDropped = make(map[string]int), nil, 0
 	b.warnMu.Unlock()
 
 	// Drop units removed from the project, including their on-disk state.
@@ -284,16 +360,23 @@ func (b *Builder) Build(snap project.Snapshot) (*Report, error) {
 
 	// Compile changed units on the worker pool.
 	compileStart := time.Now()
-	outcomes, err := b.runCompiles(snap, work)
+	outcomes, err := b.runCompiles(ctx, snap, work)
 	if err != nil {
 		return nil, err
 	}
 	rep.CompileNS = time.Since(compileStart).Nanoseconds()
 
 	// Commit outcomes in unit order so report stats, cache contents, and
-	// state sizes never depend on worker scheduling.
+	// state sizes never depend on worker scheduling. A cancelled build has
+	// holes (nil results): completed units still commit — their state files
+	// are already fully written — and the build reports partially below.
+	cancelled := false
 	for i, name := range work {
 		out := outcomes[i]
+		if out.res == nil {
+			cancelled = true
+			continue
+		}
 		e, ok := b.units[name]
 		if !ok {
 			e = &unitEntry{}
@@ -302,13 +385,27 @@ func (b *Builder) Build(snap project.Snapshot) (*Report, error) {
 		e.hash = contentHash(snap[name])
 		e.obj = out.res.Object
 		e.diskProbed = true // fresh state below supersedes anything on disk
-		if st := out.res.State; st != nil {
-			e.state = st
-			if n, err := state.FileSize(st); err == nil {
+		switch {
+		case out.qclear:
+			// Quarantine lifted with nothing to carry over: cold restart.
+			e.state, e.stateBytes = nil, 0
+		case out.qstate != nil:
+			e.state = out.qstate
+			if n, err := state.FileSize(out.qstate); err == nil {
 				e.stateBytes = n
 			}
+		default:
+			if st := out.res.State; st != nil {
+				e.state = st
+				if n, err := state.FileSize(st); err == nil {
+					e.stateBytes = n
+				}
+			}
 		}
-		ur := UnitReport{Compiled: true, CompileNS: out.res.TotalNS}
+		ur := UnitReport{Compiled: true, CompileNS: out.res.TotalNS, Panicked: out.panicked}
+		if e.state != nil && e.state.Quarantine != nil {
+			ur.Quarantine = e.state.Quarantine.Reason
+		}
 		if out.res.Stats != nil {
 			rep.stats.Merge(out.res.Stats)
 			ur.Slots = append([]core.SlotStats(nil), out.res.Stats.Slots...)
@@ -320,6 +417,25 @@ func (b *Builder) Build(snap project.Snapshot) (*Report, error) {
 		b.ctr.cacheMisses.Add(int64(out.res.CacheMisses))
 		rep.Units[name] = ur
 		rep.UnitsCompiled++
+	}
+
+	if cancelled {
+		// Partial report: no link, no history record; counters and warnings
+		// still reflect the work that happened.
+		b.ctr.cancelled.Inc()
+		rep.StateBytes = b.stateBytes()
+		rep.TotalNS = time.Since(start).Nanoseconds()
+		rep.WorkerBusyNS = append([]int64(nil), b.busy...)
+		for _, ns := range b.busy {
+			b.ctr.workerBusyNS.Add(ns)
+		}
+		rep.Metrics = b.reg.Snapshot()
+		rep.Warnings = b.takeWarnings()
+		cerr := ctx.Err()
+		if cerr == nil {
+			cerr = context.Canceled
+		}
+		return rep, fmt.Errorf("buildsys: build cancelled: %w", cerr)
 	}
 
 	// Link everything, cached and fresh, in deterministic order.
@@ -359,27 +475,49 @@ func (b *Builder) Build(snap project.Snapshot) (*Report, error) {
 	return rep, nil
 }
 
-// warnf records one degradation warning for the current build. Bounded:
-// a pathological filesystem (every op failing) must not balloon the
-// report, so past the cap only a count is kept.
+// maxWarnings bounds distinct warning messages per build. A pathological
+// filesystem (every op failing) or a long-lived serve process must never
+// balloon a Report: repeats of a message only bump its count, and past the
+// cap on distinct messages only a dropped count is kept.
+const maxWarnings = 32
+
+// warnf records one degradation warning for the current build,
+// deduplicated by rendered message.
 func (b *Builder) warnf(format string, args ...any) {
-	const maxWarnings = 32
+	msg := fmt.Sprintf(format, args...)
 	b.warnMu.Lock()
 	defer b.warnMu.Unlock()
-	if len(b.warnings) >= maxWarnings {
+	if _, ok := b.warnSeen[msg]; ok {
+		b.warnSeen[msg]++
+		return
+	}
+	b.warnSeen[msg] = 1
+	if len(b.warnOrder) >= maxWarnings {
+		// Past the cap only the count of *distinct* dropped messages is
+		// kept (repeats of a dropped message stay deduplicated above).
 		b.warnDropped++
 		return
 	}
-	b.warnings = append(b.warnings, fmt.Sprintf(format, args...))
+	b.warnOrder = append(b.warnOrder, msg)
 }
 
-// takeWarnings snapshots the current build's warnings for its report.
+// takeWarnings snapshots the current build's warnings for its report, in
+// first-occurrence order with repeat counts folded into "(×N)" suffixes.
 func (b *Builder) takeWarnings() []string {
 	b.warnMu.Lock()
 	defer b.warnMu.Unlock()
-	out := append([]string(nil), b.warnings...)
+	if len(b.warnOrder) == 0 && b.warnDropped == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(b.warnOrder)+1)
+	for _, msg := range b.warnOrder {
+		if n := b.warnSeen[msg]; n > 1 {
+			msg = fmt.Sprintf("%s (×%d)", msg, n)
+		}
+		out = append(out, msg)
+	}
 	if b.warnDropped > 0 {
-		out = append(out, fmt.Sprintf("… and %d more state/history I/O warnings", b.warnDropped))
+		out = append(out, fmt.Sprintf("… and %d more distinct warnings", b.warnDropped))
 	}
 	return out
 }

@@ -311,7 +311,7 @@ func TestChaosWarningsBounded(t *testing.T) {
 		t.Fatalf("warnings not bounded: %d entries", len(rep.Warnings))
 	}
 	last := rep.Warnings[len(rep.Warnings)-1]
-	if !strings.Contains(last, "more state/history I/O warnings") {
+	if !strings.Contains(last, "more distinct warnings") {
 		t.Fatalf("overflow trailer missing; last warning: %q", last)
 	}
 }

@@ -61,23 +61,31 @@ func (b *Builder) historyRecord(rep *Report) *history.Record {
 		Units:         make(map[string]history.UnitRecord, len(rep.Units)),
 	}
 	for name, ur := range rep.Units {
-		u := history.UnitRecord{Cached: !ur.Compiled, CompileNS: ur.CompileNS}
+		u := history.UnitRecord{
+			Cached:     !ur.Compiled,
+			CompileNS:  ur.CompileNS,
+			Panicked:   ur.Panicked,
+			Quarantine: ur.Quarantine,
+		}
 		for slot := range ur.Slots {
 			sl := &ur.Slots[slot]
 			u.Passes = append(u.Passes, history.PassDecision{
-				Pass:       sl.Pass,
-				Slot:       slot,
-				Module:     sl.Module,
-				Reason:     sl.Reason(),
-				Runs:       sl.Runs,
-				Dormant:    sl.Dormant,
-				Skipped:    sl.Skipped,
-				Cold:       sl.Cold,
-				NotDormant: sl.NotDormant,
-				FPMismatch: sl.FPMismatch,
-				Policy:     sl.Policy,
-				RunNS:      sl.RunNS,
-				SavedNS:    sl.SavedNS,
+				Pass:        sl.Pass,
+				Slot:        slot,
+				Module:      sl.Module,
+				Reason:      sl.Reason(),
+				Runs:        sl.Runs,
+				Dormant:     sl.Dormant,
+				Skipped:     sl.Skipped,
+				Cold:        sl.Cold,
+				NotDormant:  sl.NotDormant,
+				FPMismatch:  sl.FPMismatch,
+				Policy:      sl.Policy,
+				Quarantined: sl.Quarantined,
+				Audited:     sl.Audited,
+				Unsound:     sl.Unsound,
+				RunNS:       sl.RunNS,
+				SavedNS:     sl.SavedNS,
 			})
 		}
 		rec.Units[name] = u

@@ -16,8 +16,22 @@ package buildsys
 // build's observable behaviour depends on scheduling. On error the pool
 // stops issuing new jobs, drains, and reports the failure of the
 // lowest-indexed unit so error messages are deterministic too.
+//
+// Adversity handling (docs/ROBUSTNESS.md):
+//
+//   - a pass panic is confined to its unit by a recover() boundary: the
+//     unit's state is quarantined and the unit retried once on a stateless
+//     fallback compiler, so one berserk pass never kills the build or the
+//     serve daemon;
+//
+//   - context cancellation stops the pool cooperatively: in-flight units
+//     abort between pass slots and their state is not persisted, queued
+//     units never start, and completed units keep their fully-written
+//     state files.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -32,6 +46,15 @@ import (
 type outcome struct {
 	res *compiler.UnitResult
 	err error
+	// panicked means the unit's normal compile panicked and res (if set)
+	// came from the stateless fallback.
+	panicked bool
+	// qstate, when set, is the quarantine-marker state to retain for the
+	// unit in place of res.State (whole-unit quarantines compile stateless,
+	// so res.State is nil).
+	qstate *core.UnitState
+	// qclear means the unit's quarantine lifted and it restarts cold.
+	qclear bool
 }
 
 // compileJob carries everything a worker needs, precomputed so workers
@@ -47,8 +70,9 @@ type compileJob struct {
 }
 
 // runCompiles compiles work (in unit-name order) and returns per-job
-// outcomes aligned with it.
-func (b *Builder) runCompiles(snap project.Snapshot, work []string) ([]outcome, error) {
+// outcomes aligned with it. Compile failures return an error; cancellation
+// does not — it leaves nil-result holes for the caller to detect.
+func (b *Builder) runCompiles(ctx context.Context, snap project.Snapshot, work []string) ([]outcome, error) {
 	jobs := make([]compileJob, len(work))
 	for i, name := range work {
 		j := compileJob{name: name, src: snap[name]}
@@ -71,21 +95,29 @@ func (b *Builder) runCompiles(snap project.Snapshot, work []string) ([]outcome, 
 	}
 
 	if b.opts.Mode == compiler.ModeFullCache {
-		b.runSharded(jobs, results, nworkers)
+		b.runSharded(ctx, jobs, results, nworkers)
 	} else {
-		b.runStealing(jobs, results, nworkers)
+		b.runStealing(ctx, jobs, results, nworkers)
 	}
 
 	for i := range results {
-		if results[i].err != nil {
-			return nil, fmt.Errorf("buildsys: %w", results[i].err)
+		err := results[i].err
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Cancellation is the caller's ctx speaking, not a unit failing;
+			// report it as a hole, not an error.
+			results[i] = outcome{}
+			continue
+		}
+		return nil, fmt.Errorf("buildsys: %w", err)
 	}
 	return results, nil
 }
 
 // runStealing drains jobs through a shared atomic cursor.
-func (b *Builder) runStealing(jobs []compileJob, results []outcome, nworkers int) {
+func (b *Builder) runStealing(ctx context.Context, jobs []compileJob, results []outcome, nworkers int) {
 	var next int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
@@ -95,10 +127,10 @@ func (b *Builder) runStealing(jobs []compileJob, results []outcome, nworkers int
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1) - 1)
-				if i >= len(jobs) || failed.Load() {
+				if i >= len(jobs) || failed.Load() || ctx.Err() != nil {
 					return
 				}
-				results[i] = b.compileOne(w, jobs[i])
+				results[i] = b.compileOne(ctx, w, jobs[i])
 				if results[i].err != nil {
 					failed.Store(true)
 				}
@@ -109,7 +141,7 @@ func (b *Builder) runStealing(jobs []compileJob, results []outcome, nworkers int
 }
 
 // runSharded assigns each job to a fixed worker by unit-name hash.
-func (b *Builder) runSharded(jobs []compileJob, results []outcome, nworkers int) {
+func (b *Builder) runSharded(ctx context.Context, jobs []compileJob, results []outcome, nworkers int) {
 	shards := make([][]int, nworkers)
 	for i, j := range jobs {
 		// Shard on the full worker set, not nworkers: the unit→worker
@@ -124,41 +156,173 @@ func (b *Builder) runSharded(jobs []compileJob, results []outcome, nworkers int)
 	// No early abort here: a shard must finish its whole list, or a
 	// later-indexed failure in one shard could mask an earlier-indexed one
 	// in another and make the reported error scheduling-dependent.
+	// Cancellation still stops each shard (compileOne's entry check makes
+	// the remaining jobs cheap holes).
 	var wg sync.WaitGroup
 	for w := 0; w < nworkers; w++ {
 		wg.Add(1)
 		go func(w int, idxs []int) {
 			defer wg.Done()
 			for _, i := range idxs {
-				results[i] = b.compileOne(w, jobs[i])
+				if ctx.Err() != nil {
+					return
+				}
+				results[i] = b.compileOne(ctx, w, jobs[i])
 			}
 		}(w, shards[w])
 	}
 	wg.Wait()
 }
 
+// safeCompile runs one compile under a recover() boundary. A pass panic —
+// a bug in the pass, not in the unit's source — must not take down the
+// build or the serve daemon; it surfaces as (panicked, msg) for the caller
+// to isolate.
+func safeCompile(ctx context.Context, c *compiler.Compiler, name string, src []byte, st *core.UnitState) (res *compiler.UnitResult, err error, panicked bool, msg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, nil
+			panicked = true
+			msg = fmt.Sprint(r)
+		}
+	}()
+	res, err = c.CompileUnitContext(ctx, name, src, st)
+	return
+}
+
 // compileOne runs one unit through worker w's compiler, loading and saving
 // persistent dormancy state around it when a state directory is set. Busy
 // time (including state I/O) accrues to the worker's slot in b.busy —
 // written only by this worker, so no synchronization is needed; the shared
-// counters it touches are atomic.
-func (b *Builder) compileOne(w int, j compileJob) outcome {
+// counters it touches are atomic. The unit's state pointer (shared with
+// b.units) is only ever touched by the one worker compiling the unit.
+func (b *Builder) compileOne(ctx context.Context, w int, j compileJob) outcome {
 	c := b.workers[w]
 	busyStart := time.Now()
 	defer func() {
 		b.busy[w] += time.Since(busyStart).Nanoseconds()
 	}()
+	if cerr := ctx.Err(); cerr != nil {
+		return outcome{err: fmt.Errorf("%s: build cancelled: %w", j.name, cerr)}
+	}
 
 	prev := j.prev
 	if prev == nil && j.probeDisk {
 		prev = b.loadUnitState(j.name)
 	}
-	res, err := c.CompileUnit(j.name, j.src, prev)
+
+	// A whole-unit quarantine (a pass panicked on this unit) compiles
+	// through the stateless fallback until enough clean builds lift it.
+	if b.statefulMode() && prev != nil && prev.Quarantine.Whole() {
+		return b.compileQuarantined(ctx, w, j, prev)
+	}
+
+	res, err, panicked, msg := safeCompile(ctx, c, j.name, j.src, prev)
+	if panicked {
+		return b.compileAfterPanic(ctx, w, j, msg)
+	}
 	if err != nil {
 		return outcome{err: err}
 	}
 	if res.State != nil {
+		b.settleQuarantine(res)
 		b.saveUnitState(j.name, res.State)
 	}
 	return outcome{res: res}
+}
+
+// compileQuarantined compiles a whole-unit-quarantined unit on the
+// stateless fallback and advances (or resets) the quarantine's clean-build
+// count. At core.QuarantineCleanTarget the quarantine lifts and the unit
+// restarts cold — the pre-panic records were discarded at engagement, so
+// trust rebuilds from fresh observations.
+func (b *Builder) compileQuarantined(ctx context.Context, w int, j compileJob, marker *core.UnitState) outcome {
+	fc, ferr := b.fallback(w)
+	if ferr != nil {
+		return outcome{err: ferr}
+	}
+	res, err, panicked, msg := safeCompile(ctx, fc, j.name, j.src, nil)
+	if panicked {
+		// Still panicking even stateless: the unit cannot compile at all.
+		// That is a unit diagnostic (like a compile error), and the probation
+		// window restarts.
+		b.ctr.panics.Inc()
+		marker.Quarantine.Clean = 0
+		b.saveUnitState(j.name, marker)
+		return outcome{
+			err:      fmt.Errorf("%s: pass panicked (unit quarantined, stateless retry): %s", j.name, msg),
+			panicked: true,
+		}
+	}
+	if err != nil {
+		return outcome{err: err}
+	}
+	q := marker.Quarantine
+	q.Clean++
+	if q.Clean >= core.QuarantineCleanTarget {
+		b.ctr.quarantineLifted.Inc()
+		b.removeUnitState(j.name)
+		return outcome{res: res, qclear: true}
+	}
+	b.saveUnitState(j.name, marker)
+	return outcome{res: res, qstate: marker}
+}
+
+// compileAfterPanic isolates a pass panic: count it, quarantine the unit's
+// state (its records may have been half-updated by the panicking pass),
+// and retry once on the stateless fallback so the unit — whose source is
+// not at fault — still compiles.
+func (b *Builder) compileAfterPanic(ctx context.Context, w int, j compileJob, msg string) outcome {
+	b.ctr.panics.Inc()
+	b.warnf("panic: unit %s: pass panicked: %s (unit quarantined, compiled stateless)", j.name, msg)
+
+	var marker *core.UnitState
+	if b.statefulMode() {
+		marker = core.NewUnitState(j.name, b.opts.Pipeline)
+		marker.Quarantine = &core.Quarantine{Reason: core.QuarantinePanic}
+		b.ctr.quarantineEngaged.Inc()
+		b.saveUnitState(j.name, marker)
+	}
+
+	fc, ferr := b.fallback(w)
+	if ferr != nil {
+		return outcome{err: ferr}
+	}
+	res, err, panicked2, msg2 := safeCompile(ctx, fc, j.name, j.src, nil)
+	if panicked2 {
+		b.ctr.panics.Inc()
+		return outcome{
+			err:      fmt.Errorf("%s: pass panicked (persisted through stateless retry): %s", j.name, msg2),
+			panicked: true,
+			qstate:   marker,
+		}
+	}
+	if err != nil {
+		return outcome{err: err}
+	}
+	return outcome{res: res, panicked: true, qstate: marker}
+}
+
+// settleQuarantine advances a compiled unit's per-pass quarantine: a build
+// with fresh unsound-skip evidence (the driver already engaged/extended
+// the quarantine and reset its clean count) counts an engagement; a clean
+// build bumps the clean count and lifts the quarantine at target. Per-pass
+// quarantined passes kept running (and re-recording) while quarantined, so
+// a lift resumes skipping on warm records.
+func (b *Builder) settleQuarantine(res *compiler.UnitResult) {
+	st := res.State
+	if st == nil || st.Quarantine == nil {
+		return
+	}
+	if res.Stats != nil {
+		if _, unsound := res.Stats.SentinelTotals(); unsound > 0 {
+			b.ctr.quarantineEngaged.Inc()
+			return
+		}
+	}
+	st.Quarantine.Clean++
+	if st.Quarantine.Clean >= core.QuarantineCleanTarget {
+		st.Quarantine = nil
+		b.ctr.quarantineLifted.Inc()
+	}
 }

@@ -1,0 +1,116 @@
+package buildsys
+
+// White-box soak for the warning accumulator: the fix for unbounded
+// Report.Warnings growth (a pathological filesystem or long-lived serve
+// daemon repeating one failure thousands of times) dedupes by message,
+// folds repeats into "(×N)" suffixes, caps distinct messages at
+// maxWarnings, and reports the overflow in one trailer line.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func newWarnBuilder(t *testing.T) *Builder {
+	t.Helper()
+	b, err := NewBuilder(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestWarnfDedupesRepeats(t *testing.T) {
+	b := newWarnBuilder(t)
+	for i := 0; i < 1000; i++ {
+		b.warnf("state: save %s: disk full", "a.mc")
+	}
+	b.warnf("history: append failed")
+	got := b.takeWarnings()
+	want := []string{
+		"state: save a.mc: disk full (×1000)",
+		"history: append failed",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("takeWarnings = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("warning %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWarnfCapsDistinctMessages(t *testing.T) {
+	b := newWarnBuilder(t)
+	const distinct = maxWarnings + 17
+	for i := 0; i < distinct; i++ {
+		// Each distinct message also repeats, to exercise dedupe + cap
+		// together.
+		for j := 0; j < 3; j++ {
+			b.warnf("failure %d", i)
+		}
+	}
+	got := b.takeWarnings()
+	if len(got) != maxWarnings+1 {
+		t.Fatalf("%d warnings, want %d distinct + 1 trailer", len(got), maxWarnings)
+	}
+	for i := 0; i < maxWarnings; i++ {
+		want := fmt.Sprintf("failure %d (×3)", i)
+		if got[i] != want {
+			t.Errorf("warning %d = %q, want %q (first-occurrence order)", i, got[i], want)
+		}
+	}
+	trailer := got[len(got)-1]
+	if !strings.Contains(trailer, "17 more distinct warnings") {
+		t.Errorf("trailer = %q, want 17 dropped distinct warnings", trailer)
+	}
+}
+
+// TestWarnfConcurrentSoak hammers warnf from many goroutines (the worker
+// pool shape) and checks the invariants hold under -race: bounded output,
+// exact repeat counts, no loss below the cap.
+func TestWarnfConcurrentSoak(t *testing.T) {
+	b := newWarnBuilder(t)
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				b.warnf("worker warning %d", i%4) // 4 distinct messages
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := b.takeWarnings()
+	if len(got) != 4 {
+		t.Fatalf("takeWarnings = %q, want 4 deduped messages", got)
+	}
+	total := workers * perWorker
+	for _, msg := range got {
+		if !strings.Contains(msg, fmt.Sprintf("(×%d)", total/4)) {
+			t.Errorf("warning %q missing exact repeat count %d", msg, total/4)
+		}
+	}
+}
+
+// TestWarnResetBetweenBuilds: Build resets the accumulator, so a build's
+// report never carries the previous build's warnings.
+func TestWarnResetBetweenBuilds(t *testing.T) {
+	b := newWarnBuilder(t)
+	b.warnf("stale warning")
+	snap := map[string][]byte{"m.mc": []byte("func main() int { return 0; }\n")}
+	rep, err := b.Build(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range rep.Warnings {
+		if strings.Contains(w, "stale warning") {
+			t.Errorf("report carried pre-build warning %q", w)
+		}
+	}
+}

@@ -15,6 +15,7 @@
 package compiler
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -68,6 +69,13 @@ type Options struct {
 	VerifyIR bool
 	// SkipCodegen stops after the pipeline (used by IR-dumping tools).
 	SkipCodegen bool
+	// AuditRate forwards to core.Options: the soundness sentinel's
+	// probability of executing a would-be-skipped pass anyway to verify the
+	// dormancy assumption (0 disables, 1 audits every skip).
+	AuditRate float64
+	// AuditSeed seeds the sentinel's sampler (0 means a fixed default, so
+	// equal-seed compilers audit the same skips).
+	AuditSeed uint64
 	// Obs carries the observability context (shared tracer, counters,
 	// worker thread id). Nil disables tracing; stage spans are still
 	// recorded in each UnitResult.
@@ -102,6 +110,8 @@ func New(opts Options) (*Compiler, error) {
 			Policy:      policy,
 			VerifySkips: opts.VerifySkips,
 			VerifyIR:    opts.VerifyIR,
+			AuditRate:   opts.AuditRate,
+			AuditSeed:   opts.AuditSeed,
 			Obs:         opts.Obs,
 		})
 		if err != nil {
@@ -189,6 +199,15 @@ func Frontend(unitName string, src []byte) (*ir.Module, error) {
 // policies, st carries the previous build's dormancy records (nil on cold
 // builds) and the updated state is returned in the result.
 func (c *Compiler) CompileUnit(unitName string, src []byte, st *core.UnitState) (*UnitResult, error) {
+	return c.CompileUnitContext(context.Background(), unitName, src, st)
+}
+
+// CompileUnitContext is CompileUnit under a cancellation context: the
+// pipeline checks ctx between pass slots and per function, so a deadline
+// or cancellation aborts the compile promptly with an error wrapping
+// ctx.Err(). The frontend and codegen stages are not interruptible (they
+// are short relative to the pipeline).
+func (c *Compiler) CompileUnitContext(ctx context.Context, unitName string, src []byte, st *core.UnitState) (*UnitResult, error) {
 	// Span clock: the shared tracer's epoch when tracing, the unit start
 	// otherwise — either way spans within one unit share a timeline.
 	tr := c.opts.Obs.Trace()
@@ -226,7 +245,7 @@ func (c *Compiler) CompileUnit(unitName string, src []byte, st *core.UnitState) 
 		}
 		res.CacheHits, res.CacheMisses = hits, misses
 	default:
-		newState, stats, err := c.driver.Run(m, st)
+		newState, stats, err := c.driver.RunContext(ctx, m, st)
 		if err != nil {
 			return nil, err
 		}

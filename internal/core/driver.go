@@ -22,6 +22,7 @@ package core
 // count is always zero).
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -71,6 +72,18 @@ type Options struct {
 	VerifySkips bool
 	// VerifyIR runs the IR verifier after every pass (slow; tests only).
 	VerifyIR bool
+	// AuditRate is the soundness sentinel's sampling probability in [0, 1]:
+	// with this probability, a pass that would be skipped as dormant is
+	// executed anyway and its output IR fingerprint compared against the
+	// input. A mismatch is an unsound skip — recorded (SlotStats.Unsound,
+	// audit.unsound) and auto-quarantining the (unit, pass) pair. 0
+	// disables auditing; 1 audits every skip (tests).
+	AuditRate float64
+	// AuditSeed seeds the sentinel's deterministic sampling sequence
+	// (default 1). The sample pattern affects only timing and counters,
+	// never output: auditing a sound skip re-runs a dormant pass, which by
+	// definition leaves the IR unchanged.
+	AuditSeed uint64
 	// Obs carries the observability context: per-slot spans go to its
 	// tracer, pipeline totals to its counters. Nil disables both.
 	Obs *obs.Sink
@@ -82,6 +95,10 @@ type Driver struct {
 	infos []passes.Info
 	fps   []passes.FuncPass   // per slot (nil for module slots)
 	mps   []passes.ModulePass // per slot (nil for function slots)
+
+	// auditState is the sentinel's splitmix64 PRNG state (advanced only
+	// when 0 < AuditRate < 1).
+	auditState uint64
 }
 
 // NewDriver builds a driver for the configured pipeline.
@@ -89,7 +106,10 @@ func NewDriver(opts Options) (*Driver, error) {
 	if len(opts.Pipeline) == 0 {
 		opts.Pipeline = passes.StandardPipeline
 	}
-	d := &Driver{opts: opts}
+	if opts.AuditSeed == 0 {
+		opts.AuditSeed = 1
+	}
+	d := &Driver{opts: opts, auditState: opts.AuditSeed}
 	for _, name := range opts.Pipeline {
 		info, ok := passes.Lookup(name)
 		if !ok {
@@ -109,6 +129,37 @@ func NewDriver(opts Options) (*Driver, error) {
 
 // Pipeline returns the driver's pass list.
 func (d *Driver) Pipeline() []string { return d.opts.Pipeline }
+
+// auditFire rolls the sentinel's sampling decision: true means "execute
+// this would-be skip and verify it". Deterministic (splitmix64 from
+// AuditSeed) so sampling is reproducible within a driver; the pattern only
+// affects timing and counters, never output.
+func (d *Driver) auditFire() bool {
+	p := d.opts.AuditRate
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	d.auditState += 0x9e3779b97f4a7c15
+	z := d.auditState
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11)/(1<<53) < p
+}
+
+// quarantineFor returns the state's quarantine, creating one with the
+// given reason if absent.
+func quarantineFor(st *UnitState, reason string) *Quarantine {
+	if st.Quarantine == nil {
+		st.Quarantine = &Quarantine{Reason: reason}
+	}
+	return st.Quarantine
+}
 
 // Policy returns the driver's skipping policy.
 func (d *Driver) Policy() Policy { return d.opts.Policy }
@@ -140,8 +191,24 @@ func (c *hashCache) invalidateAll() { c.vals = make(map[*ir.Func]uint64) }
 // built for another pipeline), in which case a fresh state is created. The
 // (possibly new) state is returned alongside the statistics.
 func (d *Driver) Run(m *ir.Module, st *UnitState) (*UnitState, *Stats, error) {
+	return d.RunContext(context.Background(), m, st)
+}
+
+// RunContext is Run with cooperative cancellation: the driver checks ctx
+// between every function and every slot, so a cancelled build abandons a
+// unit mid-pipeline within one pass execution. The returned error wraps
+// ctx's error (errors.Is-able against context.Canceled/DeadlineExceeded);
+// the partially updated state must not be persisted by the caller.
+func (d *Driver) RunContext(ctx context.Context, m *ir.Module, st *UnitState) (*UnitState, *Stats, error) {
 	if !st.Compatible(d.opts.Pipeline) {
+		// Quarantine survives a pipeline change: it is keyed by pass name,
+		// and distrust in a pass is not cured by reordering the pipeline.
+		var q *Quarantine
+		if st != nil {
+			q = st.Quarantine
+		}
 		st = NewUnitState(m.Unit, d.opts.Pipeline)
+		st.Quarantine = q
 	}
 	stats := &Stats{
 		Slots:     make([]SlotStats, len(d.infos)),
@@ -170,13 +237,19 @@ func (d *Driver) Run(m *ir.Module, st *UnitState) (*UnitState, *Stats, error) {
 		hashes0, hashNS0 := stats.Hashes, stats.HashNS
 
 		var err error
-		if info.Module {
+		if cerr := ctx.Err(); cerr != nil {
+			err = fmt.Errorf("core: %s cancelled: %w", m.Unit, cerr)
+		} else if info.Module {
 			err = d.runModuleSlot(m, st, slot, ss, cache)
 		} else {
 			// Function slot: iterate a snapshot (module passes may have
 			// changed the list; function passes do not).
 			funcs := append([]*ir.Func(nil), m.Funcs...)
 			for _, f := range funcs {
+				if cerr := ctx.Err(); cerr != nil {
+					err = fmt.Errorf("core: %s cancelled: %w", m.Unit, cerr)
+					break
+				}
 				if err = d.runFuncSlot(m, f, st, slot, ss, cache); err != nil {
 					break
 				}
@@ -213,12 +286,16 @@ func (d *Driver) countStats(stats *Stats) {
 	}
 	runs, dormant, skipped := stats.Totals()
 	var mispredicted, cold, notDormant, fpMismatch, policy int
+	var quarantined, audited, unsound int
 	for _, sl := range stats.Slots {
 		mispredicted += sl.Mispredicted
 		cold += sl.Cold
 		notDormant += sl.NotDormant
 		fpMismatch += sl.FPMismatch
 		policy += sl.Policy
+		quarantined += sl.Quarantined
+		audited += sl.Audited
+		unsound += sl.Unsound
 	}
 	pc.Runs.Add(int64(runs))
 	pc.Dormant.Add(int64(dormant))
@@ -233,6 +310,9 @@ func (d *Driver) countStats(stats *Stats) {
 	pc.DecNotDormant.Add(int64(notDormant))
 	pc.DecFPMismatch.Add(int64(fpMismatch))
 	pc.DecPolicy.Add(int64(policy))
+	pc.DecQuarantined.Add(int64(quarantined))
+	pc.Audited.Add(int64(audited))
+	pc.Unsound.Add(int64(unsound))
 }
 
 func (d *Driver) runFuncSlot(m *ir.Module, f *ir.Func, st *UnitState, slot int, ss *SlotStats, cache *hashCache) error {
@@ -252,39 +332,81 @@ func (d *Driver) runFuncSlot(m *ir.Module, f *ir.Func, st *UnitState, slot int, 
 	var h uint64
 	haveHash := false
 	runReason := &ss.Policy
-	switch d.opts.Policy {
-	case Stateful:
-		switch {
-		case !info.FunctionLocal:
-			// Ineligible pass: skipping disabled by policy.
-		case !seen:
-			runReason = &ss.Cold
-		case rec.Changed:
-			runReason = &ss.NotDormant
-		default:
-			h = cache.get(f)
-			haveHash = true
-			if rec.InputHash == h {
-				skippable = true
-			} else {
-				runReason = &ss.FPMismatch
+	if d.opts.Policy != Stateless && st.Quarantined(info.Name) {
+		// Quarantined (unit, pass): skipping is suspended; the pass always
+		// runs. Fresh observations are still recorded so trust rebuilds.
+		runReason = &ss.Quarantined
+	} else {
+		switch d.opts.Policy {
+		case Stateful:
+			switch {
+			case !info.FunctionLocal:
+				// Ineligible pass: skipping disabled by policy.
+			case !seen:
+				runReason = &ss.Cold
+			case rec.Changed:
+				runReason = &ss.NotDormant
+			default:
+				h = cache.get(f)
+				haveHash = true
+				if rec.InputHash == h {
+					skippable = true
+				} else {
+					runReason = &ss.FPMismatch
+				}
 			}
-		}
-	case Predictive:
-		switch {
-		case !info.FunctionLocal:
-		case !seen:
-			runReason = &ss.Cold
-		case rec.Changed:
-			runReason = &ss.NotDormant
-		default:
-			skippable = true
+		case Predictive:
+			switch {
+			case !info.FunctionLocal:
+			case !seen:
+				runReason = &ss.Cold
+			case rec.Changed:
+				runReason = &ss.NotDormant
+			default:
+				skippable = true
+			}
 		}
 	}
 
 	if skippable && !d.opts.VerifySkips {
-		ss.Skipped++
-		ss.SavedNS += rec.CostNS
+		if !d.auditFire() {
+			ss.Skipped++
+			ss.SavedNS += rec.CostNS
+			return nil
+		}
+		// Soundness sentinel: execute the would-be skip anyway and compare
+		// the output IR fingerprint against the input. Identical output
+		// confirms the skip was sound (and costs only this audit); a
+		// mismatch is an unsound skip — the record was lying (a
+		// nondeterministic or impure pass), so the (unit, pass) pair is
+		// quarantined and the record invalidated. Either way the IR now on
+		// hand is exactly what a stateless compiler would have produced.
+		if !haveHash {
+			h = cache.get(f) // predictive policy skips without hashing
+		}
+		ss.Audited++
+		start := time.Now()
+		pass.Run(f)
+		elapsed := time.Since(start).Nanoseconds()
+		ss.RunNS += elapsed
+		cache.invalidate(f)
+		h2 := cache.get(f)
+		if h2 == h {
+			ss.Skipped++ // the skip decision stands, audited and confirmed
+			rec.blend(elapsed)
+			return nil
+		}
+		ss.Runs++
+		ss.Unsound++
+		rec.InputHash = 0
+		rec.Changed = true
+		fs.Seen[slot] = true
+		quarantineFor(st, QuarantineUnsound).AddPass(info.Name)
+		if d.opts.VerifyIR {
+			if err := f.Verify(); err != nil {
+				return fmt.Errorf("core: pass %s broke %s.%s: %w", info.Name, m.Unit, f.Name, err)
+			}
+		}
 		return nil
 	}
 
@@ -356,36 +478,72 @@ func (d *Driver) runModuleSlot(m *ir.Module, st *UnitState, slot int, ss *SlotSt
 	haveHash := false
 	skippable := false
 	runReason := &ss.Policy
-	switch d.opts.Policy {
-	case Stateful:
-		switch {
-		case !seen:
-			runReason = &ss.Cold
-		case rec.Changed:
-			runReason = &ss.NotDormant
-		default:
-			h = fingerprint.ModuleWith(m, cache.get)
-			haveHash = true
-			if rec.InputHash == h {
-				skippable = true
-			} else {
-				runReason = &ss.FPMismatch
+	if d.opts.Policy != Stateless && st.Quarantined(info.Name) {
+		runReason = &ss.Quarantined
+	} else {
+		switch d.opts.Policy {
+		case Stateful:
+			switch {
+			case !seen:
+				runReason = &ss.Cold
+			case rec.Changed:
+				runReason = &ss.NotDormant
+			default:
+				h = fingerprint.ModuleWith(m, cache.get)
+				haveHash = true
+				if rec.InputHash == h {
+					skippable = true
+				} else {
+					runReason = &ss.FPMismatch
+				}
 			}
-		}
-	case Predictive:
-		switch {
-		case !seen:
-			runReason = &ss.Cold
-		case rec.Changed:
-			runReason = &ss.NotDormant
-		default:
-			skippable = true
+		case Predictive:
+			switch {
+			case !seen:
+				runReason = &ss.Cold
+			case rec.Changed:
+				runReason = &ss.NotDormant
+			default:
+				skippable = true
+			}
 		}
 	}
 
 	if skippable && !d.opts.VerifySkips {
-		ss.Skipped++
-		ss.SavedNS += rec.CostNS
+		if !d.auditFire() {
+			ss.Skipped++
+			ss.SavedNS += rec.CostNS
+			return nil
+		}
+		// Sentinel audit, module flavour: run the pass, then recompute the
+		// module fingerprint from scratch (the pass may have touched any
+		// function, so cached per-function hashes must not be trusted).
+		if !haveHash {
+			h = fingerprint.ModuleWith(m, cache.get)
+		}
+		ss.Audited++
+		start := time.Now()
+		pass.RunModule(m)
+		elapsed := time.Since(start).Nanoseconds()
+		ss.RunNS += elapsed
+		cache.invalidateAll()
+		h2 := fingerprint.ModuleWith(m, cache.get)
+		if h2 == h {
+			ss.Skipped++
+			rec.blend(elapsed)
+			return nil
+		}
+		ss.Runs++
+		ss.Unsound++
+		rec.InputHash = 0
+		rec.Changed = true
+		st.ModuleSeen[slot] = true
+		quarantineFor(st, QuarantineUnsound).AddPass(info.Name)
+		if d.opts.VerifyIR {
+			if err := m.Verify(); err != nil {
+				return fmt.Errorf("core: module pass %s broke %s: %w", info.Name, m.Unit, err)
+			}
+		}
 		return nil
 	}
 

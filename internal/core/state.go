@@ -47,6 +47,79 @@ func (r *Record) blend(ns int64) {
 	r.CostNS = (3*r.CostNS + ns) / 4
 }
 
+// Quarantine reasons — why a unit's (or pass's) cached execution state is
+// no longer trusted. See docs/ROBUSTNESS.md for the state machine.
+const (
+	// QuarantinePanic: a pass panicked while compiling the unit. The whole
+	// unit's state is suspect; it compiles stateless until lifted.
+	QuarantinePanic = "panic"
+	// QuarantineUnsound: the soundness sentinel caught an unsound skip —
+	// a pass that was recorded dormant on this fingerprint changed the IR
+	// when audited. The offending (unit, pass) pair stops skipping.
+	QuarantineUnsound = "unsound-skip"
+)
+
+// QuarantineCleanTarget is the number of consecutive clean compiles of a
+// quarantined unit required before the quarantine lifts and the unit
+// returns to normal stateful operation (cold — quarantine discards trust
+// in the old records, not just skips).
+const QuarantineCleanTarget = 3
+
+// Quarantine marks a unit whose execution state is distrusted. It rides in
+// the persisted UnitState (format v4) so the distrust survives processes.
+type Quarantine struct {
+	// Reason is one of the Quarantine* constants.
+	Reason string
+	// Clean counts consecutive clean compiles since engagement; at
+	// QuarantineCleanTarget the quarantine lifts.
+	Clean int
+	// Passes lists the quarantined pass names (sorted, deduplicated).
+	// Empty means the whole unit is quarantined: it compiles through the
+	// stateless fallback and none of its records are consulted.
+	Passes []string
+}
+
+// Whole reports whether the entire unit is quarantined (as opposed to
+// specific passes only).
+func (q *Quarantine) Whole() bool { return q != nil && len(q.Passes) == 0 }
+
+// Covers reports whether the named pass is quarantined (always true for a
+// whole-unit quarantine).
+func (q *Quarantine) Covers(pass string) bool {
+	if q == nil {
+		return false
+	}
+	if len(q.Passes) == 0 {
+		return true
+	}
+	for _, p := range q.Passes {
+		if p == pass {
+			return true
+		}
+	}
+	return false
+}
+
+// AddPass quarantines one more pass, keeping Passes sorted and unique, and
+// resets the clean-build count (new evidence of distrust restarts the
+// probation window). Reports whether the pass was newly added.
+func (q *Quarantine) AddPass(pass string) bool {
+	q.Clean = 0
+	for i, p := range q.Passes {
+		if p == pass {
+			return false
+		}
+		if p > pass {
+			q.Passes = append(q.Passes, "")
+			copy(q.Passes[i+1:], q.Passes[i:])
+			q.Passes[i] = pass
+			return true
+		}
+	}
+	q.Passes = append(q.Passes, pass)
+	return true
+}
+
 // FuncState holds one function's records, indexed by pipeline slot.
 type FuncState struct {
 	// Slots[i] corresponds to pipeline entry i; a zero-valued record (hash
@@ -75,6 +148,16 @@ type UnitState struct {
 	ModuleSlots []Record
 	// ModuleSeen marks module slots with real observations.
 	ModuleSeen []bool
+	// Quarantine, when non-nil, marks this unit's state as distrusted
+	// (a pass panicked, or the soundness sentinel caught an unsound skip).
+	// Persisted in format v4; v3 files load with no quarantine.
+	Quarantine *Quarantine
+}
+
+// Quarantined reports whether the named pass may not be skipped for this
+// unit. Nil-safe.
+func (s *UnitState) Quarantined(pass string) bool {
+	return s != nil && s.Quarantine.Covers(pass)
 }
 
 // NewUnitState creates empty state for a unit compiled with the given

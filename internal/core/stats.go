@@ -26,6 +26,13 @@ const (
 	// ReasonPolicyDisabled: the policy (stateless) or the pass's own
 	// eligibility (not function-local) rules out skipping entirely.
 	ReasonPolicyDisabled = "policy-disabled"
+	// ReasonQuarantined: the (unit, pass) pair is quarantined — skipping is
+	// suspended until enough clean builds restore trust.
+	ReasonQuarantined = "quarantined"
+	// ReasonAuditUnsound: the soundness sentinel executed a would-be skip
+	// and caught the pass changing the IR — the skip would have been
+	// unsound. The execution that caught it is charged here.
+	ReasonAuditUnsound = "audit-unsound"
 	// ReasonRan is the generic fallback when no finer reason was recorded.
 	ReasonRan = "ran"
 )
@@ -65,6 +72,17 @@ type SlotStats struct {
 	// Policy counts runs where skipping was ruled out by policy or pass
 	// eligibility (stateless mode, or non-function-local function passes).
 	Policy int
+	// Quarantined counts runs forced by a (unit, pass) quarantine.
+	Quarantined int
+
+	// Soundness-sentinel accounting (see docs/ROBUSTNESS.md).
+
+	// Audited counts would-be skips the sentinel executed anyway.
+	Audited int
+	// Unsound counts audited executions whose output fingerprint differed
+	// from the input — unsound skips the sentinel caught (each engages a
+	// quarantine and is charged as a run with ReasonAuditUnsound).
+	Unsound int
 }
 
 // Reason returns the slot's dominant decision reason — the reason covering
@@ -78,6 +96,8 @@ func (sl *SlotStats) Reason() string {
 		count  int
 	}{
 		{ReasonSkippedDormant, sl.Skipped},
+		{ReasonAuditUnsound, sl.Unsound},
+		{ReasonQuarantined, sl.Quarantined},
 		{ReasonFingerprintMismatch, sl.FPMismatch},
 		{ReasonNotDormant, sl.NotDormant},
 		{ReasonColdState, sl.Cold},
@@ -111,6 +131,16 @@ func (s *Stats) Totals() (runs, dormant, skipped int) {
 		runs += sl.Runs
 		dormant += sl.Dormant
 		skipped += sl.Skipped
+	}
+	return
+}
+
+// SentinelTotals sums the soundness sentinel's audited executions and the
+// unsound skips it caught across slots.
+func (s *Stats) SentinelTotals() (audited, unsound int) {
+	for _, sl := range s.Slots {
+		audited += sl.Audited
+		unsound += sl.Unsound
 	}
 	return
 }
@@ -168,6 +198,9 @@ func (s *Stats) Merge(other *Stats) {
 		s.Slots[i].NotDormant += other.Slots[i].NotDormant
 		s.Slots[i].FPMismatch += other.Slots[i].FPMismatch
 		s.Slots[i].Policy += other.Slots[i].Policy
+		s.Slots[i].Quarantined += other.Slots[i].Quarantined
+		s.Slots[i].Audited += other.Slots[i].Audited
+		s.Slots[i].Unsound += other.Slots[i].Unsound
 	}
 	s.HashNS += other.HashNS
 	s.Hashes += other.Hashes
@@ -192,6 +225,9 @@ func (s *Stats) ByPass() map[string]SlotStats {
 		agg.NotDormant += sl.NotDormant
 		agg.FPMismatch += sl.FPMismatch
 		agg.Policy += sl.Policy
+		agg.Quarantined += sl.Quarantined
+		agg.Audited += sl.Audited
+		agg.Unsound += sl.Unsound
 		out[sl.Pass] = agg
 	}
 	return out

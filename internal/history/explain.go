@@ -57,7 +57,14 @@ func RenderExplain(recs []Record, unit string) (string, error) {
 			fmt.Fprintf(&sb, "unit %s — cached (content hash unchanged, nothing recompiled)\n", name)
 			continue
 		}
-		fmt.Fprintf(&sb, "unit %s — compiled in %.3fms\n", name, float64(ur.CompileNS)/1e6)
+		fmt.Fprintf(&sb, "unit %s — compiled in %.3fms", name, float64(ur.CompileNS)/1e6)
+		if ur.Panicked {
+			sb.WriteString(" [PANICKED: isolated, compiled stateless]")
+		}
+		if ur.Quarantine != "" {
+			fmt.Fprintf(&sb, " [QUARANTINED: %s]", ur.Quarantine)
+		}
+		sb.WriteString("\n")
 		if len(ur.Passes) == 0 {
 			sb.WriteString("  (no pass decisions recorded for this mode)\n")
 			continue
@@ -68,11 +75,15 @@ func RenderExplain(recs []Record, unit string) (string, error) {
 				prevPasses = pu.Passes
 			}
 		}
-		fmt.Fprintf(&sb, "  %-4s %-12s %-22s %5s %5s %5s %9s %9s  %s\n",
-			"slot", "pass", "reason", "runs", "skip", "dorm", "time", "saved", "prev-reason")
+		fmt.Fprintf(&sb, "  %-4s %-12s %-22s %5s %5s %5s %5s %9s %9s  %s\n",
+			"slot", "pass", "reason", "runs", "skip", "dorm", "audit", "time", "saved", "prev-reason")
 		for _, pd := range ur.Passes {
-			fmt.Fprintf(&sb, "  [%2d] %-12s %-22s %5d %5d %5d %8.3fms %8.3fms  %s\n",
-				pd.Slot, pd.Pass, pd.Reason, pd.Runs, pd.Skipped, pd.Dormant,
+			audit := fmt.Sprintf("%d", pd.Audited)
+			if pd.Unsound > 0 {
+				audit = fmt.Sprintf("%d!%d", pd.Audited, pd.Unsound)
+			}
+			fmt.Fprintf(&sb, "  [%2d] %-12s %-22s %5d %5d %5d %5s %8.3fms %8.3fms  %s\n",
+				pd.Slot, pd.Pass, pd.Reason, pd.Runs, pd.Skipped, pd.Dormant, audit,
 				float64(pd.RunNS)/1e6, float64(pd.SavedNS)/1e6,
 				prevReason(prevPasses, pd.Slot))
 		}

@@ -56,10 +56,16 @@ type PassDecision struct {
 	Dormant int `json:"dormant,omitempty"`
 	Skipped int `json:"skipped,omitempty"`
 	// Per-reason run counts (each run charged to exactly one).
-	Cold       int `json:"cold,omitempty"`
-	NotDormant int `json:"not_dormant,omitempty"`
-	FPMismatch int `json:"fingerprint_mismatch,omitempty"`
-	Policy     int `json:"policy_disabled,omitempty"`
+	Cold        int `json:"cold,omitempty"`
+	NotDormant  int `json:"not_dormant,omitempty"`
+	FPMismatch  int `json:"fingerprint_mismatch,omitempty"`
+	Policy      int `json:"policy_disabled,omitempty"`
+	Quarantined int `json:"quarantined,omitempty"`
+	// Soundness-sentinel provenance: Audited counts would-be skips the
+	// sentinel executed anyway; Unsound counts the audits whose output
+	// fingerprint differed — unsound skips (each engages a quarantine).
+	Audited int `json:"audited,omitempty"`
+	Unsound int `json:"unsound,omitempty"`
 	// Timing: pass execution time and estimated time skipping saved.
 	RunNS   int64 `json:"run_ns,omitempty"`
 	SavedNS int64 `json:"saved_ns,omitempty"`
@@ -75,6 +81,12 @@ type UnitRecord struct {
 	// Passes is the per-slot decision table (nil for cached units and for
 	// modes without a pass driver, e.g. fullcache).
 	Passes []PassDecision `json:"passes,omitempty"`
+	// Panicked marks a unit whose compile panicked this build; the panic was
+	// isolated and the unit recompiled through the stateless fallback.
+	Panicked bool `json:"panicked,omitempty"`
+	// Quarantine is the unit's active quarantine reason after this build
+	// ("" when none; see core.Quarantine*).
+	Quarantine string `json:"quarantine,omitempty"`
 }
 
 // Record is one build's flight-recorder entry.

@@ -32,6 +32,14 @@ const (
 	CtrDecNotDormant     = "decision.not_dormant"
 	CtrDecFPMismatch     = "decision.fingerprint_mismatch"
 	CtrDecPolicy         = "decision.policy_disabled"
+	CtrDecQuarantined    = "decision.quarantined"
+
+	// Soundness-sentinel counters: audit.sampled counts would-be skips the
+	// sentinel executed anyway; audit.unsound counts the ones whose output
+	// fingerprint differed from the input — unsound skips, each of which
+	// auto-quarantines its (unit, pass) pair (docs/ROBUSTNESS.md).
+	CtrAuditSampled = "audit.sampled"
+	CtrAuditUnsound = "audit.unsound"
 
 	// Per-unit stage counters (updated by the build system at commit).
 	CtrFrontendNS = "stage.frontend_ns"
@@ -43,6 +51,14 @@ const (
 	CtrUnitsCompiled = "build.units_compiled"
 	CtrUnitsCached   = "build.units_cached"
 	CtrLinkNS        = "build.link_ns"
+
+	// Adversity counters: pass panics converted to unit diagnostics,
+	// builds abandoned by cancellation/deadline, and quarantine
+	// engagements/lifts (see docs/ROBUSTNESS.md).
+	CtrBuildPanics       = "build.panic"
+	CtrBuildCancelled    = "build.cancelled"
+	CtrQuarantineEngaged = "quarantine.engaged"
+	CtrQuarantineLifted  = "quarantine.lifted"
 
 	// Full-cache counters.
 	CtrCacheHits   = "fullcache.hits"
@@ -153,8 +169,10 @@ type PassCounters struct {
 	Runs, Dormant, Skipped, Mispredicted *Counter
 	RunNS, SavedNS                       *Counter
 	Hashes, HashNS                       *Counter
+	// Soundness-sentinel totals (audit.* counters).
+	Audited, Unsound *Counter
 	// Decision-provenance buckets (decision.* counters).
-	DecSkipped, DecCold, DecNotDormant, DecFPMismatch, DecPolicy *Counter
+	DecSkipped, DecCold, DecNotDormant, DecFPMismatch, DecPolicy, DecQuarantined *Counter
 }
 
 // Pass resolves the standard pipeline counters (nil-safe: a nil registry
@@ -164,18 +182,21 @@ func (r *Registry) Pass() *PassCounters {
 		return nil
 	}
 	return &PassCounters{
-		Runs:         r.Counter(CtrPassRuns),
-		Dormant:      r.Counter(CtrPassDormant),
-		Skipped:      r.Counter(CtrPassSkipped),
-		Mispredicted: r.Counter(CtrPassMispredicted),
-		RunNS:        r.Counter(CtrPassRunNS),
-		SavedNS:      r.Counter(CtrPassSavedNS),
-		Hashes:       r.Counter(CtrHashes),
-		HashNS:       r.Counter(CtrHashNS),
-		DecSkipped:   r.Counter(CtrDecSkippedDormant),
-		DecCold:      r.Counter(CtrDecCold),
-		DecNotDormant: r.Counter(CtrDecNotDormant),
-		DecFPMismatch: r.Counter(CtrDecFPMismatch),
-		DecPolicy:     r.Counter(CtrDecPolicy),
+		Runs:           r.Counter(CtrPassRuns),
+		Dormant:        r.Counter(CtrPassDormant),
+		Skipped:        r.Counter(CtrPassSkipped),
+		Mispredicted:   r.Counter(CtrPassMispredicted),
+		RunNS:          r.Counter(CtrPassRunNS),
+		SavedNS:        r.Counter(CtrPassSavedNS),
+		Hashes:         r.Counter(CtrHashes),
+		HashNS:         r.Counter(CtrHashNS),
+		Audited:        r.Counter(CtrAuditSampled),
+		Unsound:        r.Counter(CtrAuditUnsound),
+		DecSkipped:     r.Counter(CtrDecSkippedDormant),
+		DecCold:        r.Counter(CtrDecCold),
+		DecNotDormant:  r.Counter(CtrDecNotDormant),
+		DecFPMismatch:  r.Counter(CtrDecFPMismatch),
+		DecPolicy:      r.Counter(CtrDecPolicy),
+		DecQuarantined: r.Counter(CtrDecQuarantined),
 	}
 }

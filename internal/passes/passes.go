@@ -86,6 +86,8 @@ var registry = []Info{
 		New: func() any { return &GlobalOpt{} }},
 	{Name: "deadfunc", Description: "remove uncalled unit-private functions", Module: true,
 		New: func() any { return &DeadFunc{} }},
+	{Name: "faulthook", Description: "fault-injection hook (no-op unless armed; adversity tests only)", FunctionLocal: true,
+		New: func() any { return &FaultHook{} }},
 }
 
 // Registry returns descriptors for all passes.

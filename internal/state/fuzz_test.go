@@ -80,8 +80,8 @@ func FuzzStateDecode(f *testing.F) {
 	// with no bytes behind them — the over-allocation shape.
 	hdr := []byte("SCCSTATE")
 	hdr = binary.LittleEndian.AppendUint32(hdr, state.FormatVersion)
-	hdr = binary.LittleEndian.AppendUint64(hdr, 42)     // pipeline hash
-	hdr = binary.LittleEndian.AppendUint32(hdr, 1<<19)  // huge unit-name length
+	hdr = binary.LittleEndian.AppendUint64(hdr, 42)    // pipeline hash
+	hdr = binary.LittleEndian.AppendUint32(hdr, 1<<19) // huge unit-name length
 	f.Add(append([]byte(nil), hdr...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -1,11 +1,16 @@
 package state_test
 
-// Golden-file pin of the version-3 on-disk layout. The state format is a
+// Golden-file pins of the on-disk layout. The state format is a
 // cross-process, cross-version contract: a byte produced by one build is
-// consumed by a later process of a possibly different binary. This test
-// freezes the exact bytes so any encoder change — intended or not — shows
+// consumed by a later process of a possibly different binary. These tests
+// freeze the exact bytes so any encoder change — intended or not — shows
 // up as a diff against testdata/, and an intended change forces a
 // conscious FormatVersion bump plus `go test ./internal/state -update`.
+//
+// Two pins exist: the current v4 layout (encoder + decoder), and the
+// frozen v3 file from before the quarantine block, which the decoder must
+// keep accepting forever (migration path for state written by released
+// binaries).
 
 import (
 	"bytes"
@@ -32,16 +37,16 @@ func goldenState() *core.UnitState {
 		Unit:         "golden.mc",
 		PipelineHash: 0x1122334455667788,
 		ModuleSlots: []core.Record{
-			{},                                        // unseen
-			{InputHash: 0xAABBCCDD, CostNS: 512},      // seen dormant
-			{Changed: true},                           // seen changed: no hash, no cost
-			{InputHash: 0xAABBCCDD, CostNS: 256},      // shares the hash-table entry
+			{},                                   // unseen
+			{InputHash: 0xAABBCCDD, CostNS: 512}, // seen dormant
+			{Changed: true},                      // seen changed: no hash, no cost
+			{InputHash: 0xAABBCCDD, CostNS: 256}, // shares the hash-table entry
 		},
 		ModuleSeen: []bool{false, true, true, true},
 		Funcs: map[string]*core.FuncState{
 			"helper": {
 				Slots: []core.Record{
-					{InputHash: 0x0102030405060708, CostNS: 0}, // dormant, zero cost
+					{InputHash: 0x0102030405060708, CostNS: 0},                  // dormant, zero cost
 					{InputHash: 0x0102030405060708, CostNS: (1<<63 - 1) &^ 255}, // max quantized EWMA
 				},
 				Seen: []bool{true, true},
@@ -51,15 +56,24 @@ func goldenState() *core.UnitState {
 	}
 }
 
-func TestGoldenFormatV3(t *testing.T) {
-	if state.FormatVersion != 3 {
-		t.Fatalf("FormatVersion is %d; regenerate the golden file for the new layout "+
-			"(go test ./internal/state -update) and rename it accordingly", state.FormatVersion)
+// goldenQuarantinedState adds the v4 quarantine block shapes: a per-pass
+// quarantine with a nonzero clean count.
+func goldenQuarantinedState() *core.UnitState {
+	st := goldenState()
+	st.Quarantine = &core.Quarantine{
+		Reason: core.QuarantineUnsound,
+		Clean:  2,
+		Passes: []string{"dce", "simplify"},
 	}
-	path := filepath.Join("testdata", "unitstate_v3.golden")
+	return st
+}
+
+func checkGolden(t *testing.T, name string, st *core.UnitState) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
 
 	var buf bytes.Buffer
-	if err := state.Encode(&buf, goldenState()); err != nil {
+	if err := state.Encode(&buf, st); err != nil {
 		t.Fatal(err)
 	}
 
@@ -77,9 +91,9 @@ func TestGoldenFormatV3(t *testing.T) {
 		t.Fatalf("golden file missing (run with -update to create): %v", err)
 	}
 	if !bytes.Equal(buf.Bytes(), want) {
-		t.Fatalf("encoder output differs from the pinned v3 bytes — this breaks "+
+		t.Fatalf("encoder output differs from the pinned v%d bytes — this breaks "+
 			"states written by released binaries; bump FormatVersion if intended\n"+
-			"got:\n%s\nwant:\n%s", hex.Dump(buf.Bytes()), hex.Dump(want))
+			"got:\n%s\nwant:\n%s", state.FormatVersion, hex.Dump(buf.Bytes()), hex.Dump(want))
 	}
 
 	// The pinned bytes must also decode back to exactly the source state —
@@ -88,8 +102,51 @@ func TestGoldenFormatV3(t *testing.T) {
 	if err != nil {
 		t.Fatalf("pinned golden bytes no longer decode: %v", err)
 	}
+	if !reflect.DeepEqual(got, st) {
+		t.Fatalf("golden bytes decode to a different state:\ngot:  %+v\nwant: %+v", got, st)
+	}
+}
+
+func TestGoldenFormatV4(t *testing.T) {
+	if state.FormatVersion != 4 {
+		t.Fatalf("FormatVersion is %d; regenerate the golden files for the new layout "+
+			"(go test ./internal/state -update) and rename them accordingly", state.FormatVersion)
+	}
+	checkGolden(t, "unitstate_v4.golden", goldenState())
+	checkGolden(t, "unitstate_v4_quarantined.golden", goldenQuarantinedState())
+}
+
+// TestDecodeV3Migration pins the migration path: the frozen v3 golden file
+// (written by the pre-quarantine encoder) must decode into the same state
+// with no quarantine, forever. This file is never regenerated — it is the
+// compatibility contract with already-deployed state directories.
+func TestDecodeV3Migration(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "unitstate_v3.golden"))
+	if err != nil {
+		t.Fatalf("frozen v3 golden file missing: %v", err)
+	}
+	got, err := state.Decode(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("v3 bytes no longer decode — migration path broken: %v", err)
+	}
 	if !reflect.DeepEqual(got, goldenState()) {
-		t.Fatalf("golden bytes decode to a different state:\ngot:  %+v\nwant: %+v",
+		t.Fatalf("v3 bytes decode to a different state:\ngot:  %+v\nwant: %+v",
 			got, goldenState())
+	}
+	if got.Quarantine != nil {
+		t.Fatalf("v3 file decoded with a quarantine: %+v", got.Quarantine)
+	}
+
+	// A migrated state re-encodes as v4 and round-trips.
+	var buf bytes.Buffer
+	if err := state.Encode(&buf, got); err != nil {
+		t.Fatal(err)
+	}
+	again, err := state.Decode(&buf)
+	if err != nil {
+		t.Fatalf("migrated re-encode does not decode: %v", err)
+	}
+	if !reflect.DeepEqual(again, got) {
+		t.Fatalf("v3→v4 migration round-trip drifted:\ngot:  %+v\nwant: %+v", again, got)
 	}
 }

@@ -63,6 +63,17 @@ func randState(r *rand.Rand) *core.UnitState {
 		Funcs:        make(map[string]*core.FuncState),
 	}
 	st.ModuleSlots, st.ModuleSeen = randBlock(r, r.Intn(6), pool)
+	switch r.Intn(4) {
+	case 0: // whole-unit quarantine (empty pass list)
+		st.Quarantine = &core.Quarantine{Reason: core.QuarantinePanic, Clean: r.Intn(3)}
+	case 1: // per-pass quarantine (sorted unique names, AddPass invariant)
+		q := &core.Quarantine{Reason: core.QuarantineUnsound}
+		for i, n := 0, r.Intn(3)+1; i < n; i++ {
+			q.AddPass("p" + strconv.Itoa(r.Intn(4)))
+		}
+		q.Clean = r.Intn(3)
+		st.Quarantine = q
+	}
 	for i, n := 0, r.Intn(5); i < n; i++ {
 		name := "fn" + strconv.Itoa(i)
 		if i == 0 && r.Intn(4) == 0 {
@@ -126,7 +137,7 @@ func TestRoundTripHandPickedEdges(t *testing.T) {
 			},
 		},
 		"max cost EWMA": {
-			Unit: "m.mc",
+			Unit:        "m.mc",
 			ModuleSlots: []core.Record{{InputHash: 1, CostNS: maxQuantCost}},
 			ModuleSeen:  []bool{true},
 			Funcs:       map[string]*core.FuncState{},

@@ -9,7 +9,7 @@
 // the internal/vfs seam (SaveFS/LoadFS), and the chaos suites walk every
 // injectable fault point (docs/ROBUSTNESS.md).
 //
-// Layout (version 3). Two observations keep the state tiny, mirroring the
+// Layout (version 4). Two observations keep the state tiny, mirroring the
 // paper's pitch:
 //
 //   - only *dormant* records can ever satisfy a skip, so records of active
@@ -23,14 +23,22 @@
 // estimated-savings reporting).
 //
 //	magic "SCCSTATE" | u32 version | u64 pipelineHash | unit string
+//	quarantineBlock                                       (v4+)
 //	recordBlock(module slots)
 //	u32 nFuncs | nFuncs × ( string name, recordBlock(slots) )
+//
+//	quarantineBlock: u8 present [, string reason, uvarint clean,
+//	                 uvarint nPasses, nPasses × string ]
 //
 //	recordBlock: uvarint nSlots | uvarint nHashes | nHashes × u64 |
 //	             nSlots × ( u8 flags [, uvarint hashIdx, uvarint cost256] )
 //
 // flags: bit0 = changed, bit1 = seen. hashIdx/cost follow only for seen
 // dormant (changed=0) slots.
+//
+// Version 3 files (no quarantineBlock) still decode: the loader accepts
+// both versions and migrates v3 to an in-memory state with no quarantine.
+// The next save rewrites the file as v4.
 package state
 
 import (
@@ -48,8 +56,12 @@ import (
 
 var magic = [8]byte{'S', 'C', 'C', 'S', 'T', 'A', 'T', 'E'}
 
-// FormatVersion is the on-disk layout version.
-const FormatVersion = 3
+// FormatVersion is the on-disk layout version the encoder writes.
+const FormatVersion = 4
+
+// minFormatVersion is the oldest layout the decoder still accepts (v3,
+// which predates the quarantine block).
+const minFormatVersion = 3
 
 // TempPattern is the glob the atomic writer's in-flight temp files match.
 // A crash between temp creation and rename orphans one; owners of a state
@@ -130,6 +142,7 @@ func Encode(w io.Writer, st *core.UnitState) error {
 	e.u64(st.PipelineHash)
 	e.str(st.Unit)
 
+	e.quarantineBlock(st.Quarantine)
 	e.recordBlock(st.ModuleSlots, st.ModuleSeen)
 
 	names := make([]string, 0, len(st.Funcs))
@@ -144,6 +157,46 @@ func Encode(w io.Writer, st *core.UnitState) error {
 		e.recordBlock(fs.Slots, fs.Seen)
 	}
 	return e.err
+}
+
+// quarantineBlock writes the optional quarantine marker (v4+).
+func (e *encoder) quarantineBlock(q *core.Quarantine) {
+	if q == nil {
+		e.bytes([]byte{0})
+		return
+	}
+	e.bytes([]byte{1})
+	e.str(q.Reason)
+	e.uv(uint64(q.Clean))
+	e.uv(uint64(len(q.Passes)))
+	for _, p := range q.Passes {
+		e.str(p)
+	}
+}
+
+func (d *decoder) quarantineBlock() *core.Quarantine {
+	var fb [1]byte
+	d.bytes(fb[:])
+	if d.err != nil || fb[0] == 0 {
+		return nil
+	}
+	if d.err == nil && fb[0] != 1 {
+		d.err = fmt.Errorf("bad quarantine marker %d", fb[0])
+		return nil
+	}
+	q := &core.Quarantine{Reason: d.str()}
+	q.Clean = int(d.uv())
+	n := d.uv()
+	if d.err == nil && n > 1<<12 {
+		d.err = fmt.Errorf("implausible quarantined-pass count %d", n)
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		q.Passes = append(q.Passes, d.str())
+	}
+	if d.err != nil {
+		return nil
+	}
+	return q
 }
 
 // recordBlock writes slot records with the distinct-hash table compression.
@@ -247,13 +300,17 @@ func Decode(r io.Reader) (*core.UnitState, error) {
 	if d.err == nil && m != magic {
 		return nil, fmt.Errorf("state: bad magic")
 	}
-	if v := d.u32(); d.err == nil && v != FormatVersion {
+	v := d.u32()
+	if d.err == nil && (v < minFormatVersion || v > FormatVersion) {
 		return nil, fmt.Errorf("state: unsupported version %d", v)
 	}
 	st := &core.UnitState{Funcs: make(map[string]*core.FuncState)}
 	st.PipelineHash = d.u64()
 	st.Unit = d.str()
 
+	if v >= 4 {
+		st.Quarantine = d.quarantineBlock()
+	}
 	st.ModuleSlots, st.ModuleSeen = d.recordBlock()
 
 	nFuncs := d.u32()
