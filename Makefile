@@ -1,13 +1,14 @@
 GO ?= go
 SMOKEDIR ?= .smoke
 
-.PHONY: ci vet build test race fuzz chaos bench bench-baseline smoke
+.PHONY: ci vet build test race fuzz chaos bench bench-baseline bench-matrix profile skip-guard smoke
 
 # ci is the tier-1 gate: everything must stay green, including the race
 # detector over the worker pool, the observability counters, the
-# crash/chaos robustness walk, and the flight-recorder regression check on
-# the example project.
-ci: vet build test race chaos smoke
+# crash/chaos robustness walk, the flight-recorder regression check on
+# the example project, and the skip-rate guard (a fast stateful history
+# whose measured skip rate must clear the floor).
+ci: vet build test race chaos smoke skip-guard
 
 vet:
 	$(GO) vet ./...
@@ -53,6 +54,26 @@ bench-baseline:
 # overhead (unaudited p=0 vs sampled p=0.05 on the same histories).
 bench:
 	$(GO) run ./cmd/benchbaseline -audit 0.05 -out BENCH_pr5.json
+
+# bench-matrix regenerates the committed multi-core latency matrix
+# (docs/PERFORMANCE.md): workers × profile p50/p99 incremental latency,
+# skip rate, fingerprint memo effectiveness, allocs/build, and the
+# old-vs-new fingerprint and state-layout comparisons.
+bench-matrix:
+	$(GO) run ./cmd/benchbaseline -matrix -workers 1,4,16 -repeats 5 -min-skip-rate 20 -out BENCH_pr6.json
+
+# profile writes pprof CPU and heap profiles of a matrix run for hot-path
+# work (inspect with `go tool pprof cpu.pprof`).
+profile:
+	$(GO) run ./cmd/benchbaseline -matrix -profiles 1 -workers 4 -out /dev/null \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
+
+# skip-guard is the CI tripwire against regressions that silently destroy
+# the stateful win: a fast single-profile matrix whose measured skip rate
+# must clear the floor or the target exits non-zero.
+skip-guard:
+	$(GO) run ./cmd/benchbaseline -matrix -profiles 1 -workers 1 -commits 6 -repeats 1 \
+		-min-skip-rate 20 -out /dev/null
 
 # smoke is the flight-recorder end-to-end check: cold build, comment-only
 # edit, incremental rebuild, then gate on the recorded history — regress

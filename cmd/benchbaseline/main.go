@@ -5,6 +5,19 @@
 // to compare against.
 //
 //	go run ./cmd/benchbaseline -out BENCH_baseline.json
+//
+// With -matrix it instead emits the multi-core latency matrix (committed
+// as BENCH_pr6.json): a workers × profile grid of p50/p99 incremental
+// latency, skip rate, fingerprint cost and allocation churn, plus
+// old-vs-new fingerprint and state-layout comparisons.
+//
+//	go run ./cmd/benchbaseline -matrix -out BENCH_pr6.json
+//
+// -min-skip-rate is the skip-rate guard: when any measured profile (or
+// matrix cell) skips less than the floor, the run exits non-zero — a CI
+// tripwire against regressions that silently destroy the stateful win.
+// Both the floor and the measured minimum are stamped into the JSON.
+// -cpuprofile/-memprofile write pprof profiles of the run.
 package main
 
 import (
@@ -14,6 +27,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"statefulcc/internal/bench"
 	"statefulcc/internal/compiler"
@@ -64,6 +78,29 @@ type Baseline struct {
 	Repeats        int             `json:"repeats"`
 	Profiles       []ProfileResult `json:"profiles"`
 	MeanSpeedupPct float64         `json:"mean_speedup_pct"`
+	// Skip-rate guard stamp: the floor the run was held to and the lowest
+	// skip rate actually measured (guard is "pass", "fail", or "off").
+	MinSkipRateFloorPct    float64 `json:"min_skip_rate_floor_pct"`
+	MeasuredMinSkipRatePct float64 `json:"measured_min_skip_rate_pct"`
+	SkipRateGuard          string  `json:"skip_rate_guard"`
+}
+
+// Matrix is the committed multi-core latency document (BENCH_pr6.json).
+type Matrix struct {
+	GeneratedBy string             `json:"generated_by"`
+	GoVersion   string             `json:"go_version"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Commits     int                `json:"commits"`
+	Repeats     int                `json:"repeats"`
+	Cells       []bench.MatrixCell `json:"cells"`
+	// Side-by-side costs of the retired flat fingerprint vs the
+	// hierarchical one, and of the v4 vs v5 state layouts.
+	FingerprintCompare []*bench.FingerprintCompare `json:"fingerprint_compare"`
+	StateCompare       []*bench.StateCompare       `json:"state_compare"`
+	// Skip-rate guard stamp (see Baseline).
+	MinSkipRateFloorPct    float64 `json:"min_skip_rate_floor_pct"`
+	MeasuredMinSkipRatePct float64 `json:"measured_min_skip_rate_pct"`
+	SkipRateGuard          string  `json:"skip_rate_guard"`
 }
 
 func main() {
@@ -80,34 +117,79 @@ func run(args []string) error {
 	repeats := fs.Int("repeats", 3, "timing repeats per history (min kept)")
 	nprofiles := fs.Int("profiles", 3, "number of standard-suite profiles (smallest first)")
 	audit := fs.Float64("audit", 0, "also measure stateful with the soundness sentinel sampling at this rate (0 disables the comparison)")
+	matrix := fs.Bool("matrix", false, "emit the workers × profile latency matrix instead of the baseline comparison")
+	workersFlag := fs.String("workers", "1,4,16", "comma-separated worker counts for -matrix")
+	minSkip := fs.Float64("min-skip-rate", 0, "skip-rate guard: exit non-zero if any measured skip rate falls below this percentage (0 disables)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile after the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *audit < 0 || *audit > 1 {
 		return fmt.Errorf("-audit %v out of range [0,1]", *audit)
 	}
-
-	suite := workload.StandardSuite()
-	if *nprofiles < len(suite) {
-		suite = suite[:*nprofiles]
+	if *minSkip < 0 || *minSkip > 100 {
+		return fmt.Errorf("-min-skip-rate %v out of range [0,100]", *minSkip)
 	}
-	cfg := bench.Config{Commits: *commits, Repeats: *repeats}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchbaseline:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchbaseline:", err)
+			}
+		}()
+	}
+
+	if *matrix {
+		return runMatrix(*out, *commits, *repeats, *nprofiles, *workersFlag, *minSkip)
+	}
+	return runBaseline(*out, *commits, *repeats, *nprofiles, *audit, *minSkip)
+}
+
+func runBaseline(out string, commits, repeats, nprofiles int, audit, minSkip float64) error {
+	suite := workload.StandardSuite()
+	if nprofiles < len(suite) {
+		suite = suite[:nprofiles]
+	}
+	cfg := bench.Config{Commits: commits, Repeats: repeats}
 	modes := []compiler.Mode{compiler.ModeStateless, compiler.ModeStateful}
 
 	genBy := fmt.Sprintf("go run ./cmd/benchbaseline -commits %d -repeats %d -profiles %d",
-		*commits, *repeats, *nprofiles)
-	if *audit > 0 {
-		genBy += fmt.Sprintf(" -audit %g", *audit)
+		commits, repeats, nprofiles)
+	if audit > 0 {
+		genBy += fmt.Sprintf(" -audit %g", audit)
+	}
+	if minSkip > 0 {
+		genBy += fmt.Sprintf(" -min-skip-rate %g", minSkip)
 	}
 	doc := Baseline{
 		GeneratedBy: genBy,
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Commits:    *commits,
-		Repeats:    *repeats,
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Commits:     commits,
+		Repeats:     repeats,
 	}
 
 	var speedupSum float64
+	measuredMin := math.Inf(1)
 	for _, p := range suite {
 		runs, err := bench.CompareHistories(p, modes, cfg)
 		if err != nil {
@@ -118,6 +200,7 @@ func run(args []string) error {
 		sfIncr := float64(sf.MeanIncrementalNS()) / 1e6
 		speedup := (slIncr/sfIncr - 1) * 100
 		speedupSum += speedup
+		measuredMin = math.Min(measuredMin, 100*obs.SkipRate(sf.Metrics))
 
 		stateBytes := sf.Cold.StateBytes
 		if n := len(sf.Incremental); n > 0 {
@@ -136,18 +219,18 @@ func run(args []string) error {
 			Decisions:              obs.DecisionCounts(sf.Metrics),
 			SkipRatePct:            round3(100 * obs.SkipRate(sf.Metrics)),
 		}
-		if *audit > 0 {
+		if audit > 0 {
 			// Sentinel-overhead comparison: the same history, stateful, with
 			// skip audits sampling at -audit. The delta vs the unaudited run
 			// above prices the sentinel.
 			acfg := cfg
-			acfg.AuditRate = *audit
+			acfg.AuditRate = audit
 			arun, err := bench.RunHistory(p, compiler.ModeStateful, acfg)
 			if err != nil {
 				return err
 			}
 			aIncr := float64(arun.MeanIncrementalNS()) / 1e6
-			pr.AuditRate = *audit
+			pr.AuditRate = audit
 			pr.StatefulAuditedIncrementalMS = round3(aIncr)
 			if sfIncr > 0 {
 				pr.AuditOverheadPct = round3((aIncr/sfIncr - 1) * 100)
@@ -158,23 +241,145 @@ func run(args []string) error {
 		doc.Profiles = append(doc.Profiles, pr)
 		fmt.Fprintf(os.Stderr, "%-12s stateless %.3fms  stateful %.3fms  speedup %+.2f%%  skip-rate %.1f%%\n",
 			p.Name, slIncr, sfIncr, speedup, 100*obs.SkipRate(sf.Metrics))
-		if *audit > 0 {
+		if audit > 0 {
 			fmt.Fprintf(os.Stderr, "%-12s audited(p=%.2f) %.3fms  overhead %+.2f%%  sampled %d  unsound %d\n",
-				"", *audit, pr.StatefulAuditedIncrementalMS, pr.AuditOverheadPct, pr.AuditSampled, pr.AuditUnsound)
+				"", audit, pr.StatefulAuditedIncrementalMS, pr.AuditOverheadPct, pr.AuditSampled, pr.AuditUnsound)
 		}
 	}
 	doc.MeanSpeedupPct = round3(speedupSum / float64(len(suite)))
+	doc.MinSkipRateFloorPct = minSkip
+	doc.MeasuredMinSkipRatePct = round3(measuredMin)
+	doc.SkipRateGuard = guardVerdict(minSkip, measuredMin)
 
-	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err := writeJSON(out, &doc); err != nil {
+		return err
+	}
+	return guardErr(minSkip, measuredMin)
+}
+
+func runMatrix(out string, commits, repeats, nprofiles int, workersFlag string, minSkip float64) error {
+	suite := workload.StandardSuite()
+	if nprofiles < len(suite) {
+		suite = suite[:nprofiles]
+	}
+	var workers []int
+	for _, s := range splitComma(workersFlag) {
+		var w int
+		if _, err := fmt.Sscanf(s, "%d", &w); err != nil || w < 1 {
+			return fmt.Errorf("bad -workers element %q", s)
+		}
+		workers = append(workers, w)
+	}
+
+	genBy := fmt.Sprintf("go run ./cmd/benchbaseline -matrix -commits %d -repeats %d -profiles %d -workers %s",
+		commits, repeats, nprofiles, workersFlag)
+	if minSkip > 0 {
+		genBy += fmt.Sprintf(" -min-skip-rate %g", minSkip)
+	}
+	doc := Matrix{
+		GeneratedBy: genBy,
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Commits:     commits,
+		Repeats:     repeats,
+	}
+
+	cells, err := bench.RunMatrix(bench.MatrixOptions{
+		Profiles: suite,
+		Workers:  workers,
+		Commits:  commits,
+		Repeats:  repeats,
+	})
+	if err != nil {
+		return err
+	}
+	measuredMin := math.Inf(1)
+	for i := range cells {
+		c := &cells[i]
+		c.ColdMS = round3(c.ColdMS)
+		c.P50IncrementalMS = round3(c.P50IncrementalMS)
+		c.P99IncrementalMS = round3(c.P99IncrementalMS)
+		c.MeanIncrementalMS = round3(c.MeanIncrementalMS)
+		c.SkipRatePct = round3(c.SkipRatePct)
+		c.MemoHitPct = round3(c.MemoHitPct)
+		c.AllocsPerBuild = math.Round(c.AllocsPerBuild)
+		measuredMin = math.Min(measuredMin, c.SkipRatePct)
+		fmt.Fprintf(os.Stderr, "%-12s ×%-3d p50 %.3fms  p99 %.3fms  skip %.1f%%  memo-hit %.1f%%  allocs/build %.0f\n",
+			c.Profile, c.Workers, c.P50IncrementalMS, c.P99IncrementalMS,
+			c.SkipRatePct, c.MemoHitPct, c.AllocsPerBuild)
+	}
+	doc.Cells = cells
+
+	for _, p := range suite {
+		fc, err := bench.CompareFingerprints(p)
+		if err != nil {
+			return err
+		}
+		fc.SpeedupWarmVsLegacy = round3(fc.SpeedupWarmVsLegacy)
+		doc.FingerprintCompare = append(doc.FingerprintCompare, fc)
+		sc, err := bench.CompareStateFormats(p)
+		if err != nil {
+			return err
+		}
+		doc.StateCompare = append(doc.StateCompare, sc)
+		fmt.Fprintf(os.Stderr, "%-12s fingerprint legacy %dns  cold %dns  warm %dns (%.1fx)  state v4 %dB/%dns  v5 %dB/%dns\n",
+			p.Name, fc.LegacyNSPerModule, fc.ColdMemoNSPerModule, fc.WarmMemoNSPerModule,
+			fc.SpeedupWarmVsLegacy, sc.V4Bytes, sc.V4DecodeNS, sc.V5Bytes, sc.V5DecodeNS)
+	}
+
+	doc.MinSkipRateFloorPct = minSkip
+	doc.MeasuredMinSkipRatePct = round3(measuredMin)
+	doc.SkipRateGuard = guardVerdict(minSkip, measuredMin)
+
+	if err := writeJSON(out, &doc); err != nil {
+		return err
+	}
+	return guardErr(minSkip, measuredMin)
+}
+
+func guardVerdict(floor, measured float64) string {
+	switch {
+	case floor <= 0:
+		return "off"
+	case measured < floor:
+		return "fail"
+	default:
+		return "pass"
+	}
+}
+
+func guardErr(floor, measured float64) error {
+	if floor > 0 && measured < floor {
+		return fmt.Errorf("skip-rate guard: measured minimum %.1f%% below floor %.1f%%", measured, floor)
+	}
+	return nil
+}
+
+func writeJSON(out string, doc any) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
-	if *out == "-" {
+	if out == "-" {
 		_, err = os.Stdout.Write(data)
 		return err
 	}
-	return os.WriteFile(*out, data, 0o644)
+	return os.WriteFile(out, data, 0o644)
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
 }
 
 func round3(v float64) float64 {

@@ -84,6 +84,13 @@ type Options struct {
 	// never output: auditing a sound skip re-runs a dormant pass, which by
 	// definition leaves the IR unchanged.
 	AuditSeed uint64
+	// SelfCheckHashes cross-checks every memoized fingerprint against a
+	// from-scratch recomputation and panics on divergence (slow; tests
+	// only). This is the differential oracle for the hierarchical
+	// fingerprint memo: a pass that mutates IR without advancing the
+	// generation counters shows up here immediately instead of as a silent
+	// unsound skip.
+	SelfCheckHashes bool
 	// Obs carries the observability context: per-slot spans go to its
 	// tracer, pipeline totals to its counters. Nil disables both.
 	Obs *obs.Sink
@@ -95,6 +102,11 @@ type Driver struct {
 	infos []passes.Info
 	fps   []passes.FuncPass   // per slot (nil for module slots)
 	mps   []passes.ModulePass // per slot (nil for function slots)
+
+	// memo caches per-block hashes across pipeline slots and compilations
+	// (entries are reset at every Run; the map's capacity persists).
+	// Drivers are single-threaded per worker, so no locking.
+	memo *fingerprint.Memo
 
 	// auditState is the sentinel's splitmix64 PRNG state (advanced only
 	// when 0 < AuditRate < 1).
@@ -109,7 +121,7 @@ func NewDriver(opts Options) (*Driver, error) {
 	if opts.AuditSeed == 0 {
 		opts.AuditSeed = 1
 	}
-	d := &Driver{opts: opts, auditState: opts.AuditSeed}
+	d := &Driver{opts: opts, auditState: opts.AuditSeed, memo: fingerprint.NewMemo()}
 	for _, name := range opts.Pipeline {
 		info, ok := passes.Lookup(name)
 		if !ok {
@@ -164,10 +176,15 @@ func quarantineFor(st *UnitState, reason string) *Quarantine {
 // Policy returns the driver's skipping policy.
 func (d *Driver) Policy() Policy { return d.opts.Policy }
 
-// hashCache caches per-function fingerprints across pipeline slots.
+// hashCache caches per-function fingerprints across pipeline slots, backed
+// by the driver's per-block hash memo: an active pass invalidates one
+// function's hash, and the following rehash recomputes only the blocks the
+// pass actually touched (tracked by the IR generation counters).
 type hashCache struct {
-	vals  map[*ir.Func]uint64
-	stats *Stats
+	vals      map[*ir.Func]uint64
+	memo      *fingerprint.Memo
+	stats     *Stats
+	selfCheck bool
 }
 
 func (c *hashCache) get(f *ir.Func) uint64 {
@@ -175,16 +192,36 @@ func (c *hashCache) get(f *ir.Func) uint64 {
 		return h
 	}
 	start := time.Now()
-	h := fingerprint.Function(f)
+	h := fingerprint.FunctionWith(f, c.memo)
 	c.stats.HashNS += time.Since(start).Nanoseconds()
 	c.stats.Hashes++
+	if c.selfCheck {
+		if ref := fingerprint.Function(f); ref != h {
+			panic(fmt.Sprintf("core: memoized fingerprint of %s diverged from reference "+
+				"(%#x != %#x): an IR mutation missed its generation bump", f.Name, h, ref))
+		}
+	}
 	c.vals[f] = h
 	return h
 }
 
 func (c *hashCache) invalidate(f *ir.Func) { delete(c.vals, f) }
 
-func (c *hashCache) invalidateAll() { c.vals = make(map[*ir.Func]uint64) }
+// invalidateDeep additionally drops f's memoized block hashes. The audit
+// path uses it: a lying pass may have mutated IR without advancing the
+// generation counters, so the sentinel's rehash must not trust the memo.
+func (c *hashCache) invalidateDeep(f *ir.Func) {
+	delete(c.vals, f)
+	c.memo.Invalidate(f)
+}
+
+// invalidateAll drops every cached hash, function- and block-level. Module
+// passes may mutate any function's blocks without generation-counter
+// discipline (they splice IR directly), so the block memo must go too.
+func (c *hashCache) invalidateAll() {
+	c.vals = make(map[*ir.Func]uint64)
+	c.memo.Reset()
+}
 
 // Run executes the pipeline on m. When the policy is stateful or
 // predictive, st supplies and receives dormancy records; it may be nil (or
@@ -218,7 +255,17 @@ func (d *Driver) RunContext(ctx context.Context, m *ir.Module, st *UnitState) (*
 		stats.Slots[i].Pass = info.Name
 		stats.Slots[i].Module = info.Module
 	}
-	cache := &hashCache{vals: make(map[*ir.Func]uint64), stats: stats}
+	// The block memo never survives a compilation boundary: fresh IR means
+	// fresh *ir.Block identities and generation counters, and a stale entry
+	// keyed by a recycled pointer must not be consulted.
+	d.memo.Reset()
+	memoized0, rehashed0 := d.memo.BlocksMemoized, d.memo.BlocksRehashed
+	cache := &hashCache{
+		vals:      make(map[*ir.Func]uint64),
+		memo:      d.memo,
+		stats:     stats,
+		selfCheck: d.opts.SelfCheckHashes,
+	}
 
 	// The prune set is the functions entering the pipeline: a function the
 	// pipeline itself deletes (deadfunc) reappears in the next build's
@@ -235,6 +282,7 @@ func (d *Driver) RunContext(ctx context.Context, m *ir.Module, st *UnitState) (*
 		// span covers it; hash time is attributed by delta.
 		spanStart := tr.Now()
 		hashes0, hashNS0 := stats.Hashes, stats.HashNS
+		bm0, br0 := d.memo.BlocksMemoized, d.memo.BlocksRehashed
 
 		var err error
 		if cerr := ctx.Err(); cerr != nil {
@@ -255,6 +303,8 @@ func (d *Driver) RunContext(ctx context.Context, m *ir.Module, st *UnitState) (*
 				}
 			}
 		}
+		ss.BlocksMemoized += d.memo.BlocksMemoized - bm0
+		ss.BlocksRehashed += d.memo.BlocksRehashed - br0
 		if tr != nil {
 			tr.Emit(obs.Span{
 				Name: "pass:" + info.Name, Cat: obs.CatPass,
@@ -266,6 +316,8 @@ func (d *Driver) RunContext(ctx context.Context, m *ir.Module, st *UnitState) (*
 			})
 		}
 		if err != nil {
+			stats.BlocksMemoized = d.memo.BlocksMemoized - memoized0
+			stats.BlocksRehashed = d.memo.BlocksRehashed - rehashed0
 			d.countStats(stats)
 			return st, stats, err
 		}
@@ -273,6 +325,8 @@ func (d *Driver) RunContext(ctx context.Context, m *ir.Module, st *UnitState) (*
 
 	// Garbage-collect records of functions deleted from the source.
 	st.Prune(live)
+	stats.BlocksMemoized = d.memo.BlocksMemoized - memoized0
+	stats.BlocksRehashed = d.memo.BlocksRehashed - rehashed0
 	d.countStats(stats)
 	return st, stats, nil
 }
@@ -305,6 +359,8 @@ func (d *Driver) countStats(stats *Stats) {
 	pc.SavedNS.Add(stats.SavedNS())
 	pc.Hashes.Add(int64(stats.Hashes))
 	pc.HashNS.Add(stats.HashNS)
+	pc.BlocksMemoized.Add(stats.BlocksMemoized)
+	pc.BlocksRehashed.Add(stats.BlocksRehashed)
 	pc.DecSkipped.Add(int64(skipped))
 	pc.DecCold.Add(int64(cold))
 	pc.DecNotDormant.Add(int64(notDormant))
@@ -389,7 +445,7 @@ func (d *Driver) runFuncSlot(m *ir.Module, f *ir.Func, st *UnitState, slot int, 
 		pass.Run(f)
 		elapsed := time.Since(start).Nanoseconds()
 		ss.RunNS += elapsed
-		cache.invalidate(f)
+		cache.invalidateDeep(f)
 		h2 := cache.get(f)
 		if h2 == h {
 			ss.Skipped++ // the skip decision stands, audited and confirmed

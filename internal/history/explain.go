@@ -75,15 +75,16 @@ func RenderExplain(recs []Record, unit string) (string, error) {
 				prevPasses = pu.Passes
 			}
 		}
-		fmt.Fprintf(&sb, "  %-4s %-12s %-22s %5s %5s %5s %5s %9s %9s  %s\n",
-			"slot", "pass", "reason", "runs", "skip", "dorm", "audit", "time", "saved", "prev-reason")
+		fmt.Fprintf(&sb, "  %-4s %-12s %-22s %5s %5s %5s %5s %6s %6s %9s %9s  %s\n",
+			"slot", "pass", "reason", "runs", "skip", "dorm", "audit", "bmemo", "bhash", "time", "saved", "prev-reason")
 		for _, pd := range ur.Passes {
 			audit := fmt.Sprintf("%d", pd.Audited)
 			if pd.Unsound > 0 {
 				audit = fmt.Sprintf("%d!%d", pd.Audited, pd.Unsound)
 			}
-			fmt.Fprintf(&sb, "  [%2d] %-12s %-22s %5d %5d %5d %5s %8.3fms %8.3fms  %s\n",
+			fmt.Fprintf(&sb, "  [%2d] %-12s %-22s %5d %5d %5d %5s %6d %6d %8.3fms %8.3fms  %s\n",
 				pd.Slot, pd.Pass, pd.Reason, pd.Runs, pd.Skipped, pd.Dormant, audit,
+				pd.BlocksMemoized, pd.BlocksRehashed,
 				float64(pd.RunNS)/1e6, float64(pd.SavedNS)/1e6,
 				prevReason(prevPasses, pd.Slot))
 		}

@@ -27,6 +27,9 @@ func (f *Func) ReplaceAllUses(old, new *Value) {
 		for i, a := range v.Args {
 			if a == old {
 				v.Args[i] = new
+				if v.Block != nil {
+					v.Block.Touch()
+				}
 			}
 		}
 	})
@@ -39,6 +42,7 @@ func (b *Block) RemoveInstr(v *Value) bool {
 		if w == v {
 			b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
 			v.Block = nil
+			b.TouchLayout()
 			return true
 		}
 	}
@@ -51,6 +55,7 @@ func (b *Block) RemovePhi(v *Value) bool {
 		if w == v {
 			b.Phis = append(b.Phis[:i], b.Phis[i+1:]...)
 			v.Block = nil
+			b.TouchLayout()
 			return true
 		}
 	}
@@ -71,6 +76,8 @@ func (b *Block) RedirectEdge(oldTo, newTo *Block) bool {
 			b.Term.Blocks[i] = newTo
 			oldTo.removePredEdge(b)
 			newTo.Preds = append(newTo.Preds, b)
+			b.Touch()
+			newTo.Touch()
 			done = true
 			break // redirect a single occurrence
 		}
@@ -91,6 +98,7 @@ func (f *Func) Unlink(b *Block) {
 	for i, q := range f.Blocks {
 		if q == b {
 			f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+			f.layoutGen++
 			break
 		}
 	}
@@ -106,6 +114,7 @@ func (b *Block) SplitEdge(succ *Block) *Block {
 	for i, s := range b.Term.Blocks {
 		if s == succ {
 			b.Term.Blocks[i] = mid
+			b.Touch()
 			break
 		}
 	}
@@ -113,6 +122,7 @@ func (b *Block) SplitEdge(succ *Block) *Block {
 	for i, p := range succ.Preds {
 		if p == b {
 			succ.Preds[i] = mid
+			succ.Touch()
 			break
 		}
 	}

@@ -22,6 +22,11 @@ const (
 	CtrPassSavedNS      = "pass.saved_ns"
 	CtrHashes           = "fingerprint.hashes"
 	CtrHashNS           = "fingerprint.hash_ns"
+	// Hierarchical-fingerprint memo effectiveness: block hashes served from
+	// the memo vs recomputed. Their ratio is the hierarchy's hit rate;
+	// `minibuild explain` renders it per pass (docs/PERFORMANCE.md).
+	CtrBlocksMemoized = "fingerprint.blocks_memoized"
+	CtrBlocksRehashed = "fingerprint.blocks_rehashed"
 
 	// Decision-provenance counters: every pass execution decision falls
 	// into exactly one bucket (see core.Reason* and docs/OBSERVABILITY.md).
@@ -169,6 +174,7 @@ type PassCounters struct {
 	Runs, Dormant, Skipped, Mispredicted *Counter
 	RunNS, SavedNS                       *Counter
 	Hashes, HashNS                       *Counter
+	BlocksMemoized, BlocksRehashed       *Counter
 	// Soundness-sentinel totals (audit.* counters).
 	Audited, Unsound *Counter
 	// Decision-provenance buckets (decision.* counters).
@@ -190,6 +196,8 @@ func (r *Registry) Pass() *PassCounters {
 		SavedNS:        r.Counter(CtrPassSavedNS),
 		Hashes:         r.Counter(CtrHashes),
 		HashNS:         r.Counter(CtrHashNS),
+		BlocksMemoized: r.Counter(CtrBlocksMemoized),
+		BlocksRehashed: r.Counter(CtrBlocksRehashed),
 		Audited:        r.Counter(CtrAuditSampled),
 		Unsound:        r.Counter(CtrAuditUnsound),
 		DecSkipped:     r.Counter(CtrDecSkippedDormant),

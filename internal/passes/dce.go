@@ -43,13 +43,14 @@ func (*DCE) Run(f *ir.Func) bool {
 
 	changed := false
 	for _, b := range f.Blocks {
+		removed := false
 		keepInstrs := b.Instrs[:0]
 		for _, v := range b.Instrs {
 			if live[v] || v.Op.HasSideEffects() {
 				keepInstrs = append(keepInstrs, v)
 			} else {
 				v.Block = nil
-				changed = true
+				removed = true
 			}
 		}
 		b.Instrs = keepInstrs
@@ -59,10 +60,14 @@ func (*DCE) Run(f *ir.Func) bool {
 				keepPhis = append(keepPhis, v)
 			} else {
 				v.Block = nil
-				changed = true
+				removed = true
 			}
 		}
 		b.Phis = keepPhis
+		if removed {
+			b.TouchLayout()
+			changed = true
+		}
 	}
 	return changed
 }

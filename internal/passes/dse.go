@@ -94,6 +94,7 @@ func removeWriteOnlyAllocas(f *ir.Func) bool {
 	infos := analyzeAllocas(f)
 	changed := false
 	for _, b := range f.Blocks {
+		removed := false
 		keep := b.Instrs[:0]
 		for _, v := range b.Instrs {
 			dead := false
@@ -107,12 +108,16 @@ func removeWriteOnlyAllocas(f *ir.Func) bool {
 			}
 			if dead {
 				v.Block = nil
+				removed = true
 				changed = true
 			} else {
 				keep = append(keep, v)
 			}
 		}
 		b.Instrs = keep
+		if removed {
+			b.TouchLayout()
+		}
 	}
 	// The allocas and their indexaddrs are now dead; leave them to DCE
 	// (indexaddr is marked effectful for bounds checks, but a bounds check
@@ -179,6 +184,7 @@ func removeOverwrittenStores(f *ir.Func) bool {
 				}
 			}
 			b.Instrs = keep
+			b.TouchLayout()
 		}
 	}
 	return changed

@@ -72,6 +72,7 @@ func (*GVN) Run(f *ir.Func) bool {
 			for i, a := range v.Args {
 				if r := resolve(a); r != a {
 					v.Args[i] = r
+					b.Touch()
 					changed = true
 				}
 			}
@@ -110,6 +111,7 @@ func (*GVN) Run(f *ir.Func) bool {
 			for i, a := range phi.Args {
 				if r := resolve(a); r != a {
 					phi.Args[i] = r
+					b.Touch()
 					changed = true
 				}
 			}
@@ -118,6 +120,7 @@ func (*GVN) Run(f *ir.Func) bool {
 			for i, a := range b.Term.Args {
 				if r := resolve(a); r != a {
 					b.Term.Args[i] = r
+					b.Touch()
 					changed = true
 				}
 			}
@@ -139,6 +142,9 @@ func (*GVN) Run(f *ir.Func) bool {
 		for i, a := range v.Args {
 			if r := resolve(a); r != a {
 				v.Args[i] = r
+				if v.Block != nil {
+					v.Block.Touch()
+				}
 				changed = true
 			}
 		}

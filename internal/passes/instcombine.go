@@ -58,6 +58,7 @@ func simplifyBranch(b *ir.Block) bool {
 	}
 	t.Args[0] = cond.Args[0]
 	t.Blocks[0], t.Blocks[1] = t.Blocks[1], t.Blocks[0]
+	b.Touch()
 	return true
 }
 
@@ -89,6 +90,7 @@ func simplifyValue(f *ir.Func, v *ir.Value) (*ir.Value, bool) {
 			inv, _ := x.Op.InvertCompare()
 			v.Op = inv
 			v.Args = []*ir.Value{x.Args[0], x.Args[1]}
+			v.Block.Touch()
 			return nil, true
 		}
 		return nil, false
@@ -115,6 +117,7 @@ func simplifyBinary(f *ir.Func, v *ir.Value) (*ir.Value, bool) {
 		v.Args[0], v.Args[1] = y, x
 		x, y = v.Args[0], v.Args[1]
 		xc, xConst, yc, yConst = yc, yConst, xc, xConst
+		v.Block.Touch()
 		mutated = true
 	}
 
@@ -155,6 +158,7 @@ func simplifyBinary(f *ir.Func, v *ir.Value) (*ir.Value, bool) {
 				if folded, ok := ir.EvalBinary(v.Op, c1, yc); ok {
 					v.Args[0] = x.Args[0]
 					v.Args[1] = f.ConstInt(folded)
+					v.Block.Touch()
 					return nil, true
 				}
 			}

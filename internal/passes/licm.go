@@ -93,6 +93,7 @@ func hoistLoop(f *ir.Func, loop *analysis.Loop) bool {
 		v.Block = pre
 		pre.Instrs = append(pre.Instrs, v)
 	}
+	pre.TouchLayout()
 	return true
 }
 

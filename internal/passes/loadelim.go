@@ -28,6 +28,7 @@ func (*LoadElim) Run(f *ir.Func) bool {
 	changed := false
 	for _, b := range f.Blocks {
 		avail := make(map[*ir.Value]*ir.Value) // ptr -> current memory value
+		removed := false
 		keep := b.Instrs[:0]
 		for _, v := range b.Instrs {
 			switch v.Op {
@@ -36,6 +37,7 @@ func (*LoadElim) Run(f *ir.Func) bool {
 				if known, ok := avail[ptr]; ok && known.Type == v.Type {
 					f.ReplaceAllUses(v, known)
 					v.Block = nil
+					removed = true
 					changed = true
 					continue // drop the load
 				}
@@ -55,6 +57,9 @@ func (*LoadElim) Run(f *ir.Func) bool {
 			keep = append(keep, v)
 		}
 		b.Instrs = keep
+		if removed {
+			b.TouchLayout()
+		}
 	}
 	return changed
 }

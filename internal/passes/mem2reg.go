@@ -135,7 +135,12 @@ func (*Mem2Reg) Run(f *ir.Func) bool {
 	}
 	f.ForEachValue(func(v *ir.Value) {
 		for i, a := range v.Args {
-			v.Args[i] = resolve(a)
+			if r := resolve(a); r != a {
+				v.Args[i] = r
+				if v.Block != nil {
+					v.Block.Touch()
+				}
+			}
 		}
 	})
 

@@ -178,16 +178,19 @@ func mergeStraightLine(f *ir.Func) bool {
 					}
 				}
 			}
+			s.Touch()
 		}
 		b.Term = nil
 		term.Block = pred
 		// Detach pred's old jump and install b's terminator directly: the
 		// successor pred-lists were already rewritten in place.
 		pred.Term = term
+		pred.TouchLayout()
 		// Remove b from the function.
 		for i, q := range f.Blocks {
 			if q == b {
 				f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+				b.TouchLayout()
 				break
 			}
 		}

@@ -33,6 +33,7 @@ func (*Strength) Run(f *ir.Func) bool {
 					// x + x → x << 1.
 					v.Op = ir.OpShl
 					v.Args[1] = f.ConstInt(1)
+					b.Touch()
 					changed = true
 				}
 			}
@@ -61,10 +62,12 @@ func reduceMul(f *ir.Func, b *ir.Block, i *int, v *ir.Value) bool {
 	case c == -1:
 		v.Op = ir.OpNeg
 		v.Args = []*ir.Value{x}
+		b.Touch()
 		return true
 	case c > 1 && isPow2(c):
 		v.Op = ir.OpShl
 		v.Args = []*ir.Value{x, f.ConstInt(int64(bits.TrailingZeros64(uint64(c))))}
+		b.Touch()
 		return true
 	case c > 2 && isPow2(c-1):
 		// x * (2^k + 1) → (x << k) + x
@@ -73,6 +76,7 @@ func reduceMul(f *ir.Func, b *ir.Block, i *int, v *ir.Value) bool {
 		*i++
 		v.Op = ir.OpAdd
 		v.Args = []*ir.Value{sh, x}
+		b.Touch()
 		return true
 	case c > 2 && isPow2(c+1):
 		// x * (2^k - 1) → (x << k) - x
@@ -81,6 +85,7 @@ func reduceMul(f *ir.Func, b *ir.Block, i *int, v *ir.Value) bool {
 		*i++
 		v.Op = ir.OpSub
 		v.Args = []*ir.Value{sh, x}
+		b.Touch()
 		return true
 	}
 	return false

@@ -6,10 +6,12 @@ package state_test
 //
 //  1. Decode never panics and never over-allocates, no matter the bytes:
 //     every slice it grows is bounded by the bytes actually present, not
-//     by counts declared in the header.
+//     by counts declared in the header. This covers both decoders — the
+//     zero-copy v5 cursor and the legacy v3/v4 streaming parser.
 //  2. Anything Decode accepts is canonical: re-encoding the decoded state
 //     succeeds, FileSize agrees with the re-encoded length, and decoding
-//     the re-encoding reproduces the state exactly.
+//     the re-encoding reproduces the state exactly (older versions
+//     migrate to the current layout in the process).
 //
 // Run with: go test -fuzz FuzzStateDecode ./internal/state
 
@@ -62,27 +64,37 @@ func fuzzSeedStates() []*core.UnitState {
 }
 
 func FuzzStateDecode(f *testing.F) {
+	// Seed both the current zero-copy layout and the frozen v4 layout so
+	// the fuzzer mutates structure in both decoders from the start.
 	for _, st := range fuzzSeedStates() {
-		var buf bytes.Buffer
-		if err := state.Encode(&buf, st); err != nil {
-			f.Fatal(err)
-		}
-		data := buf.Bytes()
-		f.Add(append([]byte(nil), data...))
-		// Truncations steer the fuzzer at every mid-structure boundary.
-		for _, n := range []int{0, 4, 8, 12, len(data) / 2, len(data) - 1} {
-			if n <= len(data) {
-				f.Add(append([]byte(nil), data[:n]...))
+		for _, enc := range []func(*bytes.Buffer, *core.UnitState) error{
+			func(b *bytes.Buffer, st *core.UnitState) error { return state.Encode(b, st) },
+			func(b *bytes.Buffer, st *core.UnitState) error { return state.EncodeV4(b, st) },
+		} {
+			var buf bytes.Buffer
+			if err := enc(&buf, st); err != nil {
+				f.Fatal(err)
+			}
+			data := buf.Bytes()
+			f.Add(append([]byte(nil), data...))
+			// Truncations steer the fuzzer at every mid-structure boundary.
+			for _, n := range []int{0, 4, 8, 12, len(data) / 2, len(data) - 1} {
+				if n <= len(data) {
+					f.Add(append([]byte(nil), data[:n]...))
+				}
 			}
 		}
 	}
-	// Adversarial header: valid magic/version, then huge declared counts
-	// with no bytes behind them — the over-allocation shape.
-	hdr := []byte("SCCSTATE")
-	hdr = binary.LittleEndian.AppendUint32(hdr, state.FormatVersion)
-	hdr = binary.LittleEndian.AppendUint64(hdr, 42)    // pipeline hash
-	hdr = binary.LittleEndian.AppendUint32(hdr, 1<<19) // huge unit-name length
-	f.Add(append([]byte(nil), hdr...))
+	// Adversarial headers: valid magic/version, then huge declared counts
+	// with no bytes behind them — the over-allocation shape — for every
+	// accepted version.
+	for _, v := range []uint32{3, 4, state.FormatVersion} {
+		hdr := []byte("SCCSTATE")
+		hdr = binary.LittleEndian.AppendUint32(hdr, v)
+		hdr = binary.LittleEndian.AppendUint64(hdr, 42)    // pipeline hash
+		hdr = binary.LittleEndian.AppendUint32(hdr, 1<<19) // huge unit-name length
+		f.Add(append([]byte(nil), hdr...))
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		st, err := state.Decode(bytes.NewReader(data))
@@ -94,6 +106,16 @@ func FuzzStateDecode(f *testing.F) {
 		}
 		if st == nil {
 			t.Fatal("Decode returned neither state nor error")
+		}
+
+		// DecodeBytes is the same parser without the reader indirection;
+		// it must agree byte-for-byte (the zero-copy load path).
+		st0, err := state.DecodeBytes(append([]byte(nil), data...))
+		if err != nil {
+			t.Fatalf("DecodeBytes rejects what Decode accepted: %v", err)
+		}
+		if !reflect.DeepEqual(st, st0) {
+			t.Fatalf("Decode and DecodeBytes disagree:\nreader: %+v\nbytes:  %+v", st, st0)
 		}
 
 		// Accepted input must round-trip canonically.

@@ -9,7 +9,7 @@
 // the internal/vfs seam (SaveFS/LoadFS), and the chaos suites walk every
 // injectable fault point (docs/ROBUSTNESS.md).
 //
-// Layout (version 4). Two observations keep the state tiny, mirroring the
+// Layout (version 5). Two observations keep the state tiny, mirroring the
 // paper's pitch:
 //
 //   - only *dormant* records can ever satisfy a skip, so records of active
@@ -22,10 +22,10 @@
 // Costs are EWMA pass times quantized to 256ns units (they only feed
 // estimated-savings reporting).
 //
-//	magic "SCCSTATE" | u32 version | u64 pipelineHash | unit string
-//	quarantineBlock                                       (v4+)
-//	recordBlock(module slots)
-//	u32 nFuncs | nFuncs × ( string name, recordBlock(slots) )
+//	magic "SCCSTATE" | u32 version | u64 pipelineHash | string unit
+//	quarantineBlock
+//	u32 recLen | recordBlock(module slots)                (v5+: length prefix)
+//	u32 nFuncs | nFuncs × ( string name, u32 recLen, recordBlock(slots) )
 //
 //	quarantineBlock: u8 present [, string reason, uvarint clean,
 //	                 uvarint nPasses, nPasses × string ]
@@ -36,19 +36,32 @@
 // flags: bit0 = changed, bit1 = seen. hashIdx/cost follow only for seen
 // dormant (changed=0) slots.
 //
-// Version 3 files (no quarantineBlock) still decode: the loader accepts
-// both versions and migrates v3 to an in-memory state with no quarantine.
-// The next save rewrites the file as v4.
+// Version 5 is the zero-copy layout: the loader reads the whole file into
+// one buffer and DecodeBytes slices it in place — strings (unit name,
+// function names, quarantine reasons) are *references into the buffer*
+// (unsafe.String), never copies, and every record block carries a u32 byte
+// length so a reader can locate any function's records without parsing the
+// ones before it. The returned UnitState therefore aliases the input
+// buffer; callers must not mutate it (LoadFS always hands DecodeBytes a
+// fresh private buffer).
+//
+// Version 3 files (no quarantineBlock) and version 4 files (no record
+// length prefixes, copied strings) still decode: the loader accepts all
+// three versions and migrates older ones transparently. The next save
+// rewrites the file as v5. EncodeV4 is retained so benchmarks can compare
+// the layouts and the frozen v4 golden pins stay reproducible.
 package state
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"unsafe"
 
 	"statefulcc/internal/core"
 	"statefulcc/internal/vfs"
@@ -56,8 +69,9 @@ import (
 
 var magic = [8]byte{'S', 'C', 'C', 'S', 'T', 'A', 'T', 'E'}
 
-// FormatVersion is the on-disk layout version the encoder writes.
-const FormatVersion = 4
+// FormatVersion is the on-disk layout version the encoder writes (v5, the
+// zero-copy layout).
+const FormatVersion = 5
 
 // minFormatVersion is the oldest layout the decoder still accepts (v3,
 // which predates the quarantine block).
@@ -120,7 +134,10 @@ func Load(path string) (*core.UnitState, error) {
 }
 
 // LoadFS is Load through an injectable filesystem (nil means the real
-// one).
+// one). The whole file is read into one private buffer and decoded in
+// place — the zero-copy path for v5 files, a plain parse for older
+// versions. Going through fsys.Open/Read (rather than mmap) keeps every
+// byte of the load path under the fault-injection seam.
 func LoadFS(fsys vfs.FS, path string) (*core.UnitState, error) {
 	f, err := vfs.Default(fsys).Open(path)
 	if os.IsNotExist(err) {
@@ -130,15 +147,70 @@ func LoadFS(fsys vfs.FS, path string) (*core.UnitState, error) {
 		return nil, fmt.Errorf("state: %w", err)
 	}
 	defer f.Close()
-	return Decode(bufio.NewReader(f))
+	buf, err := io.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("state: %w", err)
+	}
+	return DecodeBytes(buf)
 }
 
-// Encode streams the state in the binary format. Functions are written in
-// name order so the output is deterministic.
+// Encode streams the state in the current (v5) binary format. Functions
+// are written in name order so the output is deterministic.
 func Encode(w io.Writer, st *core.UnitState) error {
 	e := &encoder{w: w}
 	e.bytes(magic[:])
 	e.u32(FormatVersion)
+	e.u64(st.PipelineHash)
+	e.str(st.Unit)
+
+	e.quarantineBlock(st.Quarantine)
+
+	// Record blocks are length-prefixed in v5 so a reader can slice its way
+	// to any function without parsing the blocks before it. The block is
+	// staged in a scratch buffer to learn its length; the buffer is reused
+	// across functions.
+	var scratch bytes.Buffer
+	e.sizedRecordBlock(&scratch, st.ModuleSlots, st.ModuleSeen)
+
+	names := make([]string, 0, len(st.Funcs))
+	for name := range st.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	e.u32(uint32(len(names)))
+	for _, name := range names {
+		fs := st.Funcs[name]
+		e.str(name)
+		e.sizedRecordBlock(&scratch, fs.Slots, fs.Seen)
+	}
+	return e.err
+}
+
+// sizedRecordBlock writes a u32 byte-length prefix followed by the record
+// block, staging it in scratch to measure it.
+func (e *encoder) sizedRecordBlock(scratch *bytes.Buffer, slots []core.Record, seen []bool) {
+	if e.err != nil {
+		return
+	}
+	scratch.Reset()
+	sub := &encoder{w: scratch}
+	sub.recordBlock(slots, seen)
+	if sub.err != nil {
+		e.err = sub.err
+		return
+	}
+	e.u32(uint32(scratch.Len()))
+	e.bytes(scratch.Bytes())
+}
+
+// EncodeV4 streams the state in the previous (v4) layout: no record
+// length prefixes. Retained for the frozen v4 golden pins and for
+// benchmarks that compare the layouts' encode/decode cost; new state is
+// always written by Encode.
+func EncodeV4(w io.Writer, st *core.UnitState) error {
+	e := &encoder{w: w}
+	e.bytes(magic[:])
+	e.u32(4)
 	e.u64(st.PipelineHash)
 	e.str(st.Unit)
 
@@ -292,8 +364,256 @@ func (d *decoder) recordBlock() ([]core.Record, []bool) {
 	return slots, seen
 }
 
-// Decode parses the binary format.
+// Decode parses the binary format. The reader is drained into one buffer
+// and handed to DecodeBytes, so v5 inputs decode zero-copy.
 func Decode(r io.Reader) (*core.UnitState, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("state: %w", err)
+	}
+	return DecodeBytes(buf)
+}
+
+// DecodeBytes parses a state file held in memory. For v5 input the decode
+// is zero-copy: all strings in the returned state are unsafe.String views
+// into buf, so the caller must not mutate buf for the lifetime of the
+// state. Older versions (v3, v4) are parsed by the streaming decoder and
+// migrated; their strings are private copies.
+func DecodeBytes(buf []byte) (*core.UnitState, error) {
+	if len(buf) < 12 {
+		return nil, fmt.Errorf("state: %w", io.ErrUnexpectedEOF)
+	}
+	if !bytes.Equal(buf[:8], magic[:]) {
+		return nil, fmt.Errorf("state: bad magic")
+	}
+	v := binary.LittleEndian.Uint32(buf[8:12])
+	if v < minFormatVersion || v > FormatVersion {
+		return nil, fmt.Errorf("state: unsupported version %d", v)
+	}
+	if v < 5 {
+		return decodeStream(bytes.NewReader(buf))
+	}
+	return decodeV5(buf)
+}
+
+// decodeV5 is the zero-copy parser: a cursor over buf whose strings alias
+// the buffer and whose record blocks are located via their length
+// prefixes. Every declared length is checked against the bytes actually
+// present before use, so no count in the file can force an allocation or
+// an out-of-range slice.
+func decodeV5(buf []byte) (*core.UnitState, error) {
+	d := &bdec{buf: buf, off: 12} // past magic + version
+	st := &core.UnitState{Funcs: make(map[string]*core.FuncState)}
+	st.PipelineHash = d.u64()
+	st.Unit = d.str()
+
+	st.Quarantine = d.quarantineBlock()
+	st.ModuleSlots, st.ModuleSeen = d.sizedRecordBlock()
+
+	nFuncs := d.u32()
+	if d.err == nil && uint64(nFuncs) > uint64(len(buf)) {
+		// Each function costs at least one byte; anything larger is a lie.
+		d.err = fmt.Errorf("implausible function count %d", nFuncs)
+	}
+	for i := uint32(0); i < nFuncs && d.err == nil; i++ {
+		name := d.str()
+		slots, seen := d.sizedRecordBlock()
+		if d.err != nil {
+			break
+		}
+		st.Funcs[name] = &core.FuncState{Slots: slots, Seen: seen}
+	}
+	if d.err == nil && d.off != len(buf) {
+		d.err = fmt.Errorf("%d trailing bytes", len(buf)-d.off)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("state: %w", d.err)
+	}
+	return st, nil
+}
+
+// bdec is the v5 offset cursor. It reuses the streaming decoder's
+// recordBlock/quarantineBlock grammar by exposing the same primitive
+// methods, plus zero-copy strings and length-prefixed block slicing.
+type bdec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *bdec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.buf)-d.off {
+		d.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *bdec) u32() uint32 {
+	b := d.take(4)
+	if d.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *bdec) u64() uint64 {
+	b := d.take(8)
+	if d.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *bdec) byte() byte {
+	b := d.take(1)
+	if d.err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *bdec) uv() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// str returns a string aliasing the buffer — the zero-copy read. Length
+// is validated against the remaining bytes, so no allocation ever happens
+// here regardless of what the file declares.
+func (d *bdec) str() string {
+	n := d.u32()
+	b := d.take(int(n))
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// sizedRecordBlock slices a length-prefixed record block out of the
+// buffer and parses it. The parse must consume the block exactly — a
+// mismatch means a corrupt or non-canonical file.
+func (d *bdec) sizedRecordBlock() ([]core.Record, []bool) {
+	n := d.u32()
+	b := d.take(int(n))
+	if d.err != nil {
+		return nil, nil
+	}
+	sub := &bdec{buf: b}
+	slots, seen := sub.recordBlock()
+	if sub.err != nil {
+		d.err = sub.err
+		return nil, nil
+	}
+	if sub.off != len(b) {
+		d.err = fmt.Errorf("record block length %d does not match content (%d parsed)", n, sub.off)
+		return nil, nil
+	}
+	return slots, seen
+}
+
+func (d *bdec) quarantineBlock() *core.Quarantine {
+	fb := d.byte()
+	if d.err != nil || fb == 0 {
+		return nil
+	}
+	if fb != 1 {
+		d.err = fmt.Errorf("bad quarantine marker %d", fb)
+		return nil
+	}
+	q := &core.Quarantine{Reason: d.str()}
+	q.Clean = int(d.uv())
+	n := d.uv()
+	if d.err == nil && n > 1<<12 {
+		d.err = fmt.Errorf("implausible quarantined-pass count %d", n)
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		q.Passes = append(q.Passes, d.str())
+	}
+	if d.err != nil {
+		return nil
+	}
+	return q
+}
+
+func (d *bdec) recordBlock() ([]core.Record, []bool) {
+	n := d.uv()
+	if d.err == nil && n > 1<<16 {
+		d.err = fmt.Errorf("implausible slot count %d", n)
+	}
+	if d.err != nil {
+		return nil, nil
+	}
+	nHashes := d.uv()
+	if d.err == nil && nHashes > n {
+		d.err = fmt.Errorf("hash table larger than slot count")
+	}
+	// With the whole block in hand the declared counts are validated
+	// against the bytes present before anything is allocated: exact-size
+	// slices, no growth heuristics needed.
+	rem := uint64(len(d.buf) - d.off)
+	if d.err == nil && nHashes*8 > rem {
+		d.err = io.ErrUnexpectedEOF
+	}
+	if d.err == nil && n > rem-nHashes*8 {
+		// Each slot costs at least its flags byte.
+		d.err = io.ErrUnexpectedEOF
+	}
+	if d.err != nil {
+		return nil, nil
+	}
+	hashes := make([]uint64, nHashes)
+	for i := range hashes {
+		hashes[i] = d.u64()
+	}
+	if d.err != nil {
+		return nil, nil
+	}
+	slots := make([]core.Record, 0, n)
+	seen := make([]bool, 0, n)
+	for i := uint64(0); i < n; i++ {
+		fb := d.byte()
+		if d.err != nil {
+			return nil, nil
+		}
+		var r core.Record
+		r.Changed = fb&1 != 0
+		sn := fb&2 != 0
+		if sn && !r.Changed {
+			hi := d.uv()
+			if d.err == nil && hi >= uint64(len(hashes)) {
+				d.err = fmt.Errorf("hash index out of range")
+			}
+			if d.err != nil {
+				return nil, nil
+			}
+			r.InputHash = hashes[hi]
+			r.CostNS = int64(d.uv()) << 8
+			if d.err != nil {
+				return nil, nil
+			}
+		}
+		slots = append(slots, r)
+		seen = append(seen, sn)
+	}
+	return slots, seen
+}
+
+// decodeStream parses the legacy (v3/v4) streaming layouts.
+func decodeStream(r io.Reader) (*core.UnitState, error) {
 	d := &decoder{r: r}
 	var m [8]byte
 	d.bytes(m[:])
@@ -301,7 +621,7 @@ func Decode(r io.Reader) (*core.UnitState, error) {
 		return nil, fmt.Errorf("state: bad magic")
 	}
 	v := d.u32()
-	if d.err == nil && (v < minFormatVersion || v > FormatVersion) {
+	if d.err == nil && (v < minFormatVersion || v > 4) {
 		return nil, fmt.Errorf("state: unsupported version %d", v)
 	}
 	st := &core.UnitState{Funcs: make(map[string]*core.FuncState)}
