@@ -1,14 +1,15 @@
 GO ?= go
 SMOKEDIR ?= .smoke
 
-.PHONY: ci vet build test race fuzz chaos bench bench-baseline bench-matrix profile skip-guard smoke
+.PHONY: ci vet build test race fuzz chaos bench bench-baseline bench-matrix profile skip-guard footprint-guard smoke
 
 # ci is the tier-1 gate: everything must stay green, including the race
 # detector over the worker pool, the observability counters, the
 # crash/chaos robustness walk, the flight-recorder regression check on
-# the example project, and the skip-rate guard (a fast stateful history
-# whose measured skip rate must clear the floor).
-ci: vet build test race chaos smoke skip-guard
+# the example project, the skip-rate guard (a fast stateful history
+# whose measured skip rate must clear the floor), and the footprint guard
+# (honest builds must produce zero missed invalidations).
+ci: vet build test race chaos smoke skip-guard footprint-guard
 
 vet:
 	$(GO) vet ./...
@@ -23,7 +24,7 @@ test:
 # registry and tracer under concurrent workers), the daemon's drain path,
 # and the workload differential suite under the race detector.
 race:
-	$(GO) test -race -timeout 15m ./internal/buildsys/... ./internal/obs/... ./internal/workload ./cmd/minibuild
+	$(GO) test -race -timeout 15m ./internal/buildsys/... ./internal/obs/... ./internal/workload ./internal/footprint ./cmd/minibuild
 
 # fuzz runs the fingerprint stability/sensitivity fuzzer for a short burst
 # beyond its committed corpus.
@@ -43,6 +44,7 @@ chaos:
 	$(GO) test -race -timeout 15m -run 'TestPanic|TestSentinel|TestCancelled|TestAudited|TestWarnf' ./internal/buildsys
 	$(GO) test -race -timeout 15m -run 'TestServeSIGTERMDrain|TestServePollSkipsOverlap' ./cmd/minibuild
 	$(GO) test -fuzz FuzzStateDecode -fuzztime 30s ./internal/state
+	$(GO) test -fuzz FuzzFootprintDecode -fuzztime 30s ./internal/footprint
 	$(GO) test -fuzz FuzzFingerprintStability -fuzztime 30s ./internal/fingerprint
 
 # bench-baseline regenerates the committed performance baseline.
@@ -50,10 +52,12 @@ bench-baseline:
 	$(GO) run ./cmd/benchbaseline -out BENCH_baseline.json
 
 # bench records this PR's measurement alongside the seed baseline,
-# including the decision-provenance counters and the soundness sentinel's
-# overhead (unaudited p=0 vs sampled p=0.05 on the same histories).
+# including the decision-provenance counters, the soundness sentinel's
+# overhead (unaudited p=0 vs sampled p=0.05 on the same histories), and the
+# dependency-footprint tracing overhead — including the 200+ unit megarepo
+# row — held to a budget.
 bench:
-	$(GO) run ./cmd/benchbaseline -audit 0.05 -out BENCH_pr5.json
+	$(GO) run ./cmd/benchbaseline -audit 0.05 -footprint -max-footprint-overhead 50 -out BENCH_pr7.json
 
 # bench-matrix regenerates the committed multi-core latency matrix
 # (docs/PERFORMANCE.md): workers × profile p50/p99 incremental latency,
@@ -74,6 +78,12 @@ profile:
 skip-guard:
 	$(GO) run ./cmd/benchbaseline -matrix -profiles 1 -workers 1 -commits 6 -repeats 1 \
 		-min-skip-rate 20 -out /dev/null
+
+# footprint-guard is the always-correct tripwire: honest suite builds with
+# footprint tracing on must cross-check every cached unit and report zero
+# missed invalidations (docs/ROBUSTNESS.md).
+footprint-guard:
+	$(GO) test -timeout 10m -run TestFootprintGuard -count=1 ./internal/footprint
 
 # smoke is the flight-recorder end-to-end check: cold build, comment-only
 # edit, incremental rebuild, then gate on the recorded history — regress

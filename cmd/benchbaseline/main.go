@@ -67,6 +67,16 @@ type ProfileResult struct {
 	AuditOverheadPct             float64 `json:"audit_overhead_pct,omitempty"`
 	AuditSampled                 int64   `json:"audit_sampled,omitempty"`
 	AuditUnsound                 int64   `json:"audit_unsound,omitempty"`
+	// FootprintIncrementalMS re-measures the stateful incremental mean with
+	// dependency-footprint tracing and enforcement on (the always-correct
+	// mode); FootprintOverheadPct is its cost relative to the untraced run.
+	// Checked/missed/redundant are the traced run's cross-check counters —
+	// missed must be 0 for honest builds.
+	FootprintIncrementalMS float64 `json:"footprint_incremental_ms,omitempty"`
+	FootprintOverheadPct   float64 `json:"footprint_overhead_pct,omitempty"`
+	FootprintChecked       int64   `json:"footprint_checked,omitempty"`
+	FootprintMissed        int64   `json:"footprint_missed,omitempty"`
+	FootprintRedundant     int64   `json:"footprint_redundant,omitempty"`
 }
 
 // Baseline is the committed document.
@@ -83,6 +93,11 @@ type Baseline struct {
 	MinSkipRateFloorPct    float64 `json:"min_skip_rate_floor_pct"`
 	MeasuredMinSkipRatePct float64 `json:"measured_min_skip_rate_pct"`
 	SkipRateGuard          string  `json:"skip_rate_guard"`
+	// Footprint-overhead guard stamp: the budget (max acceptable tracing
+	// overhead percentage) and the highest overhead actually measured.
+	FootprintOverheadBudgetPct      float64 `json:"footprint_overhead_budget_pct,omitempty"`
+	MeasuredMaxFootprintOverheadPct float64 `json:"measured_max_footprint_overhead_pct,omitempty"`
+	FootprintGuard                  string  `json:"footprint_guard,omitempty"`
 }
 
 // Matrix is the committed multi-core latency document (BENCH_pr6.json).
@@ -117,6 +132,8 @@ func run(args []string) error {
 	repeats := fs.Int("repeats", 3, "timing repeats per history (min kept)")
 	nprofiles := fs.Int("profiles", 3, "number of standard-suite profiles (smallest first)")
 	audit := fs.Float64("audit", 0, "also measure stateful with the soundness sentinel sampling at this rate (0 disables the comparison)")
+	footprint := fs.Bool("footprint", false, "also measure stateful with dependency-footprint tracing and enforcement, including the 200+ unit megarepo profile")
+	maxFPOverhead := fs.Float64("max-footprint-overhead", 0, "footprint guard: exit non-zero if tracing overhead exceeds this percentage on any profile (0 disables; requires -footprint)")
 	matrix := fs.Bool("matrix", false, "emit the workers × profile latency matrix instead of the baseline comparison")
 	workersFlag := fs.String("workers", "1,4,16", "comma-separated worker counts for -matrix")
 	minSkip := fs.Float64("min-skip-rate", 0, "skip-rate guard: exit non-zero if any measured skip rate falls below this percentage (0 disables)")
@@ -158,16 +175,25 @@ func run(args []string) error {
 		}()
 	}
 
+	if *maxFPOverhead < 0 {
+		return fmt.Errorf("-max-footprint-overhead %v must be >= 0", *maxFPOverhead)
+	}
+
 	if *matrix {
 		return runMatrix(*out, *commits, *repeats, *nprofiles, *workersFlag, *minSkip)
 	}
-	return runBaseline(*out, *commits, *repeats, *nprofiles, *audit, *minSkip)
+	return runBaseline(*out, *commits, *repeats, *nprofiles, *audit, *minSkip, *footprint, *maxFPOverhead)
 }
 
-func runBaseline(out string, commits, repeats, nprofiles int, audit, minSkip float64) error {
+func runBaseline(out string, commits, repeats, nprofiles int, audit, minSkip float64, footprint bool, maxFPOverhead float64) error {
 	suite := workload.StandardSuite()
 	if nprofiles < len(suite) {
 		suite = suite[:nprofiles]
+	}
+	if footprint {
+		// The scale row: tracing overhead must stay bounded past 200 units,
+		// not just on the small profiles.
+		suite = append(suite, workload.MegaProfile())
 	}
 	cfg := bench.Config{Commits: commits, Repeats: repeats}
 	modes := []compiler.Mode{compiler.ModeStateless, compiler.ModeStateful}
@@ -180,6 +206,12 @@ func runBaseline(out string, commits, repeats, nprofiles int, audit, minSkip flo
 	if minSkip > 0 {
 		genBy += fmt.Sprintf(" -min-skip-rate %g", minSkip)
 	}
+	if footprint {
+		genBy += " -footprint"
+	}
+	if maxFPOverhead > 0 {
+		genBy += fmt.Sprintf(" -max-footprint-overhead %g", maxFPOverhead)
+	}
 	doc := Baseline{
 		GeneratedBy: genBy,
 		GoVersion:   runtime.Version(),
@@ -190,6 +222,7 @@ func runBaseline(out string, commits, repeats, nprofiles int, audit, minSkip flo
 
 	var speedupSum float64
 	measuredMin := math.Inf(1)
+	maxFPMeasured := math.Inf(-1)
 	for _, p := range suite {
 		runs, err := bench.CompareHistories(p, modes, cfg)
 		if err != nil {
@@ -238,6 +271,27 @@ func runBaseline(out string, commits, repeats, nprofiles int, audit, minSkip flo
 			pr.AuditSampled = arun.Metrics[obs.CtrAuditSampled]
 			pr.AuditUnsound = arun.Metrics[obs.CtrAuditUnsound]
 		}
+		if footprint {
+			// Footprint-overhead comparison: the same history, stateful, with
+			// tracing and enforcement on. The delta vs the untraced run above
+			// prices the always-correct mode.
+			fcfg := cfg
+			fcfg.Footprint = true
+			fcfg.EnforceFootprint = true
+			frun, err := bench.RunHistory(p, compiler.ModeStateful, fcfg)
+			if err != nil {
+				return err
+			}
+			fIncr := float64(frun.MeanIncrementalNS()) / 1e6
+			pr.FootprintIncrementalMS = round3(fIncr)
+			if sfIncr > 0 {
+				pr.FootprintOverheadPct = round3((fIncr/sfIncr - 1) * 100)
+				maxFPMeasured = math.Max(maxFPMeasured, pr.FootprintOverheadPct)
+			}
+			pr.FootprintChecked = frun.Metrics[obs.CtrFootprintChecked]
+			pr.FootprintMissed = frun.Metrics[obs.CtrFootprintMissed]
+			pr.FootprintRedundant = frun.Metrics[obs.CtrFootprintRedundant]
+		}
 		doc.Profiles = append(doc.Profiles, pr)
 		fmt.Fprintf(os.Stderr, "%-12s stateless %.3fms  stateful %.3fms  speedup %+.2f%%  skip-rate %.1f%%\n",
 			p.Name, slIncr, sfIncr, speedup, 100*obs.SkipRate(sf.Metrics))
@@ -245,16 +299,44 @@ func runBaseline(out string, commits, repeats, nprofiles int, audit, minSkip flo
 			fmt.Fprintf(os.Stderr, "%-12s audited(p=%.2f) %.3fms  overhead %+.2f%%  sampled %d  unsound %d\n",
 				"", audit, pr.StatefulAuditedIncrementalMS, pr.AuditOverheadPct, pr.AuditSampled, pr.AuditUnsound)
 		}
+		if footprint {
+			fmt.Fprintf(os.Stderr, "%-12s footprint %.3fms  overhead %+.2f%%  checked %d  missed %d  redundant %d\n",
+				"", pr.FootprintIncrementalMS, pr.FootprintOverheadPct,
+				pr.FootprintChecked, pr.FootprintMissed, pr.FootprintRedundant)
+		}
 	}
 	doc.MeanSpeedupPct = round3(speedupSum / float64(len(suite)))
 	doc.MinSkipRateFloorPct = minSkip
 	doc.MeasuredMinSkipRatePct = round3(measuredMin)
 	doc.SkipRateGuard = guardVerdict(minSkip, measuredMin)
+	if footprint {
+		doc.FootprintOverheadBudgetPct = maxFPOverhead
+		doc.MeasuredMaxFootprintOverheadPct = round3(maxFPMeasured)
+		doc.FootprintGuard = fpGuardVerdict(maxFPOverhead, maxFPMeasured)
+	}
 
 	if err := writeJSON(out, &doc); err != nil {
 		return err
 	}
-	return guardErr(minSkip, measuredMin)
+	if err := guardErr(minSkip, measuredMin); err != nil {
+		return err
+	}
+	if footprint && maxFPOverhead > 0 && maxFPMeasured > maxFPOverhead {
+		return fmt.Errorf("footprint guard: measured maximum overhead %.1f%% above budget %.1f%%", maxFPMeasured, maxFPOverhead)
+	}
+	return nil
+}
+
+// fpGuardVerdict stamps the footprint-overhead guard outcome.
+func fpGuardVerdict(budget, measured float64) string {
+	switch {
+	case budget <= 0:
+		return "off"
+	case measured > budget:
+		return "fail"
+	default:
+		return "pass"
+	}
 }
 
 func runMatrix(out string, commits, repeats, nprofiles int, workersFlag string, minSkip float64) error {

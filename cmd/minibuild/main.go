@@ -13,7 +13,10 @@
 //	minibuild -dir ./proj -audit 0.05        soundness-sentinel skip audits
 //	minibuild explain -dir ./proj [unit]     last build's decision table
 //	minibuild history -dir ./proj            recent flight-recorder records
+//	minibuild -dir ./proj -footprint         trace + cross-check footprints
+//	minibuild -dir ./proj -enforce-footprint always-correct mode
 //	minibuild regress -dir ./proj            CI regression gate (exit 2)
+//	minibuild deps -dir ./proj [-diff|-check] recorded dependency footprints
 //	minibuild serve -dir ./proj -addr :8377  daemon with /metrics, /builds,
 //	                                         /healthz and /debug/pprof
 //
@@ -65,6 +68,8 @@ func run(args []string) error {
 			return runHistory(args[1:])
 		case "regress":
 			return runRegress(args[1:])
+		case "deps":
+			return runDeps(args[1:])
 		case "serve":
 			return runServe(args[1:])
 		}
@@ -114,6 +119,8 @@ func runBuild(args []string) error {
 	jobs := fs.Int("j", 0, "parallel compile workers (default GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "abort the build after this duration (0 = no deadline); partial results are reported and the state directory stays consistent")
 	audit := fs.Float64("audit", 0, "soundness-sentinel audit rate in [0,1]: probability a would-be-skipped pass executes anyway for verification (see docs/ROBUSTNESS.md)")
+	footprintOn := fs.Bool("footprint", false, "trace each unit's dependency footprint and cross-check cache decisions against it (see docs/ROBUSTNESS.md and `minibuild deps`)")
+	enforce := fs.Bool("enforce-footprint", false, "always-correct mode: the traced footprint overrides the declared content hash (implies -footprint)")
 	var export obs.CLIExport
 	export.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -157,6 +164,7 @@ func runBuild(args []string) error {
 	builder, err := buildsys.NewBuilder(buildsys.Options{
 		Mode: cmode, StateDir: stateDir, Workers: *jobs, Trace: export.Tracer(),
 		AuditRate: *audit,
+		Footprint: *footprintOn || *enforce, EnforceFootprint: *enforce,
 	})
 	if err != nil {
 		return err
@@ -178,6 +186,14 @@ func runBuild(args []string) error {
 	// build is correct but the next one may run cold.
 	for _, w := range rep.Warnings {
 		fmt.Fprintln(os.Stderr, "minibuild: warning:", w)
+	}
+	if len(rep.FootprintMissed) > 0 {
+		fmt.Fprintf(os.Stderr, "minibuild: MISSED INVALIDATIONS: %d unit(s) cached against a changed footprint: %v (run `minibuild deps -check`)\n",
+			len(rep.FootprintMissed), rep.FootprintMissed)
+	}
+	if len(rep.FootprintRedundant) > 0 {
+		fmt.Fprintf(os.Stderr, "minibuild: footprint: %d redundant recompile(s): %v\n",
+			len(rep.FootprintRedundant), rep.FootprintRedundant)
 	}
 	fmt.Printf("built %d units (%d compiled, %d cached) in %.2fms (compile %.2fms, link %.2fms), state %.1fKiB\n",
 		rep.UnitsCompiled+rep.UnitsCached, rep.UnitsCompiled, rep.UnitsCached,

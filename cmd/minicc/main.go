@@ -21,10 +21,12 @@ import (
 	"path/filepath"
 	"strings"
 
+	"statefulcc/internal/buildsys"
 	"statefulcc/internal/codegen"
 	"statefulcc/internal/compiler"
 	"statefulcc/internal/core"
 	"statefulcc/internal/fingerprint"
+	"statefulcc/internal/footprint"
 	"statefulcc/internal/obs"
 	"statefulcc/internal/passes"
 	"statefulcc/internal/state"
@@ -51,6 +53,7 @@ func run(args []string) error {
 	o2 := fs.Bool("O2", true, "standard pipeline (default)")
 	verifyIR := fs.Bool("verify-ir", false, "verify IR after every pass")
 	verifyState := fs.Bool("verify-state", false, "re-run skipped passes and cross-check dormancy")
+	footprintOn := fs.Bool("footprint", false, "record each unit's dependency footprint on its persisted state (inspect with `minibuild deps`)")
 	var export obs.CLIExport
 	export.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -114,6 +117,16 @@ func run(args []string) error {
 		res, err := comp.CompileUnit(unit, src, st)
 		if err != nil {
 			return err
+		}
+		if *footprintOn && res.State != nil {
+			// minicc has no build-system seam, so the footprint holds the
+			// invalidating and link-scope entries only (no advisory file
+			// reads): source bytes, pipeline identity, unresolved symbols.
+			tr := footprint.NewTrace(unit)
+			tr.AddSource(unit, src)
+			tr.AddPipeline(pipeline)
+			buildsys.RecordObjectDeps(tr, res.Object)
+			res.State.Footprint = tr.Finish(buildsys.ContentHash(src))
 		}
 		if *stateDir != "" && res.State != nil {
 			if err := state.Save(statePathFor(*stateDir, unit), res.State); err != nil {

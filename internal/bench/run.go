@@ -32,6 +32,11 @@ type Config struct {
 	// sampling probability (0 disables). Used to measure the sentinel's
 	// overhead against an unaudited run of the same history.
 	AuditRate float64
+	// Footprint / EnforceFootprint forward to buildsys.Options: dependency-
+	// footprint tracing and the always-correct mode. Used to price the
+	// tracing cross-check against an untraced run of the same history.
+	Footprint        bool
+	EnforceFootprint bool
 }
 
 func (c Config) withDefaults() Config {
@@ -108,7 +113,10 @@ func RunHistory(p workload.Profile, mode compiler.Mode, cfg Config) (*ProjectRun
 
 	var run *ProjectRun
 	for rep := 0; rep < cfg.Repeats; rep++ {
-		builder, err := buildsys.NewBuilder(buildsys.Options{Mode: mode, AuditRate: cfg.AuditRate})
+		builder, err := buildsys.NewBuilder(buildsys.Options{
+			Mode: mode, AuditRate: cfg.AuditRate,
+			Footprint: cfg.Footprint, EnforceFootprint: cfg.EnforceFootprint,
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -33,6 +33,7 @@ import (
 	"statefulcc/internal/compiler"
 	"statefulcc/internal/core"
 	"statefulcc/internal/fingerprint"
+	"statefulcc/internal/footprint"
 	"statefulcc/internal/obs"
 	"statefulcc/internal/passes"
 	"statefulcc/internal/project"
@@ -80,6 +81,24 @@ type Options struct {
 	// vfs.FaultFS here to prove every I/O failure degrades to at most a
 	// cold build (see docs/ROBUSTNESS.md).
 	FS vfs.FS
+	// Footprint enables dependency-footprint tracing (internal/footprint):
+	// every compile records its actual read set, the record is persisted
+	// with the unit's state, and each build cross-checks the declared cache
+	// decisions against the traced ground truth, surfacing missed and
+	// redundant invalidations (footprint.* counters, Report fields,
+	// warnings). Check-only: decisions are unchanged.
+	Footprint bool
+	// EnforceFootprint makes the traced footprint authoritative (implies
+	// Footprint): a unit whose footprint changed recompiles even if the
+	// declared hash says cached, and a unit whose footprint is unchanged is
+	// served from cache even if the declared hash moved — the always-correct
+	// mode (docs/ROBUSTNESS.md).
+	EnforceFootprint bool
+	// ContentHashHook, when set, replaces the declared content hash for a
+	// unit (receives the honest hash). Test-only: a deliberately lying
+	// invalidator for the footprint battery. The footprint's own ground
+	// truth never goes through this hook.
+	ContentHashHook func(unit string, src []byte, honest uint64) uint64
 }
 
 // UnitReport describes one unit within a build.
@@ -130,6 +149,15 @@ type Report struct {
 	// state, dropped flight-recorder records). Mirrored by the
 	// state.io_error / history.io_error counters in Metrics.
 	Warnings []string
+	// FootprintMissed lists units (unit order) whose declared cache decision
+	// was "unchanged" while their traced footprint changed — missed
+	// invalidations, the soundness violations the footprint cross-check
+	// exists to catch. Under EnforceFootprint they were recompiled; in
+	// check-only mode the stale object shipped (and a warning says so).
+	FootprintMissed []string
+	// FootprintRedundant lists units the declared channel recompiled though
+	// their traced footprint proves the cached object was still valid.
+	FootprintRedundant []string
 
 	stats *core.Stats
 }
@@ -147,11 +175,12 @@ func (r *Report) Utilization() float64 {
 
 // unitEntry is the retained per-unit build state.
 type unitEntry struct {
-	hash       uint64          // content hash of the compiled source
-	obj        *codegen.Object // cached object
-	state      *core.UnitState // dormancy records (stateful/predictive)
-	stateBytes int             // serialized size of state
-	diskProbed bool            // StateDir was already consulted for this unit
+	hash       uint64            // declared content hash of the compiled source
+	obj        *codegen.Object   // cached object
+	state      *core.UnitState   // dormancy records (stateful/predictive)
+	stateBytes int               // serialized size of state
+	diskProbed bool              // StateDir was already consulted for this unit
+	fp         *footprint.Record // traced read footprint of the last compile
 }
 
 // Builder runs incremental builds, retaining object and compiler state
@@ -200,6 +229,8 @@ type builderCounters struct {
 	workerBusyNS                            *obs.Counter
 	panics, cancelled                       *obs.Counter
 	quarantineEngaged, quarantineLifted     *obs.Counter
+	footprintChecked                        *obs.Counter
+	footprintMissed, footprintRedundant     *obs.Counter
 }
 
 // NewBuilder creates an incremental builder.
@@ -219,25 +250,28 @@ func NewBuilder(opts Options) (*Builder, error) {
 		units: make(map[string]*unitEntry),
 		reg:   reg,
 		ctr: builderCounters{
-			builds:            reg.Counter(obs.CtrBuilds),
-			unitsCompiled:     reg.Counter(obs.CtrUnitsCompiled),
-			unitsCached:       reg.Counter(obs.CtrUnitsCached),
-			linkNS:            reg.Counter(obs.CtrLinkNS),
-			frontendNS:        reg.Counter(obs.CtrFrontendNS),
-			passesNS:          reg.Counter(obs.CtrPassesNS),
-			codegenNS:         reg.Counter(obs.CtrCodegenNS),
-			cacheHits:         reg.Counter(obs.CtrCacheHits),
-			cacheMisses:       reg.Counter(obs.CtrCacheMisses),
-			stateLoads:        reg.Counter(obs.CtrStateLoads),
-			stateLoadMisses:   reg.Counter(obs.CtrStateLoadMisses),
-			stateSaves:        reg.Counter(obs.CtrStateSaves),
-			stateIOErrors:     reg.Counter(obs.CtrStateIOErrors),
-			historyIOErrors:   reg.Counter(obs.CtrHistoryIOErrors),
-			workerBusyNS:      reg.Counter(obs.CtrWorkerBusyNS),
-			panics:            reg.Counter(obs.CtrBuildPanics),
-			cancelled:         reg.Counter(obs.CtrBuildCancelled),
-			quarantineEngaged: reg.Counter(obs.CtrQuarantineEngaged),
-			quarantineLifted:  reg.Counter(obs.CtrQuarantineLifted),
+			builds:             reg.Counter(obs.CtrBuilds),
+			unitsCompiled:      reg.Counter(obs.CtrUnitsCompiled),
+			unitsCached:        reg.Counter(obs.CtrUnitsCached),
+			linkNS:             reg.Counter(obs.CtrLinkNS),
+			frontendNS:         reg.Counter(obs.CtrFrontendNS),
+			passesNS:           reg.Counter(obs.CtrPassesNS),
+			codegenNS:          reg.Counter(obs.CtrCodegenNS),
+			cacheHits:          reg.Counter(obs.CtrCacheHits),
+			cacheMisses:        reg.Counter(obs.CtrCacheMisses),
+			stateLoads:         reg.Counter(obs.CtrStateLoads),
+			stateLoadMisses:    reg.Counter(obs.CtrStateLoadMisses),
+			stateSaves:         reg.Counter(obs.CtrStateSaves),
+			stateIOErrors:      reg.Counter(obs.CtrStateIOErrors),
+			historyIOErrors:    reg.Counter(obs.CtrHistoryIOErrors),
+			workerBusyNS:       reg.Counter(obs.CtrWorkerBusyNS),
+			panics:             reg.Counter(obs.CtrBuildPanics),
+			cancelled:          reg.Counter(obs.CtrBuildCancelled),
+			quarantineEngaged:  reg.Counter(obs.CtrQuarantineEngaged),
+			quarantineLifted:   reg.Counter(obs.CtrQuarantineLifted),
+			footprintChecked:   reg.Counter(obs.CtrFootprintChecked),
+			footprintMissed:    reg.Counter(obs.CtrFootprintMissed),
+			footprintRedundant: reg.Counter(obs.CtrFootprintRedundant),
 		},
 		busy:      make([]int64, opts.Workers),
 		fallbacks: make([]*compiler.Compiler, opts.Workers),
@@ -346,11 +380,26 @@ func (b *Builder) BuildContext(ctx context.Context, snap project.Snapshot) (*Rep
 	}
 
 	// Partition: content-hash every unit, collect the ones needing work.
+	// With footprint tracing on, every declared decision is cross-checked
+	// against the unit's traced read footprint — and under EnforceFootprint
+	// the footprint verdict overrides the declared one.
+	pipeHash := footprint.HashStrings(b.opts.Pipeline)
 	units := snap.Units()
 	var work []string
 	for _, name := range units {
-		h := contentHash(snap[name])
-		if e, ok := b.units[name]; ok && e.hash == h && e.obj != nil {
+		src := snap[name]
+		h := b.declaredHash(name, src)
+		e := b.units[name]
+		cached := e != nil && e.hash == h && e.obj != nil
+		if b.footprintOn() {
+			cached = b.crossCheck(rep, e, name, src, pipeHash, cached)
+		}
+		if cached {
+			if e.hash != h {
+				// Enforcement proved the object valid under a moved declared
+				// hash; adopt the new hash so the channels re-converge.
+				e.hash = h
+			}
 			rep.Units[name] = UnitReport{}
 			rep.UnitsCached++
 			continue
@@ -382,9 +431,12 @@ func (b *Builder) BuildContext(ctx context.Context, snap project.Snapshot) (*Rep
 			e = &unitEntry{}
 			b.units[name] = e
 		}
-		e.hash = contentHash(snap[name])
+		e.hash = b.declaredHash(name, snap[name])
 		e.obj = out.res.Object
 		e.diskProbed = true // fresh state below supersedes anything on disk
+		if out.fp != nil {
+			e.fp = out.fp
+		}
 		switch {
 		case out.qclear:
 			// Quarantine lifted with nothing to carry over: cold restart.

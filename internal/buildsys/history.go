@@ -59,6 +59,9 @@ func (b *Builder) historyRecord(rep *Report) *history.Record {
 		SkipRatePct:   100 * obs.SkipRate(rep.Metrics),
 		Metrics:       rep.Metrics,
 		Units:         make(map[string]history.UnitRecord, len(rep.Units)),
+
+		FootprintMissed:    rep.FootprintMissed,
+		FootprintRedundant: rep.FootprintRedundant,
 	}
 	for name, ur := range rep.Units {
 		u := history.UnitRecord{

@@ -39,7 +39,9 @@ import (
 
 	"statefulcc/internal/compiler"
 	"statefulcc/internal/core"
+	"statefulcc/internal/footprint"
 	"statefulcc/internal/project"
+	"statefulcc/internal/vfs"
 )
 
 // outcome is one unit's compile result.
@@ -55,6 +57,9 @@ type outcome struct {
 	qstate *core.UnitState
 	// qclear means the unit's quarantine lifted and it restarts cold.
 	qclear bool
+	// fp is the unit's traced read footprint (footprint mode only): the
+	// ground truth the next build's cross-check runs against.
+	fp *footprint.Record
 }
 
 // compileJob carries everything a worker needs, precomputed so workers
@@ -206,29 +211,56 @@ func (b *Builder) compileOne(ctx context.Context, w int, j compileJob) outcome {
 		return outcome{err: fmt.Errorf("%s: build cancelled: %w", j.name, cerr)}
 	}
 
+	// Footprint mode attaches a per-unit trace: invalidating entries are
+	// pre-recorded, and the unit's state I/O goes through the trace's
+	// recording FS so it lands as advisory entries. The trace is private to
+	// this job — concurrent units never share one, so shared reads are
+	// counted once per reading unit, not globally.
+	tr := b.newTrace(j.name, j.src)
+	fsys := b.fs
+	if tr != nil {
+		fsys = tr.FS(b.fs)
+	}
+
 	prev := j.prev
 	if prev == nil && j.probeDisk {
-		prev = b.loadUnitState(j.name)
+		prev = b.loadUnitState(fsys, j.name)
 	}
 
 	// A whole-unit quarantine (a pass panicked on this unit) compiles
 	// through the stateless fallback until enough clean builds lift it.
 	if b.statefulMode() && prev != nil && prev.Quarantine.Whole() {
-		return b.compileQuarantined(ctx, w, j, prev)
+		return b.compileQuarantined(ctx, w, fsys, tr, j, prev)
 	}
 
 	res, err, panicked, msg := safeCompile(ctx, c, j.name, j.src, prev)
 	if panicked {
-		return b.compileAfterPanic(ctx, w, j, msg)
+		return b.compileAfterPanic(ctx, w, fsys, tr, j, msg)
 	}
 	if err != nil {
 		return outcome{err: err}
 	}
+	fp := b.finishTrace(tr, j, res)
 	if res.State != nil {
 		b.settleQuarantine(res)
-		b.saveUnitState(j.name, res.State)
+		res.State.Footprint = fp
+		b.saveUnitState(fsys, j.name, res.State)
 	}
-	return outcome{res: res}
+	return outcome{res: res, fp: fp}
+}
+
+// finishTrace folds the compiled object's link-scope dependencies into the
+// trace and snapshots the canonical footprint, stamped with the declared
+// hash the cache decision used. Nil-safe (returns nil when tracing is off
+// or the compile produced nothing).
+func (b *Builder) finishTrace(tr *footprint.Trace, j compileJob, res *compiler.UnitResult) *footprint.Record {
+	if tr == nil || res == nil {
+		return nil
+	}
+	if res.Object != nil {
+		RecordObjectDeps(tr, res.Object)
+	}
+	return tr.Finish(b.declaredHash(j.name, j.src))
 }
 
 // compileQuarantined compiles a whole-unit-quarantined unit on the
@@ -236,7 +268,7 @@ func (b *Builder) compileOne(ctx context.Context, w int, j compileJob) outcome {
 // count. At core.QuarantineCleanTarget the quarantine lifts and the unit
 // restarts cold — the pre-panic records were discarded at engagement, so
 // trust rebuilds from fresh observations.
-func (b *Builder) compileQuarantined(ctx context.Context, w int, j compileJob, marker *core.UnitState) outcome {
+func (b *Builder) compileQuarantined(ctx context.Context, w int, fsys vfs.FS, tr *footprint.Trace, j compileJob, marker *core.UnitState) outcome {
 	fc, ferr := b.fallback(w)
 	if ferr != nil {
 		return outcome{err: ferr}
@@ -248,7 +280,7 @@ func (b *Builder) compileQuarantined(ctx context.Context, w int, j compileJob, m
 		// window restarts.
 		b.ctr.panics.Inc()
 		marker.Quarantine.Clean = 0
-		b.saveUnitState(j.name, marker)
+		b.saveUnitState(fsys, j.name, marker)
 		return outcome{
 			err:      fmt.Errorf("%s: pass panicked (unit quarantined, stateless retry): %s", j.name, msg),
 			panicked: true,
@@ -257,22 +289,24 @@ func (b *Builder) compileQuarantined(ctx context.Context, w int, j compileJob, m
 	if err != nil {
 		return outcome{err: err}
 	}
+	fp := b.finishTrace(tr, j, res)
 	q := marker.Quarantine
 	q.Clean++
 	if q.Clean >= core.QuarantineCleanTarget {
 		b.ctr.quarantineLifted.Inc()
 		b.removeUnitState(j.name)
-		return outcome{res: res, qclear: true}
+		return outcome{res: res, qclear: true, fp: fp}
 	}
-	b.saveUnitState(j.name, marker)
-	return outcome{res: res, qstate: marker}
+	marker.Footprint = fp
+	b.saveUnitState(fsys, j.name, marker)
+	return outcome{res: res, qstate: marker, fp: fp}
 }
 
 // compileAfterPanic isolates a pass panic: count it, quarantine the unit's
 // state (its records may have been half-updated by the panicking pass),
 // and retry once on the stateless fallback so the unit — whose source is
 // not at fault — still compiles.
-func (b *Builder) compileAfterPanic(ctx context.Context, w int, j compileJob, msg string) outcome {
+func (b *Builder) compileAfterPanic(ctx context.Context, w int, fsys vfs.FS, tr *footprint.Trace, j compileJob, msg string) outcome {
 	b.ctr.panics.Inc()
 	b.warnf("panic: unit %s: pass panicked: %s (unit quarantined, compiled stateless)", j.name, msg)
 
@@ -281,7 +315,7 @@ func (b *Builder) compileAfterPanic(ctx context.Context, w int, j compileJob, ms
 		marker = core.NewUnitState(j.name, b.opts.Pipeline)
 		marker.Quarantine = &core.Quarantine{Reason: core.QuarantinePanic}
 		b.ctr.quarantineEngaged.Inc()
-		b.saveUnitState(j.name, marker)
+		b.saveUnitState(fsys, j.name, marker)
 	}
 
 	fc, ferr := b.fallback(w)
@@ -300,7 +334,7 @@ func (b *Builder) compileAfterPanic(ctx context.Context, w int, j compileJob, ms
 	if err != nil {
 		return outcome{err: err}
 	}
-	return outcome{res: res, panicked: true, qstate: marker}
+	return outcome{res: res, panicked: true, qstate: marker, fp: b.finishTrace(tr, j, res)}
 }
 
 // settleQuarantine advances a compiled unit's per-pass quarantine: a build

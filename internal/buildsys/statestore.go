@@ -21,6 +21,7 @@ import (
 	"statefulcc/internal/core"
 	"statefulcc/internal/history"
 	"statefulcc/internal/state"
+	"statefulcc/internal/vfs"
 )
 
 // stateSuffix is the per-unit state file extension.
@@ -57,17 +58,19 @@ func fmt16(v uint64) string {
 	return string(buf[:])
 }
 
-// loadUnitState reads a unit's persisted state; any failure is a cold
-// start, never an error. Real failures (as opposed to a simply missing
-// file) additionally count as state.io_error and warn, so degraded disks
-// are visible. Called concurrently from worker goroutines; the counters
-// and warning list are synchronized.
-func (b *Builder) loadUnitState(unit string) *core.UnitState {
+// loadUnitState reads a unit's persisted state through fsys; any failure
+// is a cold start, never an error. Real failures (as opposed to a simply
+// missing file) additionally count as state.io_error and warn, so degraded
+// disks are visible. Called concurrently from worker goroutines; the
+// counters and warning list are synchronized. fsys is the worker's view of
+// b.fs — in footprint mode the unit's recording wrapper, so state reads
+// land in the unit's traced footprint as advisory entries.
+func (b *Builder) loadUnitState(fsys vfs.FS, unit string) *core.UnitState {
 	path := b.statePath(unit)
 	if path == "" {
 		return nil
 	}
-	st, err := state.LoadFS(b.fs, path)
+	st, err := state.LoadFS(fsys, path)
 	if err != nil {
 		b.ctr.stateIOErrors.Inc()
 		b.warnf("state: load %s: %v (running cold)", filepath.Base(path), err)
@@ -80,15 +83,16 @@ func (b *Builder) loadUnitState(unit string) *core.UnitState {
 	return st
 }
 
-// saveUnitState persists a unit's state; failures degrade to a warning
-// and a state.io_error count (state is advisory, and the atomic writer
-// never leaves partial files).
-func (b *Builder) saveUnitState(unit string, st *core.UnitState) {
+// saveUnitState persists a unit's state through fsys; failures degrade to
+// a warning and a state.io_error count (state is advisory, and the atomic
+// writer never leaves partial files). Writes pass through a footprint
+// recording wrapper untouched — only reads are traced.
+func (b *Builder) saveUnitState(fsys vfs.FS, unit string, st *core.UnitState) {
 	path := b.statePath(unit)
 	if path == "" {
 		return
 	}
-	if err := state.SaveFS(b.fs, path, st); err != nil {
+	if err := state.SaveFS(fsys, path, st); err != nil {
 		b.ctr.stateIOErrors.Inc()
 		b.warnf("state: save %s: %v (state not persisted)", filepath.Base(path), err)
 		return

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"statefulcc/internal/fingerprint"
+	"statefulcc/internal/footprint"
 )
 
 // StateVersion identifies the on-disk/state-record format and the compiler
@@ -154,6 +155,12 @@ type UnitState struct {
 	// (a pass panicked, or the soundness sentinel caught an unsound skip).
 	// Persisted in format v4; v3 files load with no quarantine.
 	Quarantine *Quarantine
+	// Footprint, when non-nil, is the dependency footprint recorded during
+	// the compile that produced this state: the ground-truth read set the
+	// build system cross-checks declared invalidation against
+	// (internal/footprint). Persisted in format v6; older files load with
+	// no footprint.
+	Footprint *footprint.Record
 }
 
 // Quarantined reports whether the named pass may not be skipped for this

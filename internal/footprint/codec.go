@@ -1,0 +1,118 @@
+package footprint
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary layout (embedded in state files as a sized block, so the codec
+// carries its own version byte but no magic):
+//
+//	u8  codecVersion (1)
+//	u64 DeclaredHash (little-endian)
+//	uv  entry count
+//	per entry: u8 kind | uv len(name) | name bytes | u64 hash
+//
+// The encoding is canonical: entries strictly ascending by (Kind, Name).
+// DecodeBinary rejects anything else — unknown versions, invalid kinds,
+// duplicates, disorder, trailing bytes — and validates the entry count
+// against the bytes actually present before allocating, so a hostile
+// count cannot force a large allocation. The round-trip law the fuzzer
+// pins: any buffer DecodeBinary accepts re-encodes to the same bytes.
+
+const codecVersion = 1
+
+// minEntryBytes is the smallest possible encoded entry (kind byte + 1-byte
+// name length of 0 + 8 hash bytes); the decoder caps the declared entry
+// count at remaining/minEntryBytes.
+const minEntryBytes = 1 + 1 + 8
+
+// AppendBinary appends the canonical encoding of r to dst. The record
+// must be canonical (Canon, or produced by Trace.Finish / DecodeBinary).
+func (r *Record) AppendBinary(dst []byte) []byte {
+	dst = append(dst, codecVersion)
+	dst = binary.LittleEndian.AppendUint64(dst, r.DeclaredHash)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Entries)))
+	for _, e := range r.Entries {
+		dst = append(dst, byte(e.Kind))
+		dst = binary.AppendUvarint(dst, uint64(len(e.Name)))
+		dst = append(dst, e.Name...)
+		dst = binary.LittleEndian.AppendUint64(dst, e.Hash)
+	}
+	return dst
+}
+
+// DecodeBinary parses a canonical footprint encoding, consuming the whole
+// buffer. Name strings are copied (the buffer may be a transient read).
+func DecodeBinary(data []byte) (*Record, error) {
+	if len(data) < 1+8 {
+		return nil, fmt.Errorf("footprint: short buffer (%d bytes)", len(data))
+	}
+	if data[0] != codecVersion {
+		return nil, fmt.Errorf("footprint: unknown codec version %d", data[0])
+	}
+	rec := &Record{DeclaredHash: binary.LittleEndian.Uint64(data[1:9])}
+	data = data[9:]
+	n, used := binary.Uvarint(data)
+	if used <= 0 || used != uvarintLen(n) {
+		// A padded (non-minimal) varint re-encodes shorter than it arrived;
+		// rejecting it keeps the accepted language exactly the canonical one.
+		return nil, fmt.Errorf("footprint: bad entry count varint")
+	}
+	data = data[used:]
+	if n > uint64(len(data)/minEntryBytes) {
+		return nil, fmt.Errorf("footprint: entry count %d exceeds remaining %d bytes", n, len(data))
+	}
+	rec.Entries = make([]Entry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if len(data) < 1 {
+			return nil, fmt.Errorf("footprint: entry %d truncated", i)
+		}
+		kind := Kind(data[0])
+		if kind == 0 || kind > maxKind {
+			return nil, fmt.Errorf("footprint: entry %d: invalid kind %d", i, data[0])
+		}
+		data = data[1:]
+		nameLen, used := binary.Uvarint(data)
+		if used <= 0 || used != uvarintLen(nameLen) || nameLen > uint64(len(data)-used) {
+			return nil, fmt.Errorf("footprint: entry %d: bad name length", i)
+		}
+		data = data[used:]
+		name := string(data[:nameLen])
+		data = data[nameLen:]
+		if len(data) < 8 {
+			return nil, fmt.Errorf("footprint: entry %d: truncated hash", i)
+		}
+		e := Entry{Kind: kind, Name: name, Hash: binary.LittleEndian.Uint64(data[:8])}
+		data = data[8:]
+		if m := len(rec.Entries); m > 0 {
+			prev := rec.Entries[m-1]
+			if e.Kind < prev.Kind || (e.Kind == prev.Kind && e.Name <= prev.Name) {
+				return nil, fmt.Errorf("footprint: entry %d (%s) out of canonical order", i, e)
+			}
+		}
+		rec.Entries = append(rec.Entries, e)
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("footprint: %d trailing bytes", len(data))
+	}
+	return rec, nil
+}
+
+// EncodedSize returns the exact byte length AppendBinary would produce.
+func (r *Record) EncodedSize() int {
+	n := 1 + 8 + uvarintLen(uint64(len(r.Entries)))
+	for _, e := range r.Entries {
+		n += 1 + uvarintLen(uint64(len(e.Name))) + len(e.Name) + 8
+	}
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,48 @@
+package footprint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFootprintDecode pins the decoder's three safety properties against
+// arbitrary input: it never panics, it never allocates an entry slice
+// larger than the input could encode (hostile counts are capped before
+// allocation), and every accepted buffer is canonical — re-encoding the
+// decoded record reproduces the input byte for byte.
+func FuzzFootprintDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{codecVersion})
+	seed := (&Record{DeclaredHash: 0xDEADBEEF, Entries: []Entry{
+		{KindSource, "u.mc", 1},
+		{KindPipeline, "pipeline", 2},
+		{KindFile, "cache/u.state", 3},
+		{KindCall, "callee", 2},
+		{KindGlobal, "g0", 0},
+	}}).AppendBinary(nil)
+	f.Add(seed)
+	f.Add(seed[:len(seed)-1])
+	f.Add(append(append([]byte(nil), seed...), 0))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := DecodeBinary(data)
+		if err != nil {
+			return
+		}
+		if len(rec.Entries) > len(data)/minEntryBytes {
+			t.Fatalf("decoded %d entries from %d bytes: allocation bound violated",
+				len(rec.Entries), len(data))
+		}
+		re := rec.AppendBinary(nil)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted buffer is not canonical:\n in: %x\nout: %x", data, re)
+		}
+		// Accepted records must themselves satisfy the canonical-order
+		// invariant Canon would establish.
+		check := &Record{DeclaredHash: rec.DeclaredHash, Entries: append([]Entry(nil), rec.Entries...)}
+		check.Canon()
+		if !rec.Equal(check) {
+			t.Fatal("accepted record not in canonical form")
+		}
+	})
+}

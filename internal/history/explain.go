@@ -36,6 +36,14 @@ func RenderExplain(recs []Record, unit string) (string, error) {
 		fmt.Fprintf(&sb, " (prev #%d: %.1f%%)", prev.Seq, prev.SkipRatePct)
 	}
 	sb.WriteString("\n")
+	if len(last.FootprintMissed) > 0 {
+		fmt.Fprintf(&sb, "MISSED INVALIDATIONS: %s — declared hash said cached while the traced footprint changed (docs/ROBUSTNESS.md)\n",
+			strings.Join(last.FootprintMissed, ", "))
+	}
+	if len(last.FootprintRedundant) > 0 {
+		fmt.Fprintf(&sb, "redundant recompiles: %s — footprint proves the cached object was still valid\n",
+			strings.Join(last.FootprintRedundant, ", "))
+	}
 
 	units := make([]string, 0, len(last.Units))
 	for name := range last.Units {
@@ -54,7 +62,11 @@ func RenderExplain(recs []Record, unit string) (string, error) {
 		ur := last.Units[name]
 		sb.WriteString("\n")
 		if ur.Cached {
-			fmt.Fprintf(&sb, "unit %s — cached (content hash unchanged, nothing recompiled)\n", name)
+			if inList(last.FootprintMissed, name) {
+				fmt.Fprintf(&sb, "unit %s — cached [FOOTPRINT MISSED: traced footprint changed, stale object served]\n", name)
+			} else {
+				fmt.Fprintf(&sb, "unit %s — cached (content hash unchanged, nothing recompiled)\n", name)
+			}
 			continue
 		}
 		fmt.Fprintf(&sb, "unit %s — compiled in %.3fms", name, float64(ur.CompileNS)/1e6)
@@ -63,6 +75,12 @@ func RenderExplain(recs []Record, unit string) (string, error) {
 		}
 		if ur.Quarantine != "" {
 			fmt.Fprintf(&sb, " [QUARANTINED: %s]", ur.Quarantine)
+		}
+		if inList(last.FootprintMissed, name) {
+			sb.WriteString(" [FOOTPRINT MISSED: recompiled by enforcement]")
+		}
+		if inList(last.FootprintRedundant, name) {
+			sb.WriteString(" [FOOTPRINT REDUNDANT]")
 		}
 		sb.WriteString("\n")
 		if len(ur.Passes) == 0 {
@@ -90,6 +108,16 @@ func RenderExplain(recs []Record, unit string) (string, error) {
 		}
 	}
 	return sb.String(), nil
+}
+
+// inList reports membership in a (short) unit-name list.
+func inList(list []string, name string) bool {
+	for _, s := range list {
+		if s == name {
+			return true
+		}
+	}
+	return false
 }
 
 // prevReason finds the previous build's reason for the same slot ("-" when

@@ -113,6 +113,14 @@ type Record struct {
 	StateBytes    int   `json:"state_bytes"`
 	// SkipRatePct is this build's registry skip rate ×100 at record time.
 	SkipRatePct float64 `json:"skip_rate_pct"`
+	// FootprintMissed / FootprintRedundant list the units (unit order) whose
+	// declared cache decision disagreed with their traced dependency
+	// footprint this build: missed invalidations are soundness violations,
+	// redundant recompiles wasted work (docs/ROBUSTNESS.md). Present only
+	// when footprint tracing was on and a disagreement occurred; `minibuild
+	// deps -check` exits 2 on a fresh missed entry.
+	FootprintMissed    []string `json:"footprint_missed,omitempty"`
+	FootprintRedundant []string `json:"footprint_redundant,omitempty"`
 	// Metrics is the builder's counters-registry snapshot after the build
 	// (cumulative across the builder's lifetime; schema in
 	// docs/OBSERVABILITY.md). encoding/json sorts the keys.

@@ -69,6 +69,18 @@ const (
 	CtrCacheHits   = "fullcache.hits"
 	CtrCacheMisses = "fullcache.misses"
 
+	// Dependency-footprint cross-check counters (internal/footprint,
+	// docs/ROBUSTNESS.md): footprint.checked counts units whose cache
+	// decision was cross-checked against their traced read footprint;
+	// footprint.missed counts missed invalidations — a unit the declared
+	// content-hash model would reuse while a footprint member changed (a
+	// soundness violation, the thing `make footprint-guard` fails on);
+	// footprint.redundant counts the reverse — a recompile the footprint
+	// proves unnecessary (a performance, not correctness, defect).
+	CtrFootprintChecked   = "footprint.checked"
+	CtrFootprintMissed    = "footprint.missed"
+	CtrFootprintRedundant = "footprint.redundant"
+
 	// Persistent-state counters (updated concurrently by workers).
 	CtrStateLoads      = "state.loads"
 	CtrStateLoadMisses = "state.load_misses"

@@ -22,6 +22,7 @@ import (
 	"testing"
 
 	"statefulcc/internal/core"
+	"statefulcc/internal/footprint"
 	"statefulcc/internal/state"
 )
 
@@ -58,6 +59,21 @@ func fuzzSeedStates() []*core.UnitState {
 					Seen: []bool{true, true, true},
 				},
 				"zero": {Slots: []core.Record{}, Seen: []bool{}},
+			},
+		},
+		{
+			Unit:        "fp.mc",
+			Funcs:       map[string]*core.FuncState{},
+			ModuleSlots: []core.Record{},
+			ModuleSeen:  []bool{},
+			Footprint: &footprint.Record{
+				DeclaredHash: 0x0123456789ABCDEF,
+				Entries: []footprint.Entry{
+					{Kind: footprint.KindSource, Name: "fp.mc", Hash: 1},
+					{Kind: footprint.KindPipeline, Name: "pipeline", Hash: 2},
+					{Kind: footprint.KindFile, Name: "cache/fp.state", Hash: 3},
+					{Kind: footprint.KindCall, Name: "callee", Hash: 2},
+				},
 			},
 		},
 	}

@@ -7,12 +7,13 @@ package state_test
 // up as a diff against testdata/, and an intended change forces a
 // conscious FormatVersion bump plus `go test ./internal/state -update`.
 //
-// Three pins exist: the current v5 zero-copy layout (encoder + decoder),
-// the frozen v4 files from the pre-length-prefix layout (EncodeV4 is
-// retained, so both encoder halves stay pinned), and the frozen v3 file
-// from before the quarantine block. The decoder must keep accepting the
-// frozen versions forever (migration path for state written by released
-// binaries).
+// Four pins exist: the current v6 layout (encoder + decoder; v5 zero-copy
+// plus the dependency-footprint block), the frozen v5 files from before
+// the footprint block (decode-only), the frozen v4 files from the
+// pre-length-prefix layout (EncodeV4 is retained, so both encoder halves
+// stay pinned), and the frozen v3 file from before the quarantine block.
+// The decoder must keep accepting the frozen versions forever (migration
+// path for state written by released binaries).
 
 import (
 	"bytes"
@@ -25,6 +26,7 @@ import (
 	"testing"
 
 	"statefulcc/internal/core"
+	"statefulcc/internal/footprint"
 	"statefulcc/internal/state"
 )
 
@@ -111,13 +113,61 @@ func checkGolden(t *testing.T, name string, st *core.UnitState,
 	}
 }
 
-func TestGoldenFormatV5(t *testing.T) {
-	if state.FormatVersion != 5 {
+// goldenFootprintState adds the v6 footprint block: every entry scope
+// (invalidating, advisory, link) in canonical order, plus the declared
+// hash recorded verbatim.
+func goldenFootprintState() *core.UnitState {
+	st := goldenState()
+	st.Footprint = &footprint.Record{
+		DeclaredHash: 0xDEADBEEF12345678,
+		Entries: []footprint.Entry{
+			{Kind: footprint.KindSource, Name: "golden.mc", Hash: 0x1111},
+			{Kind: footprint.KindPipeline, Name: "pipeline", Hash: 0x2222},
+			{Kind: footprint.KindFile, Name: "cache/golden-0011223344556677.state", Hash: 0x3333},
+			{Kind: footprint.KindCall, Name: "ext_helper", Hash: 2},
+			{Kind: footprint.KindGlobal, Name: "g0", Hash: 0x4444},
+		},
+	}
+	return st
+}
+
+func TestGoldenFormatV6(t *testing.T) {
+	if state.FormatVersion != 6 {
 		t.Fatalf("FormatVersion is %d; regenerate the golden files for the new layout "+
 			"(go test ./internal/state -update) and rename them accordingly", state.FormatVersion)
 	}
-	checkGolden(t, "unitstate_v5.golden", goldenState(), state.Encode)
-	checkGolden(t, "unitstate_v5_quarantined.golden", goldenQuarantinedState(), state.Encode)
+	checkGolden(t, "unitstate_v6.golden", goldenState(), state.Encode)
+	checkGolden(t, "unitstate_v6_quarantined.golden", goldenQuarantinedState(), state.Encode)
+	checkGolden(t, "unitstate_v6_footprint.golden", goldenFootprintState(), state.Encode)
+}
+
+// TestGoldenV5Frozen pins the decode side of the v5 layout: the frozen v5
+// files (written before the footprint block existed) must keep decoding to
+// the same states — with nil footprints — forever. No v5 encoder is
+// retained, so these files are never regenerated.
+func TestGoldenV5Frozen(t *testing.T) {
+	for _, tc := range []struct {
+		file string
+		st   *core.UnitState
+	}{
+		{"unitstate_v5.golden", goldenState()},
+		{"unitstate_v5_quarantined.golden", goldenQuarantinedState()},
+	} {
+		want, err := os.ReadFile(filepath.Join("testdata", tc.file))
+		if err != nil {
+			t.Fatalf("frozen v5 golden file missing: %v", err)
+		}
+		got, err := state.Decode(bytes.NewReader(want))
+		if err != nil {
+			t.Fatalf("v5 bytes no longer decode — migration path broken: %v", err)
+		}
+		if !reflect.DeepEqual(got, tc.st) {
+			t.Fatalf("v5 bytes decode to a different state:\ngot:  %+v\nwant: %+v", got, tc.st)
+		}
+		if got.Footprint != nil {
+			t.Fatalf("v5 file decoded with a footprint: %+v", got.Footprint)
+		}
+	}
 }
 
 // TestGoldenV4Frozen pins the previous layout from both ends: EncodeV4
@@ -191,12 +241,14 @@ func TestDecodeV3Migration(t *testing.T) {
 }
 
 // TestDecodeEveryPrefix feeds the decoder every strict prefix of the
-// golden v5 files (and the frozen v4/v3 ones). A truncated state file —
+// golden v6 files (and the frozen v5/v4/v3 ones). A truncated state file —
 // the torn-write shape the atomic saver is designed to prevent but a
 // hostile filesystem can still produce — must always be rejected, never
 // misparsed into a partial state.
 func TestDecodeEveryPrefix(t *testing.T) {
 	for _, file := range []string{
+		"unitstate_v6.golden", "unitstate_v6_quarantined.golden",
+		"unitstate_v6_footprint.golden",
 		"unitstate_v5.golden", "unitstate_v5_quarantined.golden",
 		"unitstate_v4.golden", "unitstate_v4_quarantined.golden",
 		"unitstate_v3.golden",

@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"statefulcc/internal/core"
+	"statefulcc/internal/footprint"
 	"statefulcc/internal/state"
 )
 
@@ -82,7 +83,34 @@ func randState(r *rand.Rand) *core.UnitState {
 		st.Funcs[name] = &core.FuncState{}
 		st.Funcs[name].Slots, st.Funcs[name].Seen = randBlock(r, r.Intn(6), pool)
 	}
+	if r.Intn(2) == 0 {
+		st.Footprint = randFootprint(r)
+	}
 	return st
+}
+
+// randFootprint generates a canonical footprint via a Trace (the only
+// production constructor), covering every kind, duplicate observations
+// (deduplicated), empty names, and hash zero.
+func randFootprint(r *rand.Rand) *footprint.Record {
+	tr := footprint.NewTrace("unit.mc")
+	kinds := []footprint.Kind{
+		footprint.KindSource, footprint.KindPipeline, footprint.KindFile,
+		footprint.KindStat, footprint.KindDir, footprint.KindCall,
+		footprint.KindGlobal,
+	}
+	for i, n := 0, r.Intn(8); i < n; i++ {
+		name := "dep" + strconv.Itoa(r.Intn(4))
+		if r.Intn(6) == 0 {
+			name = "" // empty name is representable
+		}
+		h := r.Uint64()
+		if r.Intn(6) == 0 {
+			h = 0 // hash zero is a legal value
+		}
+		tr.Add(kinds[r.Intn(len(kinds))], name, h)
+	}
+	return tr.Finish(r.Uint64())
 }
 
 func TestEncodeDecodeRoundTripProperty(t *testing.T) {

@@ -26,9 +26,13 @@
 //	quarantineBlock
 //	u32 recLen | recordBlock(module slots)                (v5+: length prefix)
 //	u32 nFuncs | nFuncs × ( string name, u32 recLen, recordBlock(slots) )
+//	footprintBlock                                        (v6+)
 //
 //	quarantineBlock: u8 present [, string reason, uvarint clean,
 //	                 uvarint nPasses, nPasses × string ]
+//
+//	footprintBlock: u8 present [, u32 len, footprint binary encoding
+//	                (internal/footprint, self-versioned canonical codec) ]
 //
 //	recordBlock: uvarint nSlots | uvarint nHashes | nHashes × u64 |
 //	             nSlots × ( u8 flags [, uvarint hashIdx, uvarint cost256] )
@@ -36,20 +40,24 @@
 // flags: bit0 = changed, bit1 = seen. hashIdx/cost follow only for seen
 // dormant (changed=0) slots.
 //
-// Version 5 is the zero-copy layout: the loader reads the whole file into
-// one buffer and DecodeBytes slices it in place — strings (unit name,
-// function names, quarantine reasons) are *references into the buffer*
-// (unsafe.String), never copies, and every record block carries a u32 byte
-// length so a reader can locate any function's records without parsing the
-// ones before it. The returned UnitState therefore aliases the input
-// buffer; callers must not mutate it (LoadFS always hands DecodeBytes a
-// fresh private buffer).
+// Version 5 introduced the zero-copy layout: the loader reads the whole
+// file into one buffer and DecodeBytes slices it in place — strings (unit
+// name, function names, quarantine reasons) are *references into the
+// buffer* (unsafe.String), never copies, and every record block carries a
+// u32 byte length so a reader can locate any function's records without
+// parsing the ones before it. The returned UnitState therefore aliases the
+// input buffer; callers must not mutate it (LoadFS always hands
+// DecodeBytes a fresh private buffer). Version 6 appends the optional
+// dependency-footprint block (the always-correct-mode ground truth,
+// internal/footprint) after the function table; everything before it is
+// unchanged, and footprint entry names are private copies, not views.
 //
-// Version 3 files (no quarantineBlock) and version 4 files (no record
-// length prefixes, copied strings) still decode: the loader accepts all
-// three versions and migrates older ones transparently. The next save
-// rewrites the file as v5. EncodeV4 is retained so benchmarks can compare
-// the layouts and the frozen v4 golden pins stay reproducible.
+// Version 3 files (no quarantineBlock), version 4 files (no record length
+// prefixes, copied strings), and version 5 files (no footprintBlock) still
+// decode: the loader accepts all four versions and migrates older ones
+// transparently, with a nil footprint where the file predates v6. The next
+// save rewrites the file as v6. EncodeV4 is retained so benchmarks can
+// compare the layouts and the frozen v4 golden pins stay reproducible.
 package state
 
 import (
@@ -64,14 +72,15 @@ import (
 	"unsafe"
 
 	"statefulcc/internal/core"
+	"statefulcc/internal/footprint"
 	"statefulcc/internal/vfs"
 )
 
 var magic = [8]byte{'S', 'C', 'C', 'S', 'T', 'A', 'T', 'E'}
 
-// FormatVersion is the on-disk layout version the encoder writes (v5, the
-// zero-copy layout).
-const FormatVersion = 5
+// FormatVersion is the on-disk layout version the encoder writes (v6: the
+// v5 zero-copy layout plus the trailing dependency-footprint block).
+const FormatVersion = 6
 
 // minFormatVersion is the oldest layout the decoder still accepts (v3,
 // which predates the quarantine block).
@@ -183,7 +192,44 @@ func Encode(w io.Writer, st *core.UnitState) error {
 		e.str(name)
 		e.sizedRecordBlock(&scratch, fs.Slots, fs.Seen)
 	}
+	e.footprintBlock(st.Footprint)
 	return e.err
+}
+
+// footprintBlock writes the optional dependency footprint (v6+) as a
+// length-prefixed embedding of the footprint package's own canonical
+// encoding.
+func (e *encoder) footprintBlock(fp *footprint.Record) {
+	if fp == nil {
+		e.bytes([]byte{0})
+		return
+	}
+	e.bytes([]byte{1})
+	body := fp.AppendBinary(nil)
+	e.u32(uint32(len(body)))
+	e.bytes(body)
+}
+
+func (d *bdec) footprintBlock() *footprint.Record {
+	fb := d.byte()
+	if d.err != nil || fb == 0 {
+		return nil
+	}
+	if fb != 1 {
+		d.err = fmt.Errorf("bad footprint marker %d", fb)
+		return nil
+	}
+	n := d.u32()
+	b := d.take(int(n))
+	if d.err != nil {
+		return nil
+	}
+	fp, err := footprint.DecodeBinary(b)
+	if err != nil {
+		d.err = err
+		return nil
+	}
+	return fp
 }
 
 // sizedRecordBlock writes a u32 byte-length prefix followed by the record
@@ -393,15 +439,16 @@ func DecodeBytes(buf []byte) (*core.UnitState, error) {
 	if v < 5 {
 		return decodeStream(bytes.NewReader(buf))
 	}
-	return decodeV5(buf)
+	return decodeV5(buf, v)
 }
 
-// decodeV5 is the zero-copy parser: a cursor over buf whose strings alias
-// the buffer and whose record blocks are located via their length
-// prefixes. Every declared length is checked against the bytes actually
-// present before use, so no count in the file can force an allocation or
-// an out-of-range slice.
-func decodeV5(buf []byte) (*core.UnitState, error) {
+// decodeV5 is the zero-copy parser for v5 and v6: a cursor over buf whose
+// strings alias the buffer and whose record blocks are located via their
+// length prefixes. Every declared length is checked against the bytes
+// actually present before use, so no count in the file can force an
+// allocation or an out-of-range slice. v6 adds the trailing footprint
+// block; a v5 file simply has none.
+func decodeV5(buf []byte, v uint32) (*core.UnitState, error) {
 	d := &bdec{buf: buf, off: 12} // past magic + version
 	st := &core.UnitState{Funcs: make(map[string]*core.FuncState)}
 	st.PipelineHash = d.u64()
@@ -422,6 +469,9 @@ func decodeV5(buf []byte) (*core.UnitState, error) {
 			break
 		}
 		st.Funcs[name] = &core.FuncState{Slots: slots, Seen: seen}
+	}
+	if v >= 6 && d.err == nil {
+		st.Footprint = d.footprintBlock()
 	}
 	if d.err == nil && d.off != len(buf) {
 		d.err = fmt.Errorf("%d trailing bytes", len(buf)-d.off)

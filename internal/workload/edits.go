@@ -46,6 +46,9 @@ func (k EditKind) String() string {
 	case EditAddFunction:
 		return "add-function"
 	default:
+		if s, ok := waveString(k); ok {
+			return s
+		}
 		return fmt.Sprintf("edit(%d)", int(k))
 	}
 }

@@ -60,6 +60,19 @@ func StandardSuite() []Profile {
 	}
 }
 
+// MegaProfile returns the scale stress profile — roughly twice monorepo,
+// past the 200-unit mark — used by the footprint battery's scale case and
+// the footprint-overhead benchmark row. It is deliberately not part of
+// StandardSuite so the end-to-end experiment matrix stays fast.
+func MegaProfile() Profile {
+	return Profile{
+		Name: "megarepo", Seed: 909,
+		Files: 208, FuncsPerFileMin: 4, FuncsPerFileMax: 9,
+		StmtsPerFuncMin: 3, StmtsPerFuncMax: 9,
+		GlobalsPerFile: 3, CrossFileCallFrac: 0.4, PrivateFrac: 0.4,
+	}
+}
+
 // QuickSuite returns a two-project subset for fast tests.
 func QuickSuite() []Profile {
 	s := StandardSuite()

@@ -1,0 +1,262 @@
+package workload
+
+// Project-wide edit waves: mutations that, unlike the single-unit commits
+// in edits.go, deliberately ripple across many files at once — renaming a
+// public function everywhere it is referenced, or changing its signature
+// along with every call site. They model the refactoring commits where
+// file-level invalidation is widest and link-scope footprint entries
+// (call arity, symbol identity) actually change, and they drive the
+// rename-wave and interface-churn streams of the footprint battery.
+
+import (
+	"fmt"
+	"strings"
+
+	"statefulcc/internal/ast"
+	"statefulcc/internal/parser"
+	"statefulcc/internal/project"
+	"statefulcc/internal/source"
+	"statefulcc/internal/token"
+)
+
+// Wave edit kinds. They sit after numEditKinds so Commit's uniform kind
+// draw never picks them: waves are applied explicitly, not as part of a
+// default commit.
+const (
+	// EditRenameWave renames one public function in its defining unit and
+	// at every cross-unit reference (extern decls and call sites).
+	EditRenameWave EditKind = numEditKinds + iota
+	// EditInterfaceChurn appends a parameter to one public function and
+	// threads a constant argument through every call site.
+	EditInterfaceChurn
+)
+
+// waveString names the wave kinds for EditKind.String.
+func waveString(k EditKind) (string, bool) {
+	switch k {
+	case EditRenameWave:
+		return "rename-wave", true
+	case EditInterfaceChurn:
+		return "interface-churn", true
+	}
+	return "", false
+}
+
+// parsedUnit pairs a unit's parse tree with a dirty flag; only dirty units
+// are re-printed, so untouched files keep byte-identical sources (and
+// byte-identical footprints).
+type parsedUnit struct {
+	tree  *ast.File
+	dirty bool
+}
+
+// parseSnap parses every unit. Units that fail to parse (impossible on
+// generated code) are carried through untouched as nil trees.
+func parseSnap(snap project.Snapshot) map[string]*parsedUnit {
+	out := make(map[string]*parsedUnit, len(snap))
+	for unit, src := range snap {
+		var errs source.ErrorList
+		tree := parser.ParseFile(source.NewFile(unit, src), &errs)
+		if errs.HasErrors() {
+			tree = nil
+		}
+		out[unit] = &parsedUnit{tree: tree}
+	}
+	return out
+}
+
+// reprint rebuilds a snapshot from parsed units, re-printing only dirty
+// ones.
+func reprint(snap project.Snapshot, units map[string]*parsedUnit) project.Snapshot {
+	out := snap.Clone()
+	for name, pu := range units {
+		if pu.dirty && pu.tree != nil {
+			out[name] = []byte(ast.Print(pu.tree))
+		}
+	}
+	return out
+}
+
+// publicFuncs lists every public non-main function as (unit, name) pairs in
+// deterministic (sorted-unit, declaration) order.
+func publicFuncs(order []string, units map[string]*parsedUnit) (names []string, defUnit map[string]string) {
+	defUnit = make(map[string]string)
+	for _, unit := range order {
+		pu := units[unit]
+		if pu.tree == nil {
+			continue
+		}
+		for _, d := range pu.tree.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == "main" || strings.HasPrefix(fd.Name, "_") {
+				continue
+			}
+			names = append(names, fd.Name)
+			defUnit[fd.Name] = unit
+		}
+	}
+	return names, defUnit
+}
+
+// RenameWave renames one randomly chosen public function project-wide: the
+// defining declaration, every extern prototype, and every call site. The
+// input snapshot is not modified. Returns one Edit per touched unit; a
+// project with no public functions comes back unchanged.
+func (e *Editor) RenameWave(snap project.Snapshot) (project.Snapshot, []Edit) {
+	order := snap.Units()
+	units := parseSnap(snap)
+	names, _ := publicFuncs(order, units)
+	if len(names) == 0 {
+		return snap, nil
+	}
+	old := names[e.rng.Intn(len(names))]
+	e.nextID++
+	fresh := fmt.Sprintf("%s_r%d", old, e.nextID)
+
+	var edits []Edit
+	for _, unit := range order {
+		pu := units[unit]
+		if pu.tree == nil {
+			continue
+		}
+		touched := false
+		for _, d := range pu.tree.Decls {
+			switch fd := d.(type) {
+			case *ast.FuncDecl:
+				if fd.Name == old {
+					fd.Name = fresh
+					touched = true
+				}
+			case *ast.ExternDecl:
+				if fd.Name == old {
+					fd.Name = fresh
+					touched = true
+				}
+			}
+		}
+		// Generated identifier namespaces are disjoint (fn/acc/g/K/p...),
+		// so renaming every matching identifier only hits references to the
+		// function.
+		ast.Inspect(pu.tree, func(n ast.Node) bool {
+			if id, ok := n.(*ast.IdentExpr); ok && id.Name == old {
+				id.Name = fresh
+				touched = true
+			}
+			return true
+		})
+		if touched {
+			pu.dirty = true
+			edits = append(edits, Edit{Unit: unit, Func: fresh, Kind: EditRenameWave})
+		}
+	}
+	return reprint(snap, units), edits
+}
+
+// InterfaceChurn appends an int parameter to one randomly chosen public
+// function and threads a constant argument through every call site and
+// extern prototype — the signature change invalidates every caller's
+// link-scope footprint (call arity), not just the defining unit. The input
+// snapshot is not modified.
+func (e *Editor) InterfaceChurn(snap project.Snapshot) (project.Snapshot, []Edit) {
+	order := snap.Units()
+	units := parseSnap(snap)
+	names, _ := publicFuncs(order, units)
+	if len(names) == 0 {
+		return snap, nil
+	}
+	target := names[e.rng.Intn(len(names))]
+	e.nextID++
+	param := &ast.Param{
+		Name: fmt.Sprintf("q%d", e.nextID),
+		Type: &ast.ScalarType{Kind: token.INTTYPE},
+	}
+	arg := int64(e.rng.Intn(90) + 13)
+
+	var edits []Edit
+	for _, unit := range order {
+		pu := units[unit]
+		if pu.tree == nil {
+			continue
+		}
+		touched := false
+		for _, d := range pu.tree.Decls {
+			switch fd := d.(type) {
+			case *ast.FuncDecl:
+				if fd.Name == target {
+					fd.Params = append(fd.Params, param)
+					touched = true
+				}
+			case *ast.ExternDecl:
+				if fd.Name == target {
+					fd.Params = append(fd.Params, param)
+					touched = true
+				}
+			}
+		}
+		ast.Inspect(pu.tree, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && call.Callee.Name == target {
+				call.Args = append(call.Args, &ast.IntLit{Value: arg})
+				touched = true
+			}
+			return true
+		})
+		if touched {
+			pu.dirty = true
+			edits = append(edits, Edit{Unit: unit, Func: target, Kind: EditInterfaceChurn})
+		}
+	}
+	return reprint(snap, units), edits
+}
+
+// StreamKind selects the edit stream GenerateHistoryStream produces.
+type StreamKind int
+
+// Edit streams.
+const (
+	// StreamDefault is the standard local-commit workload (GenerateHistory).
+	StreamDefault StreamKind = iota
+	// StreamRenameWave alternates local commits with project-wide renames.
+	StreamRenameWave
+	// StreamInterfaceChurn alternates local commits with signature changes.
+	StreamInterfaceChurn
+)
+
+// String names the stream.
+func (k StreamKind) String() string {
+	switch k {
+	case StreamDefault:
+		return "default"
+	case StreamRenameWave:
+		return "rename-wave"
+	case StreamInterfaceChurn:
+		return "interface-churn"
+	default:
+		return fmt.Sprintf("stream(%d)", int(k))
+	}
+}
+
+// GenerateHistoryStream produces a deterministic commit sequence of the
+// given stream kind: StreamDefault matches GenerateHistory, the wave
+// streams interleave a project-wide wave edit into every second commit so
+// histories exercise both narrow and maximally wide invalidation.
+func GenerateHistoryStream(base project.Snapshot, seed int64, commits int, opts CommitOptions, kind StreamKind) *History {
+	ed := NewEditor(seed)
+	h := &History{Base: base}
+	cur := base
+	for i := 0; i < commits; i++ {
+		var next project.Snapshot
+		var edits []Edit
+		switch {
+		case kind == StreamRenameWave && i%2 == 1:
+			next, edits = ed.RenameWave(cur)
+		case kind == StreamInterfaceChurn && i%2 == 1:
+			next, edits = ed.InterfaceChurn(cur)
+		default:
+			next, edits = ed.Commit(cur, opts)
+		}
+		h.Commits = append(h.Commits, next)
+		h.Edits = append(h.Edits, edits)
+		cur = next
+	}
+	return h
+}
