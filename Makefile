@@ -1,15 +1,16 @@
 GO ?= go
 SMOKEDIR ?= .smoke
 
-.PHONY: ci vet build test race fuzz chaos bench bench-baseline bench-matrix profile skip-guard footprint-guard smoke
+.PHONY: ci vet build test race fuzz chaos bench bench-baseline bench-matrix profile profile-smoke skip-guard footprint-guard smoke
 
 # ci is the tier-1 gate: everything must stay green, including the race
 # detector over the worker pool, the observability counters, the
 # crash/chaos robustness walk, the flight-recorder regression check on
-# the example project, the skip-rate guard (a fast stateful history
-# whose measured skip rate must clear the floor), and the footprint guard
-# (honest builds must produce zero missed invalidations).
-ci: vet build test race chaos smoke skip-guard footprint-guard
+# the example project, the critical-path profiler end-to-end check, the
+# skip-rate guard (a fast stateful history whose measured skip rate must
+# clear the floor), and the footprint guard (honest builds must produce
+# zero missed invalidations).
+ci: vet build test race chaos smoke profile-smoke skip-guard footprint-guard
 
 vet:
 	$(GO) vet ./...
@@ -57,7 +58,7 @@ bench-baseline:
 # dependency-footprint tracing overhead — including the 200+ unit megarepo
 # row — held to a budget.
 bench:
-	$(GO) run ./cmd/benchbaseline -audit 0.05 -footprint -max-footprint-overhead 50 -out BENCH_pr7.json
+	$(GO) run ./cmd/benchbaseline -audit 0.05 -footprint -max-footprint-overhead 50 -out BENCH_pr8.json
 
 # bench-matrix regenerates the committed multi-core latency matrix
 # (docs/PERFORMANCE.md): workers × profile p50/p99 incremental latency,
@@ -71,6 +72,23 @@ bench-matrix:
 profile:
 	$(GO) run ./cmd/benchbaseline -matrix -profiles 1 -workers 4 -out /dev/null \
 		-cpuprofile cpu.pprof -memprofile mem.pprof
+
+# profile-smoke is the critical-path profiler's end-to-end check: cold
+# build, edit, incremental rebuild, then `minibuild profile -json` on the
+# recorded history — the output must be valid JSON with a non-empty
+# critical path (python3 parses and asserts both).
+profile-smoke:
+	rm -rf $(SMOKEDIR)-profile
+	mkdir -p $(SMOKEDIR)-profile/proj
+	cp examples/project/*.mc $(SMOKEDIR)-profile/proj/
+	$(GO) build -o $(SMOKEDIR)-profile/minibuild ./cmd/minibuild
+	$(SMOKEDIR)-profile/minibuild -dir $(SMOKEDIR)-profile/proj -mode stateful
+	printf '\n// profile-smoke edit\n' >> $(SMOKEDIR)-profile/proj/math.mc
+	$(SMOKEDIR)-profile/minibuild -dir $(SMOKEDIR)-profile/proj -mode stateful
+	$(SMOKEDIR)-profile/minibuild profile -dir $(SMOKEDIR)-profile/proj
+	$(SMOKEDIR)-profile/minibuild profile -dir $(SMOKEDIR)-profile/proj -json \
+		| python3 -c 'import json,sys; d=json.load(sys.stdin); assert d["critical_path"], "empty critical path"; assert d["critical_total_ns"] >= d["longest_unit_ns"] > 0, "critical path below longest unit"'
+	rm -rf $(SMOKEDIR)-profile
 
 # skip-guard is the CI tripwire against regressions that silently destroy
 # the stateful win: a fast single-profile matrix whose measured skip rate

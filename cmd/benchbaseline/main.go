@@ -26,14 +26,43 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/exec"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"statefulcc/internal/bench"
 	"statefulcc/internal/compiler"
 	"statefulcc/internal/obs"
 	"statefulcc/internal/workload"
 )
+
+// RunMeta stamps the environment a BENCH_*.json was measured in, so two
+// documents are only ever compared knowing whether the host or revision
+// moved under them.
+type RunMeta struct {
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+	GitRevision string `json:"git_revision"`
+}
+
+// runMeta collects the stamp. The git revision degrades to "unknown"
+// outside a checkout (or without git on PATH) rather than failing a run.
+func runMeta() RunMeta {
+	m := RunMeta{
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		GitRevision: "unknown",
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			m.GitRevision = rev
+		}
+	}
+	return m
+}
 
 // ProfileResult is one project's stateless-vs-stateful comparison.
 type ProfileResult struct {
@@ -54,6 +83,13 @@ type ProfileResult struct {
 	Decisions map[string]int64 `json:"decisions"`
 	// SkipRatePct is pass.skipped / (pass.runs + pass.skipped) × 100.
 	SkipRatePct float64 `json:"skip_rate_pct"`
+	// Histograms embeds the stateful run's latency-histogram snapshots
+	// (unit compile, skip decision, build wall; bucket geometry in
+	// docs/OBSERVABILITY.md), with the unit-compile p50/p99 pulled out as
+	// headline milliseconds.
+	Histograms       map[string]obs.HistogramSnapshot `json:"histograms,omitempty"`
+	UnitCompileP50MS float64                          `json:"unit_compile_p50_ms,omitempty"`
+	UnitCompileP99MS float64                          `json:"unit_compile_p99_ms,omitempty"`
 	// AuditRate is the soundness-sentinel sampling probability of the
 	// audited comparison run (0 when -audit is unset; the headline
 	// stateful numbers above are always measured unaudited).
@@ -81,9 +117,8 @@ type ProfileResult struct {
 
 // Baseline is the committed document.
 type Baseline struct {
-	GeneratedBy    string          `json:"generated_by"`
-	GoVersion      string          `json:"go_version"`
-	GOMAXPROCS     int             `json:"gomaxprocs"`
+	GeneratedBy string `json:"generated_by"`
+	RunMeta
 	Commits        int             `json:"commits"`
 	Repeats        int             `json:"repeats"`
 	Profiles       []ProfileResult `json:"profiles"`
@@ -102,12 +137,11 @@ type Baseline struct {
 
 // Matrix is the committed multi-core latency document (BENCH_pr6.json).
 type Matrix struct {
-	GeneratedBy string             `json:"generated_by"`
-	GoVersion   string             `json:"go_version"`
-	GOMAXPROCS  int                `json:"gomaxprocs"`
-	Commits     int                `json:"commits"`
-	Repeats     int                `json:"repeats"`
-	Cells       []bench.MatrixCell `json:"cells"`
+	GeneratedBy string `json:"generated_by"`
+	RunMeta
+	Commits int                `json:"commits"`
+	Repeats int                `json:"repeats"`
+	Cells   []bench.MatrixCell `json:"cells"`
 	// Side-by-side costs of the retired flat fingerprint vs the
 	// hierarchical one, and of the v4 vs v5 state layouts.
 	FingerprintCompare []*bench.FingerprintCompare `json:"fingerprint_compare"`
@@ -214,8 +248,7 @@ func runBaseline(out string, commits, repeats, nprofiles int, audit, minSkip flo
 	}
 	doc := Baseline{
 		GeneratedBy: genBy,
-		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		RunMeta:     runMeta(),
 		Commits:     commits,
 		Repeats:     repeats,
 	}
@@ -251,6 +284,11 @@ func runBaseline(out string, commits, repeats, nprofiles int, audit, minSkip flo
 			Metrics:                sf.Metrics,
 			Decisions:              obs.DecisionCounts(sf.Metrics),
 			SkipRatePct:            round3(100 * obs.SkipRate(sf.Metrics)),
+			Histograms:             sf.Histograms,
+		}
+		if h, ok := sf.Histograms[obs.HistUnitCompileNS]; ok {
+			pr.UnitCompileP50MS = round3(float64(h.Quantile(0.50)) / 1e6)
+			pr.UnitCompileP99MS = round3(float64(h.Quantile(0.99)) / 1e6)
 		}
 		if audit > 0 {
 			// Sentinel-overhead comparison: the same history, stateful, with
@@ -360,8 +398,7 @@ func runMatrix(out string, commits, repeats, nprofiles int, workersFlag string, 
 	}
 	doc := Matrix{
 		GeneratedBy: genBy,
-		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		RunMeta:     runMeta(),
 		Commits:     commits,
 		Repeats:     repeats,
 	}

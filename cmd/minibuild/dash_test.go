@@ -1,0 +1,156 @@
+package main
+
+// Tests for the PR's observability surface on the daemon: the /metrics
+// histogram exposition must reconcile exactly with the resident builder's
+// registry, /dash must render the self-contained page, and the profile
+// renderer must produce its sections from a recorded timeline.
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"statefulcc/internal/history"
+	"statefulcc/internal/obs"
+)
+
+// TestServeMetricsHistograms round-trips the /metrics histogram lines
+// through ParsePromHist and reconciles them bucket-for-bucket with the
+// builder's own snapshot — the ISSUE acceptance check for the exposition.
+func TestServeMetricsHistograms(t *testing.T) {
+	srv := newTestServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	res, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed := obs.ParsePromHist(string(body))
+
+	hists := srv.builder.Histograms()
+	for _, name := range []string{obs.HistUnitCompileNS, obs.HistSkipDecisionNS, obs.HistBuildWallNS} {
+		if _, ok := hists[name]; !ok {
+			t.Errorf("builder registry missing histogram %s after a build", name)
+		}
+	}
+	for name, want := range hists {
+		got, ok := parsed[obs.PromName(name)]
+		if !ok {
+			if want.Count == 0 {
+				continue // all-zero histograms are elided from the exposition
+			}
+			t.Errorf("/metrics missing histogram %s", name)
+			continue
+		}
+		if got.Sum != want.Sum || got.Count != want.Count {
+			t.Errorf("%s: /metrics sum/count %d/%d, registry %d/%d",
+				name, got.Sum, got.Count, want.Sum, want.Count)
+		}
+		for i := range want.Buckets {
+			if got.Buckets[i] != want.Buckets[i] {
+				t.Errorf("%s: bucket %d: /metrics %d, registry %d", name, i, got.Buckets[i], want.Buckets[i])
+			}
+		}
+	}
+	// One build of one unit: both per-build histograms saw one observation.
+	if c := parsed[obs.PromName(obs.HistBuildWallNS)].Count; c != 1 {
+		t.Errorf("build.wall_ns count = %d after one build, want 1", c)
+	}
+	if c := parsed[obs.PromName(obs.HistUnitCompileNS)].Count; c != 1 {
+		t.Errorf("unit.compile_ns count = %d after one compiled unit, want 1", c)
+	}
+}
+
+func TestServeDash(t *testing.T) {
+	srv := newTestServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	res, err := ts.Client().Get(ts.URL + "/dash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("/dash status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "text/html; charset=utf-8" {
+		t.Errorf("/dash content type %q", ct)
+	}
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(body)
+	for _, want := range []string{
+		"last-build waterfall",
+		"<svg",          // the gantt and sparklines render inline SVG
+		"main.mc",       // the built unit appears as a waterfall row
+		"critical path", // the analysis summary line
+		"history window",
+		"quarantined units",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("/dash page missing %q", want)
+		}
+	}
+	if strings.Contains(page, "<script") {
+		t.Error("/dash page contains a script tag; it must stay JS-free")
+	}
+}
+
+// TestRenderProfileSections drives the profile renderer over the record the
+// test daemon just wrote and checks each advertised section appears.
+func TestRenderProfileSections(t *testing.T) {
+	srv := newTestServer(t)
+	recs, err := history.Load(srv.histPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := pickTimelineRecord(recs, 0, srv.histPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := rec.Timeline.ToObs()
+	if err := tl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cp := obs.Analyze(tl)
+
+	var buf bytes.Buffer
+	renderProfile(&buf, rec, tl, cp)
+	out := buf.String()
+	for _, want := range []string{
+		"compile waterfall", "critical path", "top wait causes", "worker utilization", "main.mc",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile output missing %q:\n%s", want, out)
+		}
+	}
+
+	j := profileJSON(rec, tl, cp)
+	for _, key := range []string{
+		"seq", "workers", "wall_ns", "critical_path", "critical_total_ns",
+		"longest_unit_ns", "queue_wait_ns", "dependency_wait_ns", "starvation_ns", "worker_loads",
+	} {
+		if _, ok := j[key]; !ok {
+			t.Errorf("profile JSON missing key %q", key)
+		}
+	}
+	if total, longest := j["critical_total_ns"].(int64), j["longest_unit_ns"].(int64); total < longest || longest <= 0 {
+		t.Errorf("critical_total_ns %d below longest_unit_ns %d", total, longest)
+	}
+
+	// -build selection: an explicit unknown sequence must error distinctly.
+	if _, err := pickTimelineRecord(recs, 999, srv.histPath); err == nil {
+		t.Error("pickTimelineRecord accepted an unknown build sequence")
+	}
+}

@@ -17,8 +17,9 @@
 //	minibuild -dir ./proj -enforce-footprint always-correct mode
 //	minibuild regress -dir ./proj            CI regression gate (exit 2)
 //	minibuild deps -dir ./proj [-diff|-check] recorded dependency footprints
+//	minibuild profile -dir ./proj [-json]    critical-path build profile
 //	minibuild serve -dir ./proj -addr :8377  daemon with /metrics, /builds,
-//	                                         /healthz and /debug/pprof
+//	                                         /healthz, /dash and /debug/pprof
 //
 // Within one process the object cache lives in memory; the dormancy state
 // additionally persists to -cache so the *next* invocation's recompiles
@@ -70,6 +71,8 @@ func run(args []string) error {
 			return runRegress(args[1:])
 		case "deps":
 			return runDeps(args[1:])
+		case "profile":
+			return runProfile(args[1:])
 		case "serve":
 			return runServe(args[1:])
 		}

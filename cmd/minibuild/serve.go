@@ -5,9 +5,10 @@ package main
 // polls the project directory for source changes, rebuilds incrementally,
 // and exposes live observability over HTTP:
 //
-//	/metrics      counters registry in Prometheus text format
+//	/metrics      counters + latency histograms in Prometheus text format
 //	/healthz      liveness + last-build status (JSON)
 //	/builds       recent flight-recorder records (JSON, ?n= to bound)
+//	/dash         live HTML dashboard (waterfall, sparklines; dash.go)
 //	/debug/pprof  net/http/pprof profiles of the daemon itself
 //
 // Polling (os.Stat-free, whole-directory reload + content diff) keeps the
@@ -320,6 +321,7 @@ func (s *buildServer) handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/builds", s.handleBuilds)
+	mux.HandleFunc("/dash", s.handleDash)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -329,10 +331,13 @@ func (s *buildServer) handler() http.Handler {
 }
 
 // handleMetrics renders the builder's counters registry as Prometheus text
-// exposition format; values reconcile exactly with Builder.Metrics().
+// exposition format — counters first, then the latency histograms
+// (unit compile, skip decision, build wall) as Prometheus histograms.
+// Values reconcile exactly with Builder.Metrics() / Builder.Histograms().
 func (s *buildServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, obs.FormatProm(s.builder.Metrics()))
+	fmt.Fprint(w, obs.FormatPromHist(s.builder.Histograms()))
 }
 
 // handleHealthz reports liveness and the last build outcome. Status is

@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -67,9 +68,30 @@ func TestServeMetricsReconcile(t *testing.T) {
 	}
 	parsed := obs.ParseProm(string(body))
 
+	// The exposition now carries counters plus histogram samples; every
+	// parsed line must be one or the other — no unexplained families.
 	snap := srv.builder.Metrics()
-	if len(parsed) != len(snap) {
-		t.Fatalf("/metrics exposes %d counters, registry has %d", len(parsed), len(snap))
+	known := make(map[string]bool, len(snap))
+	for name := range snap {
+		known[obs.PromName(name)] = true
+	}
+	for name := range srv.builder.Histograms() {
+		pn := obs.PromName(name)
+		known[pn+"_sum"] = true
+		known[pn+"_count"] = true
+	}
+	counters := 0
+	for name := range parsed {
+		switch {
+		case known[name]:
+			counters++
+		case strings.Contains(name, "_bucket{le="):
+		default:
+			t.Errorf("/metrics exposes unexplained sample %q", name)
+		}
+	}
+	if want := len(snap) + 2*len(srv.builder.Histograms()); counters != want {
+		t.Fatalf("/metrics exposes %d known samples, want %d", counters, want)
 	}
 	for name, v := range snap {
 		if got := parsed[obs.PromName(name)]; got != v {

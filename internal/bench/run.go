@@ -10,6 +10,7 @@ import (
 	"statefulcc/internal/buildsys"
 	"statefulcc/internal/compiler"
 	"statefulcc/internal/core"
+	"statefulcc/internal/obs"
 	"statefulcc/internal/project"
 	"statefulcc/internal/vm"
 	"statefulcc/internal/workload"
@@ -85,6 +86,10 @@ type ProjectRun struct {
 	// Metrics is the builder's counters registry after the whole history
 	// (first repeat): cumulative dormancy, fingerprint, and stage totals.
 	Metrics map[string]int64
+	// Histograms is the builder's latency-histogram snapshot after the
+	// whole history (first repeat): per-unit compile latency, skip-decision
+	// latency, and build wall time distributions.
+	Histograms map[string]obs.HistogramSnapshot
 }
 
 // MeanIncrementalNS averages incremental build times.
@@ -135,6 +140,7 @@ func RunHistory(p workload.Profile, mode compiler.Mode, cfg Config) (*ProjectRun
 		if run == nil {
 			run = cur
 			run.Metrics = builder.Metrics()
+			run.Histograms = builder.Histograms()
 			continue
 		}
 		// Keep per-build minimum times.

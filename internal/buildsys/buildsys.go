@@ -26,6 +26,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -158,6 +159,11 @@ type Report struct {
 	// FootprintRedundant lists units the declared channel recompiled though
 	// their traced footprint proves the cached object was still valid.
 	FootprintRedundant []string
+	// Timeline is the build's scheduling event log — one event per unit
+	// (skip or compile) with monotonic enqueue/start/end timestamps — the
+	// raw material of `minibuild profile` (obs.Analyze). Nil on cancelled
+	// builds.
+	Timeline *obs.Timeline
 
 	stats *core.Stats
 }
@@ -200,12 +206,20 @@ type Builder struct {
 	passCtrs  *obs.PassCounters
 
 	// Observability: reg is the builder's counter registry; ctr holds the
-	// pre-resolved counters the build loop and workers update; busy is
-	// per-worker busy time, reset each Build (each worker writes only its
-	// own slot, so no synchronization is needed within a build).
+	// pre-resolved counters the build loop and workers update; hist the
+	// pre-resolved latency histograms; busy is per-worker busy time, reset
+	// each Build (each worker writes only its own slot, so no
+	// synchronization is needed within a build).
 	reg  *obs.Registry
 	ctr  builderCounters
+	hist builderHists
 	busy []int64
+
+	// tlEpoch is the current build's monotonic epoch: every timeline
+	// timestamp is time.Since(tlEpoch) — never a wall-clock subtraction,
+	// which an NTP step could corrupt (see obs.Timeline). Set at the top of
+	// each BuildContext; read by pool workers via tlNow.
+	tlEpoch time.Time
 
 	// Degradation warnings accumulated during the current Build (workers
 	// append concurrently), deduplicated by message and snapshotted into
@@ -231,6 +245,14 @@ type builderCounters struct {
 	quarantineEngaged, quarantineLifted     *obs.Counter
 	footprintChecked                        *obs.Counter
 	footprintMissed, footprintRedundant     *obs.Counter
+}
+
+// builderHists are the registry latency histograms the build loop feeds
+// (one Observe per unit or build; see docs/OBSERVABILITY.md).
+type builderHists struct {
+	unitCompile  *obs.Histogram
+	skipDecision *obs.Histogram
+	buildWall    *obs.Histogram
 }
 
 // NewBuilder creates an incremental builder.
@@ -272,6 +294,11 @@ func NewBuilder(opts Options) (*Builder, error) {
 			footprintChecked:   reg.Counter(obs.CtrFootprintChecked),
 			footprintMissed:    reg.Counter(obs.CtrFootprintMissed),
 			footprintRedundant: reg.Counter(obs.CtrFootprintRedundant),
+		},
+		hist: builderHists{
+			unitCompile:  reg.Histogram(obs.HistUnitCompileNS),
+			skipDecision: reg.Histogram(obs.HistSkipDecisionNS),
+			buildWall:    reg.Histogram(obs.HistBuildWallNS),
 		},
 		busy:      make([]int64, opts.Workers),
 		fallbacks: make([]*compiler.Compiler, opts.Workers),
@@ -334,6 +361,15 @@ func (b *Builder) statefulMode() bool {
 // builds; see docs/OBSERVABILITY.md for the counter schema).
 func (b *Builder) Metrics() map[string]int64 { return b.reg.Snapshot() }
 
+// Histograms snapshots the builder's latency histograms (cumulative across
+// builds, same lifetime as Metrics): per-unit compile latency, skip-decision
+// latency, and whole-build wall time.
+func (b *Builder) Histograms() map[string]obs.HistogramSnapshot { return b.reg.HistSnapshot() }
+
+// tlNow reads the current build's timeline clock: monotonic nanoseconds
+// since the build's epoch.
+func (b *Builder) tlNow() int64 { return time.Since(b.tlEpoch).Nanoseconds() }
+
 // Workers returns the normalized worker count.
 func (b *Builder) Workers() int { return b.opts.Workers }
 
@@ -355,6 +391,7 @@ func (b *Builder) Build(snap project.Snapshot) (*Report, error) {
 // written, so the state directory is always loadable by the next process.
 func (b *Builder) BuildContext(ctx context.Context, snap project.Snapshot) (*Report, error) {
 	start := time.Now()
+	b.tlEpoch = start
 	buildStart := b.opts.Trace.Now()
 	if len(snap) == 0 {
 		return nil, fmt.Errorf("buildsys: empty snapshot (no units to build)")
@@ -386,14 +423,18 @@ func (b *Builder) BuildContext(ctx context.Context, snap project.Snapshot) (*Rep
 	pipeHash := footprint.HashStrings(b.opts.Pipeline)
 	units := snap.Units()
 	var work []string
+	var skipEvents []obs.UnitEvent
 	for _, name := range units {
 		src := snap[name]
+		decStartNS := b.tlNow()
 		h := b.declaredHash(name, src)
 		e := b.units[name]
 		cached := e != nil && e.hash == h && e.obj != nil
 		if b.footprintOn() {
 			cached = b.crossCheck(rep, e, name, src, pipeHash, cached)
 		}
+		decEndNS := b.tlNow()
+		b.hist.skipDecision.Observe(decEndNS - decStartNS)
 		if cached {
 			if e.hash != h {
 				// Enforcement proved the object valid under a moved declared
@@ -402,14 +443,21 @@ func (b *Builder) BuildContext(ctx context.Context, snap project.Snapshot) (*Rep
 			}
 			rep.Units[name] = UnitReport{}
 			rep.UnitsCached++
+			skipEvents = append(skipEvents, obs.UnitEvent{
+				Unit: name, Worker: -1, Outcome: obs.OutcomeSkip,
+				EnqueueNS: decStartNS, StartNS: decStartNS, EndNS: decEndNS,
+			})
 			continue
 		}
 		work = append(work, name)
 	}
 
-	// Compile changed units on the worker pool.
+	// Compile changed units on the worker pool. The phase-start stamp is
+	// taken after compileStart so scheduled events (recorded inside) land
+	// within [CompileStartNS, CompileStartNS+CompileNS] on the timeline.
 	compileStart := time.Now()
-	outcomes, err := b.runCompiles(ctx, snap, work)
+	compileStartNS := b.tlNow()
+	outcomes, unitEvents, err := b.runCompiles(ctx, snap, work)
 	if err != nil {
 		return nil, err
 	}
@@ -454,6 +502,7 @@ func (b *Builder) BuildContext(ctx context.Context, snap project.Snapshot) (*Rep
 				}
 			}
 		}
+		b.hist.unitCompile.Observe(out.res.TotalNS)
 		ur := UnitReport{Compiled: true, CompileNS: out.res.TotalNS, Panicked: out.panicked}
 		if e.state != nil && e.state.Quarantine != nil {
 			ur.Quarantine = e.state.Quarantine.Reason
@@ -508,6 +557,8 @@ func (b *Builder) BuildContext(ctx context.Context, snap project.Snapshot) (*Rep
 
 	rep.StateBytes = b.stateBytes()
 	rep.TotalNS = time.Since(start).Nanoseconds()
+	b.hist.buildWall.Observe(rep.TotalNS)
+	rep.Timeline = assembleTimeline(b.opts.Workers, rep, compileStartNS, skipEvents, unitEvents)
 
 	// Build-level accounting: counters first, then the snapshot the
 	// report carries.
@@ -589,6 +640,31 @@ func (b *Builder) stateBytes() int {
 		n += e.stateBytes
 	}
 	return n
+}
+
+// assembleTimeline merges the partition stage's skip events with the
+// pool's scheduling events into the build's timeline, sorted by unit name
+// (scheduling must not leak into the recorded artifact's shape). Event
+// holes from cancellation are dropped, but cancelled builds never reach
+// this point anyway — only successful builds carry a timeline.
+func assembleTimeline(workers int, rep *Report, compileStartNS int64, skips, compiles []obs.UnitEvent) *obs.Timeline {
+	events := make([]obs.UnitEvent, 0, len(skips)+len(compiles))
+	events = append(events, skips...)
+	for _, e := range compiles {
+		if e.Unit == "" {
+			continue
+		}
+		events = append(events, e)
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Unit < events[j].Unit })
+	return &obs.Timeline{
+		Workers:        workers,
+		WallNS:         rep.TotalNS,
+		CompileStartNS: compileStartNS,
+		CompileWallNS:  rep.CompileNS,
+		LinkNS:         rep.LinkNS,
+		Events:         events,
+	}
 }
 
 // contentHash fingerprints a unit's source bytes — the file-level identity

@@ -59,6 +59,7 @@ func (b *Builder) historyRecord(rep *Report) *history.Record {
 		SkipRatePct:   100 * obs.SkipRate(rep.Metrics),
 		Metrics:       rep.Metrics,
 		Units:         make(map[string]history.UnitRecord, len(rep.Units)),
+		Timeline:      history.TimelineFromObs(rep.Timeline),
 
 		FootprintMissed:    rep.FootprintMissed,
 		FootprintRedundant: rep.FootprintRedundant,

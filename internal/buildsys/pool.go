@@ -40,6 +40,7 @@ import (
 	"statefulcc/internal/compiler"
 	"statefulcc/internal/core"
 	"statefulcc/internal/footprint"
+	"statefulcc/internal/obs"
 	"statefulcc/internal/project"
 	"statefulcc/internal/vfs"
 )
@@ -72,15 +73,22 @@ type compileJob struct {
 	// probeDisk asks the worker to try loading state from StateDir first
 	// (first compile of this unit in this process).
 	probeDisk bool
+	// enqueueNS is when the job became ready for a worker, on the build's
+	// timeline clock. File-level units have no inter-unit dependencies, so
+	// every job is ready the moment the pool starts; dependency-ordered
+	// scheduling (ROADMAP) will stagger these.
+	enqueueNS int64
 }
 
 // runCompiles compiles work (in unit-name order) and returns per-job
-// outcomes aligned with it. Compile failures return an error; cancellation
-// does not — it leaves nil-result holes for the caller to detect.
-func (b *Builder) runCompiles(ctx context.Context, snap project.Snapshot, work []string) ([]outcome, error) {
+// outcomes and scheduling events aligned with it. Compile failures return
+// an error; cancellation does not — it leaves nil-result holes (and
+// zero-unit event holes) for the caller to detect.
+func (b *Builder) runCompiles(ctx context.Context, snap project.Snapshot, work []string) ([]outcome, []obs.UnitEvent, error) {
+	enq := b.tlNow()
 	jobs := make([]compileJob, len(work))
 	for i, name := range work {
-		j := compileJob{name: name, src: snap[name]}
+		j := compileJob{name: name, src: snap[name], enqueueNS: enq}
 		if e, ok := b.units[name]; ok {
 			j.prev = e.state
 			j.probeDisk = !e.diskProbed && e.state == nil
@@ -91,18 +99,19 @@ func (b *Builder) runCompiles(ctx context.Context, snap project.Snapshot, work [
 	}
 
 	results := make([]outcome, len(jobs))
+	events := make([]obs.UnitEvent, len(jobs))
 	nworkers := len(b.workers)
 	if nworkers > len(jobs) {
 		nworkers = len(jobs)
 	}
 	if nworkers == 0 {
-		return results, nil
+		return results, events, nil
 	}
 
 	if b.opts.Mode == compiler.ModeFullCache {
-		b.runSharded(ctx, jobs, results, nworkers)
+		b.runSharded(ctx, jobs, results, events, nworkers)
 	} else {
-		b.runStealing(ctx, jobs, results, nworkers)
+		b.runStealing(ctx, jobs, results, events, nworkers)
 	}
 
 	for i := range results {
@@ -114,15 +123,47 @@ func (b *Builder) runCompiles(ctx context.Context, snap project.Snapshot, work [
 			// Cancellation is the caller's ctx speaking, not a unit failing;
 			// report it as a hole, not an error.
 			results[i] = outcome{}
+			events[i] = obs.UnitEvent{}
 			continue
 		}
-		return nil, fmt.Errorf("buildsys: %w", err)
+		return nil, nil, fmt.Errorf("buildsys: %w", err)
 	}
-	return results, nil
+	return results, events, nil
+}
+
+// runJob runs job i on worker w and records its scheduling event. Each
+// slot in results/events is written by exactly one worker, so no
+// synchronization is needed (same contract as b.busy).
+func (b *Builder) runJob(ctx context.Context, w, i int, jobs []compileJob, results []outcome, events []obs.UnitEvent) {
+	startNS := b.tlNow()
+	results[i] = b.compileOne(ctx, w, jobs[i])
+	events[i] = b.unitEvent(w, jobs[i], results[i], startNS, b.tlNow())
+}
+
+// unitEvent classifies one job's outcome into its timeline event.
+func (b *Builder) unitEvent(w int, j compileJob, out outcome, startNS, endNS int64) obs.UnitEvent {
+	ev := obs.UnitEvent{
+		Unit: j.name, Worker: w, Outcome: obs.OutcomeCompile,
+		EnqueueNS: j.enqueueNS, StartNS: startNS, EndNS: endNS,
+	}
+	switch {
+	case out.err != nil:
+		ev.Outcome = obs.OutcomeError
+	case out.panicked:
+		ev.Outcome = obs.OutcomePanic
+	case out.qstate != nil || out.qclear:
+		ev.Outcome = obs.OutcomeQuarantine
+	}
+	if out.res != nil {
+		ev.FrontendNS = out.res.StageNS(compiler.StageFrontend)
+		ev.PassesNS = out.res.StageNS(compiler.StagePasses)
+		ev.CodegenNS = out.res.StageNS(compiler.StageCodegen)
+	}
+	return ev
 }
 
 // runStealing drains jobs through a shared atomic cursor.
-func (b *Builder) runStealing(ctx context.Context, jobs []compileJob, results []outcome, nworkers int) {
+func (b *Builder) runStealing(ctx context.Context, jobs []compileJob, results []outcome, events []obs.UnitEvent, nworkers int) {
 	var next int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
@@ -135,7 +176,7 @@ func (b *Builder) runStealing(ctx context.Context, jobs []compileJob, results []
 				if i >= len(jobs) || failed.Load() || ctx.Err() != nil {
 					return
 				}
-				results[i] = b.compileOne(ctx, w, jobs[i])
+				b.runJob(ctx, w, i, jobs, results, events)
 				if results[i].err != nil {
 					failed.Store(true)
 				}
@@ -146,7 +187,7 @@ func (b *Builder) runStealing(ctx context.Context, jobs []compileJob, results []
 }
 
 // runSharded assigns each job to a fixed worker by unit-name hash.
-func (b *Builder) runSharded(ctx context.Context, jobs []compileJob, results []outcome, nworkers int) {
+func (b *Builder) runSharded(ctx context.Context, jobs []compileJob, results []outcome, events []obs.UnitEvent, nworkers int) {
 	shards := make([][]int, nworkers)
 	for i, j := range jobs {
 		// Shard on the full worker set, not nworkers: the unit→worker
@@ -172,7 +213,7 @@ func (b *Builder) runSharded(ctx context.Context, jobs []compileJob, results []o
 				if ctx.Err() != nil {
 					return
 				}
-				results[i] = b.compileOne(ctx, w, jobs[i])
+				b.runJob(ctx, w, i, jobs, results, events)
 			}
 		}(w, shards[w])
 	}

@@ -1,0 +1,144 @@
+package buildsys_test
+
+// Scheduling-timeline invariants (docs/OBSERVABILITY.md): every build's
+// recorded timeline must validate, cover exactly the snapshot's units, and
+// support a critical-path analysis whose total is sandwiched between the
+// longest single unit and the measured wall time — at 1, 4, and 16 workers,
+// under the race detector (the events slice is written concurrently by the
+// pool).
+
+import (
+	"fmt"
+	"testing"
+
+	"statefulcc/internal/buildsys"
+	"statefulcc/internal/compiler"
+	"statefulcc/internal/obs"
+)
+
+func TestTimelineInvariants(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			seq := history(t, 7, 4)
+			b, err := buildsys.NewBuilder(buildsys.Options{Mode: compiler.ModeStateful, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, snap := range seq {
+				rep, err := b.Build(snap)
+				if err != nil {
+					t.Fatalf("build %d: %v", i, err)
+				}
+				tl := rep.Timeline
+				if tl == nil {
+					t.Fatalf("build %d: no timeline recorded", i)
+				}
+				if err := tl.Validate(); err != nil {
+					t.Fatalf("build %d: %v", i, err)
+				}
+				if tl.Workers != workers {
+					t.Errorf("build %d: timeline workers = %d, want %d", i, tl.Workers, workers)
+				}
+
+				// One event per unit in the snapshot, partitioned exactly as
+				// the report says.
+				if len(tl.Events) != len(snap) {
+					t.Errorf("build %d: %d events, want %d (one per unit)", i, len(tl.Events), len(snap))
+				}
+				if got := tl.Compiled(); got != rep.UnitsCompiled {
+					t.Errorf("build %d: %d scheduled events, report compiled %d", i, got, rep.UnitsCompiled)
+				}
+				if skips := len(tl.Events) - tl.Compiled(); skips != rep.UnitsCached {
+					t.Errorf("build %d: %d skip events, report cached %d", i, skips, rep.UnitsCached)
+				}
+
+				// Critical path total: at least the longest single unit, at
+				// most the compile phase wall, which is at most the build wall.
+				cp := obs.Analyze(tl)
+				if cp.TotalNS > tl.CompileWallNS {
+					t.Errorf("build %d: critical total %dns exceeds compile wall %dns", i, cp.TotalNS, tl.CompileWallNS)
+				}
+				if tl.CompileWallNS > tl.WallNS {
+					t.Errorf("build %d: compile wall %dns exceeds build wall %dns", i, tl.CompileWallNS, tl.WallNS)
+				}
+				if cp.PathNS > cp.TotalNS {
+					t.Errorf("build %d: chain compile %dns exceeds chain extent %dns", i, cp.PathNS, cp.TotalNS)
+				}
+				if rep.UnitsCompiled > 0 {
+					if len(cp.Chain) == 0 {
+						t.Errorf("build %d: compiled %d units but chain is empty", i, rep.UnitsCompiled)
+					}
+					if cp.LongestUnitNS <= 0 || cp.TotalNS < cp.LongestUnitNS {
+						t.Errorf("build %d: critical total %dns below longest unit %dns",
+							i, cp.TotalNS, cp.LongestUnitNS)
+					}
+				} else if len(cp.Chain) != 0 {
+					t.Errorf("build %d: nothing compiled but chain has %d links", i, len(cp.Chain))
+				}
+			}
+		})
+	}
+}
+
+// TestTimelineDeterministicChain pins the analysis, not the scheduler: two
+// fresh single-worker builders over the same snapshot must produce the same
+// critical-path unit sequence, because a serial schedule is deterministic
+// and Analyze breaks every tie on unit name.
+func TestTimelineDeterministicChain(t *testing.T) {
+	seq := history(t, 11, 0)
+	chains := make([][]string, 2)
+	for r := range chains {
+		b, err := buildsys.NewBuilder(buildsys.Options{Mode: compiler.ModeStateful, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := b.Build(seq[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range obs.Analyze(rep.Timeline).Chain {
+			chains[r] = append(chains[r], l.Unit)
+		}
+	}
+	if len(chains[0]) == 0 {
+		t.Fatal("empty critical chain on a cold build")
+	}
+	if fmt.Sprint(chains[0]) != fmt.Sprint(chains[1]) {
+		t.Errorf("serial schedules produced different chains:\n%v\n%v", chains[0], chains[1])
+	}
+}
+
+// TestTimelineIncrementalSkips checks the skip events: an unchanged rebuild
+// schedules nothing and records every unit as an unscheduled cache skip.
+func TestTimelineIncrementalSkips(t *testing.T) {
+	seq := history(t, 5, 0)
+	b, err := buildsys.NewBuilder(buildsys.Options{Mode: compiler.ModeStateful, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(seq[0]); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := b.Build(seq[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := rep.Timeline
+	if err := tl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.UnitsCompiled != 0 || tl.Compiled() != 0 {
+		t.Fatalf("unchanged rebuild compiled %d units (%d scheduled events)", rep.UnitsCompiled, tl.Compiled())
+	}
+	if len(tl.Events) != len(seq[0]) || len(tl.Events) != rep.UnitsCached {
+		t.Errorf("%d skip events, want %d (= %d cached)", len(tl.Events), len(seq[0]), rep.UnitsCached)
+	}
+	for i := range tl.Events {
+		if e := &tl.Events[i]; e.Outcome != obs.OutcomeSkip || e.Scheduled() {
+			t.Errorf("%s: outcome %q on worker %d, want unscheduled skip", e.Unit, e.Outcome, e.Worker)
+		}
+	}
+	if cp := obs.Analyze(tl); len(cp.Chain) != 0 {
+		t.Errorf("fully cached build produced a %d-link chain", len(cp.Chain))
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"statefulcc/internal/obs"
 	"statefulcc/internal/vfs"
 )
 
@@ -94,6 +95,83 @@ type UnitRecord struct {
 	Quarantine string `json:"quarantine,omitempty"`
 }
 
+// TimelineEvent is one unit's scheduling event in the compact persisted
+// form (single-letter keys: a record carries one event per unit per build,
+// and the history file is bounded by bytes in practice, not records).
+type TimelineEvent struct {
+	Unit    string `json:"u"`
+	Worker  int    `json:"w"`
+	Outcome string `json:"o"`
+	// Monotonic nanoseconds since the build's epoch (obs.UnitEvent).
+	EnqueueNS int64 `json:"q,omitempty"`
+	StartNS   int64 `json:"s,omitempty"`
+	EndNS     int64 `json:"e,omitempty"`
+	// Per-stage split of the compile.
+	FrontendNS int64 `json:"fe,omitempty"`
+	PassesNS   int64 `json:"pa,omitempty"`
+	CodegenNS  int64 `json:"cg,omitempty"`
+}
+
+// Timeline is the persisted form of a build's scheduling timeline
+// (obs.Timeline): what `minibuild profile` and the serve /dash page
+// reconstruct schedules from after the building process exited.
+type Timeline struct {
+	Workers        int             `json:"workers"`
+	WallNS         int64           `json:"wall_ns"`
+	CompileStartNS int64           `json:"compile_start_ns,omitempty"`
+	CompileWallNS  int64           `json:"compile_wall_ns,omitempty"`
+	LinkNS         int64           `json:"link_ns,omitempty"`
+	Events         []TimelineEvent `json:"events"`
+}
+
+// TimelineFromObs converts a build's in-memory timeline to its persisted
+// form (nil in, nil out).
+func TimelineFromObs(t *obs.Timeline) *Timeline {
+	if t == nil {
+		return nil
+	}
+	out := &Timeline{
+		Workers:        t.Workers,
+		WallNS:         t.WallNS,
+		CompileStartNS: t.CompileStartNS,
+		CompileWallNS:  t.CompileWallNS,
+		LinkNS:         t.LinkNS,
+		Events:         make([]TimelineEvent, len(t.Events)),
+	}
+	for i, e := range t.Events {
+		out.Events[i] = TimelineEvent{
+			Unit: e.Unit, Worker: e.Worker, Outcome: e.Outcome,
+			EnqueueNS: e.EnqueueNS, StartNS: e.StartNS, EndNS: e.EndNS,
+			FrontendNS: e.FrontendNS, PassesNS: e.PassesNS, CodegenNS: e.CodegenNS,
+		}
+	}
+	return out
+}
+
+// ToObs converts a persisted timeline back to the analysis form consumed
+// by obs.Analyze (nil in, nil out).
+func (t *Timeline) ToObs() *obs.Timeline {
+	if t == nil {
+		return nil
+	}
+	out := &obs.Timeline{
+		Workers:        t.Workers,
+		WallNS:         t.WallNS,
+		CompileStartNS: t.CompileStartNS,
+		CompileWallNS:  t.CompileWallNS,
+		LinkNS:         t.LinkNS,
+		Events:         make([]obs.UnitEvent, len(t.Events)),
+	}
+	for i, e := range t.Events {
+		out.Events[i] = obs.UnitEvent{
+			Unit: e.Unit, Worker: e.Worker, Outcome: e.Outcome,
+			EnqueueNS: e.EnqueueNS, StartNS: e.StartNS, EndNS: e.EndNS,
+			FrontendNS: e.FrontendNS, PassesNS: e.PassesNS, CodegenNS: e.CodegenNS,
+		}
+	}
+	return out
+}
+
 // Record is one build's flight-recorder entry.
 type Record struct {
 	// Seq numbers records monotonically within one history file (assigned
@@ -121,6 +199,9 @@ type Record struct {
 	// deps -check` exits 2 on a fresh missed entry.
 	FootprintMissed    []string `json:"footprint_missed,omitempty"`
 	FootprintRedundant []string `json:"footprint_redundant,omitempty"`
+	// Timeline is the build's scheduling event log (absent in records from
+	// builds that predate it, and in cancelled builds).
+	Timeline *Timeline `json:"timeline,omitempty"`
 	// Metrics is the builder's counters-registry snapshot after the build
 	// (cumulative across the builder's lifetime; schema in
 	// docs/OBSERVABILITY.md). encoding/json sorts the keys.

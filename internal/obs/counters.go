@@ -122,17 +122,19 @@ func (c *Counter) Load() int64 {
 	return atomic.LoadInt64(&c.v)
 }
 
-// Registry is a named-counter table. Counter resolves names under a mutex;
-// the returned pointers are then update-able lock-free, so the mutex is off
-// every hot path. The zero value is not usable; create with NewRegistry.
+// Registry is a named-counter (and named-histogram, histogram.go) table.
+// Counter/Histogram resolve names under a mutex; the returned pointers are
+// then update-able lock-free, so the mutex is off every hot path. The zero
+// value is not usable; create with NewRegistry.
 type Registry struct {
 	mu sync.Mutex
 	m  map[string]*Counter
+	h  map[string]*Histogram
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{m: make(map[string]*Counter)}
+	return &Registry{m: make(map[string]*Counter), h: make(map[string]*Histogram)}
 }
 
 // Counter returns the named counter, creating it on first use. Nil-safe:

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func testHistSnapshots() map[string]HistogramSnapshot {
+	var a, b Histogram
+	a.Observe(1)
+	a.Observe(BucketBound(3))
+	a.Observe(BucketBound(HistBuckets-1) + 1) // +Inf
+	b.Observe(5000)
+	return map[string]HistogramSnapshot{
+		"unit.compile_ns": a.Snapshot(),
+		"build.wall_ns":   b.Snapshot(),
+	}
+}
+
+func TestFormatPromHistShape(t *testing.T) {
+	out := FormatPromHist(testHistSnapshots())
+
+	for _, want := range []string{
+		"# TYPE statefulcc_unit_compile_ns histogram",
+		"# TYPE statefulcc_build_wall_ns histogram",
+		`statefulcc_unit_compile_ns_bucket{le="+Inf"} 3`,
+		"statefulcc_unit_compile_ns_count 3",
+		"statefulcc_build_wall_ns_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	// Sorted by name: build.wall_ns before unit.compile_ns.
+	if strings.Index(out, "build_wall") > strings.Index(out, "unit_compile") {
+		t.Error("histogram families not sorted by name")
+	}
+	// Buckets must be cumulative and non-decreasing, ending at count.
+	var prev int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "statefulcc_unit_compile_ns_bucket") {
+			continue
+		}
+		v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket not cumulative: %q after %d", line, prev)
+		}
+		prev = v
+	}
+	if prev != 3 {
+		t.Errorf("final cumulative bucket = %d, want 3", prev)
+	}
+}
+
+func TestFormatPromHistDeterministic(t *testing.T) {
+	hists := testHistSnapshots()
+	a, b := FormatPromHist(hists), FormatPromHist(hists)
+	if a != b {
+		t.Error("two exports of the same snapshots differ")
+	}
+}
+
+func TestParsePromHistRoundTrip(t *testing.T) {
+	hists := testHistSnapshots()
+	parsed := ParsePromHist(FormatPromHist(hists))
+
+	for name, want := range hists {
+		got, ok := parsed[PromName(name)]
+		if !ok {
+			t.Fatalf("parsed output missing %s", PromName(name))
+		}
+		if got.Sum != want.Sum || got.Count != want.Count {
+			t.Errorf("%s: sum/count %d/%d, want %d/%d", name, got.Sum, got.Count, want.Sum, want.Count)
+		}
+		if len(got.Buckets) != len(want.Buckets) {
+			t.Fatalf("%s: %d buckets, want %d", name, len(got.Buckets), len(want.Buckets))
+		}
+		for i := range want.Buckets {
+			if got.Buckets[i] != want.Buckets[i] {
+				t.Errorf("%s: bucket %d = %d, want %d", name, i, got.Buckets[i], want.Buckets[i])
+			}
+		}
+	}
+}
+
+func TestParsePromIgnoresHistogramGracefully(t *testing.T) {
+	// A combined counters+histograms exposition (what /metrics serves): the
+	// counter parser must still recover every counter exactly, and treat
+	// histogram sample lines as just more name→value pairs, not errors.
+	counters := map[string]int64{"pass.runs": 7, "build.count": 2}
+	text := FormatProm(counters) + FormatPromHist(testHistSnapshots())
+	parsed := ParseProm(text)
+	for name, want := range counters {
+		if parsed[PromName(name)] != want {
+			t.Errorf("%s = %d, want %d", PromName(name), parsed[PromName(name)], want)
+		}
+	}
+	if parsed["statefulcc_unit_compile_ns_count"] != 3 {
+		t.Errorf("histogram _count not parsed as a plain sample: %v", parsed)
+	}
+}
