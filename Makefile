@@ -1,16 +1,17 @@
 GO ?= go
 SMOKEDIR ?= .smoke
 
-.PHONY: ci vet build test race fuzz chaos bench bench-baseline bench-matrix profile profile-smoke skip-guard footprint-guard smoke
+.PHONY: ci vet build test race fuzz chaos bench bench-baseline bench-matrix profile profile-smoke skip-guard footprint-guard cas-battery smoke
 
 # ci is the tier-1 gate: everything must stay green, including the race
 # detector over the worker pool, the observability counters, the
 # crash/chaos robustness walk, the flight-recorder regression check on
 # the example project, the critical-path profiler end-to-end check, the
 # skip-rate guard (a fast stateful history whose measured skip rate must
-# clear the floor), and the footprint guard (honest builds must produce
-# zero missed invalidations).
-ci: vet build test race chaos smoke profile-smoke skip-guard footprint-guard
+# clear the floor), the footprint guard (honest builds must produce
+# zero missed invalidations), and the shared-cache battery (two clients
+# over one CAS must match the stateless oracle at every commit).
+ci: vet build test race chaos smoke profile-smoke skip-guard footprint-guard cas-battery
 
 vet:
 	$(GO) vet ./...
@@ -25,7 +26,7 @@ test:
 # registry and tracer under concurrent workers), the daemon's drain path,
 # and the workload differential suite under the race detector.
 race:
-	$(GO) test -race -timeout 15m ./internal/buildsys/... ./internal/obs/... ./internal/workload ./internal/footprint ./cmd/minibuild
+	$(GO) test -race -timeout 15m ./internal/buildsys/... ./internal/obs/... ./internal/workload ./internal/footprint ./internal/cas ./cmd/minibuild
 
 # fuzz runs the fingerprint stability/sensitivity fuzzer for a short burst
 # beyond its committed corpus.
@@ -47,6 +48,9 @@ chaos:
 	$(GO) test -fuzz FuzzStateDecode -fuzztime 30s ./internal/state
 	$(GO) test -fuzz FuzzFootprintDecode -fuzztime 30s ./internal/footprint
 	$(GO) test -fuzz FuzzFingerprintStability -fuzztime 30s ./internal/fingerprint
+	$(GO) test -fuzz FuzzCASBlobDecode -fuzztime 20s ./internal/cas
+	$(GO) test -fuzz FuzzCASObjectDecode -fuzztime 20s ./internal/cas
+	$(GO) test -fuzz FuzzCASWire -fuzztime 20s ./internal/cas
 
 # bench-baseline regenerates the committed performance baseline.
 bench-baseline:
@@ -54,11 +58,13 @@ bench-baseline:
 
 # bench records this PR's measurement alongside the seed baseline,
 # including the decision-provenance counters, the soundness sentinel's
-# overhead (unaudited p=0 vs sampled p=0.05 on the same histories), and the
+# overhead (unaudited p=0 vs sampled p=0.05 on the same histories), the
 # dependency-footprint tracing overhead — including the 200+ unit megarepo
-# row — held to a budget.
+# row — held to a budget, and the shared-cache two-client scenario held to
+# a cross-client hit-rate floor.
 bench:
-	$(GO) run ./cmd/benchbaseline -audit 0.05 -footprint -max-footprint-overhead 50 -out BENCH_pr8.json
+	$(GO) run ./cmd/benchbaseline -audit 0.05 -footprint -max-footprint-overhead 50 \
+		-cas -min-cas-hit-rate 50 -out BENCH_pr9.json
 
 # bench-matrix regenerates the committed multi-core latency matrix
 # (docs/PERFORMANCE.md): workers × profile p50/p99 incremental latency,
@@ -102,6 +108,14 @@ skip-guard:
 # missed invalidations (docs/ROBUSTNESS.md).
 footprint-guard:
 	$(GO) test -timeout 10m -run TestFootprintGuard -count=1 ./internal/footprint
+
+# cas-battery is the shared cache's correctness gate (docs/ARCHITECTURE.md):
+# the two-client differential battery (cold client B must match the
+# stateless oracle at every commit with zero local compiles), the poisoned
+# store walk, the 16-builder coalescing fleet under the race detector, and
+# the chaos fault walk over every CAS I/O point.
+cas-battery:
+	$(GO) test -race -timeout 15m -count=1 ./internal/cas
 
 # smoke is the flight-recorder end-to-end check: cold build, comment-only
 # edit, incremental rebuild, then gate on the recorded history — regress

@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"runtime"
@@ -32,8 +33,11 @@ import (
 	"strings"
 
 	"statefulcc/internal/bench"
+	"statefulcc/internal/buildsys"
+	"statefulcc/internal/cas"
 	"statefulcc/internal/compiler"
 	"statefulcc/internal/obs"
+	"statefulcc/internal/project"
 	"statefulcc/internal/workload"
 )
 
@@ -113,6 +117,18 @@ type ProfileResult struct {
 	FootprintChecked       int64   `json:"footprint_checked,omitempty"`
 	FootprintMissed        int64   `json:"footprint_missed,omitempty"`
 	FootprintRedundant     int64   `json:"footprint_redundant,omitempty"`
+	// CAS two-client scenario (-cas): client A replays the history through a
+	// shared-cache server (publishing every compile), then a cold client B
+	// replays the same history against the warm cache. CASHitRatePct is B's
+	// action-lookup hit rate; the fetch quantiles are B's client-side
+	// wire+verify+decode latency per remote unit. CASVerifyFailed must be 0
+	// on a healthy run.
+	CASHitRatePct    float64 `json:"cas_hit_rate_pct,omitempty"`
+	CASRemoteUnits   int64   `json:"cas_remote_units,omitempty"`
+	CASCompiledUnits int64   `json:"cas_compiled_units,omitempty"`
+	CASVerifyFailed  int64   `json:"cas_verify_failed"`
+	CASFetchP50MS    float64 `json:"cas_fetch_p50_ms,omitempty"`
+	CASFetchP99MS    float64 `json:"cas_fetch_p99_ms,omitempty"`
 }
 
 // Baseline is the committed document.
@@ -133,6 +149,11 @@ type Baseline struct {
 	FootprintOverheadBudgetPct      float64 `json:"footprint_overhead_budget_pct,omitempty"`
 	MeasuredMaxFootprintOverheadPct float64 `json:"measured_max_footprint_overhead_pct,omitempty"`
 	FootprintGuard                  string  `json:"footprint_guard,omitempty"`
+	// Shared-cache guard stamp (-cas): the cross-client hit-rate floor and
+	// the lowest rate any profile's cold client B measured.
+	CASHitRateFloorPct       float64 `json:"cas_hit_rate_floor_pct,omitempty"`
+	MeasuredMinCASHitRatePct float64 `json:"measured_min_cas_hit_rate_pct,omitempty"`
+	CASGuard                 string  `json:"cas_guard,omitempty"`
 }
 
 // Matrix is the committed multi-core latency document (BENCH_pr6.json).
@@ -168,6 +189,8 @@ func run(args []string) error {
 	audit := fs.Float64("audit", 0, "also measure stateful with the soundness sentinel sampling at this rate (0 disables the comparison)")
 	footprint := fs.Bool("footprint", false, "also measure stateful with dependency-footprint tracing and enforcement, including the 200+ unit megarepo profile")
 	maxFPOverhead := fs.Float64("max-footprint-overhead", 0, "footprint guard: exit non-zero if tracing overhead exceeds this percentage on any profile (0 disables; requires -footprint)")
+	casBench := fs.Bool("cas", false, "also measure the shared-cache two-client scenario (publisher A warms the cache, cold client B replays the history) per profile")
+	minCASHitRate := fs.Float64("min-cas-hit-rate", 0, "shared-cache guard: exit non-zero if client B's hit rate falls below this percentage on any profile (0 disables; requires -cas)")
 	matrix := fs.Bool("matrix", false, "emit the workers × profile latency matrix instead of the baseline comparison")
 	workersFlag := fs.String("workers", "1,4,16", "comma-separated worker counts for -matrix")
 	minSkip := fs.Float64("min-skip-rate", 0, "skip-rate guard: exit non-zero if any measured skip rate falls below this percentage (0 disables)")
@@ -212,14 +235,17 @@ func run(args []string) error {
 	if *maxFPOverhead < 0 {
 		return fmt.Errorf("-max-footprint-overhead %v must be >= 0", *maxFPOverhead)
 	}
+	if *minCASHitRate < 0 || *minCASHitRate > 100 {
+		return fmt.Errorf("-min-cas-hit-rate %v out of range [0,100]", *minCASHitRate)
+	}
 
 	if *matrix {
 		return runMatrix(*out, *commits, *repeats, *nprofiles, *workersFlag, *minSkip)
 	}
-	return runBaseline(*out, *commits, *repeats, *nprofiles, *audit, *minSkip, *footprint, *maxFPOverhead)
+	return runBaseline(*out, *commits, *repeats, *nprofiles, *audit, *minSkip, *footprint, *maxFPOverhead, *casBench, *minCASHitRate)
 }
 
-func runBaseline(out string, commits, repeats, nprofiles int, audit, minSkip float64, footprint bool, maxFPOverhead float64) error {
+func runBaseline(out string, commits, repeats, nprofiles int, audit, minSkip float64, footprint bool, maxFPOverhead float64, casBench bool, minCASHitRate float64) error {
 	suite := workload.StandardSuite()
 	if nprofiles < len(suite) {
 		suite = suite[:nprofiles]
@@ -246,6 +272,12 @@ func runBaseline(out string, commits, repeats, nprofiles int, audit, minSkip flo
 	if maxFPOverhead > 0 {
 		genBy += fmt.Sprintf(" -max-footprint-overhead %g", maxFPOverhead)
 	}
+	if casBench {
+		genBy += " -cas"
+	}
+	if minCASHitRate > 0 {
+		genBy += fmt.Sprintf(" -min-cas-hit-rate %g", minCASHitRate)
+	}
 	doc := Baseline{
 		GeneratedBy: genBy,
 		RunMeta:     runMeta(),
@@ -256,6 +288,7 @@ func runBaseline(out string, commits, repeats, nprofiles int, audit, minSkip flo
 	var speedupSum float64
 	measuredMin := math.Inf(1)
 	maxFPMeasured := math.Inf(-1)
+	minCASMeasured := math.Inf(1)
 	for _, p := range suite {
 		runs, err := bench.CompareHistories(p, modes, cfg)
 		if err != nil {
@@ -330,6 +363,12 @@ func runBaseline(out string, commits, repeats, nprofiles int, audit, minSkip flo
 			pr.FootprintMissed = frun.Metrics[obs.CtrFootprintMissed]
 			pr.FootprintRedundant = frun.Metrics[obs.CtrFootprintRedundant]
 		}
+		if casBench {
+			if err := runCASScenario(p, commits, &pr); err != nil {
+				return err
+			}
+			minCASMeasured = math.Min(minCASMeasured, pr.CASHitRatePct)
+		}
 		doc.Profiles = append(doc.Profiles, pr)
 		fmt.Fprintf(os.Stderr, "%-12s stateless %.3fms  stateful %.3fms  speedup %+.2f%%  skip-rate %.1f%%\n",
 			p.Name, slIncr, sfIncr, speedup, 100*obs.SkipRate(sf.Metrics))
@@ -342,6 +381,11 @@ func runBaseline(out string, commits, repeats, nprofiles int, audit, minSkip flo
 				"", pr.FootprintIncrementalMS, pr.FootprintOverheadPct,
 				pr.FootprintChecked, pr.FootprintMissed, pr.FootprintRedundant)
 		}
+		if casBench {
+			fmt.Fprintf(os.Stderr, "%-12s cas hit-rate %.1f%%  remote %d  compiled %d  fetch p50 %.3fms p99 %.3fms  verify-failed %d\n",
+				"", pr.CASHitRatePct, pr.CASRemoteUnits, pr.CASCompiledUnits,
+				pr.CASFetchP50MS, pr.CASFetchP99MS, pr.CASVerifyFailed)
+		}
 	}
 	doc.MeanSpeedupPct = round3(speedupSum / float64(len(suite)))
 	doc.MinSkipRateFloorPct = minSkip
@@ -352,6 +396,11 @@ func runBaseline(out string, commits, repeats, nprofiles int, audit, minSkip flo
 		doc.MeasuredMaxFootprintOverheadPct = round3(maxFPMeasured)
 		doc.FootprintGuard = fpGuardVerdict(maxFPOverhead, maxFPMeasured)
 	}
+	if casBench {
+		doc.CASHitRateFloorPct = minCASHitRate
+		doc.MeasuredMinCASHitRatePct = round3(minCASMeasured)
+		doc.CASGuard = guardVerdict(minCASHitRate, minCASMeasured)
+	}
 
 	if err := writeJSON(out, &doc); err != nil {
 		return err
@@ -361,6 +410,78 @@ func runBaseline(out string, commits, repeats, nprofiles int, audit, minSkip flo
 	}
 	if footprint && maxFPOverhead > 0 && maxFPMeasured > maxFPOverhead {
 		return fmt.Errorf("footprint guard: measured maximum overhead %.1f%% above budget %.1f%%", maxFPMeasured, maxFPOverhead)
+	}
+	if casBench && minCASHitRate > 0 && minCASMeasured < minCASHitRate {
+		return fmt.Errorf("cas guard: measured minimum hit rate %.1f%% below floor %.1f%%", minCASMeasured, minCASHitRate)
+	}
+	return nil
+}
+
+// runCASScenario measures cross-client shared-cache reuse for one profile:
+// client A (its own tenant, state dir, and HTTP connection) replays the
+// profile's commit history against a fresh serve instance, publishing every
+// compile; then a cold client B replays the identical history. B's hit
+// rate, remote-unit count, and fetch latency fill the pr.CAS* fields.
+func runCASScenario(p workload.Profile, commits int, pr *ProfileResult) error {
+	base := workload.Generate(p)
+	hist := workload.GenerateHistoryStream(base, p.Seed*13, commits,
+		workload.DefaultCommitOptions(), workload.StreamDefault)
+	snaps := append([]project.Snapshot{base}, hist.Commits...)
+
+	srv := cas.NewServer(cas.NewMemCAS(0), cas.ServerOptions{Metrics: obs.NewRegistry()})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	client := func(tenant string) (*buildsys.Builder, func(), error) {
+		dir, err := os.MkdirTemp("", "casbench-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := buildsys.NewBuilder(buildsys.Options{
+			Mode:     compiler.ModeStateful,
+			StateDir: dir,
+			CAS:      cas.NewHTTPCAS(hs.URL, tenant),
+		})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		return b, func() { os.RemoveAll(dir) }, nil
+	}
+
+	a, cleanA, err := client("bench-a")
+	if err != nil {
+		return err
+	}
+	defer cleanA()
+	for i, snap := range snaps {
+		if _, err := a.Build(snap); err != nil {
+			return fmt.Errorf("cas scenario %s: publisher commit %d: %w", p.Name, i, err)
+		}
+	}
+
+	b, cleanB, err := client("bench-b")
+	if err != nil {
+		return err
+	}
+	defer cleanB()
+	for i, snap := range snaps {
+		rep, err := b.Build(snap)
+		if err != nil {
+			return fmt.Errorf("cas scenario %s: cold client commit %d: %w", p.Name, i, err)
+		}
+		pr.CASRemoteUnits += int64(rep.UnitsRemote)
+		pr.CASCompiledUnits += int64(rep.UnitsCompiled)
+	}
+
+	m := b.Metrics()
+	if hits, misses := m[obs.CtrCASHits], m[obs.CtrCASMisses]; hits+misses > 0 {
+		pr.CASHitRatePct = round3(100 * float64(hits) / float64(hits+misses))
+	}
+	pr.CASVerifyFailed = m[obs.CtrCASVerifyFailed]
+	if h, ok := b.Histograms()[obs.HistCASFetchNS]; ok {
+		pr.CASFetchP50MS = round3(float64(h.Quantile(0.50)) / 1e6)
+		pr.CASFetchP99MS = round3(float64(h.Quantile(0.99)) / 1e6)
 	}
 	return nil
 }

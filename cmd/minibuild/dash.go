@@ -62,9 +62,13 @@ func (s *buildServer) handleDash(w http.ResponseWriter, _ *http.Request) {
 	}
 	last := recs[len(recs)-1]
 
-	fmt.Fprintf(&sb, "<p>build <b>#%d</b>: %.1fms wall (%.1fms compile, %.1fms link), %d compiled / %d cached, skip rate %.1f%%</p>",
+	remote := ""
+	if last.UnitsRemote > 0 {
+		remote = fmt.Sprintf(" (%d from shared cache)", last.UnitsRemote)
+	}
+	fmt.Fprintf(&sb, "<p>build <b>#%d</b>: %.1fms wall (%.1fms compile, %.1fms link), %d compiled / %d cached%s, skip rate %.1f%%</p>",
 		last.Seq, fms(last.TotalNS), fms(last.CompileNS), fms(last.LinkNS),
-		last.UnitsCompiled, last.UnitsCached, last.SkipRatePct)
+		last.UnitsCompiled, last.UnitsCached, remote, last.SkipRatePct)
 
 	dashGantt(&sb, &last)
 	dashSparklines(&sb, recs)
@@ -86,6 +90,8 @@ func outcomeColor(outcome string) string {
 		return "#c33"
 	case obs.OutcomeQuarantine:
 		return "#c60"
+	case obs.OutcomeRemote:
+		return "#2a7"
 	default:
 		return "#369"
 	}
@@ -258,5 +264,16 @@ func dashStatus(sb *strings.Builder, rec *history.Record) {
 	fmt.Fprintf(sb, `<tr><td>state / history I/O errors</td><td class="%s">%d / %d</td></tr>`,
 		cls, m["state.io_error"], m["history.io_error"])
 	fmt.Fprintf(sb, "<tr><td>pass panics isolated</td><td>%d</td></tr>", m["build.panic"])
+	if hit, miss := m[obs.CtrCASHits], m[obs.CtrCASMisses]; hit+miss > 0 {
+		rate := 100 * float64(hit) / float64(hit+miss)
+		cls = "ok"
+		if m[obs.CtrCASVerifyFailed] > 0 {
+			cls = "warn"
+		}
+		fmt.Fprintf(sb, `<tr><td>shared cache hits / misses (rate)</td><td>%d / %d (%.1f%%)</td></tr>`,
+			hit, miss, rate)
+		fmt.Fprintf(sb, `<tr><td>shared cache verify failures</td><td class="%s">%d</td></tr>`,
+			cls, m[obs.CtrCASVerifyFailed])
+	}
 	sb.WriteString("</table>")
 }

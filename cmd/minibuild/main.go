@@ -35,6 +35,7 @@ import (
 	"path/filepath"
 
 	"statefulcc/internal/buildsys"
+	"statefulcc/internal/cas"
 	"statefulcc/internal/compiler"
 	"statefulcc/internal/obs"
 	"statefulcc/internal/project"
@@ -124,6 +125,8 @@ func runBuild(args []string) error {
 	audit := fs.Float64("audit", 0, "soundness-sentinel audit rate in [0,1]: probability a would-be-skipped pass executes anyway for verification (see docs/ROBUSTNESS.md)")
 	footprintOn := fs.Bool("footprint", false, "trace each unit's dependency footprint and cross-check cache decisions against it (see docs/ROBUSTNESS.md and `minibuild deps`)")
 	enforce := fs.Bool("enforce-footprint", false, "always-correct mode: the traced footprint overrides the declared content hash (implies -footprint)")
+	casURL := fs.String("cas", "", "shared-cache base URL (a `minibuild serve -cas-serve` instance, e.g. http://127.0.0.1:8377): fetch verified objects by content hash and publish local compiles back")
+	casTenant := fs.String("cas-tenant", "", "shared-cache tenant namespace (default \"default\")")
 	var export obs.CLIExport
 	export.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -164,10 +167,18 @@ func runBuild(args []string) error {
 		return err
 	}
 
+	var casStore cas.Store
+	if *casURL != "" {
+		casStore = cas.NewHTTPCAS(*casURL, *casTenant)
+	} else if *casTenant != "" {
+		return fmt.Errorf("-cas-tenant requires -cas")
+	}
+
 	builder, err := buildsys.NewBuilder(buildsys.Options{
 		Mode: cmode, StateDir: stateDir, Workers: *jobs, Trace: export.Tracer(),
 		AuditRate: *audit,
 		Footprint: *footprintOn || *enforce, EnforceFootprint: *enforce,
+		CAS: casStore,
 	})
 	if err != nil {
 		return err
@@ -198,8 +209,12 @@ func runBuild(args []string) error {
 		fmt.Fprintf(os.Stderr, "minibuild: footprint: %d redundant recompile(s): %v\n",
 			len(rep.FootprintRedundant), rep.FootprintRedundant)
 	}
-	fmt.Printf("built %d units (%d compiled, %d cached) in %.2fms (compile %.2fms, link %.2fms), state %.1fKiB\n",
-		rep.UnitsCompiled+rep.UnitsCached, rep.UnitsCompiled, rep.UnitsCached,
+	remote := ""
+	if rep.UnitsRemote > 0 {
+		remote = fmt.Sprintf(", %d from shared cache", rep.UnitsRemote)
+	}
+	fmt.Printf("built %d units (%d compiled, %d cached%s) in %.2fms (compile %.2fms, link %.2fms), state %.1fKiB\n",
+		rep.UnitsCompiled+rep.UnitsCached, rep.UnitsCompiled, rep.UnitsCached, remote,
 		float64(rep.TotalNS)/1e6, float64(rep.CompileNS)/1e6, float64(rep.LinkNS)/1e6,
 		float64(rep.StateBytes)/1024)
 	if runs, _, skipped := rep.Stats().Totals(); runs+skipped > 0 {

@@ -33,11 +33,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync"
 	"syscall"
 	"time"
 
 	"statefulcc/internal/buildsys"
+	"statefulcc/internal/cas"
 	"statefulcc/internal/compiler"
 	"statefulcc/internal/history"
 	"statefulcc/internal/obs"
@@ -62,6 +64,9 @@ func runServe(args []string) error {
 	interval := fs.Duration("interval", 500*time.Millisecond, "project poll interval")
 	limit := fs.Int("history-limit", history.DefaultLimit, "flight-recorder record cap")
 	audit := fs.Float64("audit", 0, "soundness-sentinel audit rate in [0,1]: probability a would-be-skipped pass executes anyway for verification")
+	casServe := fs.Bool("cas-serve", false, "host the shared content-addressed cache under /cas/ (multi-tenant, on-disk under the cache directory; see docs/ARCHITECTURE.md)")
+	casQuota := fs.Int64("cas-quota", 256<<20, "per-tenant shared-cache byte quota (LRU eviction past it; 0 = unbounded)")
+	casGrace := fs.Duration("cas-lease-grace", 5*time.Second, "coalescing lease grace: how long a build waits on another client's in-flight compile of the same unit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,6 +77,7 @@ func runServe(args []string) error {
 	srv, err := newBuildServerCfg(serveConfig{
 		dir: *dir, cache: *cache, mode: *mode,
 		jobs: *jobs, histLimit: *limit, auditRate: *audit,
+		casServe: *casServe, casQuota: *casQuota, casGrace: *casGrace,
 	})
 	if err != nil {
 		return err
@@ -186,6 +192,10 @@ type buildServer struct {
 
 	builder *buildsys.Builder
 
+	// casSrv, when set, is the hosted shared cache mounted at /cas/; its
+	// registry merges into /metrics alongside the builder's.
+	casSrv *cas.Server
+
 	mu           sync.Mutex // guards the status fields below
 	lastSnap     project.Snapshot
 	builds       int
@@ -204,6 +214,14 @@ type serveConfig struct {
 	auditRate        float64
 	pipeline         []string      // pass-list override (tests)
 	drainGrace       time.Duration // 0 means defaultDrainGrace
+
+	// Shared-cache hosting (-cas-serve): mount /cas/ over a DiskCAS under
+	// the cache directory, with per-tenant quotas and lease-based
+	// coalescing. The resident builder publishes through the same policy
+	// layer in-process (tenant "serve").
+	casServe bool
+	casQuota int64
+	casGrace time.Duration
 }
 
 // newBuildServer constructs the resident builder with default tuning.
@@ -224,9 +242,24 @@ func newBuildServerCfg(cfg serveConfig) (*buildServer, error) {
 		return nil, err
 	}
 	histPath := history.Path(stateDir)
+	casDir := filepath.Join(stateDir, "cas")
 	if cmode != compiler.ModeStateful && cmode != compiler.ModePredictive {
 		stateDir = ""
 	}
+
+	var casSrv *cas.Server
+	var casStore cas.Store
+	if cfg.casServe {
+		casSrv = cas.NewServer(cas.NewDiskCAS(casDir, nil), cas.ServerOptions{
+			TenantQuota: cfg.casQuota,
+			LeaseGrace:  cfg.casGrace,
+			Metrics:     obs.NewRegistry(),
+		})
+		// The resident builder shares through the same policy layer,
+		// in-process, under its own tenant namespace.
+		casStore = casSrv.Local("serve")
+	}
+
 	b, err := buildsys.NewBuilder(buildsys.Options{
 		Mode:         cmode,
 		StateDir:     stateDir,
@@ -235,6 +268,7 @@ func newBuildServerCfg(cfg serveConfig) (*buildServer, error) {
 		HistoryLimit: cfg.histLimit,
 		AuditRate:    cfg.auditRate,
 		Pipeline:     cfg.pipeline,
+		CAS:          casStore,
 	})
 	if err != nil {
 		return nil, err
@@ -244,7 +278,7 @@ func newBuildServerCfg(cfg serveConfig) (*buildServer, error) {
 	}
 	return &buildServer{
 		dir: cfg.dir, histPath: histPath, mode: cfg.mode,
-		drainGrace: cfg.drainGrace, builder: b,
+		drainGrace: cfg.drainGrace, builder: b, casSrv: casSrv,
 	}, nil
 }
 
@@ -322,6 +356,9 @@ func (s *buildServer) handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/builds", s.handleBuilds)
 	mux.HandleFunc("/dash", s.handleDash)
+	if s.casSrv != nil {
+		mux.Handle("/cas/", s.casSrv.Handler())
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -334,10 +371,27 @@ func (s *buildServer) handler() http.Handler {
 // exposition format — counters first, then the latency histograms
 // (unit compile, skip decision, build wall) as Prometheus histograms.
 // Values reconcile exactly with Builder.Metrics() / Builder.Histograms().
+// With -cas-serve on, the hosted cache's registry (server-side cas.*
+// counters, cas.serve_ns latency) merges in by addition — sound because
+// counters are sums and every histogram shares one bucket geometry.
 func (s *buildServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	ctrs, hists := s.metricsSnapshots()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, obs.FormatProm(s.builder.Metrics()))
-	fmt.Fprint(w, obs.FormatPromHist(s.builder.Histograms()))
+	fmt.Fprint(w, obs.FormatProm(ctrs))
+	fmt.Fprint(w, obs.FormatPromHist(hists))
+}
+
+// metricsSnapshots returns the daemon's merged counter and histogram
+// snapshots (builder registry + hosted CAS registry when present).
+func (s *buildServer) metricsSnapshots() (map[string]int64, map[string]obs.HistogramSnapshot) {
+	ctrs, hists := s.builder.Metrics(), s.builder.Histograms()
+	if s.casSrv != nil {
+		if reg := s.casSrv.Metrics(); reg != nil {
+			ctrs = obs.MergeCounters(ctrs, reg.Snapshot())
+			hists = obs.MergeHistSnapshots(hists, reg.HistSnapshot())
+		}
+	}
+	return ctrs, hists
 }
 
 // handleHealthz reports liveness and the last build outcome. Status is

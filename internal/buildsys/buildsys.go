@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"statefulcc/internal/cas"
 	"statefulcc/internal/codegen"
 	"statefulcc/internal/compiler"
 	"statefulcc/internal/core"
@@ -100,6 +101,14 @@ type Options struct {
 	// invalidator for the footprint battery. The footprint's own ground
 	// truth never goes through this hook.
 	ContentHashHook func(unit string, src []byte, honest uint64) uint64
+	// CAS, when set, is the shared content-addressed cache (internal/cas):
+	// units that miss the local object cache are fetched from it by action
+	// key — with every blob byte-verified before use — and honest local
+	// compiles publish their objects and dormancy state back. When the
+	// store also implements cas.Leaser, concurrent misses of the same
+	// action coalesce onto one compile. Advisory: every CAS failure
+	// degrades to a local recompile with a warning (see cas.go).
+	CAS cas.Store
 }
 
 // UnitReport describes one unit within a build.
@@ -118,6 +127,9 @@ type UnitReport struct {
 	// Quarantine is the unit's active quarantine reason after this build
 	// ("" when none): core.QuarantinePanic or core.QuarantineUnsound.
 	Quarantine string
+	// Remote means the unit was served from the shared cache: its verified
+	// object was fetched by content hash instead of compiling.
+	Remote bool
 }
 
 // Report summarizes one Build call.
@@ -130,6 +142,9 @@ type Report struct {
 	LinkNS int64
 	// UnitsCompiled / UnitsCached partition the snapshot's units.
 	UnitsCompiled, UnitsCached int
+	// UnitsRemote counts the units served from the shared cache (a subset
+	// of UnitsCached: a remote hit is a cache hit that crossed the wire).
+	UnitsRemote int
 	// StateBytes is the persistent-state footprint after this build
 	// (serialized dormancy state, or the full cache's memory footprint).
 	StateBytes int
@@ -214,6 +229,10 @@ type Builder struct {
 	ctr  builderCounters
 	hist builderHists
 	busy []int64
+
+	// cas is the resolved shared-cache handle (nil when Options.CAS is
+	// unset); see cas.go.
+	cas *builderCAS
 
 	// tlEpoch is the current build's monotonic epoch: every timeline
 	// timestamp is time.Since(tlEpoch) — never a wall-clock subtraction,
@@ -304,6 +323,7 @@ func NewBuilder(opts Options) (*Builder, error) {
 		fallbacks: make([]*compiler.Compiler, opts.Workers),
 		warnSeen:  make(map[string]int),
 	}
+	b.cas = newBuilderCAS(opts.CAS, reg)
 	pass := reg.Pass()
 	b.passCtrs = pass
 	seed := opts.AuditSeed
@@ -470,6 +490,31 @@ func (b *Builder) BuildContext(ctx context.Context, snap project.Snapshot) (*Rep
 	cancelled := false
 	for i, name := range work {
 		out := outcomes[i]
+		if out.remote {
+			// Served from the shared cache: a verified remote object (and
+			// possibly adopted dormancy state) with no compile behind it.
+			e, ok := b.units[name]
+			if !ok {
+				e = &unitEntry{}
+				b.units[name] = e
+			}
+			e.hash = b.declaredHash(name, snap[name])
+			e.obj = out.casObj
+			e.diskProbed = true
+			// The remote object carries no trace; any prior footprint no
+			// longer describes it.
+			e.fp = nil
+			if out.casState != nil {
+				e.state = out.casState
+				if n, err := state.FileSize(out.casState); err == nil {
+					e.stateBytes = n
+				}
+			}
+			rep.Units[name] = UnitReport{Remote: true}
+			rep.UnitsCached++
+			rep.UnitsRemote++
+			continue
+		}
 		if out.res == nil {
 			cancelled = true
 			continue

@@ -1,0 +1,315 @@
+package buildsys
+
+// Shared-cache integration (internal/cas, docs/ARCHITECTURE.md). With
+// Options.CAS set, every unit that misses the local object cache consults
+// the shared store before compiling:
+//
+//	action key → blob key → verified blob → decoded object   (remote hit)
+//
+// and every honest local compile publishes its object (and, in the
+// stateful modes, the unit's dormancy state) back. The degradation
+// contract matches the state layer's: any CAS failure — transport error,
+// quota refusal, poisoned blob, malformed entry — costs at most a local
+// recompile with a warning and a counter; it can never produce a wrong
+// build or fail one. A blob is accepted only if its bytes hash to its key
+// AND its header names the exact action and unit asked about, so neither a
+// poisoned blob nor a redirected action entry can ever be served.
+//
+// When the store also implements cas.Leaser (HTTPCAS against a serve
+// instance does), misses coalesce: one builder becomes the compile leader
+// and everyone else waits for its published result instead of compiling
+// the same unit N times across the fleet.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"statefulcc/internal/cas"
+	"statefulcc/internal/codegen"
+	"statefulcc/internal/compiler"
+	"statefulcc/internal/core"
+	"statefulcc/internal/obs"
+	"statefulcc/internal/state"
+	"statefulcc/internal/vfs"
+)
+
+// Action-key domains. The state domain carries the state-file layout
+// version so a serialization change stops sharing instead of confusing an
+// older decoder (the object payload's layout is covered by
+// cas.BlobFormatVersion).
+const casObjectDomain = "statefulcc/object"
+
+var casStateDomain = fmt.Sprintf("statefulcc/state/v%d", state.FormatVersion)
+
+// builderCAS is the builder's resolved shared-cache handle: the store, the
+// optional coalescing interface, and the pre-resolved client-side cas.*
+// counters.
+type builderCAS struct {
+	store  cas.Store
+	leaser cas.Leaser
+
+	hit, miss, verifyFailed *obs.Counter
+	coalesced, published    *obs.Counter
+	ioErrors                *obs.Counter
+	fetch                   *obs.Histogram
+}
+
+// newBuilderCAS resolves the shared-cache handle (nil when no store is
+// configured).
+func newBuilderCAS(store cas.Store, reg *obs.Registry) *builderCAS {
+	if store == nil {
+		return nil
+	}
+	cc := &builderCAS{
+		store:        store,
+		hit:          reg.Counter(obs.CtrCASHits),
+		miss:         reg.Counter(obs.CtrCASMisses),
+		verifyFailed: reg.Counter(obs.CtrCASVerifyFailed),
+		coalesced:    reg.Counter(obs.CtrCASCoalesced),
+		published:    reg.Counter(obs.CtrCASPublished),
+		ioErrors:     reg.Counter(obs.CtrCASIOErrors),
+		fetch:        reg.Histogram(obs.HistCASFetchNS),
+	}
+	if l, ok := store.(cas.Leaser); ok {
+		cc.leaser = l
+	}
+	return cc
+}
+
+// objectAction derives the unit's object action key. It hashes the honest
+// source bytes directly — a lying ContentHashHook (test-only) can corrupt
+// the local declared channel, never the shared cache.
+func (b *Builder) objectAction(unit string, src []byte) cas.Key {
+	return cas.ActionKey(casObjectDomain, core.StateVersion, cas.BlobFormatVersion,
+		b.opts.Mode.String(), b.opts.Pipeline, unit, src)
+}
+
+// stateAction derives the unit's dormancy-state action key.
+func (b *Builder) stateAction(unit string, src []byte) cas.Key {
+	return cas.ActionKey(casStateDomain, core.StateVersion, cas.BlobFormatVersion,
+		b.opts.Mode.String(), b.opts.Pipeline, unit, src)
+}
+
+// heldLease is a coalescing leadership this worker must settle: publishing
+// (casPublish's ActionPut) completes it on the server; any failure path
+// abandons it so waiters fall back to compiling locally instead of
+// blocking out their grace period.
+type heldLease struct {
+	leaser cas.Leaser
+	action cas.Key
+}
+
+// abandon releases the lease (nil-safe; errors are irrelevant — the
+// server's grace timeout covers a lost abandon).
+func (l *heldLease) abandon() {
+	if l != nil {
+		_ = l.leaser.Abandon(l.action)
+	}
+}
+
+// casFetch tries to serve job j from the shared cache. It returns a
+// remote-hit outcome, or nil to compile locally — then with a non-nil
+// lease if this worker won a coalescing leadership (the caller must
+// publish or abandon). Runs on a worker slot; every failure degrades to
+// (nil, nil) after counting and warning.
+func (b *Builder) casFetch(ctx context.Context, fsys vfs.FS, j compileJob) (*outcome, *heldLease) {
+	cc := b.cas
+	action := b.objectAction(j.name, j.src)
+	start := time.Now()
+	coalesced := false
+	blobKey, err := cc.store.ActionGet(action)
+	if err != nil {
+		switch {
+		case errors.Is(err, cas.ErrNotFound):
+			// A plain miss: try to coalesce with any concurrent compile of
+			// the same action before doing the work ourselves.
+			if cc.leaser == nil {
+				cc.miss.Inc()
+				return nil, nil
+			}
+			lr, lerr := cc.leaser.Lease(ctx, action)
+			if lerr != nil {
+				cc.ioErrors.Inc()
+				cc.miss.Inc()
+				b.warnf("cas: unit %s: lease: %v (compiling locally)", j.name, lerr)
+				return nil, nil
+			}
+			switch {
+			case lr.Leader:
+				cc.miss.Inc()
+				return nil, &heldLease{leaser: cc.leaser, action: action}
+			case lr.Found:
+				blobKey = lr.Blob
+				coalesced = true
+			default:
+				// Leader abandoned or the grace expired: compile locally
+				// (and publish, so late waiters still benefit).
+				cc.miss.Inc()
+				return nil, nil
+			}
+		case errors.Is(err, cas.ErrVerify):
+			cc.verifyFailed.Inc()
+			cc.miss.Inc()
+			b.warnf("cas: unit %s: poisoned action entry rejected (recompiling locally)", j.name)
+			return nil, nil
+		default:
+			cc.ioErrors.Inc()
+			cc.miss.Inc()
+			b.warnf("cas: unit %s: action lookup: %v (recompiling locally)", j.name, err)
+			return nil, nil
+		}
+	}
+	obj := b.casFetchObject(j, action, blobKey)
+	if obj == nil {
+		cc.miss.Inc()
+		return nil, nil
+	}
+	cc.hit.Inc()
+	if coalesced {
+		cc.coalesced.Inc()
+	}
+	cc.fetch.Observe(time.Since(start).Nanoseconds())
+	out := &outcome{remote: true, casObj: obj}
+	if b.statefulMode() {
+		if st := b.casFetchState(j); st != nil {
+			out.casState = st
+			// Persist the adopted state locally so the next process of this
+			// client warms up without the network.
+			b.saveUnitState(fsys, j.name, st)
+		}
+	}
+	return out, nil
+}
+
+// casFetchObject fetches and fully verifies the object blob: bytes hash to
+// the blob key (inside Get), the header names this exact action and unit,
+// and the payload decodes. Any failure is a counted miss, never a served
+// object.
+func (b *Builder) casFetchObject(j compileJob, action, blobKey cas.Key) *codegen.Object {
+	cc := b.cas
+	data, err := cc.store.Get(blobKey)
+	if err != nil {
+		switch {
+		case errors.Is(err, cas.ErrVerify):
+			cc.verifyFailed.Inc()
+			b.warnf("cas: unit %s: poisoned blob rejected (recompiling locally)", j.name)
+		case errors.Is(err, cas.ErrNotFound):
+			// Action entry outlived its blob (eviction race): plain miss.
+		default:
+			cc.ioErrors.Inc()
+			b.warnf("cas: unit %s: blob fetch: %v (recompiling locally)", j.name, err)
+		}
+		return nil
+	}
+	blob, err := cas.DecodeBlob(data)
+	if err != nil || blob.Kind != cas.KindObject || blob.Action != action || blob.Unit != j.name {
+		cc.verifyFailed.Inc()
+		b.warnf("cas: unit %s: blob header mismatch (poisoned entry rejected; recompiling locally)", j.name)
+		return nil
+	}
+	obj, err := cas.DecodeObject(blob.Payload)
+	if err != nil {
+		cc.verifyFailed.Inc()
+		b.warnf("cas: unit %s: object payload rejected: %v (recompiling locally)", j.name, err)
+		return nil
+	}
+	return obj
+}
+
+// casFetchState fetches the unit's shared dormancy state (advisory: any
+// failure returns nil and the unit just warms up locally). A fetched state
+// carrying a quarantine is discarded — quarantine is a local trust
+// verdict, not something to import — and its footprint is dropped, since
+// traced read sets name the producing client's state paths.
+func (b *Builder) casFetchState(j compileJob) *core.UnitState {
+	cc := b.cas
+	action := b.stateAction(j.name, j.src)
+	blobKey, err := cc.store.ActionGet(action)
+	if err != nil {
+		if errors.Is(err, cas.ErrVerify) {
+			cc.verifyFailed.Inc()
+		}
+		return nil
+	}
+	data, err := cc.store.Get(blobKey)
+	if err != nil {
+		if errors.Is(err, cas.ErrVerify) {
+			cc.verifyFailed.Inc()
+			b.warnf("cas: unit %s: poisoned state blob rejected", j.name)
+		}
+		return nil
+	}
+	blob, err := cas.DecodeBlob(data)
+	if err != nil || blob.Kind != cas.KindState || blob.Action != action || blob.Unit != j.name {
+		cc.verifyFailed.Inc()
+		b.warnf("cas: unit %s: state blob header mismatch (rejected)", j.name)
+		return nil
+	}
+	st, err := state.DecodeBytes(blob.Payload)
+	if err != nil {
+		cc.verifyFailed.Inc()
+		b.warnf("cas: unit %s: state payload rejected: %v", j.name, err)
+		return nil
+	}
+	if st.Quarantine != nil {
+		return nil
+	}
+	st.Footprint = nil
+	return st
+}
+
+// casPublish shares a completed honest compile: the object blob always,
+// the dormancy state when the stateful modes produced a clean one. The
+// object's ActionPut is what completes a held coalescing lease (waiters
+// wake with the result); every failure path abandons the lease instead so
+// waiters compile locally rather than waiting out the grace.
+func (b *Builder) casPublish(j compileJob, res *compiler.UnitResult, lease *heldLease) {
+	cc := b.cas
+	if res.Object == nil {
+		lease.abandon()
+		return
+	}
+	action := b.objectAction(j.name, j.src)
+	blob := cas.EncodeBlob(cas.KindObject, action, j.name, cas.EncodeObject(res.Object))
+	key := cas.Sum(blob)
+	if err := cc.store.Put(key, blob); err != nil {
+		if !errors.Is(err, cas.ErrQuota) {
+			cc.ioErrors.Inc()
+		}
+		b.warnf("cas: unit %s: publish: %v (result not shared)", j.name, err)
+		lease.abandon()
+		return
+	}
+	if err := cc.store.ActionPut(action, key); err != nil {
+		cc.ioErrors.Inc()
+		b.warnf("cas: unit %s: publish action: %v (result not shared)", j.name, err)
+		lease.abandon()
+		return
+	}
+	cc.published.Inc()
+
+	if !b.statefulMode() || res.State == nil || res.State.Quarantine != nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := state.Encode(&buf, res.State); err != nil {
+		return
+	}
+	saction := b.stateAction(j.name, j.src)
+	sblob := cas.EncodeBlob(cas.KindState, saction, j.name, buf.Bytes())
+	skey := cas.Sum(sblob)
+	if err := cc.store.Put(skey, sblob); err != nil {
+		if !errors.Is(err, cas.ErrQuota) {
+			cc.ioErrors.Inc()
+		}
+		b.warnf("cas: unit %s: publish state: %v (state not shared)", j.name, err)
+		return
+	}
+	if err := cc.store.ActionPut(saction, skey); err != nil {
+		cc.ioErrors.Inc()
+		b.warnf("cas: unit %s: publish state action: %v (state not shared)", j.name, err)
+	}
+}

@@ -55,6 +55,7 @@ func (b *Builder) historyRecord(rep *Report) *history.Record {
 		LinkNS:        rep.LinkNS,
 		UnitsCompiled: rep.UnitsCompiled,
 		UnitsCached:   rep.UnitsCached,
+		UnitsRemote:   rep.UnitsRemote,
 		StateBytes:    rep.StateBytes,
 		SkipRatePct:   100 * obs.SkipRate(rep.Metrics),
 		Metrics:       rep.Metrics,
@@ -70,6 +71,7 @@ func (b *Builder) historyRecord(rep *Report) *history.Record {
 			CompileNS:  ur.CompileNS,
 			Panicked:   ur.Panicked,
 			Quarantine: ur.Quarantine,
+			Remote:     ur.Remote,
 		}
 		for slot := range ur.Slots {
 			sl := &ur.Slots[slot]

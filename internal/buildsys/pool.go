@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"statefulcc/internal/codegen"
 	"statefulcc/internal/compiler"
 	"statefulcc/internal/core"
 	"statefulcc/internal/footprint"
@@ -61,6 +62,11 @@ type outcome struct {
 	// fp is the unit's traced read footprint (footprint mode only): the
 	// ground truth the next build's cross-check runs against.
 	fp *footprint.Record
+	// remote means the unit was served from the shared cache (res is nil;
+	// casObj — and possibly casState — carry the verified fetch instead).
+	remote   bool
+	casObj   *codegen.Object
+	casState *core.UnitState
 }
 
 // compileJob carries everything a worker needs, precomputed so workers
@@ -149,6 +155,8 @@ func (b *Builder) unitEvent(w int, j compileJob, out outcome, startNS, endNS int
 	switch {
 	case out.err != nil:
 		ev.Outcome = obs.OutcomeError
+	case out.remote:
+		ev.Outcome = obs.OutcomeRemote
 	case out.panicked:
 		ev.Outcome = obs.OutcomePanic
 	case out.qstate != nil || out.qclear:
@@ -274,11 +282,24 @@ func (b *Builder) compileOne(ctx context.Context, w int, j compileJob) outcome {
 		return b.compileQuarantined(ctx, w, fsys, tr, j, prev)
 	}
 
+	// Shared cache: try a verified remote fetch before compiling; a miss
+	// may return a coalescing lease this worker must publish or abandon.
+	var lease *heldLease
+	if b.cas != nil {
+		remote, held := b.casFetch(ctx, fsys, j)
+		if remote != nil {
+			return *remote
+		}
+		lease = held
+	}
+
 	res, err, panicked, msg := safeCompile(ctx, c, j.name, j.src, prev)
 	if panicked {
+		lease.abandon()
 		return b.compileAfterPanic(ctx, w, fsys, tr, j, msg)
 	}
 	if err != nil {
+		lease.abandon()
 		return outcome{err: err}
 	}
 	fp := b.finishTrace(tr, j, res)
@@ -286,6 +307,9 @@ func (b *Builder) compileOne(ctx context.Context, w int, j compileJob) outcome {
 		b.settleQuarantine(res)
 		res.State.Footprint = fp
 		b.saveUnitState(fsys, j.name, res.State)
+	}
+	if b.cas != nil {
+		b.casPublish(j, res, lease)
 	}
 	return outcome{res: res, fp: fp}
 }

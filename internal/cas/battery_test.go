@@ -1,0 +1,227 @@
+package cas_test
+
+// The multi-client differential battery — the shared cache's acceptance
+// proof. Two independent stateful builders (separate state dirs, separate
+// tenants) share one CAS over real HTTP. Client A builds each commit first
+// and publishes; client B must then build the same commit with ZERO local
+// compiles — everything served from the shared cache or its own warm state
+// — and its linked output must be byte-identical (by disassembly) to a
+// stateless from-scratch oracle at every commit.
+//
+// The adversarial case: every blob in the store is poisoned (one byte
+// flipped) between A's publish and B's fetch. B must detect every
+// corruption (verify-failure counters), recompile locally, and still match
+// the oracle — a poisoned blob is never served.
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"statefulcc/internal/buildsys"
+	"statefulcc/internal/cas"
+	"statefulcc/internal/codegen"
+	"statefulcc/internal/compiler"
+	"statefulcc/internal/obs"
+	"statefulcc/internal/project"
+	"statefulcc/internal/workload"
+)
+
+// batteryHistory builds the snapshot sequence for one profile × stream.
+func batteryHistory(p workload.Profile, kind workload.StreamKind, commits int) []project.Snapshot {
+	base := workload.Generate(p)
+	hist := workload.GenerateHistoryStream(base, p.Seed*13, commits, workload.DefaultCommitOptions(), kind)
+	return append([]project.Snapshot{base}, hist.Commits...)
+}
+
+// statelessDis is the oracle: a from-scratch stateless build's disassembly.
+func statelessDis(t *testing.T, snap project.Snapshot) string {
+	t.Helper()
+	b, err := buildsys.NewBuilder(buildsys.Options{Mode: compiler.ModeStateless})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := b.Build(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return codegen.DisassembleProgram(rep.Program)
+}
+
+// casClient builds a stateful builder wired to the shared cache at url
+// under its own tenant namespace and its own private state directory.
+func casClient(t *testing.T, url, tenant string) *buildsys.Builder {
+	t.Helper()
+	b, err := buildsys.NewBuilder(buildsys.Options{
+		Mode:     compiler.ModeStateful,
+		StateDir: t.TempDir(),
+		CAS:      cas.NewHTTPCAS(url, tenant),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestTwoClientBattery(t *testing.T) {
+	profiles := workload.QuickSuite()
+	if !testing.Short() {
+		profiles = append(profiles, workload.StandardSuite()[3]) // netstack
+	}
+	streams := []workload.StreamKind{
+		workload.StreamDefault, workload.StreamRenameWave, workload.StreamInterfaceChurn,
+	}
+	for _, p := range profiles {
+		for _, kind := range streams {
+			p, kind := p, kind
+			t.Run(p.Name+"/"+kind.String(), func(t *testing.T) {
+				t.Parallel()
+				snaps := batteryHistory(p, kind, 4)
+
+				reg := obs.NewRegistry()
+				srv := cas.NewServer(cas.NewMemCAS(0), cas.ServerOptions{Metrics: reg})
+				hs := httptest.NewServer(srv.Handler())
+				defer hs.Close()
+
+				clientA := casClient(t, hs.URL, "client-a")
+				clientB := casClient(t, hs.URL, "client-b")
+
+				for i, snap := range snaps {
+					oracle := statelessDis(t, snap)
+					repA, err := clientA.Build(snap)
+					if err != nil {
+						t.Fatalf("commit %d: client A: %v", i, err)
+					}
+					if got := codegen.DisassembleProgram(repA.Program); got != oracle {
+						t.Fatalf("commit %d: client A's output diverged from the stateless oracle", i)
+					}
+					repB, err := clientB.Build(snap)
+					if err != nil {
+						t.Fatalf("commit %d: client B: %v", i, err)
+					}
+					if got := codegen.DisassembleProgram(repB.Program); got != oracle {
+						t.Fatalf("commit %d: client B's output diverged from the stateless oracle", i)
+					}
+					// A published every unit it compiled before B started, so
+					// B never compiles: every local miss is a verified remote
+					// hit. This is the cross-client reuse claim, per commit.
+					if repB.UnitsCompiled != 0 {
+						t.Fatalf("commit %d: client B compiled %d units despite A publishing first (remote %d, cached %d)",
+							i, repB.UnitsCompiled, repB.UnitsRemote, repB.UnitsCached)
+					}
+					if i == 0 && repB.UnitsRemote != len(snap) {
+						t.Fatalf("cold client B served %d of %d units remotely", repB.UnitsRemote, len(snap))
+					}
+					for _, w := range repB.Warnings {
+						if strings.Contains(w, "cas:") {
+							t.Fatalf("commit %d: clean battery run produced a cas warning: %s", i, w)
+						}
+					}
+				}
+
+				// Client-side and server-side books agree on a healthy run.
+				mB := clientB.Metrics()
+				if mB[obs.CtrCASHits] == 0 {
+					t.Fatal("client B recorded zero shared-cache hits across the battery")
+				}
+				if mB[obs.CtrCASVerifyFailed] != 0 {
+					t.Fatalf("client B recorded %d verify failures on an unpoisoned store", mB[obs.CtrCASVerifyFailed])
+				}
+				ms := reg.Snapshot()
+				if ms[obs.CtrCASVerifyFailed] != 0 {
+					t.Fatalf("server recorded %d verify failures on an unpoisoned store", ms[obs.CtrCASVerifyFailed])
+				}
+				if ms[obs.CtrCASPublished] == 0 {
+					t.Fatal("server recorded zero publishes; A never shared anything")
+				}
+			})
+		}
+	}
+}
+
+// TestPoisonedBlobNeverServed flips one byte of EVERY stored blob between
+// A's publish and B's build. B must reject every blob, recompile all units
+// locally, and still match the oracle exactly.
+func TestPoisonedBlobNeverServed(t *testing.T) {
+	p := workload.QuickSuite()[0]
+	snap := workload.Generate(p)
+	oracle := statelessDis(t, snap)
+
+	mem := cas.NewMemCAS(0)
+	srv := cas.NewServer(mem, cas.ServerOptions{Metrics: obs.NewRegistry()})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	// Stateless publishers/consumers: exactly one object blob per unit, no
+	// state blobs, so the bookkeeping below is exact.
+	a, err := buildsys.NewBuilder(buildsys.Options{
+		Mode: compiler.ModeStateless, CAS: cas.NewHTTPCAS(hs.URL, "client-a"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Build(snap); err != nil {
+		t.Fatal(err)
+	}
+	keys := mem.Keys()
+	if len(keys) != len(snap) {
+		t.Fatalf("store holds %d blobs after publishing %d units", len(keys), len(snap))
+	}
+	for _, k := range keys {
+		if !mem.Tamper(k, func(data []byte) { data[len(data)/2] ^= 0x40 }) {
+			t.Fatalf("blob %s vanished before tampering", k)
+		}
+	}
+
+	b, err := buildsys.NewBuilder(buildsys.Options{
+		Mode: compiler.ModeStateless, CAS: cas.NewHTTPCAS(hs.URL, "client-b"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := b.Build(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UnitsRemote != 0 {
+		t.Fatalf("%d poisoned units served as remote hits", rep.UnitsRemote)
+	}
+	if rep.UnitsCompiled != len(snap) {
+		t.Fatalf("client B compiled %d of %d units; the rest came from a poisoned store", rep.UnitsCompiled, len(snap))
+	}
+	if got := codegen.DisassembleProgram(rep.Program); got != oracle {
+		t.Fatal("client B's output diverged from the oracle after rejecting the poisoned store")
+	}
+	m := b.Metrics()
+	if m[obs.CtrCASVerifyFailed] < int64(len(snap)) {
+		t.Fatalf("client B detected %d poisoned blobs, want at least %d", m[obs.CtrCASVerifyFailed], len(snap))
+	}
+	warned := false
+	for _, w := range rep.Warnings {
+		if strings.Contains(w, "poisoned blob rejected") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("no poisoned-blob warning surfaced: %v", rep.Warnings)
+	}
+
+	// The store self-healed (poisoned blobs dropped on first verify) and B
+	// republished honest objects: a third client now gets clean remote hits.
+	c, err := buildsys.NewBuilder(buildsys.Options{
+		Mode: compiler.ModeStateless, CAS: cas.NewHTTPCAS(hs.URL, "client-c"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repC, err := c.Build(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repC.UnitsRemote != len(snap) {
+		t.Fatalf("after healing, client C got %d of %d units remotely", repC.UnitsRemote, len(snap))
+	}
+	if got := codegen.DisassembleProgram(repC.Program); got != oracle {
+		t.Fatal("client C's output diverged from the oracle")
+	}
+}

@@ -1,0 +1,316 @@
+package cas_test
+
+// Backend contract tests: every Store must verify bytes against keys on
+// both ends, self-heal poisoned entries, and map absence/corruption onto
+// the package sentinels — the properties the degradation layer in
+// internal/buildsys relies on.
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"statefulcc/internal/cas"
+)
+
+func TestKeyStringParseRoundTrip(t *testing.T) {
+	k := cas.Sum([]byte("hello"))
+	s := k.String()
+	if len(s) != cas.KeyHexLen {
+		t.Fatalf("rendered key %q has length %d, want %d", s, len(s), cas.KeyHexLen)
+	}
+	if s != strings.ToLower(s) {
+		t.Fatalf("rendered key %q is not lowercase", s)
+	}
+	back, err := cas.ParseKey(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != k {
+		t.Fatalf("ParseKey(%q) = %s, want round trip", s, back)
+	}
+	if k.Shard() != s[:2] {
+		t.Fatalf("Shard() = %q, want %q", k.Shard(), s[:2])
+	}
+}
+
+func TestParseKeyRejectsNonCanonical(t *testing.T) {
+	good := cas.Sum([]byte("x")).String()
+	for _, bad := range []string{
+		"", "ab", good + "00", good[:31],
+		strings.ToUpper(good),
+		strings.Replace(good, good[:1], "G", 1),
+		strings.Replace(good, good[:1], " ", 1),
+	} {
+		if _, err := cas.ParseKey(bad); err == nil {
+			t.Errorf("ParseKey(%q) accepted a non-canonical spelling", bad)
+		}
+	}
+}
+
+func TestSumDistinguishesInputs(t *testing.T) {
+	seen := map[cas.Key]string{}
+	for _, in := range []string{"", "a", "b", "ab", "a\x00b", "ba", "hello", "hello "} {
+		k := cas.Sum([]byte(in))
+		if k.Zero() {
+			t.Fatalf("Sum(%q) is the zero key", in)
+		}
+		if prev, ok := seen[k]; ok {
+			t.Fatalf("Sum collision between %q and %q", prev, in)
+		}
+		seen[k] = in
+	}
+}
+
+func TestActionKeySensitivity(t *testing.T) {
+	base := func() cas.Key {
+		return cas.ActionKey("d", 4, 1, "stateful", []string{"p1", "p2"}, "u.mc", []byte("src"))
+	}
+	variants := []cas.Key{
+		cas.ActionKey("e", 4, 1, "stateful", []string{"p1", "p2"}, "u.mc", []byte("src")),
+		cas.ActionKey("d", 5, 1, "stateful", []string{"p1", "p2"}, "u.mc", []byte("src")),
+		cas.ActionKey("d", 4, 2, "stateful", []string{"p1", "p2"}, "u.mc", []byte("src")),
+		cas.ActionKey("d", 4, 1, "stateless", []string{"p1", "p2"}, "u.mc", []byte("src")),
+		cas.ActionKey("d", 4, 1, "stateful", []string{"p1p2"}, "u.mc", []byte("src")),
+		cas.ActionKey("d", 4, 1, "stateful", []string{"p1", "p2"}, "v.mc", []byte("src")),
+		cas.ActionKey("d", 4, 1, "stateful", []string{"p1", "p2"}, "u.mc", []byte("src2")),
+	}
+	if base() != base() {
+		t.Fatal("ActionKey is not deterministic")
+	}
+	for i, v := range variants {
+		if v == base() {
+			t.Errorf("variant %d did not change the action key", i)
+		}
+	}
+}
+
+// storeContract exercises the Store interface properties shared by every
+// backend.
+func storeContract(t *testing.T, s cas.Store) {
+	t.Helper()
+	data := []byte("the blob payload")
+	key := cas.Sum(data)
+
+	if _, err := s.Get(key); !errors.Is(err, cas.ErrNotFound) {
+		t.Fatalf("Get(absent) = %v, want ErrNotFound", err)
+	}
+	if ok, err := s.Has(key); err != nil || ok {
+		t.Fatalf("Has(absent) = %v, %v", ok, err)
+	}
+	if err := s.Put(key, []byte("wrong bytes")); !errors.Is(err, cas.ErrVerify) {
+		t.Fatalf("Put with mismatched bytes = %v, want ErrVerify", err)
+	}
+	if err := s.Put(key, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, data); err != nil {
+		t.Fatalf("re-Put of an existing key must be a no-op, got %v", err)
+	}
+	got, err := s.Get(key)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if ok, _ := s.Has(key); !ok {
+		t.Fatal("Has(present) = false")
+	}
+
+	action := cas.Sum([]byte("some action"))
+	if _, err := s.ActionGet(action); !errors.Is(err, cas.ErrNotFound) {
+		t.Fatalf("ActionGet(absent) = %v, want ErrNotFound", err)
+	}
+	if err := s.ActionPut(action, key); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := s.ActionGet(action)
+	if err != nil || blob != key {
+		t.Fatalf("ActionGet = %s, %v", blob, err)
+	}
+	// Last writer wins.
+	key2 := cas.Sum([]byte("other"))
+	if err := s.Put(key2, []byte("other")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ActionPut(action, key2); err != nil {
+		t.Fatal(err)
+	}
+	if blob, _ := s.ActionGet(action); blob != key2 {
+		t.Fatalf("ActionPut is not last-writer-wins: %s", blob)
+	}
+
+	if err := s.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(key); err != nil {
+		t.Fatalf("Delete(absent) must not error, got %v", err)
+	}
+	if _, err := s.Get(key); !errors.Is(err, cas.ErrNotFound) {
+		t.Fatalf("Get after Delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestMemCASContract(t *testing.T)  { storeContract(t, cas.NewMemCAS(0)) }
+func TestDiskCASContract(t *testing.T) { storeContract(t, cas.NewDiskCAS(t.TempDir(), nil)) }
+
+func TestDiskCASPersistsAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	data := []byte("persisted")
+	key := cas.Sum(data)
+	action := cas.Sum([]byte("a"))
+	d1 := cas.NewDiskCAS(dir, nil)
+	if err := d1.Put(key, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.ActionPut(action, key); err != nil {
+		t.Fatal(err)
+	}
+	d2 := cas.NewDiskCAS(dir, nil)
+	got, err := d2.Get(key)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("fresh instance Get = %q, %v", got, err)
+	}
+	if blob, err := d2.ActionGet(action); err != nil || blob != key {
+		t.Fatalf("fresh instance ActionGet = %s, %v", blob, err)
+	}
+}
+
+func TestDiskCASSelfHealsPoisonedBlob(t *testing.T) {
+	dir := t.TempDir()
+	d := cas.NewDiskCAS(dir, nil)
+	data := []byte("honest bytes")
+	key := cas.Sum(data)
+	if err := d.Put(key, data); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "objects", key.Shard(), key.String())
+	if err := os.WriteFile(path, []byte("poisoned"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get(key); !errors.Is(err, cas.ErrVerify) {
+		t.Fatalf("Get(poisoned) = %v, want ErrVerify", err)
+	}
+	// Self-heal: the poisoned file is gone, the key is a plain miss now.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("poisoned blob file still on disk: %v", err)
+	}
+	if _, err := d.Get(key); !errors.Is(err, cas.ErrNotFound) {
+		t.Fatalf("Get after self-heal = %v, want ErrNotFound", err)
+	}
+	// Re-publishing honest bytes works again.
+	if err := d.Put(key, data); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := d.Get(key); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Get after republish = %q, %v", got, err)
+	}
+}
+
+func TestDiskCASSelfHealsPoisonedAction(t *testing.T) {
+	dir := t.TempDir()
+	d := cas.NewDiskCAS(dir, nil)
+	action := cas.Sum([]byte("a"))
+	path := filepath.Join(dir, "actions", action.Shard(), action.String())
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("not a key at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ActionGet(action); !errors.Is(err, cas.ErrVerify) {
+		t.Fatalf("ActionGet(poisoned) = %v, want ErrVerify", err)
+	}
+	if _, err := d.ActionGet(action); !errors.Is(err, cas.ErrNotFound) {
+		t.Fatalf("ActionGet after self-heal = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDiskCASSweepTemp(t *testing.T) {
+	dir := t.TempDir()
+	d := cas.NewDiskCAS(dir, nil)
+	data := []byte("x")
+	if err := d.Put(cas.Sum(data), data); err != nil {
+		t.Fatal(err)
+	}
+	// Fake two crashed writers' leftovers.
+	shard := filepath.Join(dir, "objects", cas.Sum(data).Shard())
+	for _, name := range []string{".cas-123", ".cas-zzz"} {
+		if err := os.WriteFile(filepath.Join(shard, name), []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := d.SweepTemp(); n != 2 {
+		t.Fatalf("SweepTemp removed %d files, want 2", n)
+	}
+	if n := d.SweepTemp(); n != 0 {
+		t.Fatalf("second SweepTemp removed %d files, want 0", n)
+	}
+	// The real blob survived the sweep.
+	if got, err := d.Get(cas.Sum(data)); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("blob lost to sweep: %q, %v", got, err)
+	}
+}
+
+func TestMemCASBoundedLRU(t *testing.T) {
+	m := cas.NewMemCAS(30)
+	mk := func(s string) (cas.Key, []byte) {
+		data := []byte(s + strings.Repeat(".", 10-len(s)))
+		return cas.Sum(data), data
+	}
+	ka, da := mk("a")
+	kb, db := mk("b")
+	kc, dc := mk("c")
+	for _, p := range []struct {
+		k cas.Key
+		d []byte
+	}{{ka, da}, {kb, db}, {kc, dc}} {
+		if err := m.Put(p.k, p.d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Bytes() != 30 || m.Len() != 3 {
+		t.Fatalf("store holds %d bytes / %d blobs, want 30 / 3", m.Bytes(), m.Len())
+	}
+	// Touch a so b becomes the LRU victim.
+	if _, err := m.Get(ka); err != nil {
+		t.Fatal(err)
+	}
+	kd, dd := mk("d")
+	if err := m.Put(kd, dd); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := m.Has(kb); ok {
+		t.Fatal("LRU evicted the wrong blob: b (least recently used) survived")
+	}
+	for _, k := range []cas.Key{ka, kc, kd} {
+		if ok, _ := m.Has(k); !ok {
+			t.Fatalf("blob %s evicted out of LRU order", k)
+		}
+	}
+	// A blob bigger than the whole bound is refused outright.
+	big := bytes.Repeat([]byte("B"), 31)
+	if err := m.Put(cas.Sum(big), big); !errors.Is(err, cas.ErrQuota) {
+		t.Fatalf("oversized Put = %v, want ErrQuota", err)
+	}
+}
+
+func TestMemCASTamperDetected(t *testing.T) {
+	m := cas.NewMemCAS(0)
+	data := []byte("honest")
+	key := cas.Sum(data)
+	if err := m.Put(key, data); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Tamper(key, func(b []byte) { b[0] ^= 0xFF }) {
+		t.Fatal("Tamper did not find the blob")
+	}
+	if _, err := m.Get(key); !errors.Is(err, cas.ErrVerify) {
+		t.Fatalf("Get(tampered) = %v, want ErrVerify", err)
+	}
+	// Dropped on detection: now a plain miss.
+	if _, err := m.Get(key); !errors.Is(err, cas.ErrNotFound) {
+		t.Fatalf("Get after drop = %v, want ErrNotFound", err)
+	}
+}

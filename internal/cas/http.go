@@ -1,0 +1,192 @@
+package cas
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HTTPCAS is the client for a serve instance's /cas/ endpoints. It
+// implements Store plus Leaser (coalescing), retries transient failures
+// (transport errors and 5xx) with exponential backoff, and — like every
+// backend — verifies blob bytes against their key on every read, so a
+// server (or a middlebox) handing back wrong bytes is a counted miss,
+// never a wrong hit.
+type HTTPCAS struct {
+	base    string // "http://host:port", no trailing slash
+	tenant  string
+	client  *http.Client
+	retries int           // attempts beyond the first
+	backoff time.Duration // first retry delay, doubling
+}
+
+// NewHTTPCAS builds a client for base (e.g. "http://127.0.0.1:7777") under
+// the given tenant namespace ("" means "default").
+func NewHTTPCAS(base, tenant string) *HTTPCAS {
+	if tenant == "" {
+		tenant = "default"
+	}
+	return &HTTPCAS{
+		base:    strings.TrimRight(base, "/"),
+		tenant:  tenant,
+		client:  &http.Client{Timeout: 30 * time.Second},
+		retries: 2,
+		backoff: 25 * time.Millisecond,
+	}
+}
+
+// statusErr carries a non-2xx wire status so do() can map it exactly once.
+type statusErr struct {
+	code int
+	body string
+}
+
+func (e *statusErr) Error() string {
+	return fmt.Sprintf("cas: http %d: %s", e.code, strings.TrimSpace(e.body))
+}
+
+// do issues one request (re-issuing on transient failure) and returns the
+// response body. The request body is a byte slice so retries can replay it.
+func (h *HTTPCAS) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var rdr io.Reader
+		if body != nil {
+			rdr = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, h.base+path, rdr)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set(TenantHeader, h.tenant)
+		resp, err := h.client.Do(req)
+		if err == nil {
+			data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxBlobWire+1))
+			resp.Body.Close()
+			if rerr != nil {
+				err = rerr
+			} else if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+				return data, nil
+			} else {
+				serr := &statusErr{code: resp.StatusCode, body: string(data)}
+				if resp.StatusCode < 500 {
+					return nil, serr // 4xx is a verdict, not a transient
+				}
+				err = serr
+			}
+		}
+		lastErr = err
+		if attempt >= h.retries || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		select {
+		case <-time.After(h.backoff << attempt):
+		case <-ctx.Done():
+			return nil, lastErr
+		}
+	}
+}
+
+// mapStatus folds a wire status error into the package sentinels.
+func mapStatus(err error) error {
+	if se, ok := err.(*statusErr); ok {
+		switch se.code {
+		case http.StatusNotFound:
+			return ErrNotFound
+		case http.StatusGone:
+			return fmt.Errorf("%s: %w", se.body, ErrVerify)
+		case http.StatusInsufficientStorage:
+			return fmt.Errorf("%s: %w", se.body, ErrQuota)
+		}
+	}
+	return err
+}
+
+// Get fetches and byte-verifies a blob.
+func (h *HTTPCAS) Get(key Key) ([]byte, error) {
+	data, err := h.do(context.Background(), http.MethodGet, "/cas/blob/"+key.String(), nil)
+	if err != nil {
+		return nil, mapStatus(err)
+	}
+	if Sum(data) != key {
+		return nil, fmt.Errorf("cas: http blob %s: bytes hash to %s: %w", key, Sum(data), ErrVerify)
+	}
+	return data, nil
+}
+
+// Put uploads a blob (server re-verifies; ErrQuota on a full namespace).
+func (h *HTTPCAS) Put(key Key, data []byte) error {
+	if Sum(data) != key {
+		return fmt.Errorf("cas: put %s: bytes hash to %s: %w", key, Sum(data), ErrVerify)
+	}
+	_, err := h.do(context.Background(), http.MethodPut, "/cas/blob/"+key.String(), data)
+	return mapStatus(err)
+}
+
+// Has probes blob existence with HEAD.
+func (h *HTTPCAS) Has(key Key) (bool, error) {
+	_, err := h.do(context.Background(), http.MethodHead, "/cas/blob/"+key.String(), nil)
+	if err == nil {
+		return true, nil
+	}
+	if err = mapStatus(err); err == ErrNotFound {
+		return false, nil
+	}
+	return false, err
+}
+
+// Delete is not part of the wire protocol (eviction is server policy);
+// it reports success so DiskCAS-oriented callers degrade cleanly.
+func (h *HTTPCAS) Delete(Key) error { return nil }
+
+// ActionGet resolves an action entry.
+func (h *HTTPCAS) ActionGet(action Key) (Key, error) {
+	data, err := h.do(context.Background(), http.MethodGet, "/cas/action/"+action.String(), nil)
+	if err != nil {
+		return Key{}, mapStatus(err)
+	}
+	blob, perr := ParseKey(strings.TrimSpace(string(data)))
+	if perr != nil {
+		return Key{}, fmt.Errorf("cas: http action %s: %v: %w", action, perr, ErrVerify)
+	}
+	return blob, nil
+}
+
+// ActionPut publishes action → blob (waking the server's lease waiters).
+func (h *HTTPCAS) ActionPut(action, blob Key) error {
+	_, err := h.do(context.Background(), http.MethodPut, "/cas/action/"+action.String(),
+		[]byte(blob.String()+"\n"))
+	return mapStatus(err)
+}
+
+// Lease long-polls the server's coalescing endpoint (Leaser).
+func (h *HTTPCAS) Lease(ctx context.Context, action Key) (LeaseResult, error) {
+	data, err := h.do(ctx, http.MethodPost, "/cas/lease/"+action.String(), nil)
+	if err != nil {
+		return LeaseResult{}, mapStatus(err)
+	}
+	line := strings.TrimSpace(string(data))
+	switch {
+	case line == "leader":
+		return LeaseResult{Leader: true}, nil
+	case line == "retry":
+		return LeaseResult{}, nil
+	case strings.HasPrefix(line, "found "):
+		blob, perr := ParseKey(strings.TrimPrefix(line, "found "))
+		if perr != nil {
+			return LeaseResult{}, fmt.Errorf("cas: lease response %q: %w", line, ErrVerify)
+		}
+		return LeaseResult{Found: true, Blob: blob}, nil
+	}
+	return LeaseResult{}, fmt.Errorf("cas: lease response %q: %w", line, ErrVerify)
+}
+
+// Abandon releases a held lease without publishing.
+func (h *HTTPCAS) Abandon(action Key) error {
+	_, err := h.do(context.Background(), http.MethodDelete, "/cas/lease/"+action.String(), nil)
+	return mapStatus(err)
+}

@@ -1,0 +1,39 @@
+package cas
+
+import "context"
+
+// LocalStore is an in-process Store + Leaser view of a Server under one
+// tenant: what a serve instance's own builder publishes through (no HTTP
+// round trip, same policy layer — quotas, refcounts, coalescing), and what
+// tests drive the policy layer with directly.
+type LocalStore struct {
+	s      *Server
+	tenant string
+}
+
+// Local returns the server's in-process client for one tenant ("" means
+// "default").
+func (s *Server) Local(tenant string) *LocalStore {
+	if tenant == "" {
+		tenant = "default"
+	}
+	return &LocalStore{s: s, tenant: tenant}
+}
+
+func (l *LocalStore) Get(key Key) ([]byte, error)       { return l.s.Get(l.tenant, key) }
+func (l *LocalStore) Put(key Key, data []byte) error    { return l.s.Put(l.tenant, key, data) }
+func (l *LocalStore) Has(key Key) (bool, error)         { return l.s.Has(key) }
+func (l *LocalStore) Delete(key Key) error              { return l.s.Delete(key) }
+func (l *LocalStore) ActionGet(action Key) (Key, error) { return l.s.ActionGet(action) }
+func (l *LocalStore) ActionPut(action, blob Key) error  { return l.s.ActionPut(action, blob) }
+
+// Lease adapts the server's coalescing to the Leaser interface.
+func (l *LocalStore) Lease(ctx context.Context, action Key) (LeaseResult, error) {
+	return l.s.Lease(ctx.Done(), action), nil
+}
+
+// Abandon releases a held lease.
+func (l *LocalStore) Abandon(action Key) error {
+	l.s.Abandon(action)
+	return nil
+}

@@ -1,0 +1,178 @@
+package cas
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MemCAS is the in-memory backend: bounded by total blob bytes with
+// deterministic least-recently-used eviction (an access sequence number,
+// not wall time, so tests never race a clock). It is the hot tier and the
+// store the tests and the serve benchmarks build on. Safe for concurrent
+// use; Get and Put copy, so callers can never alias store memory.
+type MemCAS struct {
+	mu       sync.Mutex
+	maxBytes int64
+	curBytes int64
+	seq      int64
+	blobs    map[Key]*memBlob
+	actions  map[Key]Key
+}
+
+type memBlob struct {
+	data []byte
+	used int64 // access sequence; smallest = LRU victim
+}
+
+// NewMemCAS builds a memory store holding at most maxBytes of blob bytes;
+// maxBytes <= 0 means unbounded.
+func NewMemCAS(maxBytes int64) *MemCAS {
+	return &MemCAS{
+		maxBytes: maxBytes,
+		blobs:    make(map[Key]*memBlob),
+		actions:  make(map[Key]Key),
+	}
+}
+
+// Get returns a copy of the blob's bytes after verification. A blob that
+// fails verification (someone reached in with Tamper, or a test simulates
+// corruption) is dropped and reported as ErrVerify.
+func (m *MemCAS) Get(key Key) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.blobs[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if Sum(b.data) != key {
+		m.curBytes -= int64(len(b.data))
+		delete(m.blobs, key)
+		return nil, fmt.Errorf("cas: mem blob %s: %w", key, ErrVerify)
+	}
+	m.seq++
+	b.used = m.seq
+	out := make([]byte, len(b.data))
+	copy(out, b.data)
+	return out, nil
+}
+
+// Put stores a copy of data under key, evicting LRU blobs if the bound
+// requires it. A blob larger than the whole bound is refused (ErrQuota).
+func (m *MemCAS) Put(key Key, data []byte) error {
+	if Sum(data) != key {
+		return fmt.Errorf("cas: put %s: bytes hash to %s: %w", key, Sum(data), ErrVerify)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if b, ok := m.blobs[key]; ok {
+		m.seq++
+		b.used = m.seq
+		return nil
+	}
+	size := int64(len(data))
+	if m.maxBytes > 0 && size > m.maxBytes {
+		return fmt.Errorf("cas: blob %s is %d bytes, store bound %d: %w", key, size, m.maxBytes, ErrQuota)
+	}
+	for m.maxBytes > 0 && m.curBytes+size > m.maxBytes {
+		m.evictLocked()
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.seq++
+	m.blobs[key] = &memBlob{data: cp, used: m.seq}
+	m.curBytes += size
+	return nil
+}
+
+// evictLocked removes the least-recently-used blob; ties (impossible with
+// a monotone sequence, but kept for safety) break on key order.
+func (m *MemCAS) evictLocked() {
+	var victim Key
+	var vb *memBlob
+	for k, b := range m.blobs {
+		if vb == nil || b.used < vb.used || (b.used == vb.used && k.String() < victim.String()) {
+			victim, vb = k, b
+		}
+	}
+	if vb == nil {
+		return
+	}
+	m.curBytes -= int64(len(vb.data))
+	delete(m.blobs, victim)
+}
+
+// Has reports blob existence.
+func (m *MemCAS) Has(key Key) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.blobs[key]
+	return ok, nil
+}
+
+// Delete removes a blob; absent keys are a no-op.
+func (m *MemCAS) Delete(key Key) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if b, ok := m.blobs[key]; ok {
+		m.curBytes -= int64(len(b.data))
+		delete(m.blobs, key)
+	}
+	return nil
+}
+
+// ActionGet resolves an action entry.
+func (m *MemCAS) ActionGet(action Key) (Key, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	blob, ok := m.actions[action]
+	if !ok {
+		return Key{}, ErrNotFound
+	}
+	return blob, nil
+}
+
+// ActionPut records action → blob (last writer wins).
+func (m *MemCAS) ActionPut(action, blob Key) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.actions[action] = blob
+	return nil
+}
+
+// Bytes reports the current stored blob byte total (tests).
+func (m *MemCAS) Bytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.curBytes
+}
+
+// Len reports the number of stored blobs (tests).
+func (m *MemCAS) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.blobs)
+}
+
+// Keys lists the stored blob keys in unspecified order (tests).
+func (m *MemCAS) Keys() []Key {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Key, 0, len(m.blobs))
+	for k := range m.blobs {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Tamper mutates a stored blob's bytes in place — the poisoned-blob test
+// hook. Returns false if the key is absent.
+func (m *MemCAS) Tamper(key Key, mutate func([]byte)) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.blobs[key]
+	if !ok {
+		return false
+	}
+	mutate(b.data)
+	return true
+}

@@ -1,0 +1,209 @@
+package cas_test
+
+// Tenancy policy tests: per-tenant byte quotas, deterministic LRU eviction
+// under an injected fake clock, and the refcount rule — a blob leaves the
+// backing store only when its last tenant reference goes, so one tenant's
+// eviction can never break another tenant's verified reads.
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"statefulcc/internal/cas"
+	"statefulcc/internal/obs"
+)
+
+// fakeClock is a manually advanced time source for ServerOptions.Now.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// sizedBlob makes a blob of exactly n bytes whose content starts with tag.
+func sizedBlob(tag string, n int) (cas.Key, []byte) {
+	data := []byte(tag + strings.Repeat("-", n-len(tag)))
+	return cas.Sum(data), data
+}
+
+func TestTenantQuotaDeterministicLRU(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	mem := cas.NewMemCAS(0)
+	srv := cas.NewServer(mem, cas.ServerOptions{TenantQuota: 100, Now: clk.Now, Metrics: reg})
+
+	ka, da := sizedBlob("a", 40)
+	kb, db := sizedBlob("b", 40)
+	kc, dc := sizedBlob("c", 40)
+	if err := srv.Put("t1", ka, da); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	if err := srv.Put("t1", kb, db); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	// Third put exceeds the 100-byte quota: the oldest reference (a) must be
+	// the victim, and with no other tenant holding it the blob is deleted.
+	if err := srv.Put("t1", kc, dc); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.TenantBytes("t1"); got != 80 {
+		t.Fatalf("TenantBytes = %d after eviction, want 80", got)
+	}
+	if ok, _ := mem.Has(ka); ok {
+		t.Fatal("evicted the wrong blob: a (oldest) survived")
+	}
+	for _, k := range []cas.Key{kb, kc} {
+		if ok, _ := mem.Has(k); !ok {
+			t.Fatalf("blob %s evicted out of LRU order", k)
+		}
+	}
+	if got := reg.Snapshot()[obs.CtrCASEvicted]; got != 1 {
+		t.Fatalf("%s = %d, want 1", obs.CtrCASEvicted, got)
+	}
+
+	// A Get refreshes the LRU slot: touch b, then overflow again — c (now
+	// oldest) must be the next victim.
+	clk.Advance(time.Second)
+	if _, err := srv.Get("t1", kb); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	kd, dd := sizedBlob("d", 40)
+	if err := srv.Put("t1", kd, dd); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := mem.Has(kc); ok {
+		t.Fatal("Get did not refresh the LRU slot: c survived over the touched b")
+	}
+	if ok, _ := mem.Has(kb); !ok {
+		t.Fatal("the touched blob b was evicted")
+	}
+}
+
+func TestTenantQuotaLRUTieBreaksOnKey(t *testing.T) {
+	clk := newFakeClock()
+	mem := cas.NewMemCAS(0)
+	srv := cas.NewServer(mem, cas.ServerOptions{TenantQuota: 100, Now: clk.Now})
+
+	// Two blobs stored at the same fake instant: the victim must be the one
+	// with the smaller key string — fully deterministic, no map-order luck.
+	k1, d1 := sizedBlob("tie1", 40)
+	k2, d2 := sizedBlob("tie2", 40)
+	lo, hi := k1, k2
+	dlo, dhi := d1, d2
+	if k2.String() < k1.String() {
+		lo, hi = k2, k1
+		dlo, dhi = d2, d1
+	}
+	if err := srv.Put("t1", lo, dlo); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Put("t1", hi, dhi); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	k3, d3 := sizedBlob("third", 40)
+	if err := srv.Put("t1", k3, d3); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := mem.Has(lo); ok {
+		t.Fatal("tie not broken on key order: the smaller key survived")
+	}
+	if ok, _ := mem.Has(hi); !ok {
+		t.Fatal("tie break evicted both tied blobs")
+	}
+}
+
+func TestSharedBlobEvictionKeepsOtherTenantReads(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	mem := cas.NewMemCAS(0)
+	srv := cas.NewServer(mem, cas.ServerOptions{TenantQuota: 100, Now: clk.Now, Metrics: reg})
+
+	kx, dx := sizedBlob("shared", 60)
+	if err := srv.Put("t1", kx, dx); err != nil {
+		t.Fatal(err)
+	}
+	// Tenant 2 reads the shared blob, taking its own reference.
+	if got, err := srv.Get("t2", kx); err != nil || !bytes.Equal(got, dx) {
+		t.Fatalf("t2 Get = %v", err)
+	}
+	clk.Advance(time.Second)
+
+	// Pressure tenant 1 past its quota: it evicts its reference to x, but
+	// the blob must survive — tenant 2 still references it.
+	ky, dy := sizedBlob("mine", 60)
+	if err := srv.Put("t1", ky, dy); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.TenantBytes("t1"); got != 60 {
+		t.Fatalf("t1 TenantBytes = %d, want 60 (only y)", got)
+	}
+	if ok, _ := mem.Has(kx); !ok {
+		t.Fatal("shared blob deleted while another tenant still references it")
+	}
+	if got, err := srv.Get("t2", kx); err != nil || !bytes.Equal(got, dx) {
+		t.Fatalf("t2 read broken by t1's eviction: %v", err)
+	}
+
+	// Only when the last reference goes does the blob leave the store.
+	clk.Advance(time.Second)
+	kz, dz := sizedBlob("zzz-press", 60)
+	if err := srv.Put("t2", kz, dz); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := mem.Has(kx); ok {
+		t.Fatal("blob with zero remaining references not deleted")
+	}
+	if got := reg.Snapshot()[obs.CtrCASEvicted]; got != 2 {
+		t.Fatalf("%s = %d, want 2", obs.CtrCASEvicted, got)
+	}
+}
+
+func TestQuotaRefusesOversizedBlob(t *testing.T) {
+	srv := cas.NewServer(cas.NewMemCAS(0), cas.ServerOptions{TenantQuota: 100})
+	k, d := sizedBlob("way too big", 101)
+	if err := srv.Put("t1", k, d); !errors.Is(err, cas.ErrQuota) {
+		t.Fatalf("oversized Put = %v, want ErrQuota", err)
+	}
+	if got := srv.TenantBytes("t1"); got != 0 {
+		t.Fatalf("refused put still charged %d bytes", got)
+	}
+	if ok, _ := srv.Has(k); ok {
+		t.Fatal("refused blob landed in the store anyway")
+	}
+}
+
+func TestServerRejectsPoisonedPut(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := cas.NewServer(cas.NewMemCAS(0), cas.ServerOptions{Metrics: reg})
+	data := []byte("honest")
+	if err := srv.Put("t1", cas.Sum([]byte("other")), data); !errors.Is(err, cas.ErrVerify) {
+		t.Fatalf("mismatched Put = %v, want ErrVerify", err)
+	}
+	if got := reg.Snapshot()[obs.CtrCASVerifyFailed]; got != 1 {
+		t.Fatalf("%s = %d, want 1", obs.CtrCASVerifyFailed, got)
+	}
+	if got := srv.TenantBytes("t1"); got != 0 {
+		t.Fatalf("rejected put charged %d bytes", got)
+	}
+}

@@ -1,0 +1,491 @@
+package cas
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"statefulcc/internal/obs"
+)
+
+// Server is the multi-tenant shared-cache service `minibuild serve` mounts
+// under /cas/. It wraps one backing Store (blobs are deduplicated across
+// tenants — content addressing makes that safe) and adds the policy layer:
+//
+//   - Tenancy: every request names a tenant (X-CAS-Tenant, default
+//     "default"). A tenant holds *references* to blobs; the byte quota and
+//     LRU eviction operate on a tenant's references, and the backing blob is
+//     deleted only when its global reference count reaches zero. Evicting a
+//     shared blob from one tenant therefore never breaks another tenant's
+//     reads.
+//
+//   - Coalescing: Lease elects one compile leader per action key
+//     (singleflight); every other concurrent builder of the same action
+//     blocks until the leader publishes, then fetches the result instead of
+//     compiling. A leader that dies is covered by the lease grace: waiters
+//     time out and compile locally, and a stale flight is replaced by the
+//     next leaser.
+//
+// All methods are safe for concurrent use. Time is injectable (Options.Now)
+// so the eviction tests run under a fake clock.
+type Server struct {
+	store Store
+	opts  ServerOptions
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	refs    map[Key]int // global blob refcount across tenants
+	flights map[Key]*flight
+
+	ctrHit, ctrMiss, ctrVerify *obs.Counter
+	ctrCoalesced, ctrPublished *obs.Counter
+	ctrIOErr, ctrEvicted       *obs.Counter
+	histServe                  *obs.Histogram
+}
+
+// ServerOptions configures the policy layer.
+type ServerOptions struct {
+	// TenantQuota bounds each tenant namespace's referenced bytes; <= 0
+	// means unbounded.
+	TenantQuota int64
+	// LeaseGrace bounds how long a lease waiter blocks (and how stale a
+	// flight may be before a new leaser replaces it). Default 5s.
+	LeaseGrace time.Duration
+	// Now is the clock (tests inject a fake one); default time.Now.
+	Now func() time.Time
+	// Metrics receives the cas.* server counters and the cas.serve_ns
+	// histogram; nil disables them.
+	Metrics *obs.Registry
+}
+
+type tenant struct {
+	bytes int64
+	refs  map[Key]*tenantRef
+}
+
+type tenantRef struct {
+	size int64
+	last time.Time
+}
+
+type flight struct {
+	done      chan struct{}
+	blob      Key
+	published bool
+	created   time.Time
+	waiters   int // coalesced callers currently blocked on done (tests)
+}
+
+// NewServer wraps a backing store in the policy layer.
+func NewServer(store Store, opts ServerOptions) *Server {
+	if opts.LeaseGrace <= 0 {
+		opts.LeaseGrace = 5 * time.Second
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	s := &Server{
+		store:   store,
+		opts:    opts,
+		tenants: make(map[string]*tenant),
+		refs:    make(map[Key]int),
+		flights: make(map[Key]*flight),
+	}
+	if r := opts.Metrics; r != nil {
+		s.ctrHit = r.Counter(obs.CtrCASHits)
+		s.ctrMiss = r.Counter(obs.CtrCASMisses)
+		s.ctrVerify = r.Counter(obs.CtrCASVerifyFailed)
+		s.ctrCoalesced = r.Counter(obs.CtrCASCoalesced)
+		s.ctrPublished = r.Counter(obs.CtrCASPublished)
+		s.ctrIOErr = r.Counter(obs.CtrCASIOErrors)
+		s.ctrEvicted = r.Counter(obs.CtrCASEvicted)
+		s.histServe = r.Histogram(obs.HistCASServeNS)
+	}
+	return s
+}
+
+// Metrics returns the registry the server counts into (may be nil).
+func (s *Server) Metrics() *obs.Registry { return s.opts.Metrics }
+
+func (s *Server) tenantLocked(name string) *tenant {
+	t, ok := s.tenants[name]
+	if !ok {
+		t = &tenant{refs: make(map[Key]*tenantRef)}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// Get reads a blob on behalf of a tenant, touching its LRU slot.
+func (s *Server) Get(tenantName string, key Key) ([]byte, error) {
+	data, err := s.store.Get(key)
+	if err != nil {
+		if errors.Is(err, ErrVerify) {
+			// The backing store dropped a poisoned blob; drop every
+			// tenant's reference too so quotas stay truthful.
+			s.ctrVerify.Inc()
+			s.dropRefs(key)
+		}
+		return nil, err
+	}
+	s.mu.Lock()
+	t := s.tenantLocked(tenantName)
+	if ref, ok := t.refs[key]; ok {
+		ref.last = s.opts.Now()
+	} else {
+		// Reading a blob another tenant published creates a reference (the
+		// reader now depends on it staying alive).
+		t.refs[key] = &tenantRef{size: int64(len(data)), last: s.opts.Now()}
+		t.bytes += int64(len(data))
+		s.refs[key]++
+		s.evictLocked(t)
+	}
+	s.mu.Unlock()
+	return data, nil
+}
+
+// Put stores a blob into a tenant's namespace, evicting that tenant's LRU
+// references as needed to fit the quota. A blob bigger than the whole
+// quota is refused (ErrQuota).
+func (s *Server) Put(tenantName string, key Key, data []byte) error {
+	if Sum(data) != key {
+		s.ctrVerify.Inc()
+		return fmt.Errorf("cas: put %s: bytes hash to %s: %w", key, Sum(data), ErrVerify)
+	}
+	size := int64(len(data))
+	if s.opts.TenantQuota > 0 && size > s.opts.TenantQuota {
+		return fmt.Errorf("cas: blob %s is %d bytes, tenant quota %d: %w",
+			key, size, s.opts.TenantQuota, ErrQuota)
+	}
+	s.mu.Lock()
+	t := s.tenantLocked(tenantName)
+	if ref, ok := t.refs[key]; ok {
+		ref.last = s.opts.Now()
+		s.mu.Unlock()
+		return nil
+	}
+	t.refs[key] = &tenantRef{size: size, last: s.opts.Now()}
+	t.bytes += size
+	s.refs[key]++
+	s.evictLocked(t)
+	s.mu.Unlock()
+	if err := s.store.Put(key, data); err != nil {
+		s.dropRefs(key)
+		return err
+	}
+	return nil
+}
+
+// evictLocked shrinks tenant t to its quota by evicting least-recently-used
+// references (oldest access first; key order breaks ties, so the choice is
+// deterministic under a fake clock). The blob itself is deleted only when
+// no tenant references it anymore.
+func (s *Server) evictLocked(t *tenant) {
+	if s.opts.TenantQuota <= 0 {
+		return
+	}
+	for t.bytes > s.opts.TenantQuota {
+		var victim Key
+		var vr *tenantRef
+		for k, r := range t.refs {
+			if vr == nil || r.last.Before(vr.last) ||
+				(r.last.Equal(vr.last) && k.String() < victim.String()) {
+				victim, vr = k, r
+			}
+		}
+		if vr == nil {
+			return
+		}
+		t.bytes -= vr.size
+		delete(t.refs, victim)
+		s.ctrEvicted.Inc()
+		if s.refs[victim]--; s.refs[victim] <= 0 {
+			delete(s.refs, victim)
+			_ = s.store.Delete(victim)
+		}
+	}
+}
+
+// dropRefs removes every tenant's reference to a blob that no longer
+// exists (poisoned and self-healed, or a failed store write).
+func (s *Server) dropRefs(key Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.tenants {
+		if ref, ok := t.refs[key]; ok {
+			t.bytes -= ref.size
+			delete(t.refs, key)
+		}
+	}
+	delete(s.refs, key)
+}
+
+// TenantBytes reports a tenant's referenced byte total (tests, /dash).
+func (s *Server) TenantBytes(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tenants[name]; ok {
+		return t.bytes
+	}
+	return 0
+}
+
+// Has reports blob existence (tenant-agnostic: existence is global).
+func (s *Server) Has(key Key) (bool, error) { return s.store.Has(key) }
+
+// Delete removes a blob and every tenant's reference to it.
+func (s *Server) Delete(key Key) error {
+	s.dropRefs(key)
+	return s.store.Delete(key)
+}
+
+// ActionGet resolves an action entry, counting hit/miss.
+func (s *Server) ActionGet(action Key) (Key, error) {
+	blob, err := s.store.ActionGet(action)
+	switch {
+	case err == nil:
+		s.ctrHit.Inc()
+	case errors.Is(err, ErrNotFound):
+		s.ctrMiss.Inc()
+	case errors.Is(err, ErrVerify):
+		s.ctrVerify.Inc()
+	default:
+		s.ctrIOErr.Inc()
+	}
+	return blob, err
+}
+
+// ActionPut records action → blob and wakes any coalesced waiters.
+func (s *Server) ActionPut(action, blob Key) error {
+	if err := s.store.ActionPut(action, blob); err != nil {
+		s.ctrIOErr.Inc()
+		return err
+	}
+	s.ctrPublished.Inc()
+	s.mu.Lock()
+	if f, ok := s.flights[action]; ok {
+		f.blob = blob
+		f.published = true
+		close(f.done)
+		delete(s.flights, action)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Lease coalesces concurrent builds of one action. The first caller (or
+// the first after a stale flight) becomes the leader and must ActionPut or
+// Abandon; everyone else blocks until publish, abandon, grace expiry, or
+// cancel (cancel is the HTTP request context on the wire path).
+func (s *Server) Lease(cancel <-chan struct{}, action Key) LeaseResult {
+	s.mu.Lock()
+	// A result published before we leased is a plain hit, not coalescing.
+	if blob, err := s.store.ActionGet(action); err == nil {
+		s.mu.Unlock()
+		s.ctrHit.Inc()
+		return LeaseResult{Found: true, Blob: blob}
+	}
+	f, ok := s.flights[action]
+	if !ok || s.opts.Now().Sub(f.created) > s.opts.LeaseGrace {
+		// No flight, or its leader has exceeded the grace (died): take over.
+		s.flights[action] = &flight{done: make(chan struct{}), created: s.opts.Now()}
+		s.mu.Unlock()
+		return LeaseResult{Leader: true}
+	}
+	f.waiters++
+	s.mu.Unlock()
+
+	timer := time.NewTimer(s.opts.LeaseGrace)
+	defer timer.Stop()
+	select {
+	case <-f.done:
+		if f.published {
+			s.ctrCoalesced.Inc()
+			return LeaseResult{Found: true, Blob: f.blob}
+		}
+		return LeaseResult{} // leader abandoned: compile locally
+	case <-timer.C:
+		return LeaseResult{} // leader too slow: compile locally
+	case <-cancel:
+		return LeaseResult{}
+	}
+}
+
+// Abandon releases a flight without publishing, waking waiters so they
+// compile locally.
+func (s *Server) Abandon(action Key) {
+	s.mu.Lock()
+	if f, ok := s.flights[action]; ok {
+		close(f.done)
+		delete(s.flights, action)
+	}
+	s.mu.Unlock()
+}
+
+// ---- HTTP wire protocol ----
+//
+//	GET    /cas/blob/<key>     200 bytes | 404 | 410 (verify failed) | 500
+//	HEAD   /cas/blob/<key>     200 | 404
+//	PUT    /cas/blob/<key>     204 | 400 (verify) | 507 (quota) | 500
+//	GET    /cas/action/<key>   200 "<blobkey>\n" | 404 | 410 | 500
+//	PUT    /cas/action/<key>   body "<blobkey>" → 204
+//	POST   /cas/lease/<key>    long-poll → "leader\n" | "found <blobkey>\n" | "retry\n"
+//	DELETE /cas/lease/<key>    204 (abandon)
+//
+// The tenant rides in the X-CAS-Tenant header (default "default"). Status
+// codes are chosen so a client can branch without parsing bodies: 404 is a
+// miss, 410 a verify failure (also a miss, but counted), 507 a quota
+// refusal.
+
+// TenantHeader names the HTTP header carrying the tenant namespace.
+const TenantHeader = "X-CAS-Tenant"
+
+// maxBlobWire bounds a single uploaded blob (64 MiB — far above any unit
+// object, small enough that a hostile PUT cannot balloon the server).
+const maxBlobWire = 64 << 20
+
+// Handler returns the /cas/ HTTP handler. Mount it at "/cas/".
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		defer func() { s.histServe.Observe(time.Since(start).Nanoseconds()) }()
+		tenantName := r.Header.Get(TenantHeader)
+		if tenantName == "" {
+			tenantName = "default"
+		}
+		rest, ok := strings.CutPrefix(r.URL.Path, "/cas/")
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		kind, keyHex, ok := strings.Cut(rest, "/")
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		key, err := ParseKey(keyHex)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		switch kind {
+		case "blob":
+			s.serveBlob(w, r, tenantName, key)
+		case "action":
+			s.serveAction(w, r, key)
+		case "lease":
+			s.serveLease(w, r, key)
+		default:
+			http.NotFound(w, r)
+		}
+	})
+}
+
+func (s *Server) serveBlob(w http.ResponseWriter, r *http.Request, tenantName string, key Key) {
+	switch r.Method {
+	case http.MethodGet:
+		data, err := s.Get(tenantName, key)
+		if err != nil {
+			writeCASErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(data)
+	case http.MethodHead:
+		ok, err := s.Has(key)
+		if err != nil {
+			writeCASErr(w, err)
+			return
+		}
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	case http.MethodPut:
+		data, err := io.ReadAll(io.LimitReader(r.Body, maxBlobWire+1))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(data) > maxBlobWire {
+			http.Error(w, "cas: blob exceeds wire limit", http.StatusRequestEntityTooLarge)
+			return
+		}
+		if err := s.Put(tenantName, key, data); err != nil {
+			writeCASErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) serveAction(w http.ResponseWriter, r *http.Request, action Key) {
+	switch r.Method {
+	case http.MethodGet:
+		blob, err := s.ActionGet(action)
+		if err != nil {
+			writeCASErr(w, err)
+			return
+		}
+		fmt.Fprintf(w, "%s\n", blob)
+	case http.MethodPut:
+		body, err := io.ReadAll(io.LimitReader(r.Body, KeyHexLen+2))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		blob, err := ParseKey(strings.TrimSpace(string(body)))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.ActionPut(action, blob); err != nil {
+			writeCASErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) serveLease(w http.ResponseWriter, r *http.Request, action Key) {
+	switch r.Method {
+	case http.MethodPost:
+		res := s.Lease(r.Context().Done(), action)
+		switch {
+		case res.Leader:
+			fmt.Fprintln(w, "leader")
+		case res.Found:
+			fmt.Fprintf(w, "found %s\n", res.Blob)
+		default:
+			fmt.Fprintln(w, "retry")
+		}
+	case http.MethodDelete:
+		s.Abandon(action)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// writeCASErr maps the sentinel errors onto the wire status codes.
+func writeCASErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, ErrVerify):
+		http.Error(w, err.Error(), http.StatusGone)
+	case errors.Is(err, ErrQuota):
+		http.Error(w, err.Error(), http.StatusInsufficientStorage)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

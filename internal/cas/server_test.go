@@ -1,0 +1,174 @@
+package cas
+
+// White-box coalescing tests: these need the flight table to know when
+// every waiter is actually parked, which makes the 1-leader/15-waiter
+// split deterministic instead of a race against the publish.
+
+import (
+	"testing"
+	"time"
+
+	"statefulcc/internal/obs"
+)
+
+// waitForWaiters polls until the action's flight has n parked waiters.
+func waitForWaiters(t *testing.T, s *Server, action Key, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		got := 0
+		if f, ok := s.flights[action]; ok {
+			got = f.waiters
+		}
+		s.mu.Unlock()
+		if got == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d waiters parked on the flight", got, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestLeaseCoalescesDeterministically pins the exact split the issue asks
+// for: 16 concurrent leasers of one action elect exactly one leader; after
+// the leader publishes, all 15 waiters wake with the published blob and
+// cas.coalesced reads exactly 15.
+func TestLeaseCoalescesDeterministically(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewServer(NewMemCAS(0), ServerOptions{Metrics: reg})
+	action := Sum([]byte("the contended action"))
+	data := EncodeBlob(KindObject, action, "u.mc", []byte("payload"))
+	blobKey := Sum(data)
+
+	lr := s.Lease(nil, action)
+	if !lr.Leader {
+		t.Fatalf("first leaser is not the leader: %+v", lr)
+	}
+
+	const waiters = 15
+	results := make(chan LeaseResult, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() { results <- s.Lease(nil, action) }()
+	}
+	waitForWaiters(t, s, action, waiters)
+
+	// Leader compiles and publishes: blob first, then the action entry that
+	// wakes everyone.
+	if err := s.Put("fleet", blobKey, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ActionPut(action, blobKey); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < waiters; i++ {
+		r := <-results
+		if !r.Found || r.Blob != blobKey {
+			t.Fatalf("waiter %d got %+v, want the published blob", i, r)
+		}
+	}
+	m := reg.Snapshot()
+	if m[obs.CtrCASCoalesced] != waiters {
+		t.Fatalf("%s = %d, want exactly %d", obs.CtrCASCoalesced, m[obs.CtrCASCoalesced], waiters)
+	}
+	if m[obs.CtrCASPublished] != 1 {
+		t.Fatalf("%s = %d, want exactly 1 (one compile)", obs.CtrCASPublished, m[obs.CtrCASPublished])
+	}
+	// A late leaser after publish is a plain hit, not a coalesce.
+	if r := s.Lease(nil, action); !r.Found || r.Blob != blobKey {
+		t.Fatalf("post-publish lease = %+v, want plain hit", r)
+	}
+	if got := reg.Snapshot()[obs.CtrCASCoalesced]; got != waiters {
+		t.Fatalf("late hit bumped coalesced to %d", got)
+	}
+}
+
+// TestLeaseAbandonWakesWaiters: an abandoning leader releases every waiter
+// with an empty result (compile locally), never a blob.
+func TestLeaseAbandonWakesWaiters(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewServer(NewMemCAS(0), ServerOptions{Metrics: reg})
+	action := Sum([]byte("abandoned action"))
+	if lr := s.Lease(nil, action); !lr.Leader {
+		t.Fatalf("first leaser is not the leader: %+v", lr)
+	}
+	const waiters = 4
+	results := make(chan LeaseResult, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() { results <- s.Lease(nil, action) }()
+	}
+	waitForWaiters(t, s, action, waiters)
+	s.Abandon(action)
+	for i := 0; i < waiters; i++ {
+		if r := <-results; r.Leader || r.Found {
+			t.Fatalf("waiter %d woke with %+v after abandon, want empty (compile locally)", i, r)
+		}
+	}
+	if got := reg.Snapshot()[obs.CtrCASCoalesced]; got != 0 {
+		t.Fatalf("abandon counted %d coalesced fetches", got)
+	}
+	// The flight is gone: the next leaser leads again.
+	if lr := s.Lease(nil, action); !lr.Leader {
+		t.Fatalf("post-abandon leaser is not the leader: %+v", lr)
+	}
+}
+
+// TestLeaseGraceExpiry: a waiter on a dead leader times out with an empty
+// result instead of blocking forever.
+func TestLeaseGraceExpiry(t *testing.T) {
+	s := NewServer(NewMemCAS(0), ServerOptions{LeaseGrace: 20 * time.Millisecond})
+	action := Sum([]byte("slow leader"))
+	if lr := s.Lease(nil, action); !lr.Leader {
+		t.Fatal("first leaser is not the leader")
+	}
+	start := time.Now()
+	r := s.Lease(nil, action)
+	if r.Leader || r.Found {
+		t.Fatalf("waiter on a dead leader got %+v, want empty after grace", r)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("grace expiry took far longer than the configured grace")
+	}
+}
+
+// TestLeaseStaleFlightTakeover: once a flight is older than the grace, the
+// next leaser replaces the dead leader instead of waiting on it.
+func TestLeaseStaleFlightTakeover(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := NewServer(NewMemCAS(0), ServerOptions{
+		LeaseGrace: time.Minute,
+		Now:        func() time.Time { return now },
+	})
+	action := Sum([]byte("stale flight"))
+	if lr := s.Lease(nil, action); !lr.Leader {
+		t.Fatal("first leaser is not the leader")
+	}
+	now = now.Add(2 * time.Minute) // leader has been dead past the grace
+	if lr := s.Lease(nil, action); !lr.Leader {
+		t.Fatalf("leaser after a stale flight got %+v, want leadership takeover", lr)
+	}
+}
+
+// TestLeaseCancel: a cancelled waiter returns empty immediately.
+func TestLeaseCancel(t *testing.T) {
+	s := NewServer(NewMemCAS(0), ServerOptions{LeaseGrace: time.Hour})
+	action := Sum([]byte("cancelled wait"))
+	if lr := s.Lease(nil, action); !lr.Leader {
+		t.Fatal("first leaser is not the leader")
+	}
+	cancel := make(chan struct{})
+	done := make(chan LeaseResult, 1)
+	go func() { done <- s.Lease(cancel, action) }()
+	waitForWaiters(t, s, action, 1)
+	close(cancel)
+	select {
+	case r := <-done:
+		if r.Leader || r.Found {
+			t.Fatalf("cancelled waiter got %+v, want empty", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter did not return")
+	}
+}

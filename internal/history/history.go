@@ -93,6 +93,9 @@ type UnitRecord struct {
 	// Quarantine is the unit's active quarantine reason after this build
 	// ("" when none; see core.Quarantine*).
 	Quarantine string `json:"quarantine,omitempty"`
+	// Remote marks units served from the shared content-addressed cache
+	// (internal/cas): a cache hit fetched and byte-verified over the wire.
+	Remote bool `json:"remote,omitempty"`
 }
 
 // TimelineEvent is one unit's scheduling event in the compact persisted
@@ -188,7 +191,9 @@ type Record struct {
 	LinkNS        int64 `json:"link_ns"`
 	UnitsCompiled int   `json:"units_compiled"`
 	UnitsCached   int   `json:"units_cached"`
-	StateBytes    int   `json:"state_bytes"`
+	// UnitsRemote counts shared-cache hits within UnitsCached.
+	UnitsRemote int `json:"units_remote,omitempty"`
+	StateBytes  int `json:"state_bytes"`
 	// SkipRatePct is this build's registry skip rate ×100 at record time.
 	SkipRatePct float64 `json:"skip_rate_pct"`
 	// FootprintMissed / FootprintRedundant list the units (unit order) whose

@@ -95,6 +95,30 @@ const (
 
 	// Worker-pool counters.
 	CtrWorkerBusyNS = "worker.busy_ns"
+
+	// Shared-cache (internal/cas) counters, emitted by both the builder
+	// (client side) and `minibuild serve` (server side); /metrics on a serve
+	// instance exports the two merged by addition
+	// (docs/ARCHITECTURE.md, docs/OBSERVABILITY.md).
+	//
+	// cas.hit / cas.miss count action lookups that did / did not yield a
+	// verified remote object; their ratio is the shared-cache hit rate.
+	// cas.verify_failed counts blobs or action entries rejected by the
+	// strict byte-verify rule — every one of them is ALSO a miss (a poisoned
+	// blob is never served; the unit recompiles locally).
+	// cas.coalesced counts builds that waited on another client's in-flight
+	// compile of the same action instead of compiling (singleflight).
+	// cas.published counts objects published to the store after an honest
+	// local compile; cas.io_error counts CAS transport/storage failures the
+	// build degraded around (recompiled locally, warned, carried on).
+	CtrCASHits         = "cas.hit"
+	CtrCASMisses       = "cas.miss"
+	CtrCASVerifyFailed = "cas.verify_failed"
+	CtrCASCoalesced    = "cas.coalesced"
+	CtrCASPublished    = "cas.published"
+	CtrCASIOErrors     = "cas.io_error"
+	// cas.evicted counts tenant-namespace LRU evictions on the server.
+	CtrCASEvicted = "cas.evicted"
 )
 
 // Counter is a monotonically updated 64-bit metric. All methods are atomic

@@ -31,6 +31,13 @@ const (
 	// HistBuildWallNS is whole-build wall time (one observation per
 	// successful Build call).
 	HistBuildWallNS = "build.wall_ns"
+	// HistCASFetchNS is the client-side shared-cache fetch latency: action
+	// lookup through verified blob decode, one observation per remote hit
+	// attempt that reached the store (hit or verified miss).
+	HistCASFetchNS = "cas.fetch_ns"
+	// HistCASServeNS is the server-side /cas/ request latency, one
+	// observation per request.
+	HistCASServeNS = "cas.serve_ns"
 )
 
 // Histogram bucket geometry.
@@ -201,6 +208,57 @@ func (r *Registry) HistNames() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Merge returns the sum of two snapshots — sound because every histogram
+// shares the same fixed bucket boundaries (the property the geometry
+// comment above guarantees). Used by `minibuild serve` /metrics to export
+// its builder's and its CAS server's registries as one series set.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	if s.Count == 0 && s.Sum == 0 && len(s.Buckets) == 0 {
+		return o
+	}
+	if o.Count == 0 && o.Sum == 0 && len(o.Buckets) == 0 {
+		return s
+	}
+	out := HistogramSnapshot{
+		Buckets: make([]int64, HistBuckets+1),
+		Sum:     s.Sum + o.Sum,
+		Count:   s.Count + o.Count,
+	}
+	for i := range out.Buckets {
+		if i < len(s.Buckets) {
+			out.Buckets[i] += s.Buckets[i]
+		}
+		if i < len(o.Buckets) {
+			out.Buckets[i] += o.Buckets[i]
+		}
+	}
+	return out
+}
+
+// MergeCounters sums two counter snapshots by name (either may be nil).
+func MergeCounters(a, b map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(a)+len(b))
+	for k, v := range a {
+		out[k] += v
+	}
+	for k, v := range b {
+		out[k] += v
+	}
+	return out
+}
+
+// MergeHistSnapshots sums two histogram-snapshot maps by name.
+func MergeHistSnapshots(a, b map[string]HistogramSnapshot) map[string]HistogramSnapshot {
+	out := make(map[string]HistogramSnapshot, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] = out[k].Merge(v)
+	}
+	return out
 }
 
 // String renders a one-line summary for logs.

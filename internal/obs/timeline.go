@@ -40,6 +40,11 @@ const (
 	// OutcomeError: the unit's compile failed with a diagnostic. The event
 	// still records the time the failing attempt consumed.
 	OutcomeError = "error"
+	// OutcomeRemote: the unit was served from the shared content-addressed
+	// cache (internal/cas) instead of compiling. Remote events are
+	// scheduled — the fetch and verify occupy a worker slot — but carry no
+	// stage split (nothing compiled).
+	OutcomeRemote = "remote"
 )
 
 // UnitEvent is one unit's scheduling record within a build. All times are
