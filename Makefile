@@ -1,7 +1,7 @@
 GO ?= go
 SMOKEDIR ?= .smoke
 
-.PHONY: ci vet build test race fuzz chaos bench bench-baseline bench-matrix profile profile-smoke skip-guard footprint-guard cas-battery smoke
+.PHONY: ci vet build test race fuzz chaos bench bench-baseline bench-matrix profile profile-smoke skip-guard footprint-guard cas-battery net-chaos smoke
 
 # ci is the tier-1 gate: everything must stay green, including the race
 # detector over the worker pool, the observability counters, the
@@ -9,9 +9,11 @@ SMOKEDIR ?= .smoke
 # the example project, the critical-path profiler end-to-end check, the
 # skip-rate guard (a fast stateful history whose measured skip rate must
 # clear the floor), the footprint guard (honest builds must produce
-# zero missed invalidations), and the shared-cache battery (two clients
-# over one CAS must match the stateless oracle at every commit).
-ci: vet build test race chaos smoke profile-smoke skip-guard footprint-guard cas-battery
+# zero missed invalidations), the shared-cache battery (two clients
+# over one CAS must match the stateless oracle at every commit), and the
+# network-adversity battery (every client↔server exchange failed every
+# way must still produce oracle-identical builds).
+ci: vet build test race chaos smoke profile-smoke skip-guard footprint-guard cas-battery net-chaos
 
 vet:
 	$(GO) vet ./...
@@ -60,11 +62,13 @@ bench-baseline:
 # including the decision-provenance counters, the soundness sentinel's
 # overhead (unaudited p=0 vs sampled p=0.05 on the same histories), the
 # dependency-footprint tracing overhead — including the 200+ unit megarepo
-# row — held to a budget, and the shared-cache two-client scenario held to
-# a cross-client hit-rate floor.
+# row — held to a budget, the shared-cache two-client scenario held to a
+# cross-client hit-rate floor, and the degraded-network row (a fully
+# partitioned backend: the breaker must trip and the build fall back to
+# local compiles at bounded cost).
 bench:
 	$(GO) run ./cmd/benchbaseline -audit 0.05 -footprint -max-footprint-overhead 50 \
-		-cas -min-cas-hit-rate 50 -out BENCH_pr9.json
+		-cas -min-cas-hit-rate 50 -out BENCH_pr10.json
 
 # bench-matrix regenerates the committed multi-core latency matrix
 # (docs/PERFORMANCE.md): workers × profile p50/p99 incremental latency,
@@ -116,6 +120,19 @@ footprint-guard:
 # the chaos fault walk over every CAS I/O point.
 cas-battery:
 	$(GO) test -race -timeout 15m -count=1 ./internal/cas
+
+# net-chaos is the network-adversity gate (docs/ROBUSTNESS.md): the
+# partition battery (every recorded client↔server exchange × every fault
+# kind must still yield oracle-identical builds within the deadline
+# budgets), the breaker lifecycle and retry-taxonomy proofs, hedged
+# fetches, crash-restart recovery, and the daemon's slow-loris / body-limit
+# / drain-wakes-leases defenses — all under the race detector.
+net-chaos:
+	$(GO) test -race -timeout 15m -count=1 \
+		-run 'TestPartitionBattery|TestBreaker|TestHTTPCAS|TestFaultTransport|TestServeRestart|TestRecoverTorn|TestExpireStale|TestDrainLeases' \
+		./internal/cas
+	$(GO) test -race -timeout 15m -count=1 \
+		-run 'TestServeSlowLoris|TestServeCASBodyLimit|TestServeDrainWakes' ./cmd/minibuild
 
 # smoke is the flight-recorder end-to-end check: cold build, comment-only
 # edit, incremental rebuild, then gate on the recorded history — regress

@@ -31,6 +31,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"statefulcc/internal/bench"
 	"statefulcc/internal/buildsys"
@@ -129,6 +130,15 @@ type ProfileResult struct {
 	CASVerifyFailed  int64   `json:"cas_verify_failed"`
 	CASFetchP50MS    float64 `json:"cas_fetch_p50_ms,omitempty"`
 	CASFetchP99MS    float64 `json:"cas_fetch_p99_ms,omitempty"`
+	// Degraded-network row (-cas): the same history replayed by a stateful
+	// client whose shared-cache backend refuses every connection. The
+	// breaker must trip and the build must fall back to local compiles;
+	// the overhead prices a full partition relative to the no-CAS stateful
+	// run (docs/ROBUSTNESS.md, "Network adversity").
+	CASDegradedIncrementalMS float64 `json:"cas_degraded_incremental_ms,omitempty"`
+	CASDegradedOverheadPct   float64 `json:"cas_degraded_overhead_pct,omitempty"`
+	CASBreakerTrips          int64   `json:"cas_breaker_trips,omitempty"`
+	CASBreakerFastFails      int64   `json:"cas_breaker_fast_fails,omitempty"`
 }
 
 // Baseline is the committed document.
@@ -368,6 +378,9 @@ func runBaseline(out string, commits, repeats, nprofiles int, audit, minSkip flo
 				return err
 			}
 			minCASMeasured = math.Min(minCASMeasured, pr.CASHitRatePct)
+			if err := runCASDegraded(p, commits, sfIncr, &pr); err != nil {
+				return err
+			}
 		}
 		doc.Profiles = append(doc.Profiles, pr)
 		fmt.Fprintf(os.Stderr, "%-12s stateless %.3fms  stateful %.3fms  speedup %+.2f%%  skip-rate %.1f%%\n",
@@ -385,6 +398,9 @@ func runBaseline(out string, commits, repeats, nprofiles int, audit, minSkip flo
 			fmt.Fprintf(os.Stderr, "%-12s cas hit-rate %.1f%%  remote %d  compiled %d  fetch p50 %.3fms p99 %.3fms  verify-failed %d\n",
 				"", pr.CASHitRatePct, pr.CASRemoteUnits, pr.CASCompiledUnits,
 				pr.CASFetchP50MS, pr.CASFetchP99MS, pr.CASVerifyFailed)
+			fmt.Fprintf(os.Stderr, "%-12s cas partitioned %.3fms  overhead %+.2f%%  breaker trips %d  fast-fails %d\n",
+				"", pr.CASDegradedIncrementalMS, pr.CASDegradedOverheadPct,
+				pr.CASBreakerTrips, pr.CASBreakerFastFails)
 		}
 	}
 	doc.MeanSpeedupPct = round3(speedupSum / float64(len(suite)))
@@ -482,6 +498,59 @@ func runCASScenario(p workload.Profile, commits int, pr *ProfileResult) error {
 	if h, ok := b.Histograms()[obs.HistCASFetchNS]; ok {
 		pr.CASFetchP50MS = round3(float64(h.Quantile(0.50)) / 1e6)
 		pr.CASFetchP99MS = round3(float64(h.Quantile(0.99)) / 1e6)
+	}
+	return nil
+}
+
+// runCASDegraded measures the full-partition degraded mode: a stateful
+// client whose shared-cache backend refuses every connection replays the
+// history. The circuit breaker must trip (after which fetches fast-fail
+// instead of burning retries), the build falls back to local compiles,
+// and the measured overhead relative to the plain stateful run prices the
+// partition.
+func runCASDegraded(p workload.Profile, commits int, sfIncr float64, pr *ProfileResult) error {
+	base := workload.Generate(p)
+	hist := workload.GenerateHistoryStream(base, p.Seed*13, commits,
+		workload.DefaultCommitOptions(), workload.StreamDefault)
+	snaps := append([]project.Snapshot{base}, hist.Commits...)
+
+	dir, err := os.MkdirTemp("", "casbench-degraded-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	ft := cas.NewFaultTransport(nil, cas.WithNetRules(cas.NetRule{Kind: cas.NetRefused}))
+	b, err := buildsys.NewBuilder(buildsys.Options{
+		Mode:     compiler.ModeStateful,
+		StateDir: dir,
+		CAS: cas.NewHTTPCASOpts("http://127.0.0.1:9", "bench-degraded", cas.HTTPOptions{
+			Transport: ft, Backoff: time.Millisecond,
+		}),
+	})
+	if err != nil {
+		return err
+	}
+	var incrNS int64
+	for i, snap := range snaps {
+		start := time.Now()
+		if _, err := b.Build(snap); err != nil {
+			return fmt.Errorf("cas degraded %s: commit %d: %w", p.Name, i, err)
+		}
+		if i > 0 {
+			incrNS += time.Since(start).Nanoseconds()
+		}
+	}
+	if n := len(snaps) - 1; n > 0 {
+		pr.CASDegradedIncrementalMS = round3(float64(incrNS) / float64(n) / 1e6)
+		if sfIncr > 0 {
+			pr.CASDegradedOverheadPct = round3((pr.CASDegradedIncrementalMS/sfIncr - 1) * 100)
+		}
+	}
+	m := b.Metrics()
+	pr.CASBreakerTrips = m[obs.CtrCASBreakerTrips]
+	pr.CASBreakerFastFails = m[obs.CtrCASBreakerOpen]
+	if pr.CASBreakerTrips == 0 {
+		return fmt.Errorf("cas degraded %s: the breaker never tripped against a fully partitioned backend", p.Name)
 	}
 	return nil
 }

@@ -275,5 +275,29 @@ func dashStatus(sb *strings.Builder, rec *history.Record) {
 		fmt.Fprintf(sb, `<tr><td>shared cache verify failures</td><td class="%s">%d</td></tr>`,
 			cls, m[obs.CtrCASVerifyFailed])
 	}
+	if netErr, fastFail := m[obs.CtrCASNetErrors], m[obs.CtrCASBreakerOpen]; netErr+fastFail > 0 {
+		cls = "warn"
+		fmt.Fprintf(sb, `<tr><td>shared cache net errors / breaker fast-fails</td><td class="%s">%d / %d</td></tr>`,
+			cls, netErr, fastFail)
+	}
+	if trips := m[obs.CtrCASBreakerTrips]; trips > 0 {
+		cls = "warn"
+		if m[obs.CtrCASBreakerRecovered] >= trips {
+			cls = "ok" // every trip has recovered: the backend is re-engaged
+		}
+		fmt.Fprintf(sb, `<tr><td>breaker trips / probes / recoveries</td><td class="%s">%d / %d / %d</td></tr>`,
+			cls, trips, m[obs.CtrCASBreakerProbes], m[obs.CtrCASBreakerRecovered])
+	}
+	if hedged := m[obs.CtrCASHedged]; hedged > 0 {
+		fmt.Fprintf(sb, `<tr><td>hedged fetches issued / won</td><td>%d / %d</td></tr>`,
+			hedged, m[obs.CtrCASHedgeWins])
+	}
+	if rec, orph := m[obs.CtrCASRecoveredRefs], m[obs.CtrCASRecoveredOrphans]; rec+orph > 0 {
+		fmt.Fprintf(sb, `<tr><td>restart recovery: refs rebuilt / orphans dropped</td><td>%d / %d</td></tr>`,
+			rec, orph)
+	}
+	if exp := m[obs.CtrCASLeaseExpired]; exp > 0 {
+		fmt.Fprintf(sb, `<tr><td>coalescing leases expired</td><td class="warn">%d</td></tr>`, exp)
+	}
 	sb.WriteString("</table>")
 }

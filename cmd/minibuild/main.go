@@ -127,6 +127,8 @@ func runBuild(args []string) error {
 	enforce := fs.Bool("enforce-footprint", false, "always-correct mode: the traced footprint overrides the declared content hash (implies -footprint)")
 	casURL := fs.String("cas", "", "shared-cache base URL (a `minibuild serve -cas-serve` instance, e.g. http://127.0.0.1:8377): fetch verified objects by content hash and publish local compiles back")
 	casTenant := fs.String("cas-tenant", "", "shared-cache tenant namespace (default \"default\")")
+	casBudget := fs.Duration("cas-budget", 0, "per-fetch shared-cache deadline budget, retries included (default 10s); a stalled or partitioned backend costs at most this per operation before the build compiles locally")
+	casHedge := fs.Duration("cas-hedge", 0, "issue a hedged duplicate shared-cache read if the first has not answered within this duration (0 = off; see docs/ROBUSTNESS.md)")
 	var export obs.CLIExport
 	export.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -169,9 +171,12 @@ func runBuild(args []string) error {
 
 	var casStore cas.Store
 	if *casURL != "" {
-		casStore = cas.NewHTTPCAS(*casURL, *casTenant)
-	} else if *casTenant != "" {
-		return fmt.Errorf("-cas-tenant requires -cas")
+		casStore = cas.NewHTTPCASOpts(*casURL, *casTenant, cas.HTTPOptions{
+			FetchBudget: *casBudget,
+			HedgeAfter:  *casHedge,
+		})
+	} else if *casTenant != "" || *casBudget != 0 || *casHedge != 0 {
+		return fmt.Errorf("-cas-tenant/-cas-budget/-cas-hedge require -cas")
 	}
 
 	builder, err := buildsys.NewBuilder(buildsys.Options{

@@ -67,6 +67,7 @@ func runServe(args []string) error {
 	casServe := fs.Bool("cas-serve", false, "host the shared content-addressed cache under /cas/ (multi-tenant, on-disk under the cache directory; see docs/ARCHITECTURE.md)")
 	casQuota := fs.Int64("cas-quota", 256<<20, "per-tenant shared-cache byte quota (LRU eviction past it; 0 = unbounded)")
 	casGrace := fs.Duration("cas-lease-grace", 5*time.Second, "coalescing lease grace: how long a build waits on another client's in-flight compile of the same unit")
+	casMaxBody := fs.Int64("cas-max-body", 64<<20, "per-request /cas/ upload body limit in bytes (over-limit uploads get 413 and count cas.body_rejected)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,6 +79,7 @@ func runServe(args []string) error {
 		dir: *dir, cache: *cache, mode: *mode,
 		jobs: *jobs, histLimit: *limit, auditRate: *audit,
 		casServe: *casServe, casQuota: *casQuota, casGrace: *casGrace,
+		casMaxBody: *casMaxBody,
 	})
 	if err != nil {
 		return err
@@ -93,14 +95,18 @@ func runServe(args []string) error {
 	return serveLoop(ctx, srv, ln, *interval, os.Stdout)
 }
 
-// newHTTPServer wraps the daemon mux in an http.Server with read and idle
-// timeouts: even a local daemon must not let a stuck or malicious client
-// pin a connection (or a half-sent request header — slowloris) forever.
+// newHTTPServer wraps the daemon mux in an http.Server with read, write,
+// and idle timeouts: even a local daemon must not let a stuck or
+// malicious client pin a connection (or a half-sent request header or
+// body — slowloris) forever. The write timeout comfortably exceeds the
+// lease long-poll grace so coalescing waiters are bounded by their own
+// deadline, not cut off by the transport's.
 func newHTTPServer(h http.Handler) *http.Server {
 	return &http.Server{
 		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}
 }
@@ -136,6 +142,12 @@ func serveLoop(ctx context.Context, srv *buildServer, ln net.Listener, interval 
 			case <-ctx.Done():
 				return
 			case <-t.C:
+				if srv.casSrv != nil {
+					// Lease janitor: reap coalescing flights whose leader died
+					// without publishing or abandoning, so waiters across the
+					// fleet never block past the grace (cas.lease_expired).
+					srv.casSrv.ExpireStaleLeases()
+				}
 				if _, err := srv.pollOnce(buildCtx); err != nil {
 					fmt.Fprintf(os.Stderr, "minibuild serve: %v\n", err)
 				}
@@ -163,6 +175,12 @@ func serveLoop(ctx context.Context, srv *buildServer, ln net.Listener, interval 
 		case <-time.After(srv.drainGrace):
 			buildCancel()
 			<-idle
+		}
+		if srv.casSrv != nil {
+			// Wake every lease long-poll before Shutdown: a waiter blocked on
+			// another client's compile would otherwise hold the graceful drain
+			// open for its whole grace window.
+			srv.casSrv.DrainLeases()
 		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), httpShutdownGrace)
 		defer cancel()
@@ -219,9 +237,10 @@ type serveConfig struct {
 	// the cache directory, with per-tenant quotas and lease-based
 	// coalescing. The resident builder publishes through the same policy
 	// layer in-process (tenant "serve").
-	casServe bool
-	casQuota int64
-	casGrace time.Duration
+	casServe   bool
+	casQuota   int64
+	casGrace   time.Duration
+	casMaxBody int64
 }
 
 // newBuildServer constructs the resident builder with default tuning.
@@ -250,10 +269,13 @@ func newBuildServerCfg(cfg serveConfig) (*buildServer, error) {
 	var casSrv *cas.Server
 	var casStore cas.Store
 	if cfg.casServe {
+		// NewServer over a DiskCAS runs crash-restart recovery here: temp
+		// sweep, ref-marker reload, accounting rebuild (docs/ROBUSTNESS.md).
 		casSrv = cas.NewServer(cas.NewDiskCAS(casDir, nil), cas.ServerOptions{
-			TenantQuota: cfg.casQuota,
-			LeaseGrace:  cfg.casGrace,
-			Metrics:     obs.NewRegistry(),
+			TenantQuota:  cfg.casQuota,
+			LeaseGrace:   cfg.casGrace,
+			MaxBodyBytes: cfg.casMaxBody,
+			Metrics:      obs.NewRegistry(),
 		})
 		// The resident builder shares through the same policy layer,
 		// in-process, under its own tenant namespace.
@@ -416,6 +438,9 @@ func (s *buildServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		out["draining"] = true
 	}
 	s.mu.Unlock()
+	if s.casSrv != nil {
+		out["cas_inflight"] = s.casSrv.InFlight()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(out)
 }

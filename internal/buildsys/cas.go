@@ -76,6 +76,12 @@ func newBuilderCAS(store cas.Store, reg *obs.Registry) *builderCAS {
 	if l, ok := store.(cas.Leaser); ok {
 		cc.leaser = l
 	}
+	// A network-backed store (HTTPCAS) counts its own wire adversity —
+	// retries, hedges, breaker transitions; binding it to the builder's
+	// registry lands those rows in /metrics and the flight recorder.
+	if m, ok := store.(interface{ SetMetrics(*obs.Registry) }); ok {
+		m.SetMetrics(reg)
+	}
 	return cc
 }
 
@@ -132,7 +138,9 @@ func (b *Builder) casFetch(ctx context.Context, fsys vfs.FS, j compileJob) (*out
 			}
 			lr, lerr := cc.leaser.Lease(ctx, action)
 			if lerr != nil {
-				cc.ioErrors.Inc()
+				if !errors.Is(lerr, cas.ErrUnavailable) {
+					cc.ioErrors.Inc()
+				}
 				cc.miss.Inc()
 				b.warnf("cas: unit %s: lease: %v (compiling locally)", j.name, lerr)
 				return nil, nil
@@ -154,6 +162,13 @@ func (b *Builder) casFetch(ctx context.Context, fsys vfs.FS, j compileJob) (*out
 			cc.verifyFailed.Inc()
 			cc.miss.Inc()
 			b.warnf("cas: unit %s: poisoned action entry rejected (recompiling locally)", j.name)
+			return nil, nil
+		case errors.Is(err, cas.ErrUnavailable):
+			// Breaker open: the fast-fail was already charged to
+			// cas.breaker_open by the client — a miss here, not an io_error
+			// (nothing actually touched the wire).
+			cc.miss.Inc()
+			b.warnf("cas: backend unavailable (circuit open; compiling locally)")
 			return nil, nil
 		default:
 			cc.ioErrors.Inc()
@@ -198,6 +213,8 @@ func (b *Builder) casFetchObject(j compileJob, action, blobKey cas.Key) *codegen
 			b.warnf("cas: unit %s: poisoned blob rejected (recompiling locally)", j.name)
 		case errors.Is(err, cas.ErrNotFound):
 			// Action entry outlived its blob (eviction race): plain miss.
+		case errors.Is(err, cas.ErrUnavailable):
+			b.warnf("cas: backend unavailable (circuit open; compiling locally)")
 		default:
 			cc.ioErrors.Inc()
 			b.warnf("cas: unit %s: blob fetch: %v (recompiling locally)", j.name, err)
@@ -276,7 +293,7 @@ func (b *Builder) casPublish(j compileJob, res *compiler.UnitResult, lease *held
 	blob := cas.EncodeBlob(cas.KindObject, action, j.name, cas.EncodeObject(res.Object))
 	key := cas.Sum(blob)
 	if err := cc.store.Put(key, blob); err != nil {
-		if !errors.Is(err, cas.ErrQuota) {
+		if !errors.Is(err, cas.ErrQuota) && !errors.Is(err, cas.ErrUnavailable) {
 			cc.ioErrors.Inc()
 		}
 		b.warnf("cas: unit %s: publish: %v (result not shared)", j.name, err)
@@ -284,7 +301,9 @@ func (b *Builder) casPublish(j compileJob, res *compiler.UnitResult, lease *held
 		return
 	}
 	if err := cc.store.ActionPut(action, key); err != nil {
-		cc.ioErrors.Inc()
+		if !errors.Is(err, cas.ErrUnavailable) {
+			cc.ioErrors.Inc()
+		}
 		b.warnf("cas: unit %s: publish action: %v (result not shared)", j.name, err)
 		lease.abandon()
 		return
@@ -302,14 +321,16 @@ func (b *Builder) casPublish(j compileJob, res *compiler.UnitResult, lease *held
 	sblob := cas.EncodeBlob(cas.KindState, saction, j.name, buf.Bytes())
 	skey := cas.Sum(sblob)
 	if err := cc.store.Put(skey, sblob); err != nil {
-		if !errors.Is(err, cas.ErrQuota) {
+		if !errors.Is(err, cas.ErrQuota) && !errors.Is(err, cas.ErrUnavailable) {
 			cc.ioErrors.Inc()
 		}
 		b.warnf("cas: unit %s: publish state: %v (state not shared)", j.name, err)
 		return
 	}
 	if err := cc.store.ActionPut(saction, skey); err != nil {
-		cc.ioErrors.Inc()
+		if !errors.Is(err, cas.ErrUnavailable) {
+			cc.ioErrors.Inc()
+		}
 		b.warnf("cas: unit %s: publish state action: %v (state not shared)", j.name, err)
 	}
 }

@@ -1,0 +1,251 @@
+package cas
+
+// The per-backend circuit breaker (docs/ROBUSTNESS.md, "Network
+// adversity"). A flaky or dead cache backend must cost a build at most a
+// fast, counted fallback to local compilation — never a retry storm and
+// never a per-unit wait on a connection that will not answer. The state
+// machine is the classic three-state breaker:
+//
+//	closed ──(consecutive failures ≥ FailureThreshold, or the rolling
+//	          window's error rate ≥ RateThreshold)──▶ open
+//	open ──(Cooldown elapsed)──▶ half-open (admits exactly one probe)
+//	half-open ──probe succeeds──▶ closed      (backend re-engaged)
+//	half-open ──probe fails────▶ open         (cooldown re-arms)
+//
+// Only transport-level failures count against the breaker: a 404 or a
+// verify refusal is a healthy backend delivering a verdict. All
+// transitions are counted (cas.breaker_*) and surfaced through /metrics,
+// /dash, and the flight recorder; OnTransition gives tests a
+// deterministic observation point. Time is injectable, so the lifecycle
+// proofs run under a fake clock.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"statefulcc/internal/obs"
+)
+
+// BreakerState is the breaker's position in the state machine.
+type BreakerState int
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String names the state for logs and metrics rows.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// BreakerOptions tunes the state machine; zero values pick the defaults.
+type BreakerOptions struct {
+	// FailureThreshold trips the breaker after this many consecutive
+	// transport failures (default 5).
+	FailureThreshold int
+	// WindowSize is the rolling outcome window the error-rate trip
+	// evaluates over (default 16); the rate only trips on a full window,
+	// so a single early failure cannot open a fresh breaker.
+	WindowSize int
+	// RateThreshold trips the breaker when the full window's failure
+	// fraction reaches it (default 0.5).
+	RateThreshold float64
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe (default 2s).
+	Cooldown time.Duration
+	// Now is the clock (tests inject a fake one); default time.Now.
+	Now func() time.Time
+	// OnTransition observes every state change (called outside the
+	// breaker lock, in transition order).
+	OnTransition func(from, to BreakerState)
+}
+
+// Breaker is the per-backend circuit breaker. All methods are safe for
+// concurrent use and safe on a nil receiver (a nil breaker admits
+// everything), so an unbreakered client costs nothing.
+type Breaker struct {
+	opts BreakerOptions
+
+	mu       sync.Mutex
+	state    BreakerState
+	consec   int    // consecutive transport failures while closed
+	window   []bool // rolling outcomes; true = failure
+	wfilled  int
+	wpos     int
+	wfails   int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+
+	trips, probes, recovered *obs.Counter
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(opts BreakerOptions) *Breaker {
+	if opts.FailureThreshold <= 0 {
+		opts.FailureThreshold = 5
+	}
+	if opts.WindowSize <= 0 {
+		opts.WindowSize = 16
+	}
+	if opts.RateThreshold <= 0 {
+		opts.RateThreshold = 0.5
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = 2 * time.Second
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Breaker{opts: opts, window: make([]bool, opts.WindowSize)}
+}
+
+// SetMetrics binds the breaker's transition counters to a registry (the
+// builder's, so breaker activity lands in /metrics and the flight
+// recorder). Call before concurrent use.
+func (b *Breaker) SetMetrics(reg *obs.Registry) {
+	if b == nil || reg == nil {
+		return
+	}
+	b.trips = reg.Counter(obs.CtrCASBreakerTrips)
+	b.probes = reg.Counter(obs.CtrCASBreakerProbes)
+	b.recovered = reg.Counter(obs.CtrCASBreakerRecovered)
+}
+
+// State reports the current state (BreakerClosed on nil).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow admits or fast-fails one request. A nil error means proceed (and
+// the caller must Report the outcome); ErrUnavailable means the breaker
+// is open — fail fast, compile locally, and charge cas.breaker_open.
+// While open, the first Allow after the cooldown transitions to
+// half-open and is admitted as the single probe; every other request
+// keeps fast-failing until the probe reports.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	switch b.state {
+	case BreakerClosed:
+		b.mu.Unlock()
+		return nil
+	case BreakerOpen:
+		if b.opts.Now().Sub(b.openedAt) < b.opts.Cooldown {
+			b.mu.Unlock()
+			return fmt.Errorf("circuit open: %w", ErrUnavailable)
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		b.probes.Inc()
+		b.mu.Unlock()
+		b.notify(BreakerOpen, BreakerHalfOpen)
+		return nil
+	default: // half-open
+		if b.probing {
+			b.mu.Unlock()
+			return fmt.Errorf("circuit half-open, probe in flight: %w", ErrUnavailable)
+		}
+		// A previous probe settled without transitioning (impossible in
+		// the current machine, but admit another probe rather than wedge).
+		b.probing = true
+		b.probes.Inc()
+		b.mu.Unlock()
+		return nil
+	}
+}
+
+// Report settles one admitted request: failure true means a
+// transport-level failure (connection error, 5xx, blown deadline), false
+// a healthy exchange — including service verdicts like 404.
+func (b *Breaker) Report(failure bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probing = false
+		if failure {
+			b.state = BreakerOpen
+			b.openedAt = b.opts.Now()
+			b.trips.Inc()
+			b.mu.Unlock()
+			b.notify(BreakerHalfOpen, BreakerOpen)
+			return
+		}
+		b.state = BreakerClosed
+		b.consec = 0
+		b.resetWindowLocked()
+		b.recovered.Inc()
+		b.mu.Unlock()
+		b.notify(BreakerHalfOpen, BreakerClosed)
+		return
+	case BreakerClosed:
+		b.observeLocked(failure)
+		if failure {
+			b.consec++
+		} else {
+			b.consec = 0
+		}
+		if b.consec >= b.opts.FailureThreshold ||
+			(b.wfilled == len(b.window) &&
+				float64(b.wfails)/float64(len(b.window)) >= b.opts.RateThreshold) {
+			b.state = BreakerOpen
+			b.openedAt = b.opts.Now()
+			b.trips.Inc()
+			b.mu.Unlock()
+			b.notify(BreakerClosed, BreakerOpen)
+			return
+		}
+	case BreakerOpen:
+		// A straggler admitted before the trip settled late; nothing to
+		// update — the cooldown owns recovery now.
+	}
+	b.mu.Unlock()
+}
+
+// observeLocked folds one outcome into the rolling window.
+func (b *Breaker) observeLocked(failure bool) {
+	if b.wfilled == len(b.window) && b.window[b.wpos] {
+		b.wfails--
+	}
+	b.window[b.wpos] = failure
+	if failure {
+		b.wfails++
+	}
+	b.wpos = (b.wpos + 1) % len(b.window)
+	if b.wfilled < len(b.window) {
+		b.wfilled++
+	}
+}
+
+func (b *Breaker) resetWindowLocked() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.wfilled, b.wpos, b.wfails = 0, 0, 0
+}
+
+func (b *Breaker) notify(from, to BreakerState) {
+	if b.opts.OnTransition != nil {
+		b.opts.OnTransition(from, to)
+	}
+}

@@ -1,0 +1,219 @@
+package cas_test
+
+// Circuit-breaker state-machine proofs, all under an injected clock so
+// every transition is deterministic: consecutive-failure and windowed
+// error-rate trips, cooldown-gated half-open probes (exactly one in
+// flight), probe-driven recovery and re-opening, and the transition
+// counters the dashboards read.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"statefulcc/internal/cas"
+	"statefulcc/internal/obs"
+)
+
+// The tests reuse quota_test.go's fakeClock as the injected time source.
+
+// transitionLog records breaker transitions in order.
+type transitionLog struct {
+	mu  sync.Mutex
+	log []string
+}
+
+func (l *transitionLog) hook(from, to cas.BreakerState) {
+	l.mu.Lock()
+	l.log = append(l.log, from.String()+"->"+to.String())
+	l.mu.Unlock()
+}
+
+func (l *transitionLog) snapshot() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.log...)
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	clock := newFakeClock()
+	var tl transitionLog
+	reg := obs.NewRegistry()
+	b := cas.NewBreaker(cas.BreakerOptions{
+		FailureThreshold: 3,
+		Cooldown:         time.Second,
+		Now:              clock.Now,
+		OnTransition:     tl.hook,
+	})
+	b.SetMetrics(reg)
+
+	// Closed: admits everything; failures below the threshold stay closed.
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker refused request %d: %v", i, err)
+		}
+		b.Report(true)
+	}
+	if got := b.State(); got != cas.BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", got)
+	}
+
+	// Third consecutive failure trips it.
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Report(true)
+	if got := b.State(); got != cas.BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", got)
+	}
+	if err := b.Allow(); !errors.Is(err, cas.ErrUnavailable) {
+		t.Fatalf("open breaker admitted a request (err=%v)", err)
+	}
+
+	// Cooldown elapses: exactly one probe is admitted; concurrent requests
+	// keep fast-failing until the probe settles.
+	clock.Advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("post-cooldown probe refused: %v", err)
+	}
+	if got := b.State(); got != cas.BreakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", got)
+	}
+	if err := b.Allow(); !errors.Is(err, cas.ErrUnavailable) {
+		t.Fatalf("second request admitted while probe in flight (err=%v)", err)
+	}
+
+	// Probe succeeds: recovered, closed, counters settled.
+	b.Report(false)
+	if got := b.State(); got != cas.BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("recovered breaker refused a request: %v", err)
+	}
+	b.Report(false)
+
+	want := []string{"closed->open", "open->half-open", "half-open->closed"}
+	if got := tl.snapshot(); !equalStrings(got, want) {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+	m := reg.Snapshot()
+	if m[obs.CtrCASBreakerTrips] != 1 || m[obs.CtrCASBreakerProbes] != 1 || m[obs.CtrCASBreakerRecovered] != 1 {
+		t.Fatalf("counters trips/probes/recovered = %d/%d/%d, want 1/1/1",
+			m[obs.CtrCASBreakerTrips], m[obs.CtrCASBreakerProbes], m[obs.CtrCASBreakerRecovered])
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clock := newFakeClock()
+	var tl transitionLog
+	reg := obs.NewRegistry()
+	b := cas.NewBreaker(cas.BreakerOptions{
+		FailureThreshold: 2,
+		Cooldown:         time.Second,
+		Now:              clock.Now,
+		OnTransition:     tl.hook,
+	})
+	b.SetMetrics(reg)
+
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Report(true)
+	}
+	clock.Advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	b.Report(true) // probe fails: back to open, cooldown re-arms
+	if got := b.State(); got != cas.BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	if err := b.Allow(); !errors.Is(err, cas.ErrUnavailable) {
+		t.Fatal("re-opened breaker admitted a request before the new cooldown")
+	}
+
+	// The next cooldown admits another probe; success recovers.
+	clock.Advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	b.Report(false)
+	if got := b.State(); got != cas.BreakerClosed {
+		t.Fatalf("state after recovery = %v, want closed", got)
+	}
+	want := []string{"closed->open", "open->half-open", "half-open->open", "open->half-open", "half-open->closed"}
+	if got := tl.snapshot(); !equalStrings(got, want) {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+	m := reg.Snapshot()
+	if m[obs.CtrCASBreakerTrips] != 2 || m[obs.CtrCASBreakerProbes] != 2 || m[obs.CtrCASBreakerRecovered] != 1 {
+		t.Fatalf("counters trips/probes/recovered = %d/%d/%d, want 2/2/1",
+			m[obs.CtrCASBreakerTrips], m[obs.CtrCASBreakerProbes], m[obs.CtrCASBreakerRecovered])
+	}
+}
+
+// TestBreakerRateTrip proves the windowed error-rate trip: failures that
+// never run 4 consecutive still open the breaker once the full window's
+// failure fraction reaches the threshold.
+func TestBreakerRateTrip(t *testing.T) {
+	clock := newFakeClock()
+	b := cas.NewBreaker(cas.BreakerOptions{
+		FailureThreshold: 100, // out of reach: only the rate can trip
+		WindowSize:       8,
+		RateThreshold:    0.5,
+		Now:              clock.Now,
+	})
+	// Alternate failure/success: never two consecutive failures, but the
+	// full window holds 4/8 = 50% failures on the 8th report.
+	for i := 0; i < 8; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("request %d refused before the window filled: %v", i, err)
+		}
+		b.Report(i%2 == 0)
+	}
+	if got := b.State(); got != cas.BreakerOpen {
+		t.Fatalf("state after 50%% windowed failures = %v, want open", got)
+	}
+}
+
+// TestBreakerRateNeedsFullWindow: a young breaker with one early failure
+// must not trip on rate (1/1 = 100% but the window is not full).
+func TestBreakerRateNeedsFullWindow(t *testing.T) {
+	b := cas.NewBreaker(cas.BreakerOptions{FailureThreshold: 100, WindowSize: 8, Now: newFakeClock().Now})
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Report(true)
+	if got := b.State(); got != cas.BreakerClosed {
+		t.Fatalf("one failure on an unfilled window tripped the breaker (state %v)", got)
+	}
+}
+
+// TestBreakerNilSafe: a nil breaker admits everything (the NoBreaker
+// configuration costs no branches at call sites).
+func TestBreakerNilSafe(t *testing.T) {
+	var b *cas.Breaker
+	if err := b.Allow(); err != nil {
+		t.Fatalf("nil breaker refused: %v", err)
+	}
+	b.Report(true)
+	b.SetMetrics(obs.NewRegistry())
+	if got := b.State(); got != cas.BreakerClosed {
+		t.Fatalf("nil breaker state = %v, want closed", got)
+	}
+}

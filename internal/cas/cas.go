@@ -166,6 +166,12 @@ var (
 	// ErrQuota: the write was refused because it cannot fit the namespace's
 	// byte quota even after eviction.
 	ErrQuota = errors.New("cas: quota exceeded")
+	// ErrUnavailable: the backend is temporarily unreachable and the client
+	// declined to wait — the circuit breaker is open, or every admitted
+	// attempt burned out. Callers MUST treat this as a miss (compile
+	// locally) and never as a retryable condition: the breaker owns
+	// recovery via its half-open probes.
+	ErrUnavailable = errors.New("cas: backend unavailable")
 )
 
 // Store is the pluggable backend interface. All implementations are safe

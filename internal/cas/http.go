@@ -3,40 +3,180 @@ package cas
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"time"
+
+	"statefulcc/internal/obs"
 )
 
 // HTTPCAS is the client for a serve instance's /cas/ endpoints. It
-// implements Store plus Leaser (coalescing), retries transient failures
-// (transport errors and 5xx) with exponential backoff, and — like every
-// backend — verifies blob bytes against their key on every read, so a
-// server (or a middlebox) handing back wrong bytes is a counted miss,
-// never a wrong hit.
+// implements Store plus Leaser (coalescing) and — like every backend —
+// verifies blob bytes against their key on every read, so a server (or a
+// middlebox) handing back wrong bytes is a counted miss, never a wrong
+// hit.
+//
+// The network-adversity contract (docs/ROBUSTNESS.md):
+//
+//   - Every operation runs under a deadline budget (FetchBudget for
+//     blob/action traffic, LeaseBudget for coalescing long-polls), so an
+//     indefinitely stalled connection costs at most the budget, never a
+//     hung build.
+//   - Retries follow a strict taxonomy: only transport failures, mid-body
+//     read errors, 5xx responses, and blown deadlines re-send. Every
+//     service verdict — 404 miss, 410 verify refusal, 507 quota, any
+//     other 4xx, and locally detected verify/malformed payloads — is
+//     final on the first answer and never burns the retry budget.
+//   - A per-backend circuit breaker fronts every wire attempt: enough
+//     transport failures open it, open requests fast-fail with
+//     ErrUnavailable (cas.breaker_open) instead of waiting on a dead
+//     backend, and half-open probes re-engage a recovered server without
+//     operator action.
+//   - Optional hedged seconds (HedgeAfter > 0) race a duplicate GET/HEAD
+//     against tail-latency spikes; the first response wins and the loser
+//     is cancelled. Hedging is restricted to idempotent reads.
 type HTTPCAS struct {
 	base    string // "http://host:port", no trailing slash
 	tenant  string
 	client  *http.Client
-	retries int           // attempts beyond the first
-	backoff time.Duration // first retry delay, doubling
+	opts    HTTPOptions
+	breaker *Breaker
+
+	netErrors, retriesCtr, hedged, hedgeWins, breakerOpen *obs.Counter
+	histNet                                               *obs.Histogram
 }
 
+// HTTPOptions tunes the client; zero values pick the defaults.
+type HTTPOptions struct {
+	// Transport is the http.RoundTripper to use (tests wrap it in a
+	// FaultTransport); nil means http.DefaultTransport.
+	Transport http.RoundTripper
+	// Retries is the number of re-sends beyond the first attempt for
+	// retryable failures (default 2).
+	Retries int
+	// Backoff is the first retry delay, doubling per attempt (default
+	// 25ms).
+	Backoff time.Duration
+	// FetchBudget bounds one blob/action operation end to end, retries
+	// included (default 10s). A stalled connection costs at most this.
+	FetchBudget time.Duration
+	// LeaseBudget bounds one coalescing long-poll (default 30s). It must
+	// exceed the server's lease grace, or waiters would give up before
+	// the server re-elects a leader.
+	LeaseBudget time.Duration
+	// HedgeAfter, when positive, issues a hedged duplicate GET/HEAD if
+	// the first attempt has not answered within it (default off).
+	HedgeAfter time.Duration
+	// NoBreaker disables the circuit breaker (tests that want raw retry
+	// behaviour).
+	NoBreaker bool
+	// Breaker tunes the circuit breaker (fake clocks, transition hooks).
+	Breaker BreakerOptions
+}
+
+const (
+	defaultFetchBudget = 10 * time.Second
+	defaultLeaseBudget = 30 * time.Second
+)
+
 // NewHTTPCAS builds a client for base (e.g. "http://127.0.0.1:7777") under
-// the given tenant namespace ("" means "default").
+// the given tenant namespace ("" means "default") with default options —
+// breaker on, budgets on, hedging off.
 func NewHTTPCAS(base, tenant string) *HTTPCAS {
+	return NewHTTPCASOpts(base, tenant, HTTPOptions{})
+}
+
+// NewHTTPCASOpts is NewHTTPCAS with explicit options.
+func NewHTTPCASOpts(base, tenant string, opts HTTPOptions) *HTTPCAS {
 	if tenant == "" {
 		tenant = "default"
 	}
-	return &HTTPCAS{
-		base:    strings.TrimRight(base, "/"),
-		tenant:  tenant,
-		client:  &http.Client{Timeout: 30 * time.Second},
-		retries: 2,
-		backoff: 25 * time.Millisecond,
+	if opts.Retries <= 0 {
+		opts.Retries = 2
 	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 25 * time.Millisecond
+	}
+	if opts.FetchBudget <= 0 {
+		opts.FetchBudget = defaultFetchBudget
+	}
+	if opts.LeaseBudget <= 0 {
+		opts.LeaseBudget = defaultLeaseBudget
+	}
+	h := &HTTPCAS{
+		base:   strings.TrimRight(base, "/"),
+		tenant: tenant,
+		client: &http.Client{Transport: opts.Transport},
+		opts:   opts,
+	}
+	if !opts.NoBreaker {
+		h.breaker = NewBreaker(opts.Breaker)
+	}
+	return h
+}
+
+// SetMetrics binds the client's counters and the per-attempt latency
+// histogram to a registry (the builder detects this interface and passes
+// its own, so client-side network adversity lands in /metrics and the
+// flight recorder). Call before concurrent use.
+func (h *HTTPCAS) SetMetrics(reg *obs.Registry) {
+	if h == nil || reg == nil {
+		return
+	}
+	h.netErrors = reg.Counter(obs.CtrCASNetErrors)
+	h.retriesCtr = reg.Counter(obs.CtrCASRetries)
+	h.hedged = reg.Counter(obs.CtrCASHedged)
+	h.hedgeWins = reg.Counter(obs.CtrCASHedgeWins)
+	h.breakerOpen = reg.Counter(obs.CtrCASBreakerOpen)
+	h.histNet = reg.Histogram(obs.HistCASNetNS)
+	h.breaker.SetMetrics(reg)
+}
+
+// BreakerState reports the circuit breaker's state (BreakerClosed when
+// the breaker is disabled).
+func (h *HTTPCAS) BreakerState() BreakerState { return h.breaker.State() }
+
+// Retryable reports whether err is worth a re-send under the strict
+// taxonomy: transport failures, mid-body read errors, 5xx responses, and
+// blown deadlines are; every service verdict (the package sentinels, any
+// 4xx status) and caller cancellation are final.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrUnavailable) || errors.Is(err, ErrNotFound) ||
+		errors.Is(err, ErrVerify) || errors.Is(err, ErrQuota) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	var se *statusErr
+	if errors.As(err, &se) {
+		return se.code >= 500
+	}
+	return true
+}
+
+// isNetFailure reports whether err is a transport-level failure — the
+// kind that counts against the circuit breaker and cas.net_error. Service
+// verdicts (any status below 500) and caller cancellation are not
+// failures: the backend answered, or the caller walked away.
+func isNetFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	var se *statusErr
+	if errors.As(err, &se) {
+		return se.code >= 500
+	}
+	return true
 }
 
 // statusErr carries a non-2xx wire status so do() can map it exactly once.
@@ -49,46 +189,131 @@ func (e *statusErr) Error() string {
 	return fmt.Sprintf("cas: http %d: %s", e.code, strings.TrimSpace(e.body))
 }
 
-// do issues one request (re-issuing on transient failure) and returns the
-// response body. The request body is a byte slice so retries can replay it.
+// do issues one operation under its deadline budget, re-sending only
+// retryable failures with doubling backoff. The request body is a byte
+// slice so retries can replay it.
 func (h *HTTPCAS) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	budget := h.opts.FetchBudget
+	if strings.HasPrefix(path, "/cas/lease/") && method == http.MethodPost {
+		budget = h.opts.LeaseBudget
+	}
+	bctx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		var rdr io.Reader
-		if body != nil {
-			rdr = bytes.NewReader(body)
-		}
-		req, err := http.NewRequestWithContext(ctx, method, h.base+path, rdr)
-		if err != nil {
-			return nil, err
-		}
-		req.Header.Set(TenantHeader, h.tenant)
-		resp, err := h.client.Do(req)
+		data, err := h.roundTrip(bctx, method, path, body, attempt == 0)
 		if err == nil {
-			data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxBlobWire+1))
-			resp.Body.Close()
-			if rerr != nil {
-				err = rerr
-			} else if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-				return data, nil
-			} else {
-				serr := &statusErr{code: resp.StatusCode, body: string(data)}
-				if resp.StatusCode < 500 {
-					return nil, serr // 4xx is a verdict, not a transient
-				}
-				err = serr
-			}
+			return data, nil
 		}
 		lastErr = err
-		if attempt >= h.retries || ctx.Err() != nil {
+		if !Retryable(err) || attempt >= h.opts.Retries || bctx.Err() != nil {
 			return nil, lastErr
 		}
+		h.retriesCtr.Inc()
 		select {
-		case <-time.After(h.backoff << attempt):
-		case <-ctx.Done():
+		case <-time.After(h.opts.Backoff << attempt):
+		case <-bctx.Done():
 			return nil, lastErr
 		}
 	}
+}
+
+// roundTrip is one breaker-gated exchange (possibly hedged). The breaker
+// sees exactly one verdict per admitted exchange.
+func (h *HTTPCAS) roundTrip(ctx context.Context, method, path string, body []byte, first bool) ([]byte, error) {
+	if err := h.breaker.Allow(); err != nil {
+		h.breakerOpen.Inc()
+		return nil, err
+	}
+	data, err := h.exchange(ctx, method, path, body, first)
+	h.breaker.Report(isNetFailure(err))
+	return data, err
+}
+
+// exchange runs the wire attempt, racing a hedged duplicate for
+// idempotent reads when configured. Hedging only applies to the first
+// attempt of an operation: a retry already is a second request.
+func (h *HTTPCAS) exchange(ctx context.Context, method, path string, body []byte, first bool) ([]byte, error) {
+	hedgeable := first && h.opts.HedgeAfter > 0 &&
+		(method == http.MethodGet || method == http.MethodHead)
+	if !hedgeable {
+		return h.attempt(ctx, method, path, body)
+	}
+	type result struct {
+		data  []byte
+		err   error
+		hedge bool
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan result, 2)
+	go func() {
+		d, e := h.attempt(actx, method, path, body)
+		ch <- result{d, e, false}
+	}()
+	timer := time.NewTimer(h.opts.HedgeAfter)
+	defer timer.Stop()
+	pending := 1
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			if r.err == nil {
+				if r.hedge {
+					h.hedgeWins.Inc()
+				}
+				cancel() // the loser's attempt dies with context.Canceled
+				return r.data, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if pending--; pending == 0 {
+				return nil, firstErr
+			}
+		case <-timer.C:
+			pending++
+			h.hedged.Inc()
+			go func() {
+				d, e := h.attempt(actx, method, path, body)
+				ch <- result{d, e, true}
+			}()
+		}
+	}
+}
+
+// attempt is one raw wire attempt: build, send, fully read, classify. It
+// observes cas.net_ns and charges cas.net_error for transport failures.
+func (h *HTTPCAS) attempt(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, h.base+path, rdr)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(TenantHeader, h.tenant)
+	start := time.Now()
+	resp, err := h.client.Do(req)
+	var data []byte
+	if err == nil {
+		var rerr error
+		data, rerr = io.ReadAll(io.LimitReader(resp.Body, maxBlobWire+1))
+		resp.Body.Close()
+		if rerr != nil {
+			err = fmt.Errorf("cas: %s %s: read body: %w", method, path, rerr)
+			data = nil
+		} else if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+			err = &statusErr{code: resp.StatusCode, body: string(data)}
+			data = nil
+		}
+	}
+	h.histNet.Observe(time.Since(start).Nanoseconds())
+	if isNetFailure(err) {
+		h.netErrors.Inc()
+	}
+	return data, err
 }
 
 // mapStatus folds a wire status error into the package sentinels.
@@ -133,7 +358,7 @@ func (h *HTTPCAS) Has(key Key) (bool, error) {
 	if err == nil {
 		return true, nil
 	}
-	if err = mapStatus(err); err == ErrNotFound {
+	if err = mapStatus(err); errors.Is(err, ErrNotFound) {
 		return false, nil
 	}
 	return false, err
@@ -163,7 +388,8 @@ func (h *HTTPCAS) ActionPut(action, blob Key) error {
 	return mapStatus(err)
 }
 
-// Lease long-polls the server's coalescing endpoint (Leaser).
+// Lease long-polls the server's coalescing endpoint (Leaser). The
+// LeaseBudget bounds the poll; ctx cancellation wins if it comes first.
 func (h *HTTPCAS) Lease(ctx context.Context, action Key) (LeaseResult, error) {
 	data, err := h.do(ctx, http.MethodPost, "/cas/lease/"+action.String(), nil)
 	if err != nil {

@@ -1,0 +1,393 @@
+package cas
+
+// FaultTransport: the wire-level sibling of vfs.FaultFS. It wraps any
+// http.RoundTripper, records every client↔server exchange in a call log,
+// and injects deterministic network faults according to explicit rules
+// and/or a seeded probabilistic schedule. Determinism is the design
+// center, exactly as at the vfs seam: an exchange is identified by
+// (method, URL path, nth occurrence of that pair) — a key that does not
+// depend on goroutine interleaving across distinct paths — so a fault
+// schedule replays exactly under the build system's worker pool, and the
+// partition battery can enumerate a clean run's exchanges and then fail
+// each one every way (docs/ROBUSTNESS.md, "Network adversity").
+//
+// Every response body is buffered inside RoundTrip (the /cas/ wire
+// protocol's bodies are small and always read to completion), which is
+// what lets the body faults — mid-body hangup, silent truncation, bit
+// flips — mutate real bytes instead of simulating them.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"path"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrNetInjected is the base error of every injected connection-level
+// network fault (refused, stall, hangup).
+var ErrNetInjected = errors.New("cas: injected network fault")
+
+// NetFault selects how a firing rule breaks the exchange.
+type NetFault int
+
+const (
+	// NetRefused fails the exchange before any bytes move, as a refused
+	// TCP connection would.
+	NetRefused NetFault = iota
+	// NetHangup delivers half the response body, then fails the read —
+	// the peer dropped the connection mid-body.
+	NetHangup
+	// NetLatency delays the exchange by the transport's Latency before
+	// letting it proceed normally — a tail-latency spike, not a failure.
+	NetLatency
+	// NetStall blocks the exchange until the request's context is done —
+	// an indefinite hang only a deadline budget can bound.
+	NetStall
+	// NetTruncate delivers a prefix of the response body with a clean EOF
+	// — a middlebox that rewrote the framing; nothing at the transport
+	// layer signals the loss, so only content verification catches it.
+	NetTruncate
+	// NetBitFlip flips one byte of the response body — corruption in
+	// flight; again only content verification catches it.
+	NetBitFlip
+	// Net5xx replaces the response with a synthesized 503 without
+	// touching the server.
+	Net5xx
+)
+
+// NetFaultKinds enumerates every injectable kind, in battery order.
+var NetFaultKinds = []NetFault{NetRefused, NetHangup, NetLatency, NetStall, NetTruncate, NetBitFlip, Net5xx}
+
+// String names the kind for logs and subtest labels.
+func (k NetFault) String() string {
+	switch k {
+	case NetRefused:
+		return "refused"
+	case NetHangup:
+		return "hangup"
+	case NetLatency:
+		return "latency"
+	case NetStall:
+		return "stall"
+	case NetTruncate:
+		return "truncate"
+	case NetBitFlip:
+		return "bitflip"
+	case Net5xx:
+		return "5xx"
+	}
+	return fmt.Sprintf("netfault(%d)", int(k))
+}
+
+// BodyFault reports whether the kind mutates response bytes (and so can
+// only fire on an exchange whose clean response carried a body).
+func (k NetFault) BodyFault() bool {
+	return k == NetHangup || k == NetTruncate || k == NetBitFlip
+}
+
+// NetCall is one logged exchange. N is the 1-based occurrence index of
+// the (Method, Path) pair — the replay-stable identity of the exchange.
+// Status and RespBytes describe the clean response when one was produced
+// (0/0 for exchanges that failed before a response).
+type NetCall struct {
+	Method    string
+	Path      string
+	N         int
+	Status    int
+	RespBytes int
+}
+
+// String renders the exchange as its subtest-friendly identity.
+func (c NetCall) String() string { return fmt.Sprintf("%s %s#%d", c.Method, c.Path, c.N) }
+
+// NetRule selects exchanges to fail. An empty Method or Path matches
+// everything (Path is a path.Match glob, also tried against the final
+// path element); Nth 0 fires on every matching exchange, Nth n > 0 only
+// from the nth matching exchange on, for Count consecutive matches
+// (Count <= 0 means one).
+type NetRule struct {
+	Method string
+	Path   string
+	Nth    int
+	Count  int
+	Kind   NetFault
+}
+
+// NetSchedule injects faults probabilistically but reproducibly: whether
+// an exchange faults, and how, is a pure function of (Seed, method, path,
+// occurrence index) — the same seed over the same workload injects the
+// same faults regardless of goroutine interleaving.
+type NetSchedule struct {
+	Seed uint64
+	// Prob is the per-exchange injection probability in [0, 1].
+	Prob float64
+	// Kinds bounds the fault kinds drawn (empty means all of
+	// NetFaultKinds); the choice comes from the same hash, so it replays.
+	Kinds []NetFault
+}
+
+// decide returns whether the exchange faults and how.
+func (s *NetSchedule) decide(method, urlPath string, n int) (bool, NetFault) {
+	if s == nil || s.Prob <= 0 {
+		return false, NetRefused
+	}
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	mix := func(b byte) { h ^= uint64(b); h *= 1099511628211 }
+	for i := 0; i < 8; i++ {
+		mix(byte(s.Seed >> (8 * i)))
+	}
+	for i := 0; i < len(method); i++ {
+		mix(method[i])
+	}
+	mix(0)
+	for i := 0; i < len(urlPath); i++ {
+		mix(urlPath[i])
+	}
+	mix(0)
+	for i := 0; i < 8; i++ {
+		mix(byte(uint64(n) >> (8 * i)))
+	}
+	if float64(h&0xFFFFFFFF)/float64(1<<32) >= s.Prob {
+		return false, NetRefused
+	}
+	kinds := s.Kinds
+	if len(kinds) == 0 {
+		kinds = NetFaultKinds
+	}
+	return true, kinds[(h>>33)%uint64(len(kinds))]
+}
+
+// FaultTransport wraps an http.RoundTripper with exchange logging and
+// deterministic fault injection. With no rules and no schedule it is a
+// pure recorder — the partition battery uses that mode to enumerate the
+// exchange space. Safe for concurrent use.
+type FaultTransport struct {
+	inner   http.RoundTripper
+	latency time.Duration
+
+	mu       sync.Mutex
+	rules    []NetRule
+	matches  []int // per-rule matching-exchange count (drives Nth/Count)
+	sched    *NetSchedule
+	keyCount map[string]int // method+path → occurrences
+	calls    []NetCall
+	injected []NetCall
+}
+
+// NetOption configures a FaultTransport.
+type NetOption func(*FaultTransport)
+
+// WithNetRules installs explicit fault rules.
+func WithNetRules(rules ...NetRule) NetOption {
+	return func(t *FaultTransport) { t.rules = append(t.rules, rules...) }
+}
+
+// WithNetSchedule installs a seeded probabilistic schedule.
+func WithNetSchedule(s *NetSchedule) NetOption {
+	return func(t *FaultTransport) { t.sched = s }
+}
+
+// WithNetLatency sets the delay a NetLatency fault injects (default
+// 50ms).
+func WithNetLatency(d time.Duration) NetOption {
+	return func(t *FaultTransport) { t.latency = d }
+}
+
+// NewFaultTransport wraps inner (nil means http.DefaultTransport).
+func NewFaultTransport(inner http.RoundTripper, opts ...NetOption) *FaultTransport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	t := &FaultTransport{inner: inner, latency: 50 * time.Millisecond, keyCount: make(map[string]int)}
+	for _, o := range opts {
+		o(t)
+	}
+	t.matches = make([]int, len(t.rules))
+	return t
+}
+
+// Calls returns a copy of the full exchange log, in observation order.
+func (t *FaultTransport) Calls() []NetCall {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]NetCall(nil), t.calls...)
+}
+
+// Injected returns the exchanges that actually had a fault applied (a
+// body fault on a bodyless response never applies and is not counted).
+func (t *FaultTransport) Injected() []NetCall {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]NetCall(nil), t.injected...)
+}
+
+// begin logs the exchange and decides its fate; idx is the log slot to
+// fill in with the clean response's shape later.
+func (t *FaultTransport) begin(method, urlPath string) (call NetCall, idx int, kind NetFault, fire bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := method + " " + urlPath
+	t.keyCount[key]++
+	call = NetCall{Method: method, Path: urlPath, N: t.keyCount[key]}
+	idx = len(t.calls)
+	t.calls = append(t.calls, call)
+
+	for i := range t.rules {
+		r := &t.rules[i]
+		if !netRuleMatches(r, call) {
+			continue
+		}
+		t.matches[i]++
+		if r.Nth != 0 {
+			count := r.Count
+			if count <= 0 {
+				count = 1
+			}
+			if t.matches[i] < r.Nth || t.matches[i] >= r.Nth+count {
+				continue
+			}
+		}
+		return call, idx, r.Kind, true
+	}
+	if ok, k := t.sched.decide(method, urlPath, call.N); ok {
+		return call, idx, k, true
+	}
+	return call, idx, NetRefused, false
+}
+
+// netRuleMatches reports whether a rule selects an exchange (ignoring
+// Nth/Count).
+func netRuleMatches(r *NetRule, c NetCall) bool {
+	if r.Method != "" && r.Method != c.Method {
+		return false
+	}
+	if r.Path == "" {
+		return true
+	}
+	if ok, _ := path.Match(r.Path, c.Path); ok {
+		return true
+	}
+	if strings.ContainsRune(r.Path, '/') {
+		return false
+	}
+	ok, _ := path.Match(r.Path, path.Base(c.Path))
+	return ok
+}
+
+// note records the clean response shape for log slot idx.
+func (t *FaultTransport) note(idx, status, respBytes int) {
+	t.mu.Lock()
+	t.calls[idx].Status = status
+	t.calls[idx].RespBytes = respBytes
+	t.mu.Unlock()
+}
+
+// recordInjected marks the exchange as actually faulted.
+func (t *FaultTransport) recordInjected(c NetCall) {
+	t.mu.Lock()
+	t.injected = append(t.injected, c)
+	t.mu.Unlock()
+}
+
+// RoundTrip implements http.RoundTripper with fault injection. The
+// response body is always fully buffered, so callers never observe a
+// partially consumed wire stream.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	call, idx, kind, fire := t.begin(req.Method, req.URL.Path)
+
+	if fire {
+		switch kind {
+		case NetRefused:
+			t.recordInjected(call)
+			return nil, fmt.Errorf("%s: connection refused: %w", call, ErrNetInjected)
+		case NetStall:
+			t.recordInjected(call)
+			<-req.Context().Done()
+			return nil, fmt.Errorf("%s: stalled: %w", call, req.Context().Err())
+		case Net5xx:
+			t.recordInjected(call)
+			body := "injected 503 burst"
+			t.note(idx, http.StatusServiceUnavailable, len(body))
+			return &http.Response{
+				StatusCode:    http.StatusServiceUnavailable,
+				Status:        "503 Service Unavailable (injected)",
+				Proto:         "HTTP/1.1",
+				ProtoMajor:    1,
+				ProtoMinor:    1,
+				Header:        make(http.Header),
+				Body:          io.NopCloser(strings.NewReader(body)),
+				ContentLength: int64(len(body)),
+				Request:       req,
+			}, nil
+		case NetLatency:
+			t.recordInjected(call)
+			timer := time.NewTimer(t.latency)
+			select {
+			case <-timer.C:
+			case <-req.Context().Done():
+				timer.Stop()
+				return nil, fmt.Errorf("%s: latency spike: %w", call, req.Context().Err())
+			}
+			// Then proceed with the real exchange below.
+		}
+	}
+
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	cerr := resp.Body.Close()
+	if err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	t.note(idx, resp.StatusCode, len(data))
+
+	if fire && kind.BodyFault() && len(data) > 0 {
+		t.recordInjected(call)
+		switch kind {
+		case NetHangup:
+			resp.Body = &hangupBody{data: data[:(len(data)+1)/2], call: call}
+			resp.ContentLength = -1
+			return resp, nil
+		case NetTruncate:
+			data = data[:len(data)/2]
+			resp.ContentLength = -1
+		case NetBitFlip:
+			flipped := append([]byte(nil), data...)
+			flipped[len(flipped)/2] ^= 0x20
+			data = flipped
+		}
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(data))
+	return resp, nil
+}
+
+// hangupBody delivers its prefix, then fails the read as a dropped
+// connection would.
+type hangupBody struct {
+	data []byte
+	call NetCall
+	off  int
+	dead bool
+}
+
+func (b *hangupBody) Read(p []byte) (int, error) {
+	if b.off < len(b.data) {
+		n := copy(p, b.data[b.off:])
+		b.off += n
+		return n, nil
+	}
+	b.dead = true
+	return 0, fmt.Errorf("%s: connection hangup mid-body: %w", b.call, ErrNetInjected)
+}
+
+func (b *hangupBody) Close() error { return nil }

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"statefulcc/internal/obs"
@@ -32,19 +33,52 @@ import (
 //
 // All methods are safe for concurrent use. Time is injectable (Options.Now)
 // so the eviction tests run under a fake clock.
+//
+// Crash-restart safety (docs/ROBUSTNESS.md): when the backing store is a
+// RefPersister (DiskCAS is), every tenant reference is mirrored as a
+// durable marker file, and NewServer runs startup recovery — sweep
+// orphaned temp files, reload the marker tree, cross-validate each marker
+// against its blob, drop whichever half of a torn pair survived the
+// crash, and rebuild the per-tenant byte totals and global refcounts. The
+// rebuilt accounting provably matches a from-scratch scan, so a restarted
+// server serves the same hits under the same quotas as the one that died.
 type Server struct {
-	store Store
-	opts  ServerOptions
+	store   Store
+	opts    ServerOptions
+	persist RefPersister // non-nil when the store persists tenant refs
 
 	mu      sync.Mutex
 	tenants map[string]*tenant
 	refs    map[Key]int // global blob refcount across tenants
 	flights map[Key]*flight
 
-	ctrHit, ctrMiss, ctrVerify *obs.Counter
-	ctrCoalesced, ctrPublished *obs.Counter
-	ctrIOErr, ctrEvicted       *obs.Counter
-	histServe                  *obs.Histogram
+	inflight atomic.Int64 // /cas/ requests currently being served
+
+	ctrHit, ctrMiss, ctrVerify     *obs.Counter
+	ctrCoalesced, ctrPublished     *obs.Counter
+	ctrIOErr, ctrEvicted           *obs.Counter
+	ctrRecRefs, ctrRecOrphans      *obs.Counter
+	ctrLeaseExpired, ctrBodyReject *obs.Counter
+	histServe                      *obs.Histogram
+}
+
+// RefPersister is the optional durable-accounting interface a backing
+// store may implement (DiskCAS does). When present, the server mirrors
+// every tenant reference into the store and rebuilds its accounting from
+// the mirror at startup.
+type RefPersister interface {
+	WriteTenantRef(tenant string, key Key, size int64) error
+	RemoveTenantRef(tenant string, key Key) error
+	LoadTenantRefs() (map[string]map[Key]int64, int)
+	BlobSize(key Key) (int64, error)
+	BlobKeys() []Key
+}
+
+// TempSweeper is the optional crash-janitor interface a backing store may
+// implement (DiskCAS does); NewServer runs it before recovery so temp
+// files orphaned mid-publish cannot accumulate across restarts.
+type TempSweeper interface {
+	SweepTemp() int
 }
 
 // ServerOptions configures the policy layer.
@@ -60,6 +94,13 @@ type ServerOptions struct {
 	// Metrics receives the cas.* server counters and the cas.serve_ns
 	// histogram; nil disables them.
 	Metrics *obs.Registry
+	// MaxBodyBytes bounds one request body on the wire (default
+	// maxBlobWire). Over-limit uploads are refused with 413 and counted
+	// (cas.body_rejected) before they can balloon the server.
+	MaxBodyBytes int64
+	// DisableRecovery skips startup recovery (tests that stage a specific
+	// pre-recovery disk state and want to run recovery by hand).
+	DisableRecovery bool
 }
 
 type tenant struct {
@@ -80,13 +121,18 @@ type flight struct {
 	waiters   int // coalesced callers currently blocked on done (tests)
 }
 
-// NewServer wraps a backing store in the policy layer.
+// NewServer wraps a backing store in the policy layer. When the store
+// persists tenant refs (DiskCAS), startup recovery runs here: temp sweep,
+// marker reload, cross-validation, accounting rebuild.
 func NewServer(store Store, opts ServerOptions) *Server {
 	if opts.LeaseGrace <= 0 {
 		opts.LeaseGrace = 5 * time.Second
 	}
 	if opts.Now == nil {
 		opts.Now = time.Now
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = maxBlobWire
 	}
 	s := &Server{
 		store:   store,
@@ -95,6 +141,7 @@ func NewServer(store Store, opts ServerOptions) *Server {
 		refs:    make(map[Key]int),
 		flights: make(map[Key]*flight),
 	}
+	s.persist, _ = store.(RefPersister)
 	if r := opts.Metrics; r != nil {
 		s.ctrHit = r.Counter(obs.CtrCASHits)
 		s.ctrMiss = r.Counter(obs.CtrCASMisses)
@@ -103,9 +150,81 @@ func NewServer(store Store, opts ServerOptions) *Server {
 		s.ctrPublished = r.Counter(obs.CtrCASPublished)
 		s.ctrIOErr = r.Counter(obs.CtrCASIOErrors)
 		s.ctrEvicted = r.Counter(obs.CtrCASEvicted)
+		s.ctrRecRefs = r.Counter(obs.CtrCASRecoveredRefs)
+		s.ctrRecOrphans = r.Counter(obs.CtrCASRecoveredOrphans)
+		s.ctrLeaseExpired = r.Counter(obs.CtrCASLeaseExpired)
+		s.ctrBodyReject = r.Counter(obs.CtrCASBodyRejected)
 		s.histServe = r.Histogram(obs.HistCASServeNS)
 	}
+	if !opts.DisableRecovery {
+		s.Recover()
+	}
 	return s
+}
+
+// Recover rebuilds the server's tenant accounting from the backing
+// store's durable state (a no-op for stores without a RefPersister). The
+// sequence and its invariants:
+//
+//  1. Sweep temp files orphaned by a crash mid-publish (TempSweeper).
+//  2. Reload the tenant ref-marker tree; malformed markers are dropped.
+//  3. Cross-validate every marker against its blob. Markers were written
+//     before their blob published and removed after eviction deleted it,
+//     so a crash leaves at most a marker without a blob (leader died
+//     before publishing) or a blob without a marker (crash between blob
+//     delete and marker delete is impossible in that order, but a
+//     from-scratch blob may predate tenancy) — both halves of a torn
+//     pair are dropped, counted as cas.recovered_orphans.
+//  4. Rebuild per-tenant byte totals and global refcounts from the
+//     surviving markers (cas.recovered_refs), then re-apply quotas.
+//
+// The result is exactly what a from-scratch scan of the store would
+// build: no reference without a readable blob, no blob without a
+// reference, totals that sum the surviving sizes.
+func (s *Server) Recover() (recovered, orphans int) {
+	if s.persist == nil {
+		return 0, 0
+	}
+	if sw, ok := s.store.(TempSweeper); ok {
+		sw.SweepTemp()
+	}
+	refs, dropped := s.persist.LoadTenantRefs()
+	orphans = dropped
+	referenced := make(map[Key]bool)
+	s.mu.Lock()
+	for tenantName, m := range refs {
+		t := s.tenantLocked(tenantName)
+		for key, size := range m {
+			actual, err := s.persist.BlobSize(key)
+			if err != nil || actual != size {
+				// Marker without a matching blob: the leader died between
+				// marker write and blob publish (or the blob is torn —
+				// content addressing fixes a key's size, so a mismatch can
+				// only be corruption, and reads would refuse it anyway).
+				_ = s.persist.RemoveTenantRef(tenantName, key)
+				orphans++
+				continue
+			}
+			t.refs[key] = &tenantRef{size: size, last: s.opts.Now()}
+			t.bytes += size
+			s.refs[key]++
+			referenced[key] = true
+			recovered++
+		}
+	}
+	for _, key := range s.persist.BlobKeys() {
+		if !referenced[key] {
+			_ = s.store.Delete(key)
+			orphans++
+		}
+	}
+	for name, t := range s.tenants {
+		s.evictLocked(name, t)
+	}
+	s.mu.Unlock()
+	s.ctrRecRefs.Add(int64(recovered))
+	s.ctrRecOrphans.Add(int64(orphans))
+	return recovered, orphans
 }
 
 // Metrics returns the registry the server counts into (may be nil).
@@ -142,7 +261,8 @@ func (s *Server) Get(tenantName string, key Key) ([]byte, error) {
 		t.refs[key] = &tenantRef{size: int64(len(data)), last: s.opts.Now()}
 		t.bytes += int64(len(data))
 		s.refs[key]++
-		s.evictLocked(t)
+		s.persistRef(tenantName, key, int64(len(data)))
+		s.evictLocked(tenantName, t)
 	}
 	s.mu.Unlock()
 	return data, nil
@@ -171,7 +291,11 @@ func (s *Server) Put(tenantName string, key Key, data []byte) error {
 	t.refs[key] = &tenantRef{size: size, last: s.opts.Now()}
 	t.bytes += size
 	s.refs[key]++
-	s.evictLocked(t)
+	// Marker before blob: a crash between the two leaves a marker whose
+	// blob is missing, which recovery drops; the reverse order would leave
+	// an unaccounted blob holding real bytes.
+	s.persistRef(tenantName, key, size)
+	s.evictLocked(tenantName, t)
 	s.mu.Unlock()
 	if err := s.store.Put(key, data); err != nil {
 		s.dropRefs(key)
@@ -184,7 +308,7 @@ func (s *Server) Put(tenantName string, key Key, data []byte) error {
 // references (oldest access first; key order breaks ties, so the choice is
 // deterministic under a fake clock). The blob itself is deleted only when
 // no tenant references it anymore.
-func (s *Server) evictLocked(t *tenant) {
+func (s *Server) evictLocked(name string, t *tenant) {
 	if s.opts.TenantQuota <= 0 {
 		return
 	}
@@ -202,6 +326,7 @@ func (s *Server) evictLocked(t *tenant) {
 		}
 		t.bytes -= vr.size
 		delete(t.refs, victim)
+		s.unpersistRef(name, victim)
 		s.ctrEvicted.Inc()
 		if s.refs[victim]--; s.refs[victim] <= 0 {
 			delete(s.refs, victim)
@@ -215,13 +340,37 @@ func (s *Server) evictLocked(t *tenant) {
 func (s *Server) dropRefs(key Key) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, t := range s.tenants {
+	for name, t := range s.tenants {
 		if ref, ok := t.refs[key]; ok {
 			t.bytes -= ref.size
 			delete(t.refs, key)
+			s.unpersistRef(name, key)
 		}
 	}
 	delete(s.refs, key)
+}
+
+// persistRef / unpersistRef mirror one reference change into the durable
+// marker tree (no-ops without a RefPersister). Failures degrade: the
+// in-memory accounting stays authoritative for this process's lifetime,
+// the miss is counted, and recovery after the next restart re-derives a
+// consistent state from whatever did land.
+func (s *Server) persistRef(tenant string, key Key, size int64) {
+	if s.persist == nil {
+		return
+	}
+	if err := s.persist.WriteTenantRef(tenant, key, size); err != nil {
+		s.ctrIOErr.Inc()
+	}
+}
+
+func (s *Server) unpersistRef(tenant string, key Key) {
+	if s.persist == nil {
+		return
+	}
+	if err := s.persist.RemoveTenantRef(tenant, key); err != nil {
+		s.ctrIOErr.Inc()
+	}
 }
 
 // TenantBytes reports a tenant's referenced byte total (tests, /dash).
@@ -326,6 +475,85 @@ func (s *Server) Abandon(action Key) {
 	s.mu.Unlock()
 }
 
+// ExpireStaleLeases reaps coalescing flights whose leader has exceeded
+// the lease grace without publishing or abandoning (it died, or its
+// network did). Waiters wake and compile locally; the serve loop runs
+// this periodically (cas.lease_expired counts the reaps). Returns the
+// number expired.
+func (s *Server) ExpireStaleLeases() int {
+	s.mu.Lock()
+	now := s.opts.Now()
+	n := 0
+	for action, f := range s.flights {
+		if now.Sub(f.created) > s.opts.LeaseGrace {
+			close(f.done) // published stays false: waiters compile locally
+			delete(s.flights, action)
+			n++
+		}
+	}
+	s.mu.Unlock()
+	s.ctrLeaseExpired.Add(int64(n))
+	return n
+}
+
+// DrainLeases wakes every lease waiter regardless of age — the shutdown
+// path, run before http.Server.Shutdown so long-polls cannot hold the
+// graceful drain open for a full grace window. Returns the number of
+// flights released.
+func (s *Server) DrainLeases() int {
+	s.mu.Lock()
+	n := len(s.flights)
+	for action, f := range s.flights {
+		close(f.done)
+		delete(s.flights, action)
+	}
+	s.mu.Unlock()
+	return n
+}
+
+// LeaseWaiters reports how many callers are currently blocked inside
+// Lease across all flights (tests synchronize on it; /healthz could too).
+func (s *Server) LeaseWaiters() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, f := range s.flights {
+		n += f.waiters
+	}
+	return n
+}
+
+// TenantAccounting snapshots every tenant's key→size reference map —
+// the restart tests compare this against a from-scratch scan.
+func (s *Server) TenantAccounting() map[string]map[Key]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]map[Key]int64, len(s.tenants))
+	for name, t := range s.tenants {
+		m := make(map[Key]int64, len(t.refs))
+		for k, r := range t.refs {
+			m[k] = r.size
+		}
+		out[name] = m
+	}
+	return out
+}
+
+// GlobalRefs snapshots the cross-tenant blob refcounts.
+func (s *Server) GlobalRefs() map[Key]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Key]int, len(s.refs))
+	for k, n := range s.refs {
+		out[k] = n
+	}
+	return out
+}
+
+// InFlight reports the number of /cas/ requests currently being served
+// (the drain loop and /healthz export it).
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
 // ---- HTTP wire protocol ----
 //
 //	GET    /cas/blob/<key>     200 bytes | 404 | 410 (verify failed) | 500
@@ -348,14 +576,41 @@ const TenantHeader = "X-CAS-Tenant"
 // object, small enough that a hostile PUT cannot balloon the server).
 const maxBlobWire = 64 << 20
 
+// ValidTenant reports whether a tenant name is acceptable on the wire.
+// Tenant names become filesystem path components in the durable ref tree,
+// so the grammar is strict: 1–64 characters of [A-Za-z0-9._-], not
+// starting with a dot (which also excludes "." and ".." — a hostile
+// header cannot escape the tenants/ directory).
+func ValidTenant(name string) bool {
+	if name == "" || len(name) > 64 || name[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // Handler returns the /cas/ HTTP handler. Mount it at "/cas/".
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
 		start := time.Now()
 		defer func() { s.histServe.Observe(time.Since(start).Nanoseconds()) }()
 		tenantName := r.Header.Get(TenantHeader)
 		if tenantName == "" {
 			tenantName = "default"
+		}
+		if !ValidTenant(tenantName) {
+			http.Error(w, "cas: invalid tenant name", http.StatusBadRequest)
+			return
 		}
 		rest, ok := strings.CutPrefix(r.URL.Path, "/cas/")
 		if !ok {
@@ -407,13 +662,22 @@ func (s *Server) serveBlob(w http.ResponseWriter, r *http.Request, tenantName st
 		}
 		w.WriteHeader(http.StatusOK)
 	case http.MethodPut:
-		data, err := io.ReadAll(io.LimitReader(r.Body, maxBlobWire+1))
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+		// MaxBytesReader both bounds the read and closes the connection on
+		// an over-limit body, so a hostile uploader cannot stream past the
+		// limit and a stalled one is bounded by the server's read timeouts.
+		limit := s.opts.MaxBodyBytes
+		if limit > maxBlobWire {
+			limit = maxBlobWire
 		}
-		if len(data) > maxBlobWire {
-			http.Error(w, "cas: blob exceeds wire limit", http.StatusRequestEntityTooLarge)
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				s.ctrBodyReject.Inc()
+				http.Error(w, "cas: blob exceeds body limit", http.StatusRequestEntityTooLarge)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		if err := s.Put(tenantName, key, data); err != nil {

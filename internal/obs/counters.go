@@ -119,6 +119,41 @@ const (
 	CtrCASIOErrors     = "cas.io_error"
 	// cas.evicted counts tenant-namespace LRU evictions on the server.
 	CtrCASEvicted = "cas.evicted"
+
+	// Network-adversity counters (docs/ROBUSTNESS.md, "Network adversity").
+	// Client side: cas.net_error counts failed wire attempts — transport
+	// errors, mid-body hangups, 5xx responses, blown deadline budgets — the
+	// build degraded around; cas.retry counts re-attempts issued for
+	// retryable failures (the strict taxonomy: 404/410/507 and every other
+	// service verdict never burns a retry); cas.hedged counts hedged second
+	// requests issued against tail-latency spikes and cas.hedge_won the
+	// hedges whose response arrived first. The circuit breaker's lifecycle:
+	// cas.breaker_trips counts closed/half-open → open transitions,
+	// cas.breaker_probes half-open probe requests, cas.breaker_recovered
+	// half-open → closed recoveries, and cas.breaker_open requests
+	// fast-failed while open (each is also a miss on the fetch path — the
+	// degraded build compiles locally without waiting on a dead backend).
+	CtrCASNetErrors        = "cas.net_error"
+	CtrCASRetries          = "cas.retry"
+	CtrCASHedged           = "cas.hedged"
+	CtrCASHedgeWins        = "cas.hedge_won"
+	CtrCASBreakerOpen      = "cas.breaker_open"
+	CtrCASBreakerTrips     = "cas.breaker_trips"
+	CtrCASBreakerProbes    = "cas.breaker_probes"
+	CtrCASBreakerRecovered = "cas.breaker_recovered"
+
+	// Server crash-restart recovery counters (cas.Server over a DiskCAS):
+	// cas.recovered_refs counts tenant references rebuilt from the on-disk
+	// ref markers at startup; cas.recovered_orphans counts markers and
+	// blobs dropped because their counterpart vanished mid-crash;
+	// cas.lease_expired counts coalescing flights the janitor expired past
+	// the lease grace (a leader that died without publishing or
+	// abandoning); cas.body_rejected counts over-limit request bodies
+	// refused at the wire before they could balloon the server.
+	CtrCASRecoveredRefs    = "cas.recovered_refs"
+	CtrCASRecoveredOrphans = "cas.recovered_orphans"
+	CtrCASLeaseExpired     = "cas.lease_expired"
+	CtrCASBodyRejected     = "cas.body_rejected"
 )
 
 // Counter is a monotonically updated 64-bit metric. All methods are atomic

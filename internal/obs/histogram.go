@@ -38,6 +38,12 @@ const (
 	// HistCASServeNS is the server-side /cas/ request latency, one
 	// observation per request.
 	HistCASServeNS = "cas.serve_ns"
+	// HistCASNetNS is the per-wire-attempt latency of the shared-cache
+	// client — one observation per request that was admitted by the
+	// circuit breaker (success or failure), so latency spikes and hedge
+	// effectiveness are visible separately from the whole-fetch
+	// cas.fetch_ns.
+	HistCASNetNS = "cas.net_ns"
 )
 
 // Histogram bucket geometry.
